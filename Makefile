@@ -1,0 +1,27 @@
+# Convenience targets for the SR2201 reproduction.
+
+.PHONY: test experiments bench examples doc clippy all
+
+test:
+	cargo test --workspace
+
+experiments:
+	cargo run --release -p mdx-bench --bin experiments -- --json results all
+
+bench:
+	cargo bench --workspace
+
+examples:
+	cargo run --release --example quickstart
+	cargo run --release --example fault_tolerant_routing
+	cargo run --release --example broadcast_storm -- 3
+	cargo run --release --example topology_explorer -- 8 8
+	cargo run --release --example reliability_loop
+
+doc:
+	cargo doc --workspace --no-deps
+
+clippy:
+	cargo clippy --workspace --all-targets
+
+all: test experiments bench doc

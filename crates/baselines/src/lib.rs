@@ -1,0 +1,31 @@
+//! # mdx-baselines
+//!
+//! The comparison systems the paper measures itself against:
+//!
+//! * [`DirectDor`] — dimension-order routing on 2D/3D mesh and torus direct
+//!   networks (the CRAY-T3D-class topology of Sec. 1 and the mesh/torus the
+//!   Sec. 3.1 conflict claims are made against). The torus variant routes
+//!   the short way around; without virtual channels that is famously
+//!   deadlock-prone under wrap-heavy traffic, which the experiments surface
+//!   honestly rather than hide.
+//! * [`TableRouting`] — CRAY-T3D-style fault tolerance: a centrally
+//!   rewritten per-(switch, destination) next-hop table routes every packet
+//!   around the faulty component on shortest surviving paths. Delivery is
+//!   restored, but the table is quadratic state and the resulting turns are
+//!   not dimension-ordered, so deadlock freedom is no longer guaranteed —
+//!   the contrast the SR2201's few-bits-per-switch detour facility is
+//!   designed around.
+//! * [`software`] — IBM-SP2-style software-mediated transmission (per-packet
+//!   software overhead once the network is degraded) and the software
+//!   binomial-tree broadcast that machines without hardware broadcast use
+//!   (CM-5/AP1000 style, Sec. 4's alternatives).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod direct;
+pub mod software;
+pub mod table;
+
+pub use direct::DirectDor;
+pub use table::TableRouting;

@@ -1,0 +1,213 @@
+//! Software-mediated baselines.
+//!
+//! * [`sp2_software_schedule`] — IBM-SP2-style degradation: once a switch is
+//!   faulty, *"all data transmission must be controlled by the software"*
+//!   (paper Sec. 1). We model the software path as a fixed per-packet
+//!   protocol-stack overhead on injection plus a per-source serialization
+//!   (the CPU sends one packet at a time), applied to an existing schedule.
+//! * [`software_tree_broadcast`] — the broadcast machines without hardware
+//!   support run: a binomial tree of unicasts, each round launched only
+//!   when its parent's packet has fully arrived. Latency is measured by
+//!   chaining cycle-level simulations round by round, so contention inside
+//!   each round is fully modeled.
+
+use mdx_core::{Header, Scheme};
+use mdx_sim::{InjectSpec, SimConfig, SimOutcome, Simulator};
+use mdx_topology::{NetworkGraph, Shape};
+use std::sync::Arc;
+
+/// Per-packet software protocol overhead, in cycles. The SP2's software
+/// path cost on the order of tens of microseconds against a ~1 us hardware
+/// network; with our unit link time, 40 cycles per packet is a conservative
+/// stand-in (the experiments sweep it).
+pub const DEFAULT_SOFTWARE_OVERHEAD: u64 = 40;
+
+/// Applies the software-transmission model to a schedule: each packet's
+/// injection is delayed by `overhead` cycles of protocol processing, and
+/// packets from the same source are serialized `overhead` cycles apart
+/// (the CPU handles one send at a time).
+pub fn sp2_software_schedule(specs: &[InjectSpec], overhead: u64) -> Vec<InjectSpec> {
+    // Output position i corresponds to input position i (callers match
+    // per-packet results back to the original requests), so transform in
+    // place rather than regrouping.
+    let mut by_source: std::collections::HashMap<usize, Vec<usize>> =
+        std::collections::HashMap::new();
+    for (i, s) in specs.iter().enumerate() {
+        by_source.entry(s.src_pe).or_default().push(i);
+    }
+    let mut out = specs.to_vec();
+    for (_, mut idxs) in by_source {
+        // Serve each source's sends in request order (stable on ties).
+        idxs.sort_by_key(|&i| (specs[i].inject_at, i));
+        let mut cpu_free_at = 0u64;
+        for i in idxs {
+            let start = specs[i].inject_at.max(cpu_free_at) + overhead;
+            out[i].inject_at = start;
+            cpu_free_at = start;
+        }
+    }
+    out
+}
+
+/// Result of a software tree broadcast measurement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeBroadcastResult {
+    /// Cycle at which the last PE received the payload.
+    pub completion: u64,
+    /// Number of sequential rounds (log2 of the PE count, rounded up).
+    pub rounds: usize,
+    /// Total unicast packets sent.
+    pub messages: usize,
+}
+
+/// Measures a binomial-tree software broadcast from `src` under `scheme`:
+/// in round `r`, every PE that already holds the payload forwards it to its
+/// partner `2^r` away (in PE-index space). Each round is simulated with all
+/// of its sends concurrent; the next round starts when the slowest arrival
+/// of the current round lands, plus `per_hop_software` cycles of software
+/// handling at the receiving CPU.
+pub fn software_tree_broadcast(
+    graph: &NetworkGraph,
+    scheme: Arc<dyn Scheme>,
+    shape: &Shape,
+    src: usize,
+    flits: usize,
+    per_hop_software: u64,
+    simcfg: SimConfig,
+) -> TreeBroadcastResult {
+    let n = shape.num_pes();
+    let mut holders: Vec<(usize, u64)> = vec![(src, 0)]; // (pe, ready time)
+    let mut rounds = 0usize;
+    let mut messages = 0usize;
+    let mut span = 1usize;
+    while span < n {
+        // This round: each holder sends to holder_index + span (relative to
+        // src, wrapping over the index space) if that PE lacks the payload.
+        let mut sim = Simulator::new(graph.clone(), scheme.clone(), simcfg);
+        let mut sends: Vec<(usize, usize, u64)> = Vec::new(); // (src, dst, t)
+        for &(pe, ready) in &holders {
+            let rel = (pe + n - src) % n;
+            if rel < span {
+                let dst = (pe + span) % n;
+                let dst_rel = (dst + n - src) % n;
+                if dst_rel >= span && dst_rel < 2 * span && dst != pe {
+                    sends.push((pe, dst, ready + per_hop_software));
+                }
+            }
+        }
+        if sends.is_empty() {
+            span *= 2;
+            continue;
+        }
+        for &(s, d, t) in &sends {
+            sim.schedule(InjectSpec {
+                src_pe: s,
+                header: Header::unicast(shape.coord_of(s), shape.coord_of(d)),
+                flits,
+                inject_at: t,
+            });
+        }
+        let r = sim.run();
+        assert_eq!(
+            r.outcome,
+            SimOutcome::Completed,
+            "software broadcast round must complete"
+        );
+        for (i, &(_, d, _)) in sends.iter().enumerate() {
+            let finished = r.packets[i]
+                .finished_at
+                .expect("round packet finished");
+            holders.push((d, finished));
+        }
+        messages += sends.len();
+        rounds += 1;
+        span *= 2;
+    }
+    let completion = holders.iter().map(|&(_, t)| t).max().unwrap_or(0);
+    TreeBroadcastResult {
+        completion,
+        rounds,
+        messages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdx_core::Sr2201Routing;
+    use mdx_fault::FaultSet;
+    use mdx_topology::{Coord, MdCrossbar};
+
+    #[test]
+    fn sp2_schedule_adds_overhead_and_serializes() {
+        let h = Header::unicast(Coord::new(&[0, 0]), Coord::new(&[1, 0]));
+        let specs = vec![
+            InjectSpec {
+                src_pe: 0,
+                header: h,
+                flits: 4,
+                inject_at: 0,
+            },
+            InjectSpec {
+                src_pe: 0,
+                header: h,
+                flits: 4,
+                inject_at: 0,
+            },
+            InjectSpec {
+                src_pe: 1,
+                header: h,
+                flits: 4,
+                inject_at: 5,
+            },
+        ];
+        let out = sp2_software_schedule(&specs, 40);
+        assert_eq!(out.len(), 3);
+        // Positions are preserved: out[i] is specs[i] with a new time.
+        assert_eq!(out[0].inject_at, 40);
+        assert_eq!(out[1].inject_at, 80);
+        assert_eq!(out[2].inject_at, 45);
+        for (a, b) in specs.iter().zip(&out) {
+            assert_eq!(a.src_pe, b.src_pe);
+            assert_eq!(a.flits, b.flits);
+        }
+    }
+
+    #[test]
+    fn tree_broadcast_reaches_everyone() {
+        let net = Arc::new(MdCrossbar::build(Shape::fig2()));
+        let scheme: Arc<dyn Scheme> =
+            Arc::new(Sr2201Routing::new(net.clone(), &FaultSet::none()).unwrap());
+        let r = software_tree_broadcast(
+            net.graph(),
+            scheme,
+            net.shape(),
+            3,
+            4,
+            10,
+            SimConfig::default(),
+        );
+        // 12 PEs: 4 rounds (span 1,2,4,8), 11 messages.
+        assert_eq!(r.rounds, 4);
+        assert_eq!(r.messages, 11);
+        assert!(r.completion > 0);
+    }
+
+    #[test]
+    fn tree_broadcast_slower_than_rounds_times_hop() {
+        let net = Arc::new(MdCrossbar::build(Shape::fig2()));
+        let scheme: Arc<dyn Scheme> =
+            Arc::new(Sr2201Routing::new(net.clone(), &FaultSet::none()).unwrap());
+        let sw = software_tree_broadcast(
+            net.graph(),
+            scheme,
+            net.shape(),
+            0,
+            4,
+            10,
+            SimConfig::default(),
+        );
+        // Lower bound: rounds * software overhead.
+        assert!(sw.completion >= 4 * 10);
+    }
+}

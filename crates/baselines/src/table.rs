@@ -1,0 +1,182 @@
+//! CRAY-T3D-style routing-table fault tolerance on the MD crossbar.
+//!
+//! Sec. 1 of the paper: *"When a part of the network is faulty, the routing
+//! information in the look-up table of each node is rewritten so that no
+//! packet would pass the faulty point."* This baseline reproduces that
+//! strategy on the same multi-dimensional crossbar so the comparison
+//! isolates the fault-handling mechanism: a service processor computes
+//! shortest surviving next-hops for every (switch, destination) pair and
+//! the switches follow the table blindly.
+//!
+//! Contrast with the paper's facility: the table costs O(switches x PEs)
+//! state and a global rewrite on every fault, and the rerouted turns are no
+//! longer dimension-ordered, so the deadlock-freedom of X-Y routing is
+//! forfeited (the experiments probe for this in the simulator).
+
+use mdx_core::{Action, Branch, DropReason, Header, RouteChange, Scheme};
+use mdx_fault::FaultSet;
+use mdx_topology::{MdCrossbar, Node, NodeId};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Per-(switch, destination) next-hop table routing.
+#[derive(Debug, Clone)]
+pub struct TableRouting {
+    net: Arc<MdCrossbar>,
+    /// `table[node.0 as usize][dest_pe]` = next node, or `None` when the
+    /// destination is unreachable from that switch.
+    table: Vec<Vec<Option<NodeId>>>,
+}
+
+impl TableRouting {
+    /// Computes the table for `faults` by reverse BFS from every
+    /// destination PE over the surviving switches (deterministic: channel
+    /// order breaks ties, so all paths are shortest).
+    pub fn new(net: Arc<MdCrossbar>, faults: &FaultSet) -> TableRouting {
+        let g = net.graph();
+        let n_pes = net.shape().num_pes();
+        let mut table = vec![vec![None; n_pes]; g.num_nodes()];
+        #[allow(clippy::needless_range_loop)] // dst indexes rows of `table` too
+        for dst in 0..n_pes {
+            if !faults.pe_usable(dst) {
+                continue;
+            }
+            // BFS from the destination PE following channels backwards;
+            // next[v] = the neighbor of v one step closer to dst.
+            let target = net.pe(dst);
+            let mut dist = vec![u32::MAX; g.num_nodes()];
+            let mut q = VecDeque::new();
+            dist[target.0 as usize] = 0;
+            q.push_back(target);
+            while let Some(u) = q.pop_front() {
+                for &ch in g.incoming(u) {
+                    let v = g.channel(ch).src;
+                    if faults.disables(g.node(v)) {
+                        continue;
+                    }
+                    if dist[v.0 as usize] == u32::MAX {
+                        dist[v.0 as usize] = dist[u.0 as usize] + 1;
+                        table[v.0 as usize][dst] = Some(u);
+                        q.push_back(v);
+                    }
+                }
+            }
+        }
+        TableRouting { net, table }
+    }
+
+    /// The network routed on.
+    pub fn network(&self) -> &MdCrossbar {
+        &self.net
+    }
+
+    /// Total table entries — the paper's hardware-cost contrast with the
+    /// few-bits-per-switch fault registers.
+    pub fn table_entries(&self) -> usize {
+        self.table.iter().map(|row| row.len()).sum()
+    }
+}
+
+impl Scheme for TableRouting {
+    fn name(&self) -> String {
+        "t3d-style table rerouting".to_string()
+    }
+
+    fn decide(&self, at: Node, came_from: Option<Node>, header: &Header) -> Action {
+        if header.rc != RouteChange::Normal {
+            return Action::Drop(DropReason::ProtocolViolation);
+        }
+        let g = self.net.graph();
+        let Some(at_id) = g.id_of(at) else {
+            return Action::Drop(DropReason::ProtocolViolation);
+        };
+        let dst = self.net.shape().index_of(header.dest);
+        if at == Node::Pe(dst) {
+            return match came_from {
+                None => Action::Deliver, // self-send
+                Some(_) => Action::Deliver,
+            };
+        }
+        match self.table[at_id.0 as usize][dst] {
+            Some(next) => Action::Forward(vec![Branch {
+                to: g.node(next),
+                header: *header,
+                vc: 0,
+            }]),
+            None => Action::Drop(DropReason::DestinationFaulty),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdx_core::trace::trace_unicast;
+    use mdx_fault::{enumerate_single_faults, FaultSite};
+    use mdx_topology::{Coord, Shape};
+
+    fn net() -> Arc<MdCrossbar> {
+        Arc::new(MdCrossbar::build(Shape::fig2()))
+    }
+
+    #[test]
+    fn fault_free_table_is_shortest_path() {
+        let n = net();
+        let t = TableRouting::new(n.clone(), &FaultSet::none());
+        let shape = n.shape();
+        for src in 0..12 {
+            for dst in 0..12 {
+                let h = Header::unicast(shape.coord_of(src), shape.coord_of(dst));
+                let tr = trace_unicast(&t, n.graph(), h, src).unwrap();
+                assert_eq!(tr.steps.last().unwrap().node, Node::Pe(dst));
+                // Shortest: 2 crossbar traversals max.
+                assert!(tr.xbar_hops() <= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn reroutes_around_every_single_fault() {
+        let n = net();
+        let shape = n.shape().clone();
+        for site in enumerate_single_faults(&n) {
+            let faults = FaultSet::single(site);
+            let t = TableRouting::new(n.clone(), &faults);
+            for src in 0..12 {
+                for dst in 0..12 {
+                    if src == dst || !faults.pe_usable(src) || !faults.pe_usable(dst) {
+                        continue;
+                    }
+                    let h = Header::unicast(shape.coord_of(src), shape.coord_of(dst));
+                    let tr = trace_unicast(&t, n.graph(), h, src)
+                        .unwrap_or_else(|e| panic!("{site}: {src}->{dst}: {e}"));
+                    assert_eq!(tr.steps.last().unwrap().node, Node::Pe(dst));
+                    // The faulty switch never appears on the route.
+                    assert!(tr.nodes().all(|nd| nd != site.node()), "{site}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_destination_is_dropped() {
+        let n = net();
+        let faults = FaultSet::single(FaultSite::Router(5));
+        let t = TableRouting::new(n.clone(), &faults);
+        let shape = n.shape();
+        let h = Header::unicast(shape.coord_of(0), shape.coord_of(5));
+        match trace_unicast(&t, n.graph(), h, 0) {
+            Err(mdx_core::TraceError::Dropped(DropReason::DestinationFaulty)) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn table_cost_scales_with_network() {
+        let n = net();
+        let t = TableRouting::new(n.clone(), &FaultSet::none());
+        // 31 switches x 12 destinations.
+        assert_eq!(t.table_entries(), 31 * 12);
+        let _ = Coord::ORIGIN;
+    }
+}

@@ -1,0 +1,37 @@
+//! Criterion bench for the static wait-graph certification (fig10-static).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mdx_core::Sr2201Routing;
+use mdx_deadlock::waitgraph::TrafficFamily;
+use mdx_deadlock::verify_scheme;
+use mdx_fault::{FaultSet, FaultSite};
+use mdx_topology::{MdCrossbar, Shape};
+use std::sync::Arc;
+
+fn bench_cdg(c: &mut Criterion) {
+    let net = Arc::new(MdCrossbar::build(Shape::fig2()));
+
+    c.bench_function("cdg_verify_fault_free_4x3", |b| {
+        let s = Sr2201Routing::new(net.clone(), &FaultSet::none()).unwrap();
+        b.iter(|| verify_scheme(&net, &s, &FaultSet::none(), TrafficFamily::all()))
+    });
+
+    c.bench_function("cdg_verify_router_fault_4x3", |b| {
+        let faults = FaultSet::single(FaultSite::Router(1));
+        let s = Sr2201Routing::new(net.clone(), &faults).unwrap();
+        b.iter(|| verify_scheme(&net, &s, &faults, TrafficFamily::all()))
+    });
+
+    let big = Arc::new(MdCrossbar::build(Shape::new(&[8, 8]).unwrap()));
+    c.bench_function("cdg_verify_fault_free_8x8", |b| {
+        let s = Sr2201Routing::new(big.clone(), &FaultSet::none()).unwrap();
+        b.iter(|| verify_scheme(&big, &s, &FaultSet::none(), TrafficFamily::all()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cdg
+}
+criterion_main!(benches);

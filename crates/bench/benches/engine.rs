@@ -1,0 +1,81 @@
+//! Criterion benches for the simulator engine itself (supports
+//! claim-scale-2048 and abl-buffer-depth): cycles/second on dense traffic
+//! and scaling with network size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mdx_bench::run_schedule;
+use mdx_core::Sr2201Routing;
+use mdx_fault::FaultSet;
+use mdx_sim::SimConfig;
+use mdx_topology::{MdCrossbar, Shape};
+use mdx_workloads::{unicast_schedule, OpenLoop, TrafficPattern};
+use std::sync::Arc;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_uniform_traffic");
+    for dims in [&[4u16, 4][..], &[8, 8], &[16, 16]] {
+        let shape = Shape::new(dims).unwrap();
+        let net = Arc::new(MdCrossbar::build(shape.clone()));
+        let cfg = OpenLoop {
+            rate: 0.02,
+            packet_flits: 8,
+            window: 100,
+            seed: 1,
+        };
+        let specs =
+            unicast_schedule(&shape, TrafficPattern::UniformRandom, cfg, &FaultSet::none());
+        g.throughput(Throughput::Elements(specs.len() as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}x{}", dims[0], dims[1])),
+            &specs,
+            |b, specs| {
+                b.iter(|| {
+                    let scheme =
+                        Arc::new(Sr2201Routing::new(net.clone(), &FaultSet::none()).unwrap());
+                    run_schedule(net.graph(), scheme, specs, SimConfig::default())
+                })
+            },
+        );
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("engine_buffer_depth");
+    let shape = Shape::new(&[8, 8]).unwrap();
+    let net = Arc::new(MdCrossbar::build(shape.clone()));
+    let specs = unicast_schedule(
+        &shape,
+        TrafficPattern::UniformRandom,
+        OpenLoop {
+            rate: 0.03,
+            packet_flits: 8,
+            window: 100,
+            seed: 1,
+        },
+        &FaultSet::none(),
+    );
+    for buffer in [1usize, 2, 8, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(buffer), &buffer, |b, &buffer| {
+            b.iter(|| {
+                let scheme =
+                    Arc::new(Sr2201Routing::new(net.clone(), &FaultSet::none()).unwrap());
+                run_schedule(
+                    net.graph(),
+                    scheme,
+                    &specs,
+                    SimConfig {
+                        buffer_flits: buffer,
+                        ..SimConfig::default()
+                    },
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engine
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion benches for the broadcast experiments (Figs. 5 and 6): time to
+//! detect the naive-broadcast deadlock and to complete serialized
+//! broadcasts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdx_bench::run_schedule;
+use mdx_core::{Header, NaiveBroadcast, RouteChange, Sr2201Routing};
+use mdx_fault::FaultSet;
+use mdx_sim::{InjectSpec, SimConfig};
+use mdx_topology::{MdCrossbar, Shape};
+use std::sync::Arc;
+
+fn bench_broadcast(c: &mut Criterion) {
+    let net = Arc::new(MdCrossbar::build(Shape::fig2()));
+    let shape = net.shape().clone();
+
+    let mut g = c.benchmark_group("fig5_naive_deadlock_detection");
+    g.bench_function("two_broadcasts_16flits", |b| {
+        b.iter(|| {
+            let scheme = Arc::new(NaiveBroadcast::new(net.clone()));
+            let mk = |src: usize| InjectSpec {
+                src_pe: src,
+                header: Header {
+                    rc: RouteChange::Broadcast,
+                    dest: shape.coord_of(src),
+                    src: shape.coord_of(src),
+                },
+                flits: 16,
+                inject_at: 0,
+            };
+            run_schedule(
+                net.graph(),
+                scheme,
+                &[mk(0), mk(4)],
+                SimConfig {
+                    arb_seed: 3,
+                    watchdog: 128,
+                    ..SimConfig::default()
+                },
+            )
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("fig6_sxb_broadcast");
+    for k in [1usize, 3, 6] {
+        g.bench_with_input(BenchmarkId::new("concurrent", k), &k, |b, &k| {
+            let sources = [0usize, 4, 8, 3, 7, 11];
+            b.iter(|| {
+                let scheme =
+                    Arc::new(Sr2201Routing::new(net.clone(), &FaultSet::none()).unwrap());
+                let specs: Vec<InjectSpec> = sources[..k]
+                    .iter()
+                    .map(|&s| InjectSpec {
+                        src_pe: s,
+                        header: Header::broadcast_request(shape.coord_of(s)),
+                        flits: 16,
+                        inject_at: 0,
+                    })
+                    .collect();
+                run_schedule(net.graph(), scheme, &specs, SimConfig::default())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_broadcast
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench for the detour facility (Figs. 7-8): route computation
+//! under a fault and the full all-pairs delivery sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mdx_core::{trace_unicast, Header, Sr2201Routing};
+use mdx_fault::{FaultSet, FaultSite};
+use mdx_topology::{Coord, MdCrossbar, Shape};
+use std::sync::Arc;
+
+fn bench_detour(c: &mut Criterion) {
+    let net = Arc::new(MdCrossbar::build(Shape::new(&[8, 8]).unwrap()));
+    let shape = net.shape().clone();
+    let faulty = shape.index_of(Coord::new(&[3, 2]));
+    let faults = FaultSet::single(FaultSite::Router(faulty));
+    let scheme = Sr2201Routing::new(net.clone(), &faults).unwrap();
+
+    c.bench_function("fig8_single_detour_route", |b| {
+        let h = Header::unicast(Coord::new(&[0, 2]), Coord::new(&[3, 5]));
+        b.iter(|| trace_unicast(&scheme, net.graph(), h, shape.index_of(Coord::new(&[0, 2]))))
+    });
+
+    c.bench_function("fig8_all_pairs_under_fault", |b| {
+        b.iter(|| {
+            let mut delivered = 0usize;
+            for src in 0..64 {
+                for dst in 0..64 {
+                    if src == dst || !faults.pe_usable(src) || !faults.pe_usable(dst) {
+                        continue;
+                    }
+                    let h = Header::unicast(shape.coord_of(src), shape.coord_of(dst));
+                    if trace_unicast(&scheme, net.graph(), h, src).is_ok() {
+                        delivered += 1;
+                    }
+                }
+            }
+            delivered
+        })
+    });
+
+    c.bench_function("fig8_scheme_construction", |b| {
+        b.iter(|| Sr2201Routing::new(net.clone(), &faults).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_detour
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench behind the Sec. 3.1 comparison (claim-mdx-vs-mesh):
+//! simulation of the same uniform workload on each topology.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdx_baselines::DirectDor;
+use mdx_bench::run_schedule;
+use mdx_core::{Scheme, Sr2201Routing};
+use mdx_fault::FaultSet;
+use mdx_sim::SimConfig;
+use mdx_topology::{mesh::DirectNetwork, mesh::Wrap, MdCrossbar, NetworkGraph, Shape};
+use mdx_workloads::{unicast_schedule, OpenLoop, TrafficPattern};
+use std::sync::Arc;
+
+fn bench_topologies(c: &mut Criterion) {
+    let shape = Shape::new(&[8, 8]).unwrap();
+    let cfg = OpenLoop {
+        rate: 0.02,
+        packet_flits: 8,
+        window: 200,
+        seed: 7,
+    };
+    let specs = unicast_schedule(&shape, TrafficPattern::UniformRandom, cfg, &FaultSet::none());
+
+    let mdx = Arc::new(MdCrossbar::build(shape.clone()));
+    let mesh = Arc::new(DirectNetwork::build(shape.clone(), Wrap::Mesh));
+    let torus = Arc::new(DirectNetwork::build(shape.clone(), Wrap::Torus));
+    let runs: Vec<(&str, NetworkGraph, Arc<dyn Scheme>)> = vec![
+        (
+            "md-crossbar",
+            mdx.graph().clone(),
+            Arc::new(Sr2201Routing::new(mdx.clone(), &FaultSet::none()).unwrap()),
+        ),
+        ("mesh", mesh.graph().clone(), Arc::new(DirectDor::new(mesh.clone()))),
+        ("torus", torus.graph().clone(), Arc::new(DirectDor::new(torus.clone()))),
+    ];
+
+    let mut g = c.benchmark_group("uniform_8x8_load0.02");
+    for (name, graph, scheme) in runs {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| run_schedule(&graph, scheme.clone(), &specs, SimConfig::default()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_topologies
+}
+criterion_main!(benches);

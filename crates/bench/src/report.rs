@@ -1,0 +1,170 @@
+//! Plain-text table rendering and JSON persistence for experiment results.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// One experiment's result table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Experiment id (e.g. `fig5-bc-deadlock`).
+    pub id: String,
+    /// One-line description.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (assumptions, seeds, interpretation).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Table {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends a note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {}", self.id, self.title);
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
+            .collect();
+        let _ = writeln!(out, "  {}", header.join("  "));
+        let rule: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+        let _ = writeln!(out, "  {}", rule.join("  "));
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
+                .collect();
+            let _ = writeln!(out, "  {}", cells.join("  "));
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "  note: {n}");
+        }
+        out
+    }
+}
+
+/// Formats a float with three significant decimals.
+pub fn f3(x: f64) -> String {
+    if x.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+/// Formats a ratio as a percentage.
+pub fn pct(num: usize, den: usize) -> String {
+    if den == 0 {
+        "-".to_string()
+    } else {
+        format!("{:.1}%", 100.0 * num as f64 / den as f64)
+    }
+}
+
+/// Renders a 2D lattice heatmap as ASCII: one cell per PE position, shaded
+/// by the magnitude of `values[pe]` relative to the maximum (` .:-=+*#%@`).
+/// Returns an empty string for non-2D shapes.
+pub fn heatmap_2d(shape: &mdx_topology::Shape, values: &[u64]) -> String {
+    if shape.d() != 2 || values.len() != shape.num_pes() {
+        return String::new();
+    }
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    let max = values.iter().copied().max().unwrap_or(0).max(1);
+    let (w, h) = (shape.extent(0), shape.extent(1));
+    let mut out = String::new();
+    for y in (0..h).rev() {
+        let _ = write!(out, "  y{y:<2} ");
+        for x in 0..w {
+            let v = values[shape.index_of(mdx_topology::Coord::new(&[x, y]))];
+            let idx = (v * (RAMP.len() as u64 - 1) / max) as usize;
+            out.push(RAMP[idx] as char);
+            out.push(RAMP[idx] as char);
+        }
+        out.push('\n');
+    }
+    let _ = write!(out, "       ");
+    for x in 0..w {
+        let _ = write!(out, "{:<2}", x % 10);
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("t", "demo", &["a", "long-column"]);
+        t.row(vec!["xxxx".into(), "1".into()]);
+        t.note("hello");
+        let s = t.render();
+        assert!(s.contains("== t — demo"));
+        assert!(s.contains("a     long-column"));
+        assert!(s.contains("xxxx  1"));
+        assert!(s.contains("note: hello"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("t", "demo", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn heatmap_renders_2d() {
+        let shape = mdx_topology::Shape::new(&[4, 2]).unwrap();
+        let mut values = vec![0u64; 8];
+        values[0] = 10; // (0,0) hottest
+        let map = heatmap_2d(&shape, &values);
+        assert!(map.contains("y0"));
+        assert!(map.contains("@@"));
+        // Non-2D: empty.
+        let s3 = mdx_topology::Shape::new(&[2, 2, 2]).unwrap();
+        assert!(heatmap_2d(&s3, &[0; 8]).is_empty());
+        // Wrong length: empty.
+        assert!(heatmap_2d(&shape, &[1, 2]).is_empty());
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(f3(f64::NAN), "-");
+        assert_eq!(pct(1, 4), "25.0%");
+        assert_eq!(pct(1, 0), "-");
+    }
+}

@@ -1,0 +1,255 @@
+//! Protocol-conformance checking for [`Scheme`] implementations.
+//!
+//! Downstream users plug their own routing schemes into the simulator; this
+//! module checks the contract the engine and the analyzers rely on, by
+//! exhaustively walking a scheme's decisions over a traffic family:
+//!
+//! * every forward targets a graph neighbor;
+//! * `Deliver` happens only at PE nodes;
+//! * `Gather` happens only at the declared serializing node;
+//! * every branch's virtual lane is below [`Scheme::max_vcs`];
+//! * unicast routes terminate (no livelock) at the addressed PE;
+//! * broadcast fan-outs never deliver twice to one PE.
+//!
+//! The walkers in [`crate::trace`] catch most of these for a single route;
+//! [`check_scheme`] sweeps whole families and aggregates findings, so a
+//! scheme can be validated in one call (and in CI).
+
+use crate::packet::Header;
+use crate::scheme::{Action, Scheme};
+use crate::trace::{trace_broadcast, trace_unicast, TraceError};
+use mdx_topology::{NetworkGraph, Node, Shape};
+
+/// One contract violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// What went wrong.
+    pub kind: ViolationKind,
+    /// Human-readable context (route, switch, header).
+    pub context: String,
+}
+
+/// Violation classification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A unicast route failed (dropped unexpectedly, livelocked, fanned
+    /// out, or ended at the wrong PE).
+    UnicastRoute,
+    /// A broadcast failed or delivered a duplicate.
+    Broadcast,
+    /// A branch used a lane at or above `max_vcs`.
+    LaneOutOfRange,
+    /// A decision at the injection point was not a forward to a neighbor.
+    BadInjection,
+}
+
+/// Conformance report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConformanceReport {
+    /// Unicast pairs checked.
+    pub unicast_checked: usize,
+    /// Broadcast sources checked.
+    pub broadcast_checked: usize,
+    /// All violations found (empty = conformant).
+    pub violations: Vec<Violation>,
+}
+
+impl ConformanceReport {
+    /// Whether the scheme passed every check.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// What traffic to drive through the scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConformanceFamily {
+    /// Check every (src, dst) unicast pair.
+    pub unicast: bool,
+    /// Check a broadcast from every source (skip for unicast-only schemes).
+    pub broadcast: bool,
+}
+
+/// Sweeps the scheme over the traffic family and reports violations.
+///
+/// Destinations the scheme legitimately cannot serve (fault drops) are the
+/// caller's business — this checker is for *fault-free* conformance; run it
+/// with the scheme configured fault-free.
+pub fn check_scheme(
+    scheme: &dyn Scheme,
+    g: &NetworkGraph,
+    shape: &Shape,
+    family: ConformanceFamily,
+) -> ConformanceReport {
+    let n = shape.num_pes();
+    let mut violations = Vec::new();
+    let max_vcs = scheme.max_vcs().max(1);
+    let mut unicast_checked = 0;
+    let mut broadcast_checked = 0;
+
+    if family.unicast {
+        for src in 0..n {
+            for dst in 0..n {
+                unicast_checked += 1;
+                let h = Header::unicast(shape.coord_of(src), shape.coord_of(dst));
+                // Lane check at the injection decision (the walkers validate
+                // adjacency; lanes need an explicit look).
+                if let Action::Forward(branches) = scheme.decide(Node::Pe(src), None, &h) {
+                    for b in &branches {
+                        if b.vc >= max_vcs {
+                            violations.push(Violation {
+                                kind: ViolationKind::LaneOutOfRange,
+                                context: format!(
+                                    "{src}->{dst}: lane {} >= max_vcs {max_vcs}",
+                                    b.vc
+                                ),
+                            });
+                        }
+                    }
+                } else {
+                    violations.push(Violation {
+                        kind: ViolationKind::BadInjection,
+                        context: format!("{src}->{dst}: injection was not a forward"),
+                    });
+                    continue;
+                }
+                match trace_unicast(scheme, g, h, src) {
+                    Ok(t) => {
+                        if t.steps.last().map(|s| s.node) != Some(Node::Pe(dst)) {
+                            violations.push(Violation {
+                                kind: ViolationKind::UnicastRoute,
+                                context: format!("{src}->{dst}: ended at {}", t.pretty()),
+                            });
+                        }
+                    }
+                    Err(e) => violations.push(Violation {
+                        kind: ViolationKind::UnicastRoute,
+                        context: format!("{src}->{dst}: {e}"),
+                    }),
+                }
+            }
+        }
+    }
+    if family.broadcast {
+        for src in 0..n {
+            broadcast_checked += 1;
+            match trace_broadcast(scheme, g, src, shape.coord_of(src)) {
+                Ok(t) => {
+                    if !t.duplicates.is_empty() {
+                        violations.push(Violation {
+                            kind: ViolationKind::Broadcast,
+                            context: format!("src {src}: duplicates {:?}", t.duplicates),
+                        });
+                    }
+                    if t.delivered.len() != n {
+                        violations.push(Violation {
+                            kind: ViolationKind::Broadcast,
+                            context: format!(
+                                "src {src}: covered {}/{n} PEs",
+                                t.delivered.len()
+                            ),
+                        });
+                    }
+                }
+                Err(TraceError::Dropped(r)) => violations.push(Violation {
+                    kind: ViolationKind::Broadcast,
+                    context: format!("src {src}: dropped ({r})"),
+                }),
+                Err(e) => violations.push(Violation {
+                    kind: ViolationKind::Broadcast,
+                    context: format!("src {src}: {e}"),
+                }),
+            }
+        }
+    }
+    ConformanceReport {
+        unicast_checked,
+        broadcast_checked,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::{Action, Branch, DropReason};
+    use crate::{NaiveBroadcast, O1TurnRouting, Sr2201Routing};
+    use mdx_fault::FaultSet;
+    use mdx_topology::MdCrossbar;
+    use std::sync::Arc;
+
+    fn net() -> Arc<MdCrossbar> {
+        Arc::new(MdCrossbar::build(Shape::fig2()))
+    }
+
+    #[test]
+    fn shipped_schemes_conform() {
+        let n = net();
+        let shape = n.shape().clone();
+        let full = ConformanceFamily {
+            unicast: true,
+            broadcast: true,
+        };
+        let uni_only = ConformanceFamily {
+            unicast: true,
+            broadcast: false,
+        };
+        let sr = Sr2201Routing::new(n.clone(), &FaultSet::none()).unwrap();
+        assert!(check_scheme(&sr, n.graph(), &shape, full).ok());
+        let naive = NaiveBroadcast::new(n.clone());
+        assert!(check_scheme(&naive, n.graph(), &shape, full).ok());
+        let o1 = O1TurnRouting::new(n.clone(), 3);
+        let r = check_scheme(&o1, n.graph(), &shape, uni_only);
+        assert!(r.ok(), "{:?}", r.violations);
+        assert_eq!(r.unicast_checked, 144);
+    }
+
+    /// A deliberately broken scheme: forwards to a non-neighbor and uses an
+    /// out-of-range lane.
+    struct Broken(Arc<MdCrossbar>);
+
+    impl Scheme for Broken {
+        fn name(&self) -> String {
+            "broken".into()
+        }
+        fn decide(&self, at: Node, _came: Option<Node>, header: &Header) -> Action {
+            match at {
+                Node::Pe(p) => Action::Forward(vec![Branch::on_vc(
+                    Node::Router(p),
+                    *header,
+                    7, // max_vcs is 1: out of range
+                )]),
+                // Teleport straight to the destination PE: not a neighbor.
+                Node::Router(_) => Action::Forward(vec![Branch::new(
+                    Node::Pe(self.0.shape().index_of(header.dest)),
+                    *header,
+                )]),
+                Node::Xbar(_) => Action::Drop(DropReason::ProtocolViolation),
+            }
+        }
+    }
+
+    #[test]
+    fn broken_scheme_is_caught() {
+        let n = net();
+        let shape = n.shape().clone();
+        let r = check_scheme(
+            &Broken(n.clone()),
+            n.graph(),
+            &shape,
+            ConformanceFamily {
+                unicast: true,
+                broadcast: false,
+            },
+        );
+        assert!(!r.ok());
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::LaneOutOfRange));
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::UnicastRoute));
+    }
+}

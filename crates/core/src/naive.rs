@@ -1,0 +1,235 @@
+//! The unserialized broadcast of paper Fig. 5 — the strawman the S-XB
+//! mechanism exists to fix.
+//!
+//! *"In broadcast communication, packets are first transmitted to all output
+//! ports of one of the XBs in the X dimension at the same time, and then
+//! transmitted to all output ports of all XBs in the Y dimension at the same
+//! time."* Two such broadcasts started concurrently each acquire some of the
+//! Y-dimension crossbars and wait for the rest — cyclic waiting, deadlock.
+//!
+//! Point-to-point packets route exactly as in [`crate::Sr2201Routing`]'s normal
+//! mode (dimension order); there is no fault tolerance here.
+
+use crate::packet::{Header, RouteChange};
+use crate::scheme::{Action, Branch, DropReason, Scheme};
+use mdx_topology::{Coord, MdCrossbar, Node, XbarRef};
+use std::sync::Arc;
+
+/// Dimension-order routing with direct (deadlock-prone) broadcast fan-out.
+#[derive(Debug, Clone)]
+pub struct NaiveBroadcast {
+    net: Arc<MdCrossbar>,
+}
+
+impl NaiveBroadcast {
+    /// Builds the scheme (fault-free only; this strawman predates the
+    /// detour facility).
+    pub fn new(net: Arc<MdCrossbar>) -> NaiveBroadcast {
+        NaiveBroadcast { net }
+    }
+
+    /// The network this scheme routes on.
+    pub fn network(&self) -> &MdCrossbar {
+        &self.net
+    }
+
+    fn coord_of(&self, pe: usize) -> Coord {
+        self.net.shape().coord_of(pe)
+    }
+
+    fn unicast_router(&self, r: usize, header: &Header) -> Action {
+        let c = self.coord_of(r);
+        let d = self.net.shape().d();
+        match (0..d).find(|&dim| c.get(dim) != header.dest.get(dim)) {
+            None => Action::Forward(vec![Branch {
+                to: Node::Pe(r),
+                header: *header,
+                vc: 0,
+            }]),
+            Some(dim) => Action::Forward(vec![Branch {
+                to: Node::Xbar(self.net.xbar_through(c, dim)),
+                header: *header,
+                vc: 0,
+            }]),
+        }
+    }
+
+    fn broadcast_router(&self, r: usize, came_from: Option<Node>, header: &Header) -> Action {
+        let c = self.coord_of(r);
+        let d = self.net.shape().d();
+        match came_from {
+            // Injection: blast into the first-dimension crossbar.
+            None | Some(Node::Pe(_)) => Action::Forward(vec![Branch {
+                to: Node::Xbar(self.net.xbar_through(c, 0)),
+                header: *header,
+                vc: 0,
+            }]),
+            Some(Node::Xbar(xb)) => {
+                // Deliver locally, fan out to every later dimension.
+                let k = xb.dim as usize;
+                let mut branches = vec![Branch {
+                    to: Node::Pe(r),
+                    header: *header,
+                    vc: 0,
+                }];
+                for dim in k + 1..d {
+                    branches.push(Branch {
+                        to: Node::Xbar(self.net.xbar_through(c, dim)),
+                        header: *header,
+                        vc: 0,
+                    });
+                }
+                Action::Forward(branches)
+            }
+            Some(Node::Router(_)) => Action::Drop(DropReason::ProtocolViolation),
+        }
+    }
+
+    fn xbar(&self, xb: XbarRef, came_from: Option<Node>, header: &Header) -> Action {
+        let in_coord = match came_from {
+            Some(Node::Router(rin)) => self.coord_of(rin),
+            _ => return Action::Drop(DropReason::ProtocolViolation),
+        };
+        let dim = xb.dim as usize;
+        match header.rc {
+            RouteChange::Normal => Action::Forward(vec![Branch {
+                to: Node::Router(
+                    self.net
+                        .shape()
+                        .index_of(in_coord.with(dim, header.dest.get(dim))),
+                ),
+                header: *header,
+                vc: 0,
+            }]),
+            RouteChange::Broadcast => {
+                // All output ports at the same time — including back to the
+                // entry router when this is the source's own first-dimension
+                // crossbar (dim 0), so the source row is fully covered.
+                let extent = self.net.shape().extent(dim);
+                let entry = in_coord.get(dim);
+                let branches: Vec<Branch> = (0..extent)
+                    .filter(|&p| dim == 0 || p != entry)
+                    .map(|p| Branch {
+                        to: Node::Router(self.net.shape().index_of(in_coord.with(dim, p))),
+                        header: *header,
+                        vc: 0,
+                    })
+                    .collect();
+                Action::Forward(branches)
+            }
+            _ => Action::Drop(DropReason::ProtocolViolation),
+        }
+    }
+}
+
+impl Scheme for NaiveBroadcast {
+    fn name(&self) -> String {
+        "naive broadcast (fig5)".to_string()
+    }
+
+    fn decide(&self, at: Node, came_from: Option<Node>, header: &Header) -> Action {
+        match at {
+            Node::Pe(p) => match came_from {
+                None => Action::Forward(vec![Branch {
+                    to: Node::Router(p),
+                    header: *header,
+                    vc: 0,
+                }]),
+                Some(Node::Router(_)) => Action::Deliver,
+                Some(_) => Action::Drop(DropReason::ProtocolViolation),
+            },
+            Node::Router(r) => match header.rc {
+                RouteChange::Normal => self.unicast_router(r, header),
+                RouteChange::Broadcast => self.broadcast_router(r, came_from, header),
+                _ => Action::Drop(DropReason::ProtocolViolation),
+            },
+            Node::Xbar(xb) => self.xbar(xb, came_from, header),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdx_topology::Shape;
+
+    fn scheme() -> NaiveBroadcast {
+        NaiveBroadcast::new(Arc::new(MdCrossbar::build(Shape::fig2())))
+    }
+
+    fn bc_header(src: Coord) -> Header {
+        Header {
+            rc: RouteChange::Broadcast,
+            dest: src,
+            src,
+        }
+    }
+
+    #[test]
+    fn broadcast_starts_in_own_row() {
+        let s = scheme();
+        let src = Coord::new(&[2, 1]);
+        let r = Shape::fig2().index_of(src);
+        let h = bc_header(src);
+        match s.decide(Node::Router(r), Some(Node::Pe(r)), &h) {
+            Action::Forward(b) => {
+                assert_eq!(b.len(), 1);
+                assert_eq!(b[0].to, Node::Xbar(XbarRef { dim: 0, line: 1 }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn x_xbar_fans_to_all_ports() {
+        // "transmitted to all output ports ... at the same time" — 4 ports
+        // on a row crossbar, entry included.
+        let s = scheme();
+        let src = Coord::new(&[2, 1]);
+        let r = Shape::fig2().index_of(src);
+        let h = bc_header(src);
+        match s.decide(Node::Xbar(XbarRef { dim: 0, line: 1 }), Some(Node::Router(r)), &h) {
+            Action::Forward(b) => assert_eq!(b.len(), 4),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn y_xbar_excludes_entry() {
+        let s = scheme();
+        let src = Coord::new(&[2, 1]);
+        let h = bc_header(src);
+        let entry = Shape::fig2().index_of(Coord::new(&[0, 1]));
+        match s.decide(
+            Node::Xbar(XbarRef { dim: 1, line: 0 }),
+            Some(Node::Router(entry)),
+            &h,
+        ) {
+            Action::Forward(b) => {
+                assert_eq!(b.len(), 2); // 3 rows minus the entry
+                for br in b {
+                    assert_ne!(br.to, Node::Router(entry));
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unicast_still_dimension_order() {
+        let s = scheme();
+        let h = Header::unicast(Coord::new(&[0, 0]), Coord::new(&[3, 2]));
+        match s.decide(Node::Router(0), Some(Node::Pe(0)), &h) {
+            Action::Forward(b) => {
+                assert_eq!(b[0].to, Node::Xbar(XbarRef { dim: 0, line: 0 }))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_serializing_node() {
+        assert_eq!(scheme().serializing_node(), None);
+        assert!(scheme().emission(&bc_header(Coord::ORIGIN)).is_empty());
+    }
+}

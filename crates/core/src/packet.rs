@@ -1,0 +1,293 @@
+//! Packet format: header with receiving address and route-change bits
+//! (paper Figs. 3 and 4).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use mdx_topology::{Coord, Shape, MAX_DIMS};
+use serde::{Deserialize, Serialize};
+
+/// The route change (RC) field of the packet header (paper Fig. 4).
+///
+/// *"The receiving address only becomes effective when the RC bit equals 0.
+/// When the RC bit does not equal 0, packets are transmitted to destinations
+/// by a special routing."*
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum RouteChange {
+    /// RC=0: dimension-order routing to the receiving address.
+    Normal = 0,
+    /// RC=1: route to the serialized crossbar (S-XB); do not deliver.
+    BroadcastRequest = 1,
+    /// RC=2: fan out from the S-XB to every PE.
+    Broadcast = 2,
+    /// RC=3: route to the detour crossbar (D-XB), where RC resets to 0.
+    Detour = 3,
+}
+
+impl RouteChange {
+    /// Decodes the 2-bit field.
+    pub fn from_bits(bits: u8) -> Option<RouteChange> {
+        match bits {
+            0 => Some(RouteChange::Normal),
+            1 => Some(RouteChange::BroadcastRequest),
+            2 => Some(RouteChange::Broadcast),
+            3 => Some(RouteChange::Detour),
+            _ => None,
+        }
+    }
+
+    /// The 2-bit wire encoding.
+    pub fn bits(self) -> u8 {
+        self as u8
+    }
+}
+
+impl std::fmt::Display for RouteChange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RouteChange::Normal => "normal",
+            RouteChange::BroadcastRequest => "broadcast request",
+            RouteChange::Broadcast => "broadcast",
+            RouteChange::Detour => "detour",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A packet header (paper Fig. 3): the RC field plus the receiving address,
+/// one coordinate per network dimension.
+///
+/// The source coordinate is carried for bookkeeping (message matching at the
+/// receiver); switches never route on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Header {
+    /// Route change field.
+    pub rc: RouteChange,
+    /// Receiving address (effective when `rc == Normal`).
+    pub dest: Coord,
+    /// Originating PE coordinate.
+    pub src: Coord,
+}
+
+impl Header {
+    /// A normal point-to-point header.
+    pub fn unicast(src: Coord, dest: Coord) -> Header {
+        Header {
+            rc: RouteChange::Normal,
+            dest,
+            src,
+        }
+    }
+
+    /// A broadcast-request header (the destination field is ignored while
+    /// RC != 0; we keep the source there for trace readability).
+    pub fn broadcast_request(src: Coord) -> Header {
+        Header {
+            rc: RouteChange::BroadcastRequest,
+            dest: src,
+            src,
+        }
+    }
+
+    /// This header with a different RC field — the rewrite switches perform
+    /// at the S-XB ("broadcast request" -> "broadcast") and at the D-XB
+    /// ("detour" -> "normal").
+    #[must_use]
+    pub fn with_rc(&self, rc: RouteChange) -> Header {
+        Header { rc, ..*self }
+    }
+}
+
+/// A whole packet: header plus an opaque payload.
+///
+/// Under cut-through switching the packet is carved into flits; the flit
+/// count (header flit + payload flits) is what the simulator streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Routing header.
+    pub header: Header,
+    /// Payload bytes.
+    pub payload: Bytes,
+}
+
+/// Bytes carried per flit (a simulator parameter; the SR2201 moved two bytes
+/// per link cycle on its 300 MB/s channels).
+pub const FLIT_BYTES: usize = 16;
+
+impl Packet {
+    /// Creates a packet.
+    pub fn new(header: Header, payload: impl Into<Bytes>) -> Packet {
+        Packet {
+            header,
+            payload: payload.into(),
+        }
+    }
+
+    /// Number of flits the packet occupies: one header flit plus payload.
+    pub fn flits(&self) -> usize {
+        1 + self.payload.len().div_ceil(FLIT_BYTES)
+    }
+
+    /// Serializes header + payload into the wire format used by the NIA:
+    /// one RC byte, `d` destination coordinates, `d` source coordinates
+    /// (little-endian u16 each), a u32 payload length, then the payload.
+    pub fn encode(&self, shape: &Shape) -> Bytes {
+        let d = shape.d();
+        let mut buf = BytesMut::with_capacity(1 + 4 * d + 4 + self.payload.len());
+        buf.put_u8(self.header.rc.bits());
+        for dim in 0..d {
+            buf.put_u16_le(self.header.dest.get(dim));
+        }
+        for dim in 0..d {
+            buf.put_u16_le(self.header.src.get(dim));
+        }
+        buf.put_u32_le(self.payload.len() as u32);
+        buf.extend_from_slice(&self.payload);
+        buf.freeze()
+    }
+
+    /// Inverse of [`Packet::encode`].
+    pub fn decode(shape: &Shape, mut wire: Bytes) -> Result<Packet, DecodeError> {
+        let d = shape.d();
+        if wire.len() < 1 + 4 * d + 4 {
+            return Err(DecodeError::Truncated);
+        }
+        let rc = RouteChange::from_bits(wire.get_u8()).ok_or(DecodeError::BadRc)?;
+        let mut dest = Coord::ORIGIN;
+        for dim in 0..d.min(MAX_DIMS) {
+            dest = dest.with(dim, wire.get_u16_le());
+        }
+        let mut src = Coord::ORIGIN;
+        for dim in 0..d.min(MAX_DIMS) {
+            src = src.with(dim, wire.get_u16_le());
+        }
+        if !shape.contains(dest) || !shape.contains(src) {
+            return Err(DecodeError::BadAddress);
+        }
+        let len = wire.get_u32_le() as usize;
+        if wire.len() < len {
+            return Err(DecodeError::Truncated);
+        }
+        let payload = wire.split_to(len);
+        Ok(Packet {
+            header: Header { rc, dest, src },
+            payload,
+        })
+    }
+}
+
+/// Errors decoding a wire-format packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Fewer bytes than the fixed header needs.
+    Truncated,
+    /// RC field outside 0..=3 (cannot happen for a true 2-bit field; guards
+    /// byte-level corruption).
+    BadRc,
+    /// An address coordinate outside the network shape.
+    BadAddress,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "packet truncated"),
+            DecodeError::BadRc => write!(f, "invalid RC field"),
+            DecodeError::BadAddress => write!(f, "address outside network shape"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rc_bits_roundtrip() {
+        for bits in 0..=3u8 {
+            let rc = RouteChange::from_bits(bits).unwrap();
+            assert_eq!(rc.bits(), bits);
+        }
+        assert_eq!(RouteChange::from_bits(4), None);
+    }
+
+    #[test]
+    fn rc_meanings_match_fig4() {
+        assert_eq!(RouteChange::Normal.bits(), 0);
+        assert_eq!(RouteChange::BroadcastRequest.bits(), 1);
+        assert_eq!(RouteChange::Broadcast.bits(), 2);
+        assert_eq!(RouteChange::Detour.bits(), 3);
+        assert_eq!(RouteChange::Broadcast.to_string(), "broadcast");
+    }
+
+    #[test]
+    fn header_rewrites() {
+        let h = Header::unicast(Coord::new(&[0, 0]), Coord::new(&[2, 1]));
+        assert_eq!(h.rc, RouteChange::Normal);
+        let det = h.with_rc(RouteChange::Detour);
+        assert_eq!(det.rc, RouteChange::Detour);
+        assert_eq!(det.dest, h.dest);
+        let back = det.with_rc(RouteChange::Normal);
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn flit_count() {
+        let h = Header::unicast(Coord::ORIGIN, Coord::ORIGIN);
+        assert_eq!(Packet::new(h, Bytes::new()).flits(), 1);
+        assert_eq!(Packet::new(h, vec![0u8; 1]).flits(), 2);
+        assert_eq!(Packet::new(h, vec![0u8; FLIT_BYTES]).flits(), 2);
+        assert_eq!(Packet::new(h, vec![0u8; FLIT_BYTES + 1]).flits(), 3);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let shape = Shape::fig2();
+        let h = Header::unicast(Coord::new(&[1, 0]), Coord::new(&[3, 2]));
+        let p = Packet::new(h, vec![7u8; 33]);
+        let wire = p.encode(&shape);
+        let back = Packet::decode(&shape, wire).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let shape = Shape::fig2();
+        assert_eq!(
+            Packet::decode(&shape, Bytes::from_static(&[0, 1])),
+            Err(DecodeError::Truncated)
+        );
+        // RC=7 invalid.
+        let mut bad = BytesMut::new();
+        bad.put_u8(7);
+        bad.put_slice(&[0u8; 12]);
+        assert_eq!(Packet::decode(&shape, bad.freeze()), Err(DecodeError::BadRc));
+        // Address (9, 9) outside 4x3.
+        let h = Header::unicast(Coord::new(&[1, 0]), Coord::new(&[3, 2]));
+        let p = Packet::new(h, Bytes::new());
+        let mut wire = BytesMut::from(&p.encode(&shape)[..]);
+        wire[1] = 9;
+        wire[3] = 9;
+        assert_eq!(
+            Packet::decode(&shape, wire.freeze()),
+            Err(DecodeError::BadAddress)
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_encode_decode(dx in 0u16..4, dy in 0u16..3, sx in 0u16..4, sy in 0u16..3,
+                              rc in 0u8..4, payload in proptest::collection::vec(any::<u8>(), 0..100)) {
+            let shape = Shape::fig2();
+            let h = Header {
+                rc: RouteChange::from_bits(rc).unwrap(),
+                dest: Coord::new(&[dx, dy]),
+                src: Coord::new(&[sx, sy]),
+            };
+            let p = Packet::new(h, payload);
+            prop_assert_eq!(Packet::decode(&shape, p.encode(&shape)).unwrap(), p);
+        }
+    }
+}

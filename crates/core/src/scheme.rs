@@ -1,0 +1,129 @@
+//! The per-switch routing decision interface.
+//!
+//! A routing scheme is *distributed*: the simulator asks it, switch by
+//! switch, what a header arriving on a given input should do. The scheme may
+//! consult only what the hardware has — the header, the identity of the
+//! switch and input port, the global routing configuration (set up by the
+//! service processor), and the switch's own neighbor fault registers.
+
+use crate::packet::Header;
+use mdx_topology::Node;
+use serde::{Deserialize, Serialize};
+
+/// One output branch of a forwarding decision: the neighbor node the packet
+/// goes to, with the (possibly rewritten) header it carries from here on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Branch {
+    /// Neighbor switch to forward to (must be adjacent in the graph).
+    pub to: Node,
+    /// Header after this switch's rewrite (RC-bit changes happen here).
+    pub header: Header,
+    /// Virtual channel lane on the physical link (0 unless the scheme uses
+    /// virtual channels; must be < [`Scheme::max_vcs`]). The SR2201 schemes
+    /// use a single lane — the paper's whole point is that the crossbar
+    /// topology plus serialization needs no VCs; the torus baseline uses
+    /// two (the classic dateline scheme).
+    pub vc: u8,
+}
+
+impl Branch {
+    /// A branch on virtual channel 0.
+    pub fn new(to: Node, header: Header) -> Branch {
+        Branch { to, header, vc: 0 }
+    }
+
+    /// A branch on a specific virtual channel lane.
+    pub fn on_vc(to: Node, header: Header, vc: u8) -> Branch {
+        Branch { to, header, vc }
+    }
+}
+
+/// Why a scheme refused to forward a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropReason {
+    /// The destination PE (or its router) is out of service.
+    DestinationFaulty,
+    /// No non-faulty neighbor exists to carry the packet onward.
+    NoUsablePath,
+    /// The scheme was asked to route from a switch it can never visit
+    /// (internal error surfaced for diagnosis rather than panicking mid-sim).
+    ProtocolViolation,
+}
+
+impl std::fmt::Display for DropReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DropReason::DestinationFaulty => write!(f, "destination out of service"),
+            DropReason::NoUsablePath => write!(f, "no usable path"),
+            DropReason::ProtocolViolation => write!(f, "routing protocol violation"),
+        }
+    }
+}
+
+/// The decision a switch makes for an arriving header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Sink the packet at this PE.
+    Deliver,
+    /// Forward along one or more branches. Point-to-point packets always
+    /// produce exactly one branch; broadcast packets may fan out to several
+    /// (a local delivery is a branch to the switch's own PE node), and under
+    /// cut-through the packet streams only once *all* branch channels are
+    /// acquired (which is what makes Fig. 5 deadlock).
+    Forward(Vec<Branch>),
+    /// This switch is the serializing crossbar and the packet is a broadcast
+    /// request: absorb it into the serialization queue. The simulator will
+    /// later re-emit it via [`Scheme::emission`].
+    Gather,
+    /// The packet cannot be routed.
+    Drop(DropReason),
+}
+
+/// A distributed routing scheme over the multi-dimensional crossbar.
+pub trait Scheme: Send + Sync {
+    /// Short human-readable name for reports.
+    fn name(&self) -> String;
+
+    /// Number of virtual channel lanes the scheme uses per physical link.
+    /// The simulator shares each physical link's bandwidth (one flit per
+    /// cycle) among its lanes and gives each lane its own buffer and port
+    /// arbitration.
+    fn max_vcs(&self) -> u8 {
+        1
+    }
+
+    /// The decision for `header` arriving at switch `at` from neighbor
+    /// `came_from` (`None` when the packet is being injected at its source
+    /// PE).
+    fn decide(&self, at: Node, came_from: Option<Node>, header: &Header) -> Action;
+
+    /// The node (if any) that gathers and serializes broadcast requests —
+    /// the S-XB. The simulator runs the serialization queue for this node.
+    fn serializing_node(&self) -> Option<Node> {
+        None
+    }
+
+    /// The branches on which the serializing crossbar re-emits a gathered
+    /// broadcast request (paper Fig. 6, step 2: *"the S-XB changes the RC
+    /// bit from 'broadcast request' to 'broadcast', then transmits the
+    /// packets one-by-one in order of arrival to all PEs connected to the
+    /// S-XB"*).
+    fn emission(&self, header: &Header) -> Vec<Branch> {
+        let _ = header;
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_reason_display() {
+        assert_eq!(
+            DropReason::DestinationFaulty.to_string(),
+            "destination out of service"
+        );
+        assert_eq!(DropReason::NoUsablePath.to_string(), "no usable path");
+    }
+}

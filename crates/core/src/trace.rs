@@ -1,0 +1,524 @@
+//! Contention-free route walkers.
+//!
+//! These execute a scheme's per-switch decisions over the network graph
+//! without modeling time or channel occupancy — they answer *where a packet
+//! goes*, not *when*. Every hop is validated against the channel graph, so a
+//! scheme that tries to forward between non-adjacent switches is caught
+//! immediately. The cycle-level behavior (blocking, deadlock) lives in
+//! `mdx-sim`.
+
+use crate::packet::{Header, RouteChange};
+use crate::scheme::{Action, DropReason, Scheme};
+use mdx_topology::{NetworkGraph, Node};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One hop of a traced route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStep {
+    /// The switch the packet arrived at.
+    pub node: Node,
+    /// The RC field of the header as it arrived there.
+    pub rc: RouteChange,
+}
+
+/// Why a trace could not complete.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceError {
+    /// The scheme dropped the packet.
+    Dropped(DropReason),
+    /// A branch pointed at a switch that is not a graph neighbor (scheme
+    /// bug).
+    NotAdjacent {
+        /// Switch the decision was made at.
+        from: String,
+        /// Requested (non-adjacent) target.
+        to: String,
+    },
+    /// A unicast decision produced zero or several branches.
+    NotUnicast(usize),
+    /// The walk exceeded the hop budget — a routing livelock.
+    Livelock,
+    /// A `Gather` occurred somewhere other than the scheme's serializing
+    /// node, or during a unicast trace.
+    UnexpectedGather,
+    /// `Deliver` fired away from a PE node.
+    BadDeliver,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Dropped(r) => write!(f, "dropped: {r}"),
+            TraceError::NotAdjacent { from, to } => {
+                write!(f, "scheme forwarded from {from} to non-neighbor {to}")
+            }
+            TraceError::NotUnicast(n) => write!(f, "unicast produced {n} branches"),
+            TraceError::Livelock => write!(f, "hop budget exceeded (livelock)"),
+            TraceError::UnexpectedGather => write!(f, "unexpected gather"),
+            TraceError::BadDeliver => write!(f, "deliver away from a PE"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// A completed point-to-point route.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnicastTrace {
+    /// Every switch visited, source PE first, destination PE last.
+    pub steps: Vec<TraceStep>,
+}
+
+impl UnicastTrace {
+    /// Number of shared-crossbar traversals (the paper counts distance in
+    /// crossbar hops).
+    pub fn xbar_hops(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| matches!(s.node, Node::Xbar(_)))
+            .count()
+    }
+
+    /// Whether the route ever entered detour mode.
+    pub fn used_detour(&self) -> bool {
+        self.steps.iter().any(|s| s.rc == RouteChange::Detour)
+    }
+
+    /// The visited nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = Node> + '_ {
+        self.steps.iter().map(|s| s.node)
+    }
+
+    /// Renders the route like the paper's step lists
+    /// (`PE1 -> R1 -> X0-XB -> ...`).
+    pub fn pretty(&self) -> String {
+        self.steps
+            .iter()
+            .map(|s| match s.rc {
+                RouteChange::Normal => s.node.to_string(),
+                rc => format!("{}[{}]", s.node, rc),
+            })
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+}
+
+/// Budget generous enough for any legal route (normal <= 3d+3 hops, detour
+/// adds at most one full extra traversal) while catching livelocks fast.
+fn hop_budget(g: &NetworkGraph) -> usize {
+    64 + 4 * g.num_nodes().min(4096)
+}
+
+/// Walks a point-to-point packet from `src_pe` under `scheme`.
+pub fn trace_unicast(
+    scheme: &dyn Scheme,
+    g: &NetworkGraph,
+    header: Header,
+    src_pe: usize,
+) -> Result<UnicastTrace, TraceError> {
+    let mut at = Node::Pe(src_pe);
+    let mut came_from: Option<Node> = None;
+    let mut h = header;
+    let mut steps = vec![TraceStep { node: at, rc: h.rc }];
+    let budget = hop_budget(g);
+    for _ in 0..budget {
+        match scheme.decide(at, came_from, &h) {
+            Action::Deliver => {
+                if matches!(at, Node::Pe(_)) {
+                    return Ok(UnicastTrace { steps });
+                }
+                return Err(TraceError::BadDeliver);
+            }
+            Action::Forward(branches) => {
+                if branches.len() != 1 {
+                    return Err(TraceError::NotUnicast(branches.len()));
+                }
+                let b = branches[0];
+                check_adjacent(g, at, b.to)?;
+                came_from = Some(at);
+                at = b.to;
+                h = b.header;
+                steps.push(TraceStep { node: at, rc: h.rc });
+            }
+            Action::Gather => return Err(TraceError::UnexpectedGather),
+            Action::Drop(r) => return Err(TraceError::Dropped(r)),
+        }
+    }
+    Err(TraceError::Livelock)
+}
+
+fn check_adjacent(g: &NetworkGraph, from: Node, to: Node) -> Result<(), TraceError> {
+    let (Some(a), Some(b)) = (g.id_of(from), g.id_of(to)) else {
+        return Err(TraceError::NotAdjacent {
+            from: from.to_string(),
+            to: to.to_string(),
+        });
+    };
+    if g.channel_between(a, b).is_none() {
+        return Err(TraceError::NotAdjacent {
+            from: from.to_string(),
+            to: to.to_string(),
+        });
+    }
+    Ok(())
+}
+
+/// A completed broadcast fan-out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BroadcastTrace {
+    /// PEs that received the packet, in visit order.
+    pub delivered: Vec<usize>,
+    /// Every (from, to) switch edge the broadcast crossed.
+    pub edges: Vec<(Node, Node)>,
+    /// Whether the packet passed through the serializing crossbar.
+    pub gathered: bool,
+    /// PEs delivered more than once (always empty for a correct scheme).
+    pub duplicates: Vec<usize>,
+}
+
+/// Walks a broadcast from `src_pe`: injects an RC=1 request for schemes with
+/// a serializing node (following the gather/emission protocol), or an RC=2
+/// packet for direct schemes like [`crate::NaiveBroadcast`].
+pub fn trace_broadcast(
+    scheme: &dyn Scheme,
+    g: &NetworkGraph,
+    src_pe: usize,
+    src_coord: mdx_topology::Coord,
+) -> Result<BroadcastTrace, TraceError> {
+    let header = if scheme.serializing_node().is_some() {
+        Header::broadcast_request(src_coord)
+    } else {
+        Header {
+            rc: RouteChange::Broadcast,
+            dest: src_coord,
+            src: src_coord,
+        }
+    };
+    let mut delivered = Vec::new();
+    let mut duplicates = Vec::new();
+    let mut seen_pe = std::collections::HashSet::new();
+    let mut edges = Vec::new();
+    let mut gathered = false;
+    let mut queue: VecDeque<(Node, Option<Node>, Header)> = VecDeque::new();
+    queue.push_back((Node::Pe(src_pe), None, header));
+    let budget = 8 * g.num_channels() + 64;
+    let mut visits = 0usize;
+    while let Some((at, came_from, h)) = queue.pop_front() {
+        visits += 1;
+        if visits > budget {
+            return Err(TraceError::Livelock);
+        }
+        match scheme.decide(at, came_from, &h) {
+            Action::Deliver => match at {
+                Node::Pe(p) => {
+                    if seen_pe.insert(p) {
+                        delivered.push(p);
+                    } else {
+                        duplicates.push(p);
+                    }
+                }
+                _ => return Err(TraceError::BadDeliver),
+            },
+            Action::Forward(branches) => {
+                for b in branches {
+                    check_adjacent(g, at, b.to)?;
+                    edges.push((at, b.to));
+                    queue.push_back((b.to, Some(at), b.header));
+                }
+            }
+            Action::Gather => {
+                if Some(at) != scheme.serializing_node() || gathered {
+                    return Err(TraceError::UnexpectedGather);
+                }
+                gathered = true;
+                for b in scheme.emission(&h) {
+                    check_adjacent(g, at, b.to)?;
+                    edges.push((at, b.to));
+                    queue.push_back((b.to, Some(at), b.header));
+                }
+            }
+            // A leaf with a faulty PE is a silent non-delivery, not an
+            // error.
+            Action::Drop(DropReason::DestinationFaulty) => {}
+            Action::Drop(r) => return Err(TraceError::Dropped(r)),
+        }
+    }
+    Ok(BroadcastTrace {
+        delivered,
+        edges,
+        gathered,
+        duplicates,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NaiveBroadcast, Sr2201Routing};
+    use mdx_fault::{enumerate_single_faults, FaultSet, FaultSite};
+    use mdx_topology::{Coord, MdCrossbar, Shape};
+    use std::sync::Arc;
+
+    fn net() -> Arc<MdCrossbar> {
+        Arc::new(MdCrossbar::build(Shape::fig2()))
+    }
+
+    fn sr2201(faults: &FaultSet) -> Sr2201Routing {
+        Sr2201Routing::new(net(), faults).unwrap()
+    }
+
+    #[test]
+    fn fault_free_unicast_all_pairs() {
+        let s = sr2201(&FaultSet::none());
+        let shape = Shape::fig2();
+        for src in 0..12 {
+            for dst in 0..12 {
+                let h = Header::unicast(shape.coord_of(src), shape.coord_of(dst));
+                let t = trace_unicast(&s, s.network().graph(), h, src).unwrap();
+                assert_eq!(t.steps.last().unwrap().node, Node::Pe(dst));
+                assert_eq!(t.xbar_hops(), shape.xbar_hops(shape.coord_of(src), shape.coord_of(dst)));
+                assert!(!t.used_detour());
+            }
+        }
+    }
+
+    #[test]
+    fn fig8_detour_route_matches_paper() {
+        // Fig. 8 (0-indexed): source (0,0), destination (1,1), faulty router
+        // (1,0). Steps: source row crossbar detects the faulty exit, detours
+        // to (2,0), crosses its Y crossbar to the D-row, passes the D-XB
+        // (which resets RC), then X-Y routes to the destination.
+        let shape = Shape::fig2();
+        let faulty = shape.index_of(Coord::new(&[1, 0]));
+        let s = sr2201(&FaultSet::single(FaultSite::Router(faulty)));
+        let h = Header::unicast(Coord::new(&[0, 0]), Coord::new(&[1, 1]));
+        let t = trace_unicast(&s, s.network().graph(), h, 0).unwrap();
+        assert!(t.used_detour(), "route: {}", t.pretty());
+        assert_eq!(t.steps.last().unwrap().node, Node::Pe(shape.index_of(Coord::new(&[1, 1]))));
+        // The D-XB (= S-XB) must appear on the route.
+        let dxb = Node::Xbar(s.config().dxb());
+        assert!(t.nodes().any(|n| n == dxb), "route: {}", t.pretty());
+        // After the D-XB the RC field is back to normal.
+        let pos = t.steps.iter().position(|st| st.node == dxb).unwrap();
+        assert_eq!(t.steps[pos].rc, RouteChange::Detour);
+        for st in &t.steps[pos + 1..] {
+            assert_eq!(st.rc, RouteChange::Normal, "route: {}", t.pretty());
+        }
+    }
+
+    #[test]
+    fn all_single_faults_all_pairs_delivered() {
+        // The facility's core guarantee: under any single fault, every
+        // usable pair is still delivered (matching graph reachability).
+        let network = net();
+        let shape = network.shape().clone();
+        for site in enumerate_single_faults(&network) {
+            let faults = FaultSet::single(site);
+            let s = Sr2201Routing::new(network.clone(), &faults).unwrap();
+            for src in 0..12 {
+                for dst in 0..12 {
+                    if src == dst || !faults.pe_usable(src) || !faults.pe_usable(dst) {
+                        continue;
+                    }
+                    let h = Header::unicast(shape.coord_of(src), shape.coord_of(dst));
+                    let t = trace_unicast(&s, network.graph(), h, src)
+                        .unwrap_or_else(|e| panic!("{site}: {src}->{dst}: {e}"));
+                    assert_eq!(t.steps.last().unwrap().node, Node::Pe(dst));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn detour_routes_pass_the_dxb() {
+        // Whenever a route detours, it must pass the D-XB — the serialization
+        // property the deadlock-freedom argument rests on.
+        let network = net();
+        let shape = network.shape().clone();
+        for site in enumerate_single_faults(&network) {
+            let faults = FaultSet::single(site);
+            let s = Sr2201Routing::new(network.clone(), &faults).unwrap();
+            let dxb = Node::Xbar(s.config().dxb());
+            for src in 0..12 {
+                for dst in 0..12 {
+                    if src == dst || !faults.pe_usable(src) || !faults.pe_usable(dst) {
+                        continue;
+                    }
+                    let h = Header::unicast(shape.coord_of(src), shape.coord_of(dst));
+                    let t = trace_unicast(&s, network.graph(), h, src).unwrap();
+                    if t.used_detour() {
+                        assert!(t.nodes().any(|n| n == dxb), "{site}: {}", t.pretty());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sxb_broadcast_delivers_everywhere_once() {
+        let s = sr2201(&FaultSet::none());
+        let shape = Shape::fig2();
+        for src in 0..12 {
+            let t =
+                trace_broadcast(&s, s.network().graph(), src, shape.coord_of(src)).unwrap();
+            assert!(t.gathered);
+            assert_eq!(t.delivered.len(), 12, "src {src}");
+            assert!(t.duplicates.is_empty(), "src {src}: {:?}", t.duplicates);
+        }
+    }
+
+    #[test]
+    fn naive_broadcast_delivers_everywhere_once() {
+        // Contention-free, the naive fan-out also covers everyone — its
+        // problem is deadlock under concurrency, not coverage.
+        let n = NaiveBroadcast::new(net());
+        let shape = Shape::fig2();
+        for src in 0..12 {
+            let t = trace_broadcast(&n, n.network().graph(), src, shape.coord_of(src)).unwrap();
+            assert!(!t.gathered);
+            assert_eq!(t.delivered.len(), 12);
+            assert!(t.duplicates.is_empty());
+        }
+    }
+
+    #[test]
+    fn broadcast_under_any_single_fault_covers_survivors() {
+        let network = net();
+        let shape = network.shape().clone();
+        for site in enumerate_single_faults(&network) {
+            let faults = FaultSet::single(site);
+            let s = Sr2201Routing::new(network.clone(), &faults).unwrap();
+            for src in 0..12 {
+                if !faults.pe_usable(src) {
+                    continue;
+                }
+                let t = trace_broadcast(&s, network.graph(), src, shape.coord_of(src))
+                    .unwrap_or_else(|e| panic!("{site}, src {src}: {e}"));
+                let expect: Vec<usize> = (0..12).filter(|&p| faults.pe_usable(p)).collect();
+                let mut got = t.delivered.clone();
+                got.sort_unstable();
+                assert_eq!(got, expect, "{site}, src {src}");
+                assert!(t.duplicates.is_empty(), "{site}, src {src}");
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_request_is_y_then_x_fanout() {
+        // The paper's Y-X-Y shape: a request from (2,2) must not use any
+        // X-dimension crossbar other than the S-XB.
+        let s = sr2201(&FaultSet::none());
+        let shape = Shape::fig2();
+        let src = shape.index_of(Coord::new(&[2, 2]));
+        let t = trace_broadcast(&s, s.network().graph(), src, Coord::new(&[2, 2])).unwrap();
+        let sxb = s.config().sxb();
+        for (a, b) in &t.edges {
+            for n in [a, b] {
+                if let Node::Xbar(x) = n {
+                    if x.dim == 0 {
+                        assert_eq!(*x, sxb, "unexpected X crossbar {x} in broadcast");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn three_dimensional_broadcast_and_unicast() {
+        let network = Arc::new(MdCrossbar::build(Shape::new(&[4, 3, 2]).unwrap()));
+        let shape = network.shape().clone();
+        let s = Sr2201Routing::new(network.clone(), &FaultSet::none()).unwrap();
+        // Unicast across all three dimensions.
+        let h = Header::unicast(shape.coord_of(0), shape.coord_of(23));
+        let t = trace_unicast(&s, network.graph(), h, 0).unwrap();
+        assert_eq!(t.xbar_hops(), 3);
+        // Broadcast covers all 24 PEs exactly once.
+        let t = trace_broadcast(&s, network.graph(), 5, shape.coord_of(5)).unwrap();
+        assert_eq!(t.delivered.len(), 24);
+        assert!(t.duplicates.is_empty());
+    }
+
+    #[test]
+    fn three_dimensional_single_faults_delivered() {
+        let network = Arc::new(MdCrossbar::build(Shape::new(&[3, 3, 2]).unwrap()));
+        let shape = network.shape().clone();
+        let n = shape.num_pes();
+        for site in enumerate_single_faults(&network) {
+            let faults = FaultSet::single(site);
+            let s = Sr2201Routing::new(network.clone(), &faults).unwrap();
+            for src in 0..n {
+                if !faults.pe_usable(src) {
+                    continue;
+                }
+                // Broadcast coverage.
+                let t = trace_broadcast(&s, network.graph(), src, shape.coord_of(src))
+                    .unwrap_or_else(|e| panic!("{site}, bc src {src}: {e}"));
+                assert_eq!(
+                    t.delivered.len(),
+                    (0..n).filter(|&p| faults.pe_usable(p)).count(),
+                    "{site}, src {src}"
+                );
+                // Unicast delivery.
+                for dst in 0..n {
+                    if src == dst || !faults.pe_usable(dst) {
+                        continue;
+                    }
+                    let h = Header::unicast(shape.coord_of(src), shape.coord_of(dst));
+                    let t = trace_unicast(&s, network.graph(), h, src)
+                        .unwrap_or_else(|e| panic!("{site}: {src}->{dst}: {e}"));
+                    assert_eq!(t.steps.last().unwrap().node, Node::Pe(dst));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn four_and_five_dimensional_networks_route_and_broadcast() {
+        // The schemes are d-generic; exercise d=4 and d=5 (hypercube-like
+        // extents) end to end.
+        for dims in [&[2u16, 2, 2, 2][..], &[2, 2, 2, 2, 2]] {
+            let network = Arc::new(MdCrossbar::build(Shape::new(dims).unwrap()));
+            let shape = network.shape().clone();
+            let n = shape.num_pes();
+            let s = Sr2201Routing::new(network.clone(), &FaultSet::none()).unwrap();
+            // Farthest pair crosses every dimension.
+            let h = Header::unicast(shape.coord_of(0), shape.coord_of(n - 1));
+            let t = trace_unicast(&s, network.graph(), h, 0).unwrap();
+            assert_eq!(t.xbar_hops(), dims.len());
+            // Broadcast covers all PEs once.
+            let bt = trace_broadcast(&s, network.graph(), 1, shape.coord_of(1)).unwrap();
+            assert_eq!(bt.delivered.len(), n);
+            assert!(bt.duplicates.is_empty());
+            // Fault tolerance still holds with a mid-lattice router fault.
+            let faults = FaultSet::single(FaultSite::Router(n / 2));
+            let s = Sr2201Routing::new(network.clone(), &faults).unwrap();
+            for src in 0..n {
+                if !faults.pe_usable(src) {
+                    continue;
+                }
+                for dst in 0..n {
+                    if src == dst || !faults.pe_usable(dst) {
+                        continue;
+                    }
+                    let h = Header::unicast(shape.coord_of(src), shape.coord_of(dst));
+                    let t = trace_unicast(&s, network.graph(), h, src)
+                        .unwrap_or_else(|e| panic!("{dims:?} {src}->{dst}: {e}"));
+                    assert_eq!(t.steps.last().unwrap().node, Node::Pe(dst));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dropped_packets_report_reason() {
+        let shape = Shape::fig2();
+        let faulty = shape.index_of(Coord::new(&[1, 1]));
+        let s = sr2201(&FaultSet::single(FaultSite::Router(faulty)));
+        let h = Header::unicast(Coord::new(&[0, 0]), Coord::new(&[1, 1]));
+        match trace_unicast(&s, s.network().graph(), h, 0) {
+            Err(TraceError::Dropped(DropReason::DestinationFaulty)) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! Extraction of the channel claim trees of communication instances.
+
+use mdx_core::{Action, DropReason, Header, Scheme};
+
+/// Lane multiplier for packing (channel, vc) resource keys.
+pub const MAX_VCS_KEY: u32 = 8;
+use mdx_topology::{ChannelId, Coord, NetworkGraph, Node};
+use std::collections::VecDeque;
+
+/// The rooted tree of channels one communication instance acquires.
+///
+/// `parent[i]` is the index (into `channels`) of the channel whose buffer
+/// feeds channel `i`'s source switch, or `None` for root channels (fed by
+/// the source PE's memory, or by the S-XB's serialization queue for an
+/// emission). `fan[i]` groups channels granted by the same switch visit:
+/// channels with equal `fan` values are siblings of one multi-port forward.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClaimTree {
+    /// Claimed channels, in acquisition-BFS order.
+    pub channels: Vec<ChannelId>,
+    /// Virtual lane per claimed channel (a lane is its own resource: the
+    /// O1TURN extension and the torus dateline baseline are acyclic only
+    /// at lane granularity).
+    pub vcs: Vec<u8>,
+    /// Parent channel index per channel.
+    pub parent: Vec<Option<usize>>,
+    /// Fan (visit) id per channel; siblings share it.
+    pub fan: Vec<usize>,
+}
+
+impl ClaimTree {
+    /// Number of claimed channels.
+    pub fn len(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Whether the instance claims no channels (never happens for legal
+    /// traffic, present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.channels.is_empty()
+    }
+
+    /// Resource key of claim `i`: lane-granular (channel, vc) packed into
+    /// one integer.
+    pub fn resource(&self, i: usize) -> u32 {
+        self.channels[i].0 * MAX_VCS_KEY + self.vcs[i] as u32
+    }
+
+    /// The prerequisite set of channel `i`: every channel that is fully
+    /// acquired before `i` can be granted — `i`'s ancestors and all their
+    /// siblings (each fan on the root path streams, and therefore holds all
+    /// its ports, before the next level's header can exist).
+    pub fn prerequisites(&self, i: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut cur = self.parent[i];
+        while let Some(p) = cur {
+            let fan = self.fan[p];
+            for (j, &f) in self.fan.iter().enumerate() {
+                if f == fan {
+                    out.push(j);
+                }
+            }
+            cur = self.parent[p];
+        }
+        out
+    }
+}
+
+/// Errors while walking a scheme to extract claims.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClaimError {
+    /// The scheme dropped the packet (e.g. destination out of service).
+    Dropped(DropReason),
+    /// A branch pointed at a non-neighbor (scheme bug).
+    NotAdjacent,
+    /// A unicast decision fanned out.
+    NotUnicast,
+    /// Hop budget exceeded.
+    Livelock,
+    /// A gather occurred where none was expected (or vice versa).
+    Protocol,
+}
+
+impl std::fmt::Display for ClaimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClaimError::Dropped(r) => write!(f, "dropped: {r}"),
+            ClaimError::NotAdjacent => write!(f, "non-adjacent forward"),
+            ClaimError::NotUnicast => write!(f, "unexpected fan-out on unicast"),
+            ClaimError::Livelock => write!(f, "hop budget exceeded"),
+            ClaimError::Protocol => write!(f, "protocol violation"),
+        }
+    }
+}
+
+fn channel_between(g: &NetworkGraph, from: Node, to: Node) -> Result<ChannelId, ClaimError> {
+    let (Some(a), Some(b)) = (g.id_of(from), g.id_of(to)) else {
+        return Err(ClaimError::NotAdjacent);
+    };
+    g.channel_between(a, b).ok_or(ClaimError::NotAdjacent)
+}
+
+/// Claims of one point-to-point packet (a degenerate single-branch tree).
+///
+/// Follows the scheme from injection to delivery; RC rewrites (detour) are
+/// followed transparently, so the claims include any detour legs.
+pub fn unicast_claims(
+    scheme: &dyn Scheme,
+    g: &NetworkGraph,
+    header: Header,
+    src_pe: usize,
+) -> Result<ClaimTree, ClaimError> {
+    let mut tree = ClaimTree {
+        channels: Vec::new(),
+        vcs: Vec::new(),
+        parent: Vec::new(),
+        fan: Vec::new(),
+    };
+    let mut at = Node::Pe(src_pe);
+    let mut came: Option<Node> = None;
+    let mut h = header;
+    let budget = 16 + 2 * g.num_nodes();
+    for _ in 0..budget {
+        match scheme.decide(at, came, &h) {
+            Action::Deliver => return Ok(tree),
+            Action::Drop(r) => return Err(ClaimError::Dropped(r)),
+            Action::Gather => return Err(ClaimError::Protocol),
+            Action::Forward(branches) => {
+                if branches.len() != 1 {
+                    return Err(ClaimError::NotUnicast);
+                }
+                let b = branches[0];
+                let ch = channel_between(g, at, b.to)?;
+                let idx = tree.channels.len();
+                tree.channels.push(ch);
+                tree.vcs.push(b.vc);
+                tree.parent.push(idx.checked_sub(1));
+                tree.fan.push(idx);
+                came = Some(at);
+                at = b.to;
+                h = b.header;
+            }
+        }
+    }
+    Err(ClaimError::Livelock)
+}
+
+/// Claims of one broadcast from `src_pe`.
+///
+/// For a serialized scheme this returns **two** instances: the RC=1 request
+/// leg (up to the S-XB, where the queue decouples it) and the emission fan.
+/// For a direct scheme (naive broadcast) it returns the single source-rooted
+/// tree.
+pub fn broadcast_claims(
+    scheme: &dyn Scheme,
+    g: &NetworkGraph,
+    src_pe: usize,
+    src_coord: Coord,
+) -> Result<Vec<ClaimTree>, ClaimError> {
+    if scheme.serializing_node().is_some() {
+        let request = request_leg(scheme, g, src_pe, src_coord)?;
+        let emission = emission_fan(scheme, g, src_coord)?;
+        Ok(vec![request, emission])
+    } else {
+        let h = Header {
+            rc: mdx_core::RouteChange::Broadcast,
+            dest: src_coord,
+            src: src_coord,
+        };
+        Ok(vec![tree_walk(
+            scheme,
+            g,
+            vec![(Node::Pe(src_pe), None, h, None)],
+        )?])
+    }
+}
+
+/// Walks the RC=1 request from the source to the S-XB's gather.
+fn request_leg(
+    scheme: &dyn Scheme,
+    g: &NetworkGraph,
+    src_pe: usize,
+    src_coord: Coord,
+) -> Result<ClaimTree, ClaimError> {
+    let mut tree = ClaimTree {
+        channels: Vec::new(),
+        vcs: Vec::new(),
+        parent: Vec::new(),
+        fan: Vec::new(),
+    };
+    let mut at = Node::Pe(src_pe);
+    let mut came: Option<Node> = None;
+    let mut h = Header::broadcast_request(src_coord);
+    let budget = 16 + 2 * g.num_nodes();
+    for _ in 0..budget {
+        match scheme.decide(at, came, &h) {
+            Action::Gather => return Ok(tree),
+            Action::Drop(r) => return Err(ClaimError::Dropped(r)),
+            Action::Deliver => return Err(ClaimError::Protocol),
+            Action::Forward(branches) => {
+                if branches.len() != 1 {
+                    return Err(ClaimError::NotUnicast);
+                }
+                let b = branches[0];
+                let ch = channel_between(g, at, b.to)?;
+                let idx = tree.channels.len();
+                tree.channels.push(ch);
+                tree.vcs.push(b.vc);
+                tree.parent.push(idx.checked_sub(1));
+                tree.fan.push(idx);
+                came = Some(at);
+                at = b.to;
+                h = b.header;
+            }
+        }
+    }
+    Err(ClaimError::Livelock)
+}
+
+/// Builds the emission fan tree rooted at the S-XB.
+fn emission_fan(
+    scheme: &dyn Scheme,
+    g: &NetworkGraph,
+    src_coord: Coord,
+) -> Result<ClaimTree, ClaimError> {
+    let serial = scheme.serializing_node().ok_or(ClaimError::Protocol)?;
+    let h = Header::broadcast_request(src_coord);
+    let mut frontier = Vec::new();
+    for b in scheme.emission(&h) {
+        frontier.push((b.to, Some(serial), b.header, None));
+    }
+    if frontier.is_empty() {
+        return Err(ClaimError::Protocol);
+    }
+    // The emission's root fan: all branches share fan id 0, parent None; the
+    // generic walker handles the rest.
+    tree_walk_with_roots(scheme, g, serial, frontier)
+}
+
+/// BFS claim-tree construction starting from injection points.
+///
+/// `starts`: (node, came_from, header, parent channel idx).
+type Start = (Node, Option<Node>, Header, Option<usize>);
+
+fn tree_walk(
+    scheme: &dyn Scheme,
+    g: &NetworkGraph,
+    starts: Vec<Start>,
+) -> Result<ClaimTree, ClaimError> {
+    let mut tree = ClaimTree {
+        channels: Vec::new(),
+        vcs: Vec::new(),
+        parent: Vec::new(),
+        fan: Vec::new(),
+    };
+    let mut fan_counter = 0usize;
+    let mut queue: VecDeque<Start> = starts.into();
+    let budget = 8 * g.num_channels() + 64;
+    let mut visits = 0usize;
+    while let Some((at, came, h, parent)) = queue.pop_front() {
+        visits += 1;
+        if visits > budget {
+            return Err(ClaimError::Livelock);
+        }
+        match scheme.decide(at, came, &h) {
+            Action::Deliver => {}
+            // Skipped faulty leaves are silent non-claims.
+            Action::Drop(DropReason::DestinationFaulty) => {}
+            Action::Drop(r) => return Err(ClaimError::Dropped(r)),
+            Action::Gather => return Err(ClaimError::Protocol),
+            Action::Forward(branches) => {
+                let fan = fan_counter;
+                fan_counter += 1;
+                for b in branches {
+                    let ch = channel_between(g, at, b.to)?;
+                    let idx = tree.channels.len();
+                    tree.channels.push(ch);
+                    tree.vcs.push(b.vc);
+                    tree.parent.push(parent);
+                    tree.fan.push(fan);
+                    queue.push_back((b.to, Some(at), b.header, Some(idx)));
+                }
+            }
+        }
+    }
+    Ok(tree)
+}
+
+/// Like [`tree_walk`] but seeds the tree with an explicit root fan emitted
+/// by `root` (the S-XB emission, which claims its ports without an upstream
+/// channel).
+fn tree_walk_with_roots(
+    scheme: &dyn Scheme,
+    g: &NetworkGraph,
+    root: Node,
+    roots: Vec<Start>,
+) -> Result<ClaimTree, ClaimError> {
+    let mut tree = ClaimTree {
+        channels: Vec::new(),
+        vcs: Vec::new(),
+        parent: Vec::new(),
+        fan: Vec::new(),
+    };
+    let mut queue: VecDeque<Start> = VecDeque::new();
+    for (to, _, h, _) in &roots {
+        let ch = channel_between(g, root, *to)?;
+        let idx = tree.channels.len();
+        tree.channels.push(ch);
+        tree.vcs.push(0);
+        tree.parent.push(None);
+        tree.fan.push(0);
+        queue.push_back((*to, Some(root), *h, Some(idx)));
+    }
+    let mut fan_counter = 1usize;
+    let budget = 8 * g.num_channels() + 64;
+    let mut visits = 0usize;
+    while let Some((at, came, h, parent)) = queue.pop_front() {
+        visits += 1;
+        if visits > budget {
+            return Err(ClaimError::Livelock);
+        }
+        match scheme.decide(at, came, &h) {
+            Action::Deliver => {}
+            Action::Drop(DropReason::DestinationFaulty) => {}
+            Action::Drop(r) => return Err(ClaimError::Dropped(r)),
+            Action::Gather => return Err(ClaimError::Protocol),
+            Action::Forward(branches) => {
+                let fan = fan_counter;
+                fan_counter += 1;
+                for b in branches {
+                    let ch = channel_between(g, at, b.to)?;
+                    let idx = tree.channels.len();
+                    tree.channels.push(ch);
+                    tree.vcs.push(b.vc);
+                    tree.parent.push(parent);
+                    tree.fan.push(fan);
+                    queue.push_back((b.to, Some(at), b.header, Some(idx)));
+                }
+            }
+        }
+    }
+    Ok(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdx_core::{NaiveBroadcast, Sr2201Routing};
+    use mdx_fault::FaultSet;
+    use mdx_topology::{MdCrossbar, Shape};
+    use std::sync::Arc;
+
+    fn net() -> Arc<MdCrossbar> {
+        Arc::new(MdCrossbar::build(Shape::fig2()))
+    }
+
+    #[test]
+    fn unicast_claims_are_a_chain() {
+        let n = net();
+        let s = Sr2201Routing::new(n.clone(), &FaultSet::none()).unwrap();
+        let shape = n.shape();
+        let h = Header::unicast(shape.coord_of(0), shape.coord_of(11));
+        let t = unicast_claims(&s, n.graph(), h, 0).unwrap();
+        // PE->R, R->X, X->R, R->Y, Y->R, R->PE.
+        assert_eq!(t.len(), 6);
+        for i in 1..t.len() {
+            assert_eq!(t.parent[i], Some(i - 1));
+        }
+        // Prerequisites of the last channel: everything before it.
+        assert_eq!(t.prerequisites(5).len(), 5);
+        assert_eq!(t.prerequisites(0).len(), 0);
+    }
+
+    #[test]
+    fn sxb_broadcast_claims_split_in_two() {
+        let n = net();
+        let s = Sr2201Routing::new(n.clone(), &FaultSet::none()).unwrap();
+        let trees = broadcast_claims(&s, n.graph(), 11, n.shape().coord_of(11)).unwrap();
+        assert_eq!(trees.len(), 2);
+        let (request, emission) = (&trees[0], &trees[1]);
+        // Request from (3,2): PE->R, R->Y3, Y3->R(3,0), R->S-XB: 4 channels.
+        assert_eq!(request.len(), 4);
+        // Emission: 4 root ports + per-column router fans (PE + Y-XB) and
+        // leaf deliveries. Root fan shares fan id and has no parent.
+        assert_eq!(
+            emission.parent.iter().filter(|p| p.is_none()).count(),
+            4
+        );
+        let root_fan = emission.fan[0];
+        assert_eq!(
+            emission.fan.iter().filter(|&&f| f == root_fan).count(),
+            4
+        );
+        // Every PE link is claimed exactly once: 12 deliveries.
+        let pe_links = emission
+            .channels
+            .iter()
+            .filter(|&&c| {
+                let info = n.graph().channel(c);
+                matches!(n.graph().node(info.dst), Node::Pe(_))
+            })
+            .count();
+        assert_eq!(pe_links, 12);
+    }
+
+    #[test]
+    fn naive_broadcast_single_tree() {
+        let n = net();
+        let s = NaiveBroadcast::new(n.clone());
+        let trees = broadcast_claims(&s, n.graph(), 0, n.shape().coord_of(0)).unwrap();
+        assert_eq!(trees.len(), 1);
+        let t = &trees[0];
+        // Covers all 12 PE delivery links.
+        let pe_links = t
+            .channels
+            .iter()
+            .filter(|&&c| {
+                let info = n.graph().channel(c);
+                matches!(n.graph().node(info.dst), Node::Pe(_))
+            })
+            .count();
+        assert_eq!(pe_links, 12);
+    }
+
+    #[test]
+    fn prerequisites_include_ancestor_siblings() {
+        let n = net();
+        let s = Sr2201Routing::new(n.clone(), &FaultSet::none()).unwrap();
+        let trees = broadcast_claims(&s, n.graph(), 0, n.shape().coord_of(0)).unwrap();
+        let emission = &trees[1];
+        // Take any leaf (a PE delivery in a column): its prerequisites must
+        // include all 4 root ports of the S-XB.
+        let leaf = emission.len() - 1;
+        let prereqs = emission.prerequisites(leaf);
+        let root_fan = emission.fan[0];
+        let roots: Vec<usize> = (0..emission.len())
+            .filter(|&i| emission.fan[i] == root_fan)
+            .collect();
+        for r in roots {
+            assert!(prereqs.contains(&r), "root port {r} missing from prereqs");
+        }
+    }
+}

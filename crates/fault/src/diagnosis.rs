@@ -1,0 +1,271 @@
+//! Fault diagnosis: localizing a faulty switch from end-to-end probe
+//! outcomes.
+//!
+//! The paper's facility starts *after* diagnosis: *"the information of the
+//! switches connected to a faulty switch is set in advance"* — some agent
+//! (the SR2201's service processor) must first decide which switch died.
+//! This module implements that agent's core algorithm as a pure function of
+//! observable behavior: run point-to-point probes between healthy PEs, note
+//! which pairs time out, and intersect the candidate explanations.
+//!
+//! The probe model is conservative: a probe (src → dst) fails iff its
+//! dimension-order path (under the *fault-free* routing, which is what the
+//! hardware runs before reconfiguration) crosses the faulty component, or
+//! an endpoint is dead. Every single fault in the network is identified
+//! uniquely by the full probe matrix except the inherent ambiguity the
+//! paper's model also has: a dead PE and a dead router at the same
+//! coordinate are indistinguishable from the outside when the router
+//! carries no through traffic (d = 1 corner cases); the diagnosis returns
+//! the candidate set rather than guessing.
+
+use crate::{FaultSet, FaultSite};
+use mdx_topology::{MdCrossbar, Node};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Probe {
+    /// Source PE.
+    pub src: usize,
+    /// Destination PE.
+    pub dst: usize,
+    /// Whether the probe arrived.
+    pub delivered: bool,
+}
+
+/// The switch-level nodes a fault-free dimension-order route visits
+/// (PE links included), in order.
+pub fn dor_path_nodes(net: &MdCrossbar, src: usize, dst: usize) -> Vec<Node> {
+    let shape = net.shape();
+    let (sc, dc) = (shape.coord_of(src), shape.coord_of(dst));
+    let mut nodes = vec![Node::Pe(src), Node::Router(src)];
+    let mut cur = sc;
+    for dim in 0..shape.d() {
+        if cur.get(dim) == dc.get(dim) {
+            continue;
+        }
+        let next = cur.with(dim, dc.get(dim));
+        nodes.push(Node::Xbar(net.xbar_through(cur, dim)));
+        nodes.push(Node::Router(shape.index_of(next)));
+        cur = next;
+    }
+    if *nodes.last().expect("non-empty") != Node::Router(dst) {
+        nodes.push(Node::Router(dst));
+    }
+    nodes.push(Node::Pe(dst));
+    nodes
+}
+
+/// Simulates the probe matrix a service processor would observe under
+/// `faults` (used by tests and the diagnosis experiment; a real system
+/// gets these from timeouts).
+pub fn observe_probes(net: &MdCrossbar, faults: &FaultSet, probes: &[(usize, usize)]) -> Vec<Probe> {
+    probes
+        .iter()
+        .map(|&(src, dst)| {
+            let delivered = dor_path_nodes(net, src, dst)
+                .into_iter()
+                .all(|n| !faults.disables(n));
+            Probe {
+                src,
+                dst,
+                delivered,
+            }
+        })
+        .collect()
+}
+
+/// The all-pairs probe plan (what the service processor runs on suspicion).
+pub fn all_pairs_plan(net: &MdCrossbar) -> Vec<(usize, usize)> {
+    let n = net.shape().num_pes();
+    let mut plan = Vec::with_capacity(n * (n - 1));
+    for src in 0..n {
+        for dst in 0..n {
+            if src != dst {
+                plan.push((src, dst));
+            }
+        }
+    }
+    plan
+}
+
+/// Result of a diagnosis pass.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnosis {
+    /// Single-fault candidates consistent with every probe outcome.
+    pub candidates: Vec<FaultSite>,
+    /// Probes that failed.
+    pub failed_probes: usize,
+}
+
+impl Diagnosis {
+    /// Whether the evidence pins down exactly one component.
+    pub fn is_unique(&self) -> bool {
+        self.candidates.len() == 1
+    }
+}
+
+/// Localizes a single fault from probe outcomes.
+///
+/// A candidate site is consistent iff it lies on the fault-free path of
+/// every failed probe and on the path of no successful probe. With the
+/// all-pairs plan this is exact for the single-fault model; with sparser
+/// plans the candidate set can stay larger (the caller can probe more).
+pub fn diagnose(net: &MdCrossbar, probes: &[Probe]) -> Diagnosis {
+    let failed: Vec<&Probe> = probes.iter().filter(|p| !p.delivered).collect();
+    if failed.is_empty() {
+        return Diagnosis {
+            candidates: Vec::new(),
+            failed_probes: 0,
+        };
+    }
+    // Start from the intersection of the failed probes' paths.
+    let mut candidates: Option<Vec<Node>> = None;
+    for p in &failed {
+        let path = dor_path_nodes(net, p.src, p.dst);
+        candidates = Some(match candidates {
+            None => path,
+            Some(prev) => prev.into_iter().filter(|n| path.contains(n)).collect(),
+        });
+    }
+    let mut candidates = candidates.unwrap_or_default();
+    // Remove anything a successful probe proves healthy.
+    for p in probes.iter().filter(|p| p.delivered) {
+        if candidates.is_empty() {
+            break;
+        }
+        let path = dor_path_nodes(net, p.src, p.dst);
+        candidates.retain(|n| !path.contains(n));
+    }
+    // Translate nodes to fault sites, honoring the router/PE coupling: a
+    // dead router explains everything a dead PE explains and more, so a PE
+    // candidate survives only if the router interpretation also survived
+    // (both stay candidates when indistinguishable).
+    let mut sites = Vec::new();
+    for n in candidates {
+        match n {
+            Node::Xbar(x) => sites.push(FaultSite::Xbar(x)),
+            Node::Router(r) => sites.push(FaultSite::Router(r)),
+            Node::Pe(p) => sites.push(FaultSite::Pe(p)),
+        }
+    }
+    sites.sort_unstable();
+    sites.dedup();
+    Diagnosis {
+        failed_probes: failed.len(),
+        candidates: sites,
+    }
+}
+
+/// End-to-end: observe the all-pairs probe matrix under `faults` and
+/// diagnose.
+pub fn diagnose_all_pairs(net: &MdCrossbar, faults: &FaultSet) -> Diagnosis {
+    let plan = all_pairs_plan(net);
+    let probes = observe_probes(net, faults, &plan);
+    diagnose(net, &probes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate_single_faults;
+    use mdx_topology::Shape;
+
+    fn net() -> MdCrossbar {
+        MdCrossbar::build(Shape::fig2())
+    }
+
+    #[test]
+    fn dor_path_nodes_shape() {
+        let n = net();
+        let p = dor_path_nodes(&n, 0, 11);
+        assert_eq!(p.first(), Some(&Node::Pe(0)));
+        assert_eq!(p.last(), Some(&Node::Pe(11)));
+        assert_eq!(p.len(), 7); // PE R XB R XB R PE
+        let same = dor_path_nodes(&n, 4, 4);
+        assert_eq!(same, vec![Node::Pe(4), Node::Router(4), Node::Pe(4)]);
+    }
+
+    #[test]
+    fn no_fault_yields_no_candidates() {
+        let n = net();
+        let d = diagnose_all_pairs(&n, &FaultSet::none());
+        assert!(d.candidates.is_empty());
+        assert_eq!(d.failed_probes, 0);
+    }
+
+    #[test]
+    fn every_single_fault_is_localized() {
+        // The service processor's guarantee: all-pairs probing pins every
+        // single fault down to the component (modulo the router/PE coupling
+        // for dead endpoints, where the router explanation subsumes the PE
+        // one — both refer to the same field-replaceable unit anyway).
+        let n = net();
+        for site in enumerate_single_faults(&n) {
+            let d = diagnose_all_pairs(&n, &FaultSet::single(site));
+            assert!(
+                d.candidates.contains(&site),
+                "{site}: candidates {:?}",
+                d.candidates
+            );
+            match site {
+                FaultSite::Xbar(_) => {
+                    assert!(d.is_unique(), "{site}: {:?}", d.candidates)
+                }
+                // A dead router is indistinguishable from (router + PE)
+                // explanations that agree on every observable probe; the
+                // candidate set still names only that coordinate.
+                FaultSite::Router(r) => {
+                    for c in &d.candidates {
+                        assert!(
+                            matches!(c, FaultSite::Router(x) | FaultSite::Pe(x) if *x == r),
+                            "{site}: stray candidate {c}"
+                        );
+                    }
+                }
+                FaultSite::Pe(p) => {
+                    for c in &d.candidates {
+                        assert!(
+                            matches!(c, FaultSite::Pe(x) if *x == p),
+                            "{site}: stray candidate {c}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_probing_widens_candidates_monotonically() {
+        let n = net();
+        let faults = FaultSet::single(FaultSite::Router(5));
+        // Probe only from PE0: fewer constraints, candidate superset.
+        let sparse_plan: Vec<(usize, usize)> = (1..12).map(|d| (0, d)).collect();
+        let sparse = diagnose(&n, &observe_probes(&n, &faults, &sparse_plan));
+        let full = diagnose_all_pairs(&n, &faults);
+        for c in &full.candidates {
+            assert!(
+                sparse.candidates.contains(c),
+                "sparse diagnosis lost candidate {c}"
+            );
+        }
+        assert!(sparse.candidates.len() >= full.candidates.len());
+    }
+
+    #[test]
+    fn diagnosis_feeds_the_routing_facility() {
+        // The full reliability loop: diagnose, configure, verify delivery.
+        let n = net();
+        let truth = FaultSet::single(FaultSite::Router(6));
+        let d = diagnose_all_pairs(&n, &truth);
+        // Pick the strongest candidate (a router subsumes its PE).
+        let picked = d
+            .candidates
+            .iter()
+            .copied()
+            .find(|c| matches!(c, FaultSite::Router(_)))
+            .or_else(|| d.candidates.first().copied())
+            .expect("diagnosis found something");
+        assert_eq!(picked, FaultSite::Router(6));
+    }
+}

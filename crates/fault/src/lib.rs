@@ -1,0 +1,244 @@
+//! # mdx-fault
+//!
+//! Fault model for the SR2201 multi-dimensional crossbar network.
+//!
+//! The paper's hardware detour path selection facility (Sec. 4) assumes a
+//! *single faulty point* in the network, and distributes knowledge of it the
+//! cheapest possible way: *"each switch has only the information of the
+//! switches that they are physically connected to"* — routers know which of
+//! their crossbars are faulty, and crossbars know which of their attached
+//! routers are faulty, a few bits per switch.
+//!
+//! This crate provides:
+//!
+//! * [`FaultSite`] / [`FaultSet`] — what is broken;
+//! * [`FaultRegisters`] — the per-switch neighbor-fault bits derived from a
+//!   fault set, exactly the information the paper allows a switch to use;
+//! * [`enumerate_single_faults`] — the single-fault universe for exhaustive
+//!   experiments;
+//! * [`connectivity`] — graph-level reachability under faults, the upper
+//!   bound any routing scheme can achieve;
+//! * [`diagnosis`] — the service processor's side of the story: localizing
+//!   the faulty component from end-to-end probe outcomes, which is where
+//!   the paper's "information ... set in advance" comes from.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod connectivity;
+pub mod diagnosis;
+pub mod registers;
+
+pub use connectivity::{reachable_pairs, ConnectivityReport};
+pub use diagnosis::{diagnose, diagnose_all_pairs, Diagnosis};
+pub use registers::FaultRegisters;
+
+use mdx_topology::{MdCrossbar, Node, XbarRef};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// One faulty component.
+///
+/// The paper's facility covers faulty crossbars and faulty routers (relay
+/// switches); a faulty PE is the degenerate case where the network simply
+/// stops delivering to it (Sec. 4, broadcast case b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FaultSite {
+    /// A shared crossbar switch is faulty.
+    Xbar(XbarRef),
+    /// The relay switch (router) of PE `usize` is faulty. Its PE is thereby
+    /// disconnected as well.
+    Router(usize),
+    /// The PE itself is faulty; its router and the network still work.
+    Pe(usize),
+}
+
+impl FaultSite {
+    /// The graph node this fault disables.
+    pub fn node(&self) -> Node {
+        match *self {
+            FaultSite::Xbar(x) => Node::Xbar(x),
+            FaultSite::Router(r) => Node::Router(r),
+            FaultSite::Pe(p) => Node::Pe(p),
+        }
+    }
+}
+
+impl std::fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "faulty {}", self.node())
+    }
+}
+
+/// A set of faulty components.
+///
+/// The SR2201 facility is specified for a single fault; [`FaultSet`] still
+/// allows several so experiments can probe beyond the specification (the
+/// paper's future-work direction).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSet {
+    sites: BTreeSet<FaultSite>,
+}
+
+impl FaultSet {
+    /// The empty (fault-free) set.
+    pub fn none() -> Self {
+        FaultSet::default()
+    }
+
+    /// A set holding exactly one fault.
+    pub fn single(site: FaultSite) -> Self {
+        let mut s = FaultSet::default();
+        s.insert(site);
+        s
+    }
+
+    /// Adds a fault. Returns `true` if it was new.
+    pub fn insert(&mut self, site: FaultSite) -> bool {
+        self.sites.insert(site)
+    }
+
+    /// Removes a fault. Returns `true` if it was present.
+    pub fn remove(&mut self, site: FaultSite) -> bool {
+        self.sites.remove(&site)
+    }
+
+    /// Whether there are no faults.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Number of faults.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Iterates over the fault sites.
+    pub fn sites(&self) -> impl Iterator<Item = FaultSite> + '_ {
+        self.sites.iter().copied()
+    }
+
+    /// Whether a specific site is faulty.
+    pub fn contains(&self, site: FaultSite) -> bool {
+        self.sites.contains(&site)
+    }
+
+    /// Whether the graph node is disabled by some fault in the set.
+    ///
+    /// A faulty router also takes its PE out of service (the PE has no other
+    /// connection); a faulty PE leaves its router usable as a through-switch.
+    pub fn disables(&self, node: Node) -> bool {
+        match node {
+            Node::Xbar(x) => self.contains(FaultSite::Xbar(x)),
+            Node::Router(r) => self.contains(FaultSite::Router(r)),
+            Node::Pe(p) => {
+                self.contains(FaultSite::Pe(p)) || self.contains(FaultSite::Router(p))
+            }
+        }
+    }
+
+    /// Whether PE `p` can source/sink traffic under this fault set.
+    pub fn pe_usable(&self, p: usize) -> bool {
+        !self.disables(Node::Pe(p))
+    }
+
+    /// The faulty crossbar, if the set is exactly one crossbar fault.
+    pub fn single_xbar(&self) -> Option<XbarRef> {
+        match self.sites.iter().next() {
+            Some(&FaultSite::Xbar(x)) if self.sites.len() == 1 => Some(x),
+            _ => None,
+        }
+    }
+}
+
+impl FromIterator<FaultSite> for FaultSet {
+    fn from_iter<T: IntoIterator<Item = FaultSite>>(iter: T) -> Self {
+        FaultSet {
+            sites: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Every possible single fault in the network: each crossbar, each router,
+/// each PE.
+pub fn enumerate_single_faults(net: &MdCrossbar) -> Vec<FaultSite> {
+    let mut v = Vec::new();
+    for xb in net.xbars() {
+        v.push(FaultSite::Xbar(xb));
+    }
+    for i in 0..net.shape().num_pes() {
+        v.push(FaultSite::Router(i));
+        v.push(FaultSite::Pe(i));
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdx_topology::Shape;
+
+    #[test]
+    fn fault_set_basics() {
+        let mut f = FaultSet::none();
+        assert!(f.is_empty());
+        let site = FaultSite::Router(2);
+        assert!(f.insert(site));
+        assert!(!f.insert(site));
+        assert_eq!(f.len(), 1);
+        assert!(f.contains(site));
+        assert!(f.remove(site));
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn router_fault_disables_its_pe() {
+        let f = FaultSet::single(FaultSite::Router(2));
+        assert!(f.disables(Node::Router(2)));
+        assert!(f.disables(Node::Pe(2)));
+        assert!(!f.disables(Node::Router(1)));
+        assert!(!f.pe_usable(2));
+        assert!(f.pe_usable(1));
+    }
+
+    #[test]
+    fn pe_fault_leaves_router_usable() {
+        let f = FaultSet::single(FaultSite::Pe(5));
+        assert!(f.disables(Node::Pe(5)));
+        assert!(!f.disables(Node::Router(5)));
+    }
+
+    #[test]
+    fn single_xbar_accessor() {
+        let xb = XbarRef { dim: 1, line: 2 };
+        assert_eq!(FaultSet::single(FaultSite::Xbar(xb)).single_xbar(), Some(xb));
+        assert_eq!(FaultSet::single(FaultSite::Router(0)).single_xbar(), None);
+        let mut two = FaultSet::single(FaultSite::Xbar(xb));
+        two.insert(FaultSite::Router(0));
+        assert_eq!(two.single_xbar(), None);
+    }
+
+    #[test]
+    fn enumerate_counts() {
+        // Fig. 2 network: 7 crossbars + 12 routers + 12 PEs.
+        let net = MdCrossbar::build(Shape::fig2());
+        assert_eq!(enumerate_single_faults(&net).len(), 7 + 12 + 12);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(
+            FaultSite::Xbar(XbarRef { dim: 1, line: 0 }).to_string(),
+            "faulty Y0-XB"
+        );
+        assert_eq!(FaultSite::Router(3).to_string(), "faulty R3");
+        assert_eq!(FaultSite::Pe(3).to_string(), "faulty PE3");
+    }
+
+    #[test]
+    fn from_iterator_dedupes() {
+        let xb = XbarRef { dim: 0, line: 1 };
+        let f: FaultSet = [FaultSite::Xbar(xb), FaultSite::Xbar(xb)].into_iter().collect();
+        assert_eq!(f.len(), 1);
+    }
+}

@@ -1,0 +1,1239 @@
+//! The cycle-level simulation engine.
+//!
+//! ## Resource model
+//!
+//! Every directed channel is the *output port* of its source switch.
+//!
+//! * **Ownership** — a packet's header requests a port; FIFO arbitration
+//!   grants a free port to the oldest requester. The owner streams flits and
+//!   releases the port when its tail flit crosses (cut-through).
+//! * **Buffers** — each channel's downstream input buffer holds
+//!   `buffer_flits` flits, FIFO across packets: a later packet's flits queue
+//!   behind an earlier packet's until the earlier one drains. The *resident
+//!   run* queue tracks this; only the front run's header is visible to the
+//!   downstream switch.
+//! * **Multi-port forwards** (broadcast fan-out) acquire ports incrementally
+//!   but stream only once all are held — the Fig. 5 acquisition pattern.
+//! * **Serialization** — the scheme's S-XB gathers RC=1 requests into a
+//!   FIFO; one packet at a time is re-emitted on all S-XB ports (Fig. 6).
+
+use crate::result::{
+    DeadlockInfo, InjectSpec, PacketId, PacketOutcome, PacketResult, SimOutcome, SimResult,
+    SimStats, WaitEdge,
+};
+use mdx_core::{Action, DropReason, Header, Scheme};
+use mdx_topology::{ChannelId, NetworkGraph, Node, NodeId};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Mixes (seed, channel, packet) into an arbitration priority — a cheap
+/// splitmix-style hash, deterministic but uncorrelated across ports.
+fn arb_hash(seed: u64, channel: u32, packet: u32) -> u64 {
+    let mut x = seed ^ ((channel as u64) << 32) ^ (packet as u64);
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Engine parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Flit capacity of each channel's downstream input buffer. Small values
+    /// (the default, 2) give wormhole behavior — a blocked packet strings
+    /// across switches holding every acquired port; values at least the
+    /// packet length give virtual cut-through — a blocked packet is absorbed
+    /// at the blocking switch and upstream ports free as its tail passes.
+    pub buffer_flits: usize,
+    /// Cycles without any flit movement (while work remains) before the
+    /// watchdog declares a stall and runs deadlock analysis.
+    pub watchdog: u64,
+    /// Hard cycle limit.
+    pub max_cycles: u64,
+    /// Seed for same-cycle arbitration tie-breaking. Requests that arrive at
+    /// a port on different cycles are served oldest-first; requests arriving
+    /// on the *same* cycle are ordered by a seeded per-port hash, modeling
+    /// the uncoordinated round-robin pointers of independent hardware port
+    /// arbiters. (With a global deterministic order, two simultaneous
+    /// broadcasts would always resolve in favor of the same packet at every
+    /// crossbar and the Fig. 5 cyclic split could never form.)
+    pub arb_seed: u64,
+    /// Record each packet's per-switch route (switch name, header-arrival
+    /// cycle) into [`PacketResult::route`]. Off by default — it allocates
+    /// per hop and is meant for debugging and route inspection, not load
+    /// sweeps.
+    pub record_routes: bool,
+    /// Store-and-forward mode: a switch starts forwarding only after the
+    /// *whole* packet has arrived in its input buffer (which must therefore
+    /// be at least the packet length). The contrast the paper's cut-through
+    /// citations (Kermani/Kleinrock, Dally/Seitz) are about: per-hop
+    /// latency becomes packet-serialization x hops instead of one pipeline
+    /// pass.
+    pub store_and_forward: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            buffer_flits: 2,
+            watchdog: 1024,
+            max_cycles: 1_000_000,
+            arb_seed: 0x5EED_CAFE,
+            record_routes: false,
+            store_and_forward: false,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct BranchState {
+    channel: ChannelId,
+    vc: u8,
+    header: Header,
+    granted: bool,
+    crossed: usize,
+}
+
+#[derive(Debug, Clone)]
+enum SinkKind {
+    Deliver(usize),
+    Gather,
+    Drop(DropReason),
+}
+
+#[derive(Debug, Clone)]
+enum VKind {
+    Forward {
+        branches: Vec<BranchState>,
+        streaming: bool,
+    },
+    Sink {
+        consumed: usize,
+        sink: SinkKind,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Visit {
+    packet: u32,
+    /// Port (channel lane) whose buffer feeds this visit (`None` for
+    /// injection and S-XB emission, which read from local memory).
+    in_port: Option<u32>,
+    /// The upstream (visit, branch) writing into `in_channel`.
+    up_run: Option<(u32, u32)>,
+    /// Header as it arrived at this switch.
+    header: Header,
+    total: usize,
+    kind: VKind,
+    complete: bool,
+}
+
+#[derive(Debug, Clone)]
+struct PacketRt {
+    spec: InjectSpec,
+    started: bool,
+    /// Open elements: live visits plus a slot while queued at the S-XB.
+    open: u32,
+    finished_at: Option<u64>,
+    deliveries: Vec<(usize, u64)>,
+    dropped: Option<DropReason>,
+    route: Vec<(String, u64)>,
+}
+
+/// The simulator. Feed it a schedule with [`Simulator::schedule`], then call
+/// [`Simulator::run`].
+pub struct Simulator {
+    graph: NetworkGraph,
+    scheme: Arc<dyn Scheme>,
+    cfg: SimConfig,
+    serial_node: Option<NodeId>,
+
+    packets: Vec<PacketRt>,
+    inject_order: Vec<u32>,
+    next_inject: usize,
+
+    visits: Vec<Visit>,
+    active: Vec<u32>,
+    /// Virtual channel lanes per physical channel (from the scheme).
+    vcs: usize,
+    /// Current writer of each port (lane) — the owner until its tail
+    /// crosses.
+    chan_owner: Vec<Option<(u32, u32)>>,
+    /// Port request queues: (visit, branch, request cycle).
+    chan_requests: Vec<VecDeque<(u32, u32, u64)>>,
+    /// Runs whose flits occupy the port's downstream buffer, oldest
+    /// first. Only the front run's header is visible downstream.
+    chan_resident: Vec<VecDeque<(u32, u32)>>,
+    /// The downstream visit consuming the front resident run, if created.
+    chan_downstream: Vec<Option<u32>>,
+    request_chans: BTreeSet<u32>,
+    resident_chans: BTreeSet<u32>,
+    /// Per physical channel: the lane served last cycle (round-robin share
+    /// of the link's one-flit-per-cycle bandwidth).
+    chan_last_vc: Vec<u8>,
+
+    serial_queue: VecDeque<(u32, Header)>,
+    emission_active: Option<u32>,
+
+    now: u64,
+    last_progress: u64,
+    flit_hops: u64,
+    /// Flits crossed per channel (utilization statistics).
+    chan_flits: Vec<u64>,
+    finished_packets: usize,
+}
+
+impl Simulator {
+    /// Creates a simulator over `graph` running `scheme`.
+    pub fn new(graph: NetworkGraph, scheme: Arc<dyn Scheme>, cfg: SimConfig) -> Simulator {
+        assert!(cfg.buffer_flits >= 1, "buffers hold at least one flit");
+        let serial_node = scheme.serializing_node().and_then(|n| graph.id_of(n));
+        let channels = graph.num_channels();
+        let vcs = scheme.max_vcs().max(1) as usize;
+        let ports = channels * vcs;
+        Simulator {
+            graph,
+            scheme,
+            cfg,
+            serial_node,
+            packets: Vec::new(),
+            inject_order: Vec::new(),
+            next_inject: 0,
+            visits: Vec::new(),
+            active: Vec::new(),
+            vcs,
+            chan_owner: vec![None; ports],
+            chan_requests: vec![VecDeque::new(); ports],
+            chan_resident: vec![VecDeque::new(); ports],
+            chan_downstream: vec![None; ports],
+            request_chans: BTreeSet::new(),
+            resident_chans: BTreeSet::new(),
+            chan_last_vc: vec![0; channels],
+            serial_queue: VecDeque::new(),
+            emission_active: None,
+            now: 0,
+            last_progress: 0,
+            flit_hops: 0,
+            chan_flits: vec![0; channels],
+            finished_packets: 0,
+        }
+    }
+
+    /// Port (lane) index of a channel + virtual channel pair.
+    #[inline]
+    fn port(&self, ch: ChannelId, vc: u8) -> usize {
+        ch.idx() * self.vcs + vc as usize
+    }
+
+    /// Human-readable port description (channel plus lane when VCs are in
+    /// use).
+    fn describe_port(&self, port: usize) -> String {
+        let ch = ChannelId((port / self.vcs) as u32);
+        let vc = port % self.vcs;
+        if self.vcs > 1 {
+            format!("{} (vc{vc})", self.graph.describe_channel(ch))
+        } else {
+            self.graph.describe_channel(ch)
+        }
+    }
+
+    /// Adds a packet to the schedule. Must be called before [`Simulator::run`].
+    ///
+    /// # Panics
+    /// Panics on zero-length packets.
+    pub fn schedule(&mut self, spec: InjectSpec) -> PacketId {
+        assert!(spec.flits >= 1, "packets carry at least the header flit");
+        let id = PacketId(self.packets.len() as u32);
+        self.packets.push(PacketRt {
+            spec,
+            started: false,
+            open: 0,
+            finished_at: None,
+            deliveries: Vec::new(),
+            dropped: None,
+            route: Vec::new(),
+        });
+        id
+    }
+
+    /// Current simulation cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Flits that crossed each channel (indexed by [`ChannelId`]).
+    pub fn channel_flits(&self) -> &[u64] {
+        &self.chan_flits
+    }
+
+    fn channel_of(&self, from: NodeId, to: Node) -> Option<ChannelId> {
+        let to_id = self.graph.id_of(to)?;
+        self.graph.channel_between(from, to_id)
+    }
+
+    fn branch(&self, run: (u32, u32)) -> &BranchState {
+        match &self.visits[run.0 as usize].kind {
+            VKind::Forward { branches, .. } => &branches[run.1 as usize],
+            VKind::Sink { .. } => unreachable!("runs always come from forward visits"),
+        }
+    }
+
+    /// Flits of the port's *front* resident run that have left the buffer.
+    fn front_drained(&self, port: usize) -> usize {
+        match self.chan_downstream[port] {
+            Some(d) => match &self.visits[d as usize].kind {
+                VKind::Forward { branches, .. } => {
+                    branches.iter().map(|b| b.crossed).min().unwrap_or(0)
+                }
+                VKind::Sink { consumed, .. } => *consumed,
+            },
+            None => 0,
+        }
+    }
+
+    /// Total flits currently in the port's downstream buffer.
+    fn occupancy(&self, port: usize) -> usize {
+        let total: usize = self.chan_resident[port]
+            .iter()
+            .map(|&run| self.branch(run).crossed)
+            .sum();
+        total - self.front_drained(port)
+    }
+
+    /// Flits available to visit `v` for pushing onward.
+    fn avail(&self, v: &Visit) -> usize {
+        match v.up_run {
+            None => v.total, // injection or S-XB emission: all flits local
+            Some(run) => {
+                let crossed = self.branch(run).crossed;
+                if self.cfg.store_and_forward && crossed < v.total {
+                    // Store-and-forward: nothing leaves until the whole
+                    // packet has arrived.
+                    0
+                } else {
+                    crossed
+                }
+            }
+        }
+    }
+
+    fn mk_drop(&self, reason: DropReason) -> VKind {
+        VKind::Sink {
+            consumed: 0,
+            sink: SinkKind::Drop(reason),
+        }
+    }
+
+    /// Creates a visit by asking the scheme for a decision.
+    fn create_visit(
+        &mut self,
+        packet: u32,
+        at: NodeId,
+        came_from: Option<NodeId>,
+        in_port: Option<u32>,
+        up_run: Option<(u32, u32)>,
+        header: Header,
+    ) {
+        let at_node = self.graph.node(at);
+        let from_node = came_from.map(|id| self.graph.node(id));
+        if self.cfg.record_routes {
+            self.packets[packet as usize]
+                .route
+                .push((at_node.to_string(), self.now));
+        }
+        let action = self.scheme.decide(at_node, from_node, &header);
+        let kind = match action {
+            Action::Deliver => match at_node {
+                Node::Pe(p) => VKind::Sink {
+                    consumed: 0,
+                    sink: SinkKind::Deliver(p),
+                },
+                // Delivering away from a PE is a scheme bug; surface it as a
+                // protocol-violation drop rather than corrupting state.
+                _ => self.mk_drop(DropReason::ProtocolViolation),
+            },
+            Action::Gather => {
+                if Some(at) == self.serial_node {
+                    VKind::Sink {
+                        consumed: 0,
+                        sink: SinkKind::Gather,
+                    }
+                } else {
+                    self.mk_drop(DropReason::ProtocolViolation)
+                }
+            }
+            Action::Drop(r) => self.mk_drop(r),
+            Action::Forward(branches) if branches.is_empty() => {
+                self.mk_drop(DropReason::ProtocolViolation)
+            }
+            Action::Forward(branches) => {
+                let mut states = Vec::with_capacity(branches.len());
+                let mut bad = false;
+                for b in &branches {
+                    if b.vc as usize >= self.vcs {
+                        bad = true;
+                        continue;
+                    }
+                    match self.channel_of(at, b.to) {
+                        Some(ch) => states.push(BranchState {
+                            channel: ch,
+                            vc: b.vc,
+                            header: b.header,
+                            granted: false,
+                            crossed: 0,
+                        }),
+                        None => bad = true,
+                    }
+                }
+                if bad {
+                    self.mk_drop(DropReason::ProtocolViolation)
+                } else {
+                    VKind::Forward {
+                        branches: states,
+                        streaming: false,
+                    }
+                }
+            }
+        };
+        self.install_visit(packet, in_port, up_run, header, kind);
+    }
+
+    fn install_visit(
+        &mut self,
+        packet: u32,
+        in_port: Option<u32>,
+        up_run: Option<(u32, u32)>,
+        header: Header,
+        kind: VKind,
+    ) -> u32 {
+        let total = self.packets[packet as usize].spec.flits;
+        let idx = self.visits.len() as u32;
+        if let VKind::Forward { branches, .. } = &kind {
+            for (bi, b) in branches.iter().enumerate() {
+                let port = self.port(b.channel, b.vc);
+                self.chan_requests[port].push_back((idx, bi as u32, self.now));
+                self.request_chans.insert(port as u32);
+            }
+        }
+        self.visits.push(Visit {
+            packet,
+            in_port,
+            up_run,
+            header,
+            total,
+            kind,
+            complete: false,
+        });
+        self.active.push(idx);
+        if let Some(port) = in_port {
+            debug_assert!(self.chan_downstream[port as usize].is_none());
+            self.chan_downstream[port as usize] = Some(idx);
+        }
+        self.packets[packet as usize].open += 1;
+        idx
+    }
+
+    fn step(&mut self) -> bool {
+        let mut progress = false;
+
+        // 1. Injections due this cycle.
+        while self.next_inject < self.inject_order.len() {
+            let pidx = self.inject_order[self.next_inject];
+            let spec = self.packets[pidx as usize].spec;
+            if spec.inject_at > self.now {
+                break;
+            }
+            self.next_inject += 1;
+            self.packets[pidx as usize].started = true;
+            let at = self.graph.expect_id(Node::Pe(spec.src_pe));
+            self.create_visit(pidx, at, None, None, None, spec.header);
+        }
+
+        // 2. Create downstream visits where a header flit sits at a buffer
+        //    head.
+        let heads: Vec<u32> = self.resident_chans.iter().copied().collect();
+        for port in heads {
+            let pu = port as usize;
+            if self.chan_downstream[pu].is_some() {
+                continue;
+            }
+            let Some(&run) = self.chan_resident[pu].front() else {
+                continue;
+            };
+            if self.branch(run).crossed == 0 {
+                continue; // header still crossing
+            }
+            let packet = self.visits[run.0 as usize].packet;
+            let header = self.branch(run).header;
+            let info = self.graph.channel(ChannelId((pu / self.vcs) as u32));
+            self.create_visit(packet, info.dst, Some(info.src), Some(port), Some(run), header);
+        }
+
+        // 3. S-XB emission: strictly one broadcast at a time, in order of
+        //    arrival (paper Fig. 6 step 2).
+        if self.emission_active.is_none() {
+            if let (Some(serial), Some(&(pidx, header))) =
+                (self.serial_node, self.serial_queue.front())
+            {
+                self.serial_queue.pop_front();
+                let branches = self.scheme.emission(&header);
+                let mut states = Vec::with_capacity(branches.len());
+                let mut bad = branches.is_empty();
+                for b in &branches {
+                    if b.vc as usize >= self.vcs {
+                        bad = true;
+                        continue;
+                    }
+                    match self.channel_of(serial, b.to) {
+                        Some(ch) => states.push(BranchState {
+                            channel: ch,
+                            vc: b.vc,
+                            header: b.header,
+                            granted: false,
+                            crossed: 0,
+                        }),
+                        None => bad = true,
+                    }
+                }
+                let kind = if bad {
+                    self.mk_drop(DropReason::NoUsablePath)
+                } else {
+                    VKind::Forward {
+                        branches: states,
+                        streaming: false,
+                    }
+                };
+                let is_forward = matches!(kind, VKind::Forward { .. });
+                let vi = self.install_visit(pidx, None, None, header, kind);
+                if is_forward {
+                    self.emission_active = Some(vi);
+                }
+                // The queue slot is closed either way.
+                self.packets[pidx as usize].open -= 1;
+            }
+        }
+
+        // 4. Arbitration: grant free ports oldest-request-first, breaking
+        //    same-cycle ties with the seeded per-port hash.
+        let pending: Vec<u32> = self.request_chans.iter().copied().collect();
+        for port in pending {
+            let pu = port as usize;
+            // Purge stale requests from visits that were dropped.
+            let visits = &self.visits;
+            self.chan_requests[pu].retain(|&(vidx, _, _)| !visits[vidx as usize].complete);
+            if self.chan_owner[pu].is_none() {
+                let seed = self.cfg.arb_seed;
+                let winner = self.chan_requests[pu]
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, &(vidx, _, cycle))| {
+                        let packet = self.visits[vidx as usize].packet;
+                        (cycle, arb_hash(seed, port, packet))
+                    })
+                    .map(|(i, _)| i);
+                if let Some(i) = winner {
+                    let (vidx, bidx, _) = self.chan_requests[pu].remove(i).unwrap();
+                    self.chan_owner[pu] = Some((vidx, bidx));
+                    self.chan_resident[pu].push_back((vidx, bidx));
+                    self.resident_chans.insert(port);
+                    // The run holds the packet open until it drains out of
+                    // the downstream buffer (step 9), so a packet can never
+                    // look finished while flits are queued behind another
+                    // packet's resident run.
+                    self.packets[self.visits[vidx as usize].packet as usize].open += 1;
+                    if let VKind::Forward { branches, .. } =
+                        &mut self.visits[vidx as usize].kind
+                    {
+                        branches[bidx as usize].granted = true;
+                    }
+                }
+            }
+            if self.chan_requests[pu].is_empty() {
+                self.request_chans.remove(&port);
+            }
+        }
+
+        // 5. Streaming: a forward visit streams once every port is held.
+        for &vi in &self.active {
+            if let VKind::Forward {
+                branches,
+                streaming,
+            } = &mut self.visits[vi as usize].kind
+            {
+                if !*streaming && branches.iter().all(|b| b.granted) {
+                    *streaming = true;
+                }
+            }
+        }
+
+        // 6. Collect moves against the start-of-cycle state.
+        let mut branch_moves: Vec<(u32, u32, ChannelId, u8)> = Vec::new();
+        let mut sink_moves: Vec<u32> = Vec::new();
+        for &vi in &self.active {
+            let v = &self.visits[vi as usize];
+            if v.complete {
+                continue;
+            }
+            let avail = self.avail(v);
+            match &v.kind {
+                VKind::Forward {
+                    branches,
+                    streaming,
+                } => {
+                    if !*streaming {
+                        continue;
+                    }
+                    // A source visit (injection or S-XB emission) reads the
+                    // packet from local memory once and copies each flit to
+                    // all its ports in lockstep — one stalled port
+                    // backpressures the others, just like a fan fed from a
+                    // channel buffer.
+                    let lockstep = if v.in_port.is_none() {
+                        branches.iter().map(|b| b.crossed).min().unwrap_or(0) + 1
+                    } else {
+                        usize::MAX
+                    };
+                    for (bi, b) in branches.iter().enumerate() {
+                        if b.crossed >= v.total || b.crossed >= avail || b.crossed >= lockstep
+                        {
+                            continue;
+                        }
+                        if self.occupancy(self.port(b.channel, b.vc)) < self.cfg.buffer_flits {
+                            branch_moves.push((vi, bi as u32, b.channel, b.vc));
+                        }
+                    }
+                }
+                VKind::Sink { consumed, .. } => {
+                    if *consumed < v.total && *consumed < avail {
+                        sink_moves.push(vi);
+                    }
+                }
+            }
+        }
+
+        // 7. Apply moves; the physical link carries one flit per cycle,
+        //    shared round-robin among its lanes; release ports whose tail
+        //    just crossed.
+        let selected: Vec<(u32, u32, ChannelId, u8)> = if self.vcs == 1 {
+            branch_moves
+        } else {
+            let mut by_channel: HashMap<u32, Vec<(u32, u32, ChannelId, u8)>> = HashMap::new();
+            for m in branch_moves {
+                by_channel.entry(m.2 .0).or_default().push(m);
+            }
+            let mut chans: Vec<u32> = by_channel.keys().copied().collect();
+            chans.sort_unstable();
+            let mut picked = Vec::with_capacity(chans.len());
+            for ch in chans {
+                let cands = &by_channel[&ch];
+                let last = self.chan_last_vc[ch as usize];
+                let vcs = self.vcs as u8;
+                let win = cands
+                    .iter()
+                    .min_by_key(|&&(_, _, _, vc)| (vc + vcs - last - 1) % vcs)
+                    .copied()
+                    .expect("non-empty candidate set");
+                self.chan_last_vc[ch as usize] = win.3;
+                picked.push(win);
+            }
+            picked
+        };
+        for (vi, bi, ch, vc) in selected {
+            let total = self.visits[vi as usize].total;
+            let port = self.port(ch, vc);
+            if let VKind::Forward { branches, .. } = &mut self.visits[vi as usize].kind {
+                let b = &mut branches[bi as usize];
+                b.crossed += 1;
+                if b.crossed == total {
+                    // Tail crossed: the output port frees (cut-through).
+                    debug_assert_eq!(self.chan_owner[port], Some((vi, bi)));
+                    self.chan_owner[port] = None;
+                }
+            }
+            self.chan_flits[ch.idx()] += 1;
+            self.flit_hops += 1;
+            progress = true;
+        }
+        for vi in sink_moves {
+            if let VKind::Sink { consumed, .. } = &mut self.visits[vi as usize].kind {
+                *consumed += 1;
+            }
+            progress = true;
+        }
+
+        // 8. Completions.
+        let active_snapshot = self.active.clone();
+        for &vi in &active_snapshot {
+            let v = &self.visits[vi as usize];
+            if v.complete {
+                continue;
+            }
+            match &v.kind {
+                VKind::Sink { consumed, sink } if *consumed == v.total => {
+                    let packet = v.packet;
+                    match sink.clone() {
+                        SinkKind::Deliver(pe) => {
+                            self.packets[packet as usize].deliveries.push((pe, self.now));
+                        }
+                        SinkKind::Gather => {
+                            // Queue slot stays open until emission starts.
+                            self.packets[packet as usize].open += 1;
+                            self.serial_queue.push_back((packet, v.header));
+                        }
+                        SinkKind::Drop(r) => {
+                            let p = &mut self.packets[packet as usize];
+                            if p.dropped.is_none() {
+                                p.dropped = Some(r);
+                            }
+                        }
+                    }
+                    self.complete_visit(vi);
+                    progress = true;
+                }
+                VKind::Forward { branches, .. }
+                    if branches.iter().all(|b| b.crossed == v.total) =>
+                {
+                    if self.emission_active == Some(vi) {
+                        self.emission_active = None;
+                    }
+                    self.complete_visit(vi);
+                    progress = true;
+                }
+                _ => {}
+            }
+        }
+
+        // 9. Retire fully-drained front runs so the next resident packet's
+        //    header becomes visible.
+        let residents: Vec<u32> = self.resident_chans.iter().copied().collect();
+        for port in residents {
+            let pu = port as usize;
+            let Some(d) = self.chan_downstream[pu] else {
+                continue;
+            };
+            if self.visits[d as usize].complete {
+                let run = self.chan_resident[pu]
+                    .pop_front()
+                    .expect("front run exists while its visit is live");
+                debug_assert_eq!(self.visits[run.0 as usize].packet, self.visits[d as usize].packet);
+                self.chan_downstream[pu] = None;
+                if self.chan_resident[pu].is_empty() {
+                    self.resident_chans.remove(&port);
+                }
+                self.dec_open(self.visits[run.0 as usize].packet);
+                progress = true;
+            }
+        }
+
+        // Prune the active list.
+        let visits = &self.visits;
+        self.active.retain(|&vi| !visits[vi as usize].complete);
+
+        progress
+    }
+
+    fn complete_visit(&mut self, vi: u32) {
+        let v = &mut self.visits[vi as usize];
+        if v.complete {
+            return;
+        }
+        v.complete = true;
+        let packet = v.packet;
+        self.dec_open(packet);
+    }
+
+    fn dec_open(&mut self, packet: u32) {
+        let p = &mut self.packets[packet as usize];
+        p.open -= 1;
+        if p.open == 0 && p.started && p.finished_at.is_none() {
+            p.finished_at = Some(self.now);
+            self.finished_packets += 1;
+        }
+    }
+
+    fn work_remaining(&self) -> bool {
+        self.finished_packets < self.packets.len()
+    }
+
+    /// Builds the packet wait-for graph over ungranted port wants and
+    /// extracts a cyclic wait, if any.
+    fn analyze_deadlock(&self) -> Option<DeadlockInfo> {
+        let mut adj: HashMap<u32, Vec<(u32, u32)>> = HashMap::new();
+        for &vi in &self.active {
+            let v = &self.visits[vi as usize];
+            if let VKind::Forward { branches, .. } = &v.kind {
+                for b in branches {
+                    if !b.granted {
+                        let port = self.port(b.channel, b.vc);
+                        if let Some((ovi, _)) = self.chan_owner[port] {
+                            let holder = self.visits[ovi as usize].packet;
+                            adj.entry(v.packet)
+                                .or_default()
+                                .push((holder, port as u32));
+                        }
+                    }
+                }
+            }
+        }
+        let mut state: HashMap<u32, u8> = HashMap::new();
+        let mut stack: Vec<(u32, u32)> = Vec::new();
+        fn dfs(
+            u: u32,
+            adj: &HashMap<u32, Vec<(u32, u32)>>,
+            state: &mut HashMap<u32, u8>,
+            stack: &mut Vec<(u32, u32)>,
+        ) -> Option<u32> {
+            state.insert(u, 1);
+            if let Some(next) = adj.get(&u) {
+                for &(v, port) in next {
+                    match state.get(&v).copied() {
+                        Some(1) => {
+                            stack.push((u, port));
+                            return Some(v);
+                        }
+                        Some(_) => {}
+                        None => {
+                            stack.push((u, port));
+                            if let Some(hit) = dfs(v, adj, state, stack) {
+                                return Some(hit);
+                            }
+                            stack.pop();
+                        }
+                    }
+                }
+            }
+            state.insert(u, 2);
+            None
+        }
+        let mut starts: Vec<u32> = adj.keys().copied().collect();
+        starts.sort_unstable();
+        for s in starts {
+            if state.contains_key(&s) {
+                continue;
+            }
+            stack.clear();
+            if let Some(entry) = dfs(s, &adj, &mut state, &mut stack) {
+                let pos = stack.iter().position(|&(u, _)| u == entry).unwrap_or(0);
+                let cycle_edges = &stack[pos..];
+                let mut cycle = Vec::new();
+                for (i, &(waiter, port)) in cycle_edges.iter().enumerate() {
+                    let holder = if i + 1 < cycle_edges.len() {
+                        cycle_edges[i + 1].0
+                    } else {
+                        entry
+                    };
+                    cycle.push(WaitEdge {
+                        waiter: PacketId(waiter),
+                        holder: PacketId(holder),
+                        channel: self.describe_port(port as usize),
+                    });
+                }
+                return Some(DeadlockInfo {
+                    detected_at: self.now,
+                    cycle,
+                });
+            }
+        }
+        None
+    }
+
+    /// Runs to completion, deadlock, stall, or the cycle limit.
+    pub fn run(&mut self) -> SimResult {
+        let mut order: Vec<u32> = (0..self.packets.len() as u32).collect();
+        order.sort_by_key(|&i| (self.packets[i as usize].spec.inject_at, i));
+        self.inject_order = order;
+        self.next_inject = 0;
+
+        let outcome = loop {
+            if !self.work_remaining() {
+                break SimOutcome::Completed;
+            }
+            if self.now >= self.cfg.max_cycles {
+                break SimOutcome::CycleLimit;
+            }
+            let progress = self.step();
+            if progress {
+                self.last_progress = self.now;
+            } else if self.next_inject >= self.inject_order.len()
+                && self.now - self.last_progress >= self.cfg.watchdog
+            {
+                break match self.analyze_deadlock() {
+                    Some(info) => SimOutcome::Deadlock(info),
+                    None => SimOutcome::Stalled,
+                };
+            }
+            self.now += 1;
+        };
+        self.collect_result(outcome)
+    }
+
+    fn collect_result(&self, outcome: SimOutcome) -> SimResult {
+        let mut packets = Vec::with_capacity(self.packets.len());
+        let mut stats = SimStats {
+            cycles: self.now,
+            flit_hops: self.flit_hops,
+            delivered: 0,
+            dropped: 0,
+            unfinished: 0,
+            latency_sum: 0,
+            latency_max: 0,
+        };
+        for (i, p) in self.packets.iter().enumerate() {
+            // A broadcast that skipped a faulty leaf records a drop but
+            // still counts as delivered when anyone received it.
+            let outcome_p = match (p.finished_at, &p.dropped) {
+                (Some(_), None) => PacketOutcome::Delivered,
+                (Some(_), Some(_)) if !p.deliveries.is_empty() => PacketOutcome::Delivered,
+                (Some(_), Some(r)) => PacketOutcome::Dropped(*r),
+                (None, _) => PacketOutcome::Unfinished,
+            };
+            match &outcome_p {
+                PacketOutcome::Delivered => {
+                    stats.delivered += 1;
+                    let lat = p.finished_at.unwrap() - p.spec.inject_at;
+                    stats.latency_sum += lat;
+                    stats.latency_max = stats.latency_max.max(lat);
+                }
+                PacketOutcome::Dropped(_) => stats.dropped += 1,
+                PacketOutcome::Unfinished => stats.unfinished += 1,
+            }
+            packets.push(PacketResult {
+                id: PacketId(i as u32),
+                injected_at: p.spec.inject_at,
+                finished_at: p.finished_at,
+                deliveries: p.deliveries.clone(),
+                outcome: outcome_p,
+                route: p.route.clone(),
+            });
+        }
+        SimResult {
+            outcome,
+            stats,
+            packets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdx_core::Sr2201Routing;
+    use mdx_fault::FaultSet;
+    use mdx_topology::{Coord, MdCrossbar, Shape};
+
+    fn fig2() -> Arc<MdCrossbar> {
+        Arc::new(MdCrossbar::build(Shape::fig2()))
+    }
+
+    fn sim_with(net: &Arc<MdCrossbar>, cfg: SimConfig) -> Simulator {
+        let scheme = Arc::new(Sr2201Routing::new(net.clone(), &FaultSet::none()).unwrap());
+        Simulator::new(net.graph().clone(), scheme, cfg)
+    }
+
+    fn spec(net: &MdCrossbar, src: usize, dst: usize, flits: usize, at: u64) -> InjectSpec {
+        let shape = net.shape();
+        InjectSpec {
+            src_pe: src,
+            header: Header::unicast(shape.coord_of(src), shape.coord_of(dst)),
+            flits,
+            inject_at: at,
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least the header flit")]
+    fn zero_flit_packets_rejected() {
+        let net = fig2();
+        let mut sim = sim_with(&net, SimConfig::default());
+        sim.schedule(spec(&net, 0, 1, 0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flit")]
+    fn zero_buffer_rejected() {
+        let net = fig2();
+        sim_with(
+            &net,
+            SimConfig {
+                buffer_flits: 0,
+                ..SimConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    fn empty_schedule_completes_immediately() {
+        let net = fig2();
+        let mut sim = sim_with(&net, SimConfig::default());
+        let r = sim.run();
+        assert_eq!(r.outcome, SimOutcome::Completed);
+        assert_eq!(r.stats.cycles, 0);
+        assert!(r.packets.is_empty());
+    }
+
+    #[test]
+    fn cycle_limit_reported() {
+        let net = fig2();
+        let mut sim = sim_with(
+            &net,
+            SimConfig {
+                max_cycles: 3,
+                ..SimConfig::default()
+            },
+        );
+        sim.schedule(spec(&net, 0, 11, 20, 0));
+        let r = sim.run();
+        assert_eq!(r.outcome, SimOutcome::CycleLimit);
+        assert_eq!(r.packets[0].outcome, PacketOutcome::Unfinished);
+    }
+
+    #[test]
+    fn channel_flits_account_every_hop() {
+        let net = fig2();
+        let mut sim = sim_with(&net, SimConfig::default());
+        // (0,0)->(3,0): same row, 4 channels, 5 flits each.
+        sim.schedule(spec(&net, 0, 3, 5, 0));
+        let r = sim.run();
+        assert_eq!(r.outcome, SimOutcome::Completed);
+        assert_eq!(r.stats.flit_hops, 4 * 5);
+        let crossed: u64 = sim.channel_flits().iter().sum();
+        assert_eq!(crossed, 20);
+        // Exactly 4 channels saw traffic, each 5 flits.
+        let used: Vec<u64> = sim
+            .channel_flits()
+            .iter()
+            .copied()
+            .filter(|&f| f > 0)
+            .collect();
+        assert_eq!(used, vec![5, 5, 5, 5]);
+    }
+
+    #[test]
+    fn fifo_buffer_keeps_packet_order_on_shared_path() {
+        // Two same-route packets: the second is injected later and must
+        // arrive later (FIFO channel buffers cannot reorder).
+        let net = fig2();
+        let mut sim = sim_with(&net, SimConfig::default());
+        sim.schedule(spec(&net, 0, 3, 6, 0));
+        sim.schedule(spec(&net, 0, 3, 6, 1));
+        let r = sim.run();
+        assert_eq!(r.outcome, SimOutcome::Completed);
+        assert!(r.packets[0].finished_at.unwrap() < r.packets[1].finished_at.unwrap());
+    }
+
+    #[test]
+    fn arbitration_is_fifo_across_cycles() {
+        // A packet requesting a port one cycle earlier always wins it.
+        let net = fig2();
+        for seed in 0..8u64 {
+            let mut sim = sim_with(
+                &net,
+                SimConfig {
+                    arb_seed: seed,
+                    ..SimConfig::default()
+                },
+            );
+            // Both head for PE3's router exit of the row-0 crossbar.
+            sim.schedule(spec(&net, 0, 3, 12, 0));
+            sim.schedule(spec(&net, 1, 3, 12, 4));
+            let r = sim.run();
+            assert!(
+                r.packets[0].finished_at.unwrap() < r.packets[1].finished_at.unwrap(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn deep_buffers_reduce_blocking_latency() {
+        // Virtual cut-through absorbs a blocked packet; with a long packet
+        // hogging the shared exit, the follower's latency shrinks (or at
+        // least never grows) as buffers deepen.
+        let net = fig2();
+        let mut latencies = Vec::new();
+        for buffer in [1usize, 4, 32] {
+            let mut sim = sim_with(
+                &net,
+                SimConfig {
+                    buffer_flits: buffer,
+                    ..SimConfig::default()
+                },
+            );
+            sim.schedule(spec(&net, 0, 3, 24, 0)); // hog
+            sim.schedule(spec(&net, 1, 7, 8, 2)); // crosses the hog's row exit? no:
+            // (1,0)->(3,1): X to column 3 on row 0 (contends with the hog's
+            // exit), then Y.
+            sim.schedule(spec(&net, 1, 3, 8, 2));
+            let r = sim.run();
+            assert_eq!(r.outcome, SimOutcome::Completed);
+            latencies.push(r.packets[2].latency().unwrap());
+        }
+        assert!(
+            latencies[0] >= latencies[1] && latencies[1] >= latencies[2],
+            "{latencies:?}"
+        );
+    }
+
+    #[test]
+    fn watchdog_cycle_report_names_real_channels() {
+        use mdx_core::NaiveBroadcast;
+        let net = fig2();
+        let scheme = Arc::new(NaiveBroadcast::new(net.clone()));
+        let mut sim = Simulator::new(
+            net.graph().clone(),
+            scheme,
+            SimConfig {
+                watchdog: 64,
+                arb_seed: 3,
+                ..SimConfig::default()
+            },
+        );
+        let shape = net.shape();
+        for src in [0usize, 4] {
+            let c = shape.coord_of(src);
+            sim.schedule(InjectSpec {
+                src_pe: src,
+                header: Header {
+                    rc: mdx_core::RouteChange::Broadcast,
+                    dest: c,
+                    src: c,
+                },
+                flits: 16,
+                inject_at: 0,
+            });
+        }
+        match sim.run().outcome {
+            SimOutcome::Deadlock(info) => {
+                assert!(!info.cycle.is_empty());
+                for e in &info.cycle {
+                    assert!(e.channel.contains("->"), "{}", e.channel);
+                    assert_ne!(e.waiter, e.holder);
+                }
+                // The cycle is closed: each holder is the next waiter.
+                for w in info.cycle.windows(2) {
+                    assert_eq!(w[0].holder, w[1].waiter);
+                }
+                assert_eq!(
+                    info.cycle.last().unwrap().holder,
+                    info.cycle.first().unwrap().waiter
+                );
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn latency_includes_injection_delay() {
+        let net = fig2();
+        let mut a = sim_with(&net, SimConfig::default());
+        a.schedule(spec(&net, 0, 3, 5, 0));
+        let la = a.run().packets[0].latency().unwrap();
+        let mut b = sim_with(&net, SimConfig::default());
+        b.schedule(spec(&net, 0, 3, 5, 100));
+        let rb = b.run();
+        // Same latency relative to its own injection time.
+        assert_eq!(rb.packets[0].latency().unwrap(), la);
+        assert_eq!(rb.packets[0].injected_at, 100);
+    }
+
+    #[test]
+    fn broadcast_finish_time_is_last_delivery() {
+        let net = fig2();
+        let shape = net.shape().clone();
+        let mut sim = sim_with(&net, SimConfig::default());
+        sim.schedule(InjectSpec {
+            src_pe: 5,
+            header: Header::broadcast_request(shape.coord_of(5)),
+            flits: 6,
+            inject_at: 0,
+        });
+        let r = sim.run();
+        let p = &r.packets[0];
+        assert_eq!(p.deliveries.len(), 12);
+        let last_delivery = p.deliveries.iter().map(|&(_, t)| t).max().unwrap();
+        // finished_at is when the last flit leaves the last buffer — at or
+        // just after the last PE delivery.
+        assert!(p.finished_at.unwrap() >= last_delivery);
+    }
+
+    #[test]
+    fn self_send_latency_is_minimal() {
+        let net = fig2();
+        let mut sim = sim_with(&net, SimConfig::default());
+        sim.schedule(spec(&net, 4, 4, 3, 0));
+        let r = sim.run();
+        // PE -> router -> PE: two channels plus sink drain.
+        let lat = r.packets[0].latency().unwrap();
+        assert!(lat <= 12, "self-send latency {lat}");
+    }
+
+    #[test]
+    fn arb_hash_spreads_winners_across_ports() {
+        // The per-port tie-break must not systematically favor one packet:
+        // over many channels, both packets win some.
+        let mut wins = [0usize; 2];
+        for ch in 0..64u32 {
+            let a = arb_hash(1, ch, 0);
+            let b = arb_hash(1, ch, 1);
+            wins[if a < b { 0 } else { 1 }] += 1;
+        }
+        assert!(wins[0] >= 16 && wins[1] >= 16, "{wins:?}");
+    }
+
+    #[test]
+    fn recorded_route_matches_static_trace() {
+        let net = fig2();
+        let mut sim = sim_with(
+            &net,
+            SimConfig {
+                record_routes: true,
+                ..SimConfig::default()
+            },
+        );
+        sim.schedule(spec(&net, 0, 11, 4, 0));
+        let r = sim.run();
+        let route: Vec<&str> = r.packets[0].route.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            route,
+            vec!["PE0", "R0", "X0-XB", "R3", "Y3-XB", "R11", "PE11"]
+        );
+        // Arrival cycles strictly increase along the path.
+        let cycles: Vec<u64> = r.packets[0].route.iter().map(|&(_, c)| c).collect();
+        assert!(cycles.windows(2).all(|w| w[0] < w[1]), "{cycles:?}");
+        // Off by default: no allocation.
+        let mut sim = sim_with(&net, SimConfig::default());
+        sim.schedule(spec(&net, 0, 11, 4, 0));
+        let r = sim.run();
+        assert!(r.packets[0].route.is_empty());
+    }
+
+    #[test]
+    fn store_and_forward_costs_hops_times_serialization() {
+        let net = fig2();
+        let run = |saf: bool| {
+            let mut sim = sim_with(
+                &net,
+                SimConfig {
+                    store_and_forward: saf,
+                    buffer_flits: 64,
+                    ..SimConfig::default()
+                },
+            );
+            sim.schedule(spec(&net, 0, 11, 16, 0));
+            let r = sim.run();
+            assert_eq!(r.outcome, SimOutcome::Completed);
+            r.packets[0].latency().unwrap()
+        };
+        let ct = run(false);
+        let saf = run(true);
+        // Cut-through pipelines (~hops + flits); SAF pays ~hops x flits.
+        assert!(saf > 2 * ct, "saf {saf} !>> cut-through {ct}");
+        assert!(saf >= 6 * 16, "saf {saf} below the serialization bound");
+    }
+
+    #[test]
+    fn faulty_coord_placeholder() {
+        // Keep Coord in scope for the helper imports above.
+        let _ = Coord::ORIGIN;
+    }
+}

@@ -1,0 +1,279 @@
+//! Injection specifications, per-packet outcomes and run-level statistics.
+
+use mdx_core::{DropReason, Header};
+use serde::{Deserialize, Serialize};
+
+/// Dense id of a packet within one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PacketId(pub u32);
+
+impl PacketId {
+    /// The id as a table index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for PacketId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pkt{}", self.0)
+    }
+}
+
+/// One packet to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectSpec {
+    /// Source PE index.
+    pub src_pe: usize,
+    /// Initial header (RC=0 unicast, RC=1 broadcast request under the
+    /// SR2201 scheme, RC=2 for the naive broadcast strawman).
+    pub header: Header,
+    /// Packet length in flits (>= 1; the header flit counts).
+    pub flits: usize,
+    /// Cycle at which the NIA presents the packet.
+    pub inject_at: u64,
+}
+
+/// How a packet's life ended.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PacketOutcome {
+    /// Fully delivered; for broadcasts, to every reachable PE.
+    Delivered,
+    /// Dropped by the routing scheme.
+    Dropped(DropReason),
+    /// Still in flight when the run ended (deadlock or cycle limit).
+    Unfinished,
+}
+
+/// Per-packet accounting.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PacketResult {
+    /// The packet.
+    pub id: PacketId,
+    /// Injection cycle (as scheduled).
+    pub injected_at: u64,
+    /// Cycle the last flit reached its last sink, if the packet finished.
+    pub finished_at: Option<u64>,
+    /// Every (PE index, cycle the tail arrived) delivery.
+    pub deliveries: Vec<(usize, u64)>,
+    /// Outcome classification.
+    pub outcome: PacketOutcome,
+    /// Per-switch route with header-arrival cycles — populated only when
+    /// [`crate::SimConfig::record_routes`] is set (BFS order for broadcast
+    /// trees).
+    pub route: Vec<(String, u64)>,
+}
+
+impl PacketResult {
+    /// End-to-end latency in cycles (injection to final sink), if finished.
+    pub fn latency(&self) -> Option<u64> {
+        self.finished_at.map(|f| f - self.injected_at)
+    }
+}
+
+/// One blocked-on relationship in a deadlock cycle.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WaitEdge {
+    /// The blocked packet.
+    pub waiter: PacketId,
+    /// The packet holding the port.
+    pub holder: PacketId,
+    /// Human-readable channel description (e.g. `R3 -> Y1-XB`).
+    pub channel: String,
+}
+
+/// A detected deadlock: the cyclic wait, in order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeadlockInfo {
+    /// Cycle at which the watchdog fired.
+    pub detected_at: u64,
+    /// The cyclic chain of waits (waiter of edge *i* is the holder of edge
+    /// *i-1*, wrapping around).
+    pub cycle: Vec<WaitEdge>,
+}
+
+impl std::fmt::Display for DeadlockInfo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "deadlock detected at cycle {}:", self.detected_at)?;
+        for e in &self.cycle {
+            writeln!(f, "  {} waits for {} held by {}", e.waiter, e.channel, e.holder)?;
+        }
+        Ok(())
+    }
+}
+
+/// How a run ended.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SimOutcome {
+    /// Every packet reached a terminal state (delivered or dropped).
+    Completed,
+    /// The watchdog found a cyclic wait.
+    Deadlock(DeadlockInfo),
+    /// The watchdog found no progress but also no ownership cycle (a
+    /// scheme/livelock pathology — always a bug worth inspecting).
+    Stalled,
+    /// `max_cycles` elapsed with work remaining.
+    CycleLimit,
+}
+
+impl SimOutcome {
+    /// Whether the run ended with a detected deadlock.
+    pub fn is_deadlock(&self) -> bool {
+        matches!(self, SimOutcome::Deadlock(_))
+    }
+}
+
+/// Aggregate statistics of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Total flit-hops (one flit crossing one channel).
+    pub flit_hops: u64,
+    /// Packets fully delivered.
+    pub delivered: usize,
+    /// Packets dropped by the scheme.
+    pub dropped: usize,
+    /// Packets unfinished at the end.
+    pub unfinished: usize,
+    /// Sum and count of end-to-end latencies (finished packets).
+    pub latency_sum: u64,
+    /// Maximum end-to-end latency among finished packets.
+    pub latency_max: u64,
+}
+
+impl SimStats {
+    /// Mean end-to-end packet latency in cycles.
+    pub fn mean_latency(&self) -> f64 {
+        if self.delivered == 0 {
+            f64::NAN
+        } else {
+            self.latency_sum as f64 / self.delivered as f64
+        }
+    }
+
+    /// Delivered flit-hops per cycle — the throughput proxy used in the
+    /// load sweeps.
+    pub fn flit_hops_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.flit_hops as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// The full result of one run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Terminal condition.
+    pub outcome: SimOutcome,
+    /// Aggregates.
+    pub stats: SimStats,
+    /// Per-packet details, indexed by [`PacketId`].
+    pub packets: Vec<PacketResult>,
+}
+
+impl SimResult {
+    /// Latencies of all delivered packets, sorted ascending (for
+    /// percentiles).
+    pub fn sorted_latencies(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .packets
+            .iter()
+            .filter(|p| p.outcome == PacketOutcome::Delivered)
+            .filter_map(|p| p.latency())
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The p-th latency percentile (p in 0..=100) of delivered packets.
+    pub fn latency_percentile(&self, p: usize) -> Option<u64> {
+        let v = self.sorted_latencies();
+        if v.is_empty() {
+            return None;
+        }
+        let idx = (p.min(100) * (v.len() - 1)) / 100;
+        Some(v[idx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdx_topology::Coord;
+
+    #[test]
+    fn latency_accessors() {
+        let r = PacketResult {
+            id: PacketId(0),
+            injected_at: 10,
+            finished_at: Some(25),
+            deliveries: vec![(3, 25)],
+            outcome: PacketOutcome::Delivered,
+            route: Vec::new(),
+        };
+        assert_eq!(r.latency(), Some(15));
+    }
+
+    #[test]
+    fn stats_aggregates() {
+        let s = SimStats {
+            cycles: 100,
+            flit_hops: 500,
+            delivered: 2,
+            dropped: 0,
+            unfinished: 0,
+            latency_sum: 30,
+            latency_max: 20,
+        };
+        assert_eq!(s.mean_latency(), 15.0);
+        assert_eq!(s.flit_hops_per_cycle(), 5.0);
+    }
+
+    #[test]
+    fn deadlock_display_lists_cycle() {
+        let d = DeadlockInfo {
+            detected_at: 42,
+            cycle: vec![WaitEdge {
+                waiter: PacketId(0),
+                holder: PacketId(1),
+                channel: "R3 -> Y1-XB".into(),
+            }],
+        };
+        let s = d.to_string();
+        assert!(s.contains("cycle 42"));
+        assert!(s.contains("pkt0 waits for R3 -> Y1-XB held by pkt1"));
+    }
+
+    #[test]
+    fn percentiles() {
+        let mk = |id: u32, lat: u64| PacketResult {
+            id: PacketId(id),
+            injected_at: 0,
+            finished_at: Some(lat),
+            deliveries: vec![],
+            outcome: PacketOutcome::Delivered,
+            route: Vec::new(),
+        };
+        let r = SimResult {
+            outcome: SimOutcome::Completed,
+            stats: SimStats {
+                cycles: 0,
+                flit_hops: 0,
+                delivered: 3,
+                dropped: 0,
+                unfinished: 0,
+                latency_sum: 0,
+                latency_max: 0,
+            },
+            packets: vec![mk(0, 30), mk(1, 10), mk(2, 20)],
+        };
+        assert_eq!(r.latency_percentile(0), Some(10));
+        assert_eq!(r.latency_percentile(50), Some(20));
+        assert_eq!(r.latency_percentile(100), Some(30));
+        let _ = Header::unicast(Coord::ORIGIN, Coord::ORIGIN); // keep import honest
+    }
+}

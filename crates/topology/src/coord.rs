@@ -1,0 +1,374 @@
+//! Lattice geometry: shapes and coordinates of the d-dimensional crossbar.
+
+use crate::TopologyError;
+use serde::{Deserialize, Serialize};
+
+/// Maximum number of lattice dimensions supported.
+///
+/// The SR2201 shipped 2D and 3D configurations (up to 2048 PEs as 16x16x8);
+/// eight dimensions is comfortably beyond anything the hardware built while
+/// keeping [`Coord`] a small, `Copy`, stack-only value.
+pub const MAX_DIMS: usize = 8;
+
+/// A lattice coordinate: the position of a PE along each dimension.
+///
+/// Coordinates are compact `Copy` values so route computation never allocates.
+/// Components beyond the shape's dimensionality are always zero, which makes
+/// `==` and hashing well-defined without consulting the shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Coord {
+    c: [u16; MAX_DIMS],
+}
+
+impl Coord {
+    /// Builds a coordinate from components (missing components are zero).
+    ///
+    /// # Panics
+    /// Panics if more than [`MAX_DIMS`] components are given.
+    pub fn new(components: &[u16]) -> Self {
+        assert!(components.len() <= MAX_DIMS, "too many components");
+        let mut c = [0u16; MAX_DIMS];
+        c[..components.len()].copy_from_slice(components);
+        Coord { c }
+    }
+
+    /// The origin coordinate `(0, 0, ..., 0)`.
+    pub const ORIGIN: Coord = Coord { c: [0; MAX_DIMS] };
+
+    /// Component along `dim`.
+    #[inline]
+    pub fn get(&self, dim: usize) -> u16 {
+        self.c[dim]
+    }
+
+    /// Returns a copy with the component along `dim` replaced by `v`.
+    #[inline]
+    #[must_use]
+    pub fn with(&self, dim: usize, v: u16) -> Coord {
+        let mut c = self.c;
+        c[dim] = v;
+        Coord { c }
+    }
+
+    /// All components as a slice (length [`MAX_DIMS`], trailing zeros).
+    #[inline]
+    pub fn raw(&self) -> &[u16; MAX_DIMS] {
+        &self.c
+    }
+
+    /// Number of dimensions in which `self` and `other` differ.
+    pub fn hamming(&self, other: &Coord) -> usize {
+        self.c
+            .iter()
+            .zip(other.c.iter())
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+
+    /// First dimension (in `order`) where `self` differs from `other`.
+    pub fn first_diff(&self, other: &Coord, order: &[usize]) -> Option<usize> {
+        order.iter().copied().find(|&d| self.c[d] != other.c[d])
+    }
+}
+
+impl std::fmt::Display for Coord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.c.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// The extents of the d-dimensional lattice: `n = n1 * n2 * ... * nd`.
+///
+/// Dimension 0 is the paper's X dimension, dimension 1 is Y, and so on; the
+/// default dimension-order route resolves dimension 0 first ("X-Y routing").
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<u16>,
+    /// Stride of each dimension in the flattened PE index (row-major,
+    /// dimension 0 fastest).
+    strides: Vec<usize>,
+    num_pes: usize,
+}
+
+impl Shape {
+    /// Creates a shape from per-dimension extents.
+    pub fn new(dims: &[u16]) -> Result<Self, TopologyError> {
+        if dims.is_empty() || dims.len() > MAX_DIMS {
+            return Err(TopologyError::BadDimensionCount(dims.len()));
+        }
+        if let Some(&bad) = dims.iter().find(|&&e| e == 0) {
+            return Err(TopologyError::BadExtent(bad as usize));
+        }
+        let mut strides = Vec::with_capacity(dims.len());
+        let mut acc: usize = 1;
+        for &e in dims {
+            strides.push(acc);
+            acc = acc
+                .checked_mul(e as usize)
+                .ok_or(TopologyError::BadSize(usize::MAX))?;
+        }
+        Ok(Shape {
+            dims: dims.to_vec(),
+            strides,
+            num_pes: acc,
+        })
+    }
+
+    /// Convenience constructor for the paper's running example, a 4x3 2D
+    /// crossbar (Fig. 2).
+    pub fn fig2() -> Shape {
+        Shape::new(&[4, 3]).expect("static shape")
+    }
+
+    /// The full-scale SR2201 configuration: 2048 PEs as a 16x16x8 3D crossbar.
+    pub fn sr2201_full() -> Shape {
+        Shape::new(&[16, 16, 8]).expect("static shape")
+    }
+
+    /// Number of dimensions `d`.
+    #[inline]
+    pub fn d(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Extent of dimension `dim` (the paper's `n_i`).
+    #[inline]
+    pub fn extent(&self, dim: usize) -> u16 {
+        self.dims[dim]
+    }
+
+    /// All extents.
+    #[inline]
+    pub fn extents(&self) -> &[u16] {
+        &self.dims
+    }
+
+    /// Total PE count `n`.
+    #[inline]
+    pub fn num_pes(&self) -> usize {
+        self.num_pes
+    }
+
+    /// Whether `c` lies inside the lattice.
+    pub fn contains(&self, c: Coord) -> bool {
+        (0..MAX_DIMS).all(|d| {
+            if d < self.dims.len() {
+                c.get(d) < self.dims[d]
+            } else {
+                c.get(d) == 0
+            }
+        })
+    }
+
+    /// Flattens a coordinate to a PE index (row-major, dim 0 fastest).
+    #[inline]
+    pub fn index_of(&self, c: Coord) -> usize {
+        debug_assert!(self.contains(c), "coordinate {c} outside shape");
+        self.dims
+            .iter()
+            .enumerate()
+            .map(|(d, _)| c.get(d) as usize * self.strides[d])
+            .sum()
+    }
+
+    /// Inverse of [`Shape::index_of`].
+    #[inline]
+    pub fn coord_of(&self, index: usize) -> Coord {
+        debug_assert!(index < self.num_pes, "PE index out of range");
+        let mut c = Coord::ORIGIN;
+        let mut rem = index;
+        for (d, &e) in self.dims.iter().enumerate() {
+            c = c.with(d, (rem % e as usize) as u16);
+            rem /= e as usize;
+        }
+        c
+    }
+
+    /// Iterates over all coordinates in index order.
+    pub fn coords(&self) -> impl Iterator<Item = Coord> + '_ {
+        (0..self.num_pes).map(move |i| self.coord_of(i))
+    }
+
+    /// Number of crossbar lines in `dim`: the product of all other extents.
+    pub fn lines_in_dim(&self, dim: usize) -> usize {
+        self.num_pes / self.dims[dim] as usize
+    }
+
+    /// The line index (which crossbar in `dim`) a coordinate belongs to.
+    ///
+    /// Two coordinates share the crossbar of dimension `dim` iff they agree on
+    /// every component except possibly `dim`; the line index flattens the
+    /// remaining components row-major.
+    pub fn line_of(&self, c: Coord, dim: usize) -> usize {
+        debug_assert!(dim < self.d());
+        let mut idx = 0usize;
+        let mut stride = 1usize;
+        for (d, &e) in self.dims.iter().enumerate() {
+            if d == dim {
+                continue;
+            }
+            idx += c.get(d) as usize * stride;
+            stride *= e as usize;
+        }
+        idx
+    }
+
+    /// Inverse of [`Shape::line_of`]: the coordinate sitting at `pos` along
+    /// crossbar `line` of dimension `dim`.
+    pub fn coord_on_line(&self, dim: usize, line: usize, pos: u16) -> Coord {
+        debug_assert!(dim < self.d());
+        debug_assert!(pos < self.dims[dim]);
+        let mut c = Coord::ORIGIN;
+        let mut rem = line;
+        for (d, &e) in self.dims.iter().enumerate() {
+            if d == dim {
+                continue;
+            }
+            c = c.with(d, (rem % e as usize) as u16);
+            rem /= e as usize;
+        }
+        debug_assert_eq!(rem, 0, "line index out of range");
+        c.with(dim, pos)
+    }
+
+    /// Iterates over the PE coordinates along one crossbar line.
+    pub fn line_coords(&self, dim: usize, line: usize) -> impl Iterator<Item = Coord> + '_ {
+        (0..self.dims[dim]).map(move |p| self.coord_on_line(dim, line, p))
+    }
+
+    /// Minimal switch-hop distance between two PEs: one crossbar traversal per
+    /// differing dimension (the paper's "maximum of d hops on d crossbars").
+    pub fn xbar_hops(&self, a: Coord, b: Coord) -> usize {
+        (0..self.d()).filter(|&d| a.get(d) != b.get(d)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn shape_rejects_bad_inputs() {
+        assert_eq!(
+            Shape::new(&[]),
+            Err(TopologyError::BadDimensionCount(0))
+        );
+        assert_eq!(Shape::new(&[4, 0]), Err(TopologyError::BadExtent(0)));
+        let too_many = [2u16; MAX_DIMS + 1];
+        assert!(matches!(
+            Shape::new(&too_many),
+            Err(TopologyError::BadDimensionCount(_))
+        ));
+    }
+
+    #[test]
+    fn fig2_shape_matches_paper() {
+        let s = Shape::fig2();
+        assert_eq!(s.d(), 2);
+        assert_eq!(s.num_pes(), 12);
+        assert_eq!(s.extent(0), 4);
+        assert_eq!(s.extent(1), 3);
+        // 3 X-dimension crossbars (one per row), 4 Y-dimension crossbars.
+        assert_eq!(s.lines_in_dim(0), 3);
+        assert_eq!(s.lines_in_dim(1), 4);
+    }
+
+    #[test]
+    fn sr2201_full_scale() {
+        let s = Shape::sr2201_full();
+        assert_eq!(s.num_pes(), 2048);
+        assert_eq!(s.d(), 3);
+    }
+
+    #[test]
+    fn index_coord_roundtrip_small() {
+        let s = Shape::new(&[4, 3, 2]).unwrap();
+        for i in 0..s.num_pes() {
+            assert_eq!(s.index_of(s.coord_of(i)), i);
+        }
+    }
+
+    #[test]
+    fn line_membership_is_consistent() {
+        let s = Shape::new(&[4, 3]).unwrap();
+        // All coords on the same X line share every non-X component.
+        for line in 0..s.lines_in_dim(0) {
+            let coords: Vec<Coord> = s.line_coords(0, line).collect();
+            assert_eq!(coords.len(), 4);
+            for c in &coords {
+                assert_eq!(s.line_of(*c, 0), line);
+                assert_eq!(c.get(1), coords[0].get(1));
+            }
+        }
+    }
+
+    #[test]
+    fn coord_with_and_get() {
+        let c = Coord::new(&[1, 2, 3]);
+        assert_eq!(c.get(0), 1);
+        assert_eq!(c.with(0, 7).get(0), 7);
+        assert_eq!(c.with(0, 7).get(1), 2);
+        assert_eq!(c.hamming(&c.with(2, 9)), 1);
+    }
+
+    #[test]
+    fn first_diff_respects_order() {
+        let a = Coord::new(&[0, 0]);
+        let b = Coord::new(&[1, 1]);
+        assert_eq!(a.first_diff(&b, &[0, 1]), Some(0));
+        assert_eq!(a.first_diff(&b, &[1, 0]), Some(1));
+        assert_eq!(a.first_diff(&a, &[0, 1]), None);
+    }
+
+    #[test]
+    fn xbar_hops_matches_hamming() {
+        let s = Shape::new(&[4, 3, 2]).unwrap();
+        let a = Coord::new(&[0, 0, 0]);
+        let b = Coord::new(&[3, 2, 1]);
+        assert_eq!(s.xbar_hops(a, b), 3);
+        assert_eq!(s.xbar_hops(a, a), 0);
+        assert_eq!(s.xbar_hops(a, a.with(1, 2)), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_index_roundtrip(dims in proptest::collection::vec(1u16..6, 1..=4), idx in 0usize..10_000) {
+            let s = Shape::new(&dims).unwrap();
+            let idx = idx % s.num_pes();
+            prop_assert_eq!(s.index_of(s.coord_of(idx)), idx);
+        }
+
+        #[test]
+        fn prop_line_roundtrip(dims in proptest::collection::vec(1u16..6, 2..=4),
+                               idx in 0usize..10_000, dim in 0usize..4) {
+            let s = Shape::new(&dims).unwrap();
+            let dim = dim % s.d();
+            let c = s.coord_of(idx % s.num_pes());
+            let line = s.line_of(c, dim);
+            prop_assert!(line < s.lines_in_dim(dim));
+            let back = s.coord_on_line(dim, line, c.get(dim));
+            prop_assert_eq!(back, c);
+        }
+
+        #[test]
+        fn prop_same_line_iff_agree_elsewhere(dims in proptest::collection::vec(1u16..5, 2..=3),
+                                              i in 0usize..10_000, j in 0usize..10_000) {
+            let s = Shape::new(&dims).unwrap();
+            let a = s.coord_of(i % s.num_pes());
+            let b = s.coord_of(j % s.num_pes());
+            for dim in 0..s.d() {
+                let same_line = s.line_of(a, dim) == s.line_of(b, dim);
+                let agree = (0..s.d()).all(|d| d == dim || a.get(d) == b.get(d));
+                prop_assert_eq!(same_line, agree);
+            }
+        }
+    }
+}

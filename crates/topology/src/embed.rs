@@ -1,0 +1,363 @@
+//! Conflict analysis for remapping workload topologies onto the MD crossbar.
+//!
+//! Paper Sec. 3.1: *"The high number of interconnections in an MD crossbar
+//! network allows many important topologies used in large-scale numerical
+//! applications to be efficiently mapped onto it. ... A program that
+//! generates no conflicts in these topologies will not generate conflicts
+//! when re-mapped onto the MD crossbar."*
+//!
+//! This module provides the classic conflict-free communication schedules of
+//! ring, mesh, hypercube and tree programs as sets of *phases* (pairs that
+//! communicate simultaneously), computes the static dimension-order channel
+//! path of every pair on the MD crossbar (and on a mesh/torus for
+//! comparison), and counts channel conflicts.
+
+use crate::coord::Shape;
+use crate::graph::ChannelId;
+use crate::mdxbar::MdCrossbar;
+use crate::mesh::DirectNetwork;
+use std::collections::HashMap;
+
+/// One communication phase: the (source PE, destination PE) pairs that are
+/// simultaneously in flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Phase {
+    /// Human-readable phase label.
+    pub label: String,
+    /// Simultaneous source/destination PE index pairs.
+    pub pairs: Vec<(usize, usize)>,
+}
+
+/// The static dimension-order channel path of a point-to-point packet on the
+/// MD crossbar: PE -> router, then for each dimension (in `order`) where the
+/// coordinates differ: router -> crossbar -> router, finally router -> PE.
+///
+/// This is the *geometric* path used for conflict analysis; the distributed,
+/// header-driven routing logic lives in `mdx-core`.
+pub fn dor_path(net: &MdCrossbar, src: usize, dst: usize, order: &[usize]) -> Vec<ChannelId> {
+    let g = net.graph();
+    let shape = net.shape();
+    let (sc, dc) = (shape.coord_of(src), shape.coord_of(dst));
+    let mut path = Vec::new();
+    let mut cur = sc;
+    path.push(
+        g.channel_between(net.pe(src), net.router(src))
+            .expect("PE wired to router"),
+    );
+    for &dim in order {
+        if cur.get(dim) == dc.get(dim) {
+            continue;
+        }
+        let next = cur.with(dim, dc.get(dim));
+        path.push(net.router_to_xbar(cur, dim));
+        path.push(net.xbar_to_router(next, dim));
+        cur = next;
+    }
+    debug_assert_eq!(cur, dc, "dimension order must cover all dims");
+    path.push(
+        g.channel_between(net.router(dst), net.pe(dst))
+            .expect("router wired to PE"),
+    );
+    path
+}
+
+/// The static dimension-order path on a direct (mesh/torus) network, taking
+/// the shorter way around in each dimension for a torus.
+pub fn direct_dor_path(
+    net: &DirectNetwork,
+    src: usize,
+    dst: usize,
+    order: &[usize],
+) -> Vec<ChannelId> {
+    let g = net.graph();
+    let shape = net.shape();
+    let dc = shape.coord_of(dst);
+    let mut cur = shape.coord_of(src);
+    let mut path = vec![g
+        .channel_between(net.pe(src), net.router(src))
+        .expect("PE wired to router")];
+    for &dim in order {
+        while cur.get(dim) != dc.get(dim) {
+            let e = shape.extent(dim) as i32;
+            let fwd = (dc.get(dim) as i32 - cur.get(dim) as i32).rem_euclid(e);
+            let positive = match net.wrap() {
+                crate::mesh::Wrap::Mesh => dc.get(dim) > cur.get(dim),
+                crate::mesh::Wrap::Torus => fwd <= e - fwd,
+            };
+            let next = net
+                .neighbor(cur, dim, positive)
+                .expect("mesh step stays in bounds");
+            path.push(
+                g.channel_between(net.router_at(cur), net.router_at(next))
+                    .expect("neighbors are linked"),
+            );
+            cur = next;
+        }
+    }
+    path.push(
+        g.channel_between(net.router(dst), net.pe(dst))
+            .expect("router wired to PE"),
+    );
+    path
+}
+
+/// Conflict count of a set of simultaneous paths: the number of (channel,
+/// extra user) collisions, i.e. `sum over channels of max(users - 1, 0)`.
+///
+/// Zero means every channel carries at most one packet — the phase is
+/// conflict-free under cut-through.
+pub fn conflicts(paths: &[Vec<ChannelId>]) -> usize {
+    let mut users: HashMap<ChannelId, usize> = HashMap::new();
+    for p in paths {
+        for &c in p {
+            *users.entry(c).or_insert(0) += 1;
+        }
+    }
+    users.values().map(|&u| u.saturating_sub(1)).sum()
+}
+
+/// Conflicts of one phase on the MD crossbar under X-Y dimension order.
+pub fn phase_conflicts_mdx(net: &MdCrossbar, phase: &Phase) -> usize {
+    let order: Vec<usize> = (0..net.shape().d()).collect();
+    let paths: Vec<Vec<ChannelId>> = phase
+        .pairs
+        .iter()
+        .map(|&(s, d)| dor_path(net, s, d, &order))
+        .collect();
+    conflicts(&paths)
+}
+
+/// Conflicts of one phase on a direct network under X-Y dimension order.
+pub fn phase_conflicts_direct(net: &DirectNetwork, phase: &Phase) -> usize {
+    let order: Vec<usize> = (0..net.shape().d()).collect();
+    let paths: Vec<Vec<ChannelId>> = phase
+        .pairs
+        .iter()
+        .map(|&(s, d)| direct_dor_path(net, s, d, &order))
+        .collect();
+    conflicts(&paths)
+}
+
+/// Ring program schedule: every node sends to its successor simultaneously
+/// (a rotation permutation — conflict-free on a native ring).
+pub fn ring_phases(n: usize) -> Vec<Phase> {
+    vec![
+        Phase {
+            label: "ring shift +1".into(),
+            pairs: (0..n).map(|i| (i, (i + 1) % n)).collect(),
+        },
+        Phase {
+            label: "ring shift -1".into(),
+            pairs: (0..n).map(|i| (i, (i + n - 1) % n)).collect(),
+        },
+    ]
+}
+
+/// Mesh program schedule: the four nearest-neighbor exchange phases of a
+/// `w x h` logical mesh mapped identically onto the PEs.
+pub fn mesh_phases(shape: &Shape) -> Vec<Phase> {
+    let mut phases = Vec::new();
+    for dim in 0..shape.d() {
+        for (dirn, label) in [(1i32, "+"), (-1, "-")] {
+            let mut pairs = Vec::new();
+            for i in 0..shape.num_pes() {
+                let c = shape.coord_of(i);
+                let t = c.get(dim) as i32 + dirn;
+                if t >= 0 && (t as u16) < shape.extent(dim) {
+                    pairs.push((i, shape.index_of(c.with(dim, t as u16))));
+                }
+            }
+            phases.push(Phase {
+                label: format!("mesh exchange dim{dim}{label}"),
+                pairs,
+            });
+        }
+    }
+    phases
+}
+
+/// Hypercube program schedule: one phase per hypercube dimension, with every
+/// node exchanging with its partner across that bit (cube dimension order,
+/// as in Johnsson-Ho style algorithms).
+///
+/// The logical hypercube node id is interpreted directly as the PE index, so
+/// the shape's extents must be powers of two for the bit partition to align
+/// with lattice digits.
+pub fn hypercube_phases(shape: &Shape) -> Vec<Phase> {
+    assert!(
+        shape.extents().iter().all(|e| e.is_power_of_two()),
+        "hypercube embedding needs power-of-two extents"
+    );
+    let n = shape.num_pes();
+    let bits = n.trailing_zeros() as usize;
+    (0..bits)
+        .map(|b| Phase {
+            label: format!("hypercube exchange bit {b}"),
+            pairs: (0..n).map(|i| (i, i ^ (1 << b))).collect(),
+        })
+        .collect()
+}
+
+/// Tree program schedule: a complete binary tree with `levels` levels mapped
+/// breadth-first onto PEs `0..2^levels - 1`; phases are per-level,
+/// per-child-side parent-to-child sends (the schedule a native tree network
+/// executes without conflicts).
+pub fn tree_phases(levels: usize) -> Vec<Phase> {
+    let mut phases = Vec::new();
+    for level in 0..levels.saturating_sub(1) {
+        let start = (1usize << level) - 1;
+        let end = (1usize << (level + 1)) - 1;
+        for (side, off) in [("left", 1usize), ("right", 2usize)] {
+            phases.push(Phase {
+                label: format!("tree level {level} -> {side} children"),
+                pairs: (start..end).map(|p| (p, 2 * p + off)).collect(),
+            });
+        }
+    }
+    phases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::Wrap;
+
+    fn mdx(dims: &[u16]) -> MdCrossbar {
+        MdCrossbar::build(Shape::new(dims).unwrap())
+    }
+
+    #[test]
+    fn dor_path_shape() {
+        let net = mdx(&[4, 3]);
+        // Same-row transfer: PE link, router->XB, XB->router, PE link.
+        let p = dor_path(&net, 0, 3, &[0, 1]);
+        assert_eq!(p.len(), 4);
+        // Two-dimension transfer adds one more XB traversal.
+        let p = dor_path(&net, 0, 11, &[0, 1]);
+        assert_eq!(p.len(), 6);
+        // Self-send: PE -> router -> PE.
+        let p = dor_path(&net, 5, 5, &[0, 1]);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn ring_remaps_conflict_free() {
+        let net = mdx(&[4, 3]);
+        for phase in ring_phases(12) {
+            assert_eq!(phase_conflicts_mdx(&net, &phase), 0, "{}", phase.label);
+        }
+    }
+
+    #[test]
+    fn mesh_remaps_conflict_free() {
+        let net = mdx(&[4, 4]);
+        for phase in mesh_phases(net.shape()) {
+            assert_eq!(phase_conflicts_mdx(&net, &phase), 0, "{}", phase.label);
+        }
+    }
+
+    #[test]
+    fn hypercube_remaps_conflict_free() {
+        let net = mdx(&[4, 4]);
+        for phase in hypercube_phases(net.shape()) {
+            assert_eq!(phase_conflicts_mdx(&net, &phase), 0, "{}", phase.label);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn hypercube_embedding_rejects_non_pow2() {
+        hypercube_phases(&Shape::new(&[3, 4]).unwrap());
+    }
+
+    #[test]
+    fn tree_remap_not_worse_than_mesh() {
+        // The paper claims efficient tree mapping; in aggregate over the full
+        // per-level schedule the MD crossbar sees no more conflicts than a
+        // mesh of the same size (individual phases can tip either way by one
+        // on a 4x4 because of where the BFS layout folds).
+        let shape = Shape::new(&[4, 4]).unwrap();
+        let net = mdx(&[4, 4]);
+        let mesh = DirectNetwork::build(shape, Wrap::Mesh);
+        let (mut total_mdx, mut total_mesh) = (0, 0);
+        for phase in tree_phases(4) {
+            total_mdx += phase_conflicts_mdx(&net, &phase);
+            total_mesh += phase_conflicts_direct(&mesh, &phase);
+        }
+        assert!(
+            total_mdx <= total_mesh,
+            "mdx {total_mdx} > mesh {total_mesh}"
+        );
+    }
+
+    #[test]
+    fn transpose_conflicts_fewer_on_mdx_than_mesh() {
+        // Sec. 3.1 "few network conflicts": a matrix-transpose permutation
+        // conflicts heavily on a mesh but far less on the MD crossbar
+        // (measured 96 vs 224 channel collisions on 8x8).
+        let shape = Shape::new(&[8, 8]).unwrap();
+        let net = mdx(&[8, 8]);
+        let mesh = DirectNetwork::build(shape.clone(), Wrap::Mesh);
+        let pairs: Vec<(usize, usize)> = (0..shape.num_pes())
+            .map(|i| {
+                let c = shape.coord_of(i);
+                let t = crate::coord::Coord::new(&[c.get(1), c.get(0)]);
+                (i, shape.index_of(t))
+            })
+            .collect();
+        let phase = Phase {
+            label: "transpose".into(),
+            pairs,
+        };
+        let on_mdx = phase_conflicts_mdx(&net, &phase);
+        let on_mesh = phase_conflicts_direct(&mesh, &phase);
+        assert!(on_mdx < on_mesh, "mdx {on_mdx} !< mesh {on_mesh}");
+    }
+
+    #[test]
+    fn direct_dor_path_torus_takes_short_way() {
+        let torus = DirectNetwork::build(Shape::new(&[4, 3]).unwrap(), Wrap::Torus);
+        // 0 -> 3 along X: one wrap hop instead of three forward hops.
+        let p = direct_dor_path(&torus, 0, 3, &[0, 1]);
+        assert_eq!(p.len(), 3); // PE link + 1 hop + PE link
+        let mesh = DirectNetwork::build(Shape::new(&[4, 3]).unwrap(), Wrap::Mesh);
+        let p = direct_dor_path(&mesh, 0, 3, &[0, 1]);
+        assert_eq!(p.len(), 5);
+    }
+
+    #[test]
+    fn dor_paths_never_repeat_a_channel() {
+        // A dimension-order path is simple: each channel at most once.
+        let net = mdx(&[4, 3]);
+        for src in 0..12 {
+            for dst in 0..12 {
+                for order in [&[0usize, 1][..], &[1, 0]] {
+                    let p = dor_path(&net, src, dst, order);
+                    let set: std::collections::HashSet<_> = p.iter().collect();
+                    assert_eq!(set.len(), p.len(), "{src}->{dst} {order:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reversed_order_uses_same_hop_count() {
+        let net = mdx(&[4, 4]);
+        for src in 0..16 {
+            for dst in 0..16 {
+                let a = dor_path(&net, src, dst, &[0, 1]).len();
+                let b = dor_path(&net, src, dst, &[1, 0]).len();
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn conflicts_counts_excess_users() {
+        let a = ChannelId(1);
+        let b = ChannelId(2);
+        assert_eq!(conflicts(&[vec![a, b], vec![a], vec![a]]), 2);
+        assert_eq!(conflicts(&[vec![a], vec![b]]), 0);
+        assert_eq!(conflicts(&[]), 0);
+    }
+}

@@ -1,0 +1,333 @@
+//! The switch-level network graph: nodes (PEs, routers, crossbars) and
+//! directed channels between them.
+//!
+//! Both the SR2201 multi-dimensional crossbar and the comparison topologies
+//! (mesh, torus, hypercube) are instances of [`NetworkGraph`]; routing crates
+//! see only this vocabulary.
+
+use crate::coord::Coord;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Reference to one crossbar switch: the `line`-th crossbar of dimension
+/// `dim`.
+///
+/// In the paper's Fig. 2 vocabulary, `XbarRef { dim: 0, line: y }` is the
+/// X-dimension crossbar serving row `y`, and `XbarRef { dim: 1, line: x }` is
+/// the Y-dimension crossbar serving column `x`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct XbarRef {
+    /// Dimension this crossbar routes along.
+    pub dim: u8,
+    /// Which line of that dimension (flattened remaining coordinates).
+    pub line: u32,
+}
+
+impl std::fmt::Display for XbarRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let dim_name = match self.dim {
+            0 => "X".to_string(),
+            1 => "Y".to_string(),
+            2 => "Z".to_string(),
+            d => format!("D{d}"),
+        };
+        write!(f, "{}{}-XB", dim_name, self.line)
+    }
+}
+
+/// A switch-level network node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Node {
+    /// A processing element (its network interface adapter endpoint).
+    Pe(usize),
+    /// The relay switch (router) private to PE `usize`; a `(d+1) x (d+1)`
+    /// crossbar in the SR2201.
+    Router(usize),
+    /// A shared crossbar switch of one lattice line.
+    Xbar(XbarRef),
+}
+
+impl std::fmt::Display for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Node::Pe(p) => write!(f, "PE{p}"),
+            Node::Router(p) => write!(f, "R{p}"),
+            Node::Xbar(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+/// Dense index of a node within one [`NetworkGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Dense index of a directed channel within one [`NetworkGraph`].
+///
+/// A channel is a one-way physical link between two switches. In the
+/// simulator each channel doubles as the *output port* of its source switch:
+/// cut-through packets own channels from header grant until tail passage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ChannelId(pub u32);
+
+impl ChannelId {
+    /// The channel index as a usize (for indexing per-channel state tables).
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Metadata of one directed channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelInfo {
+    /// Source switch.
+    pub src: NodeId,
+    /// Destination switch.
+    pub dst: NodeId,
+}
+
+/// A directed graph of switches and channels.
+///
+/// Construction is append-only (via [`GraphBuilder`]); all queries are O(1)
+/// or O(degree). Node payloads ([`Node`]) and the optional lattice coordinate
+/// of PE/router nodes are stored densely.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetworkGraph {
+    nodes: Vec<Node>,
+    coords: Vec<Option<Coord>>,
+    channels: Vec<ChannelInfo>,
+    out: Vec<Vec<ChannelId>>,
+    inp: Vec<Vec<ChannelId>>,
+    node_index: HashMap<Node, NodeId>,
+    chan_index: HashMap<(NodeId, NodeId), ChannelId>,
+}
+
+impl NetworkGraph {
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of directed channels.
+    #[inline]
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Node payload of `id`.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> Node {
+        self.nodes[id.0 as usize]
+    }
+
+    /// Lattice coordinate of a PE or router node, if it has one.
+    #[inline]
+    pub fn coord(&self, id: NodeId) -> Option<Coord> {
+        self.coords[id.0 as usize]
+    }
+
+    /// Dense id of a node payload.
+    pub fn id_of(&self, node: Node) -> Option<NodeId> {
+        self.node_index.get(&node).copied()
+    }
+
+    /// Dense id of a node payload, panicking if absent.
+    ///
+    /// # Panics
+    /// Panics when the node does not exist in this graph; use only for nodes
+    /// the caller constructed from the same shape.
+    pub fn expect_id(&self, node: Node) -> NodeId {
+        self.id_of(node)
+            .unwrap_or_else(|| panic!("node {node} not present in graph"))
+    }
+
+    /// Channel metadata.
+    #[inline]
+    pub fn channel(&self, id: ChannelId) -> ChannelInfo {
+        self.channels[id.0 as usize]
+    }
+
+    /// The unique channel from `src` to `dst`, if the switches are adjacent.
+    pub fn channel_between(&self, src: NodeId, dst: NodeId) -> Option<ChannelId> {
+        self.chan_index.get(&(src, dst)).copied()
+    }
+
+    /// Outgoing channels of a node.
+    #[inline]
+    pub fn outgoing(&self, id: NodeId) -> &[ChannelId] {
+        &self.out[id.0 as usize]
+    }
+
+    /// Incoming channels of a node.
+    #[inline]
+    pub fn incoming(&self, id: NodeId) -> &[ChannelId] {
+        &self.inp[id.0 as usize]
+    }
+
+    /// Iterates over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Iterates over all channel ids.
+    pub fn channel_ids(&self) -> impl Iterator<Item = ChannelId> {
+        (0..self.channels.len() as u32).map(ChannelId)
+    }
+
+    /// All PE node ids, in PE-index order.
+    pub fn pe_ids(&self) -> Vec<NodeId> {
+        let mut pes: Vec<(usize, NodeId)> = self
+            .node_ids()
+            .filter_map(|id| match self.node(id) {
+                Node::Pe(p) => Some((p, id)),
+                _ => None,
+            })
+            .collect();
+        pes.sort_unstable();
+        pes.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// Human-readable description of a channel (e.g. `R3 -> Y1-XB`).
+    pub fn describe_channel(&self, id: ChannelId) -> String {
+        let info = self.channel(id);
+        format!("{} -> {}", self.node(info.src), self.node(info.dst))
+    }
+}
+
+/// Incremental builder for [`NetworkGraph`].
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    nodes: Vec<Node>,
+    coords: Vec<Option<Coord>>,
+    channels: Vec<ChannelInfo>,
+    node_index: HashMap<Node, NodeId>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node (idempotent: re-adding returns the existing id).
+    pub fn add_node(&mut self, node: Node, coord: Option<Coord>) -> NodeId {
+        if let Some(&id) = self.node_index.get(&node) {
+            return id;
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.coords.push(coord);
+        self.node_index.insert(node, id);
+        id
+    }
+
+    /// Adds a directed channel. Duplicate channels between the same pair are
+    /// rejected to keep `channel_between` unambiguous.
+    ///
+    /// # Panics
+    /// Panics on duplicate (src, dst) pairs — topology builders are expected
+    /// to wire each physical link exactly once.
+    pub fn add_channel(&mut self, src: NodeId, dst: NodeId) -> ChannelId {
+        let id = ChannelId(self.channels.len() as u32);
+        self.channels.push(ChannelInfo { src, dst });
+        id
+    }
+
+    /// Adds a pair of opposite channels (full-duplex link).
+    pub fn add_link(&mut self, a: NodeId, b: NodeId) -> (ChannelId, ChannelId) {
+        (self.add_channel(a, b), self.add_channel(b, a))
+    }
+
+    /// Finalizes the graph.
+    ///
+    /// # Panics
+    /// Panics if two channels connect the same ordered pair of nodes.
+    pub fn build(self) -> NetworkGraph {
+        let mut out = vec![Vec::new(); self.nodes.len()];
+        let mut inp = vec![Vec::new(); self.nodes.len()];
+        let mut chan_index = HashMap::with_capacity(self.channels.len());
+        for (i, info) in self.channels.iter().enumerate() {
+            let id = ChannelId(i as u32);
+            out[info.src.0 as usize].push(id);
+            inp[info.dst.0 as usize].push(id);
+            let prev = chan_index.insert((info.src, info.dst), id);
+            assert!(
+                prev.is_none(),
+                "duplicate channel between {:?} and {:?}",
+                self.nodes[info.src.0 as usize],
+                self.nodes[info.dst.0 as usize]
+            );
+        }
+        NetworkGraph {
+            nodes: self.nodes,
+            coords: self.coords,
+            channels: self.channels,
+            out,
+            inp,
+            node_index: self.node_index,
+            chan_index,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_roundtrip() {
+        let mut b = GraphBuilder::new();
+        let pe = b.add_node(Node::Pe(0), Some(Coord::ORIGIN));
+        let r = b.add_node(Node::Router(0), Some(Coord::ORIGIN));
+        let (up, down) = b.add_link(pe, r);
+        let g = b.build();
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_channels(), 2);
+        assert_eq!(g.channel(up).src, pe);
+        assert_eq!(g.channel(down).dst, pe);
+        assert_eq!(g.channel_between(pe, r), Some(up));
+        assert_eq!(g.channel_between(r, pe), Some(down));
+        assert_eq!(g.outgoing(pe), &[up]);
+        assert_eq!(g.incoming(pe), &[down]);
+        assert_eq!(g.id_of(Node::Pe(0)), Some(pe));
+        assert_eq!(g.id_of(Node::Pe(1)), None);
+    }
+
+    #[test]
+    fn add_node_is_idempotent() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(Node::Pe(3), None);
+        let a2 = b.add_node(Node::Pe(3), None);
+        assert_eq!(a, a2);
+        assert_eq!(b.build().num_nodes(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate channel")]
+    fn duplicate_channel_panics() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(Node::Pe(0), None);
+        let c = b.add_node(Node::Pe(1), None);
+        b.add_channel(a, c);
+        b.add_channel(a, c);
+        b.build();
+    }
+
+    #[test]
+    fn xbar_ref_display_uses_paper_names() {
+        assert_eq!(XbarRef { dim: 0, line: 1 }.to_string(), "X1-XB");
+        assert_eq!(XbarRef { dim: 1, line: 2 }.to_string(), "Y2-XB");
+        assert_eq!(XbarRef { dim: 2, line: 0 }.to_string(), "Z0-XB");
+    }
+
+    #[test]
+    fn describe_channel_is_readable() {
+        let mut b = GraphBuilder::new();
+        let r = b.add_node(Node::Router(3), None);
+        let x = b.add_node(Node::Xbar(XbarRef { dim: 1, line: 1 }), None);
+        let (c, _) = b.add_link(r, x);
+        let g = b.build();
+        assert_eq!(g.describe_channel(c), "R3 -> Y1-XB");
+    }
+}

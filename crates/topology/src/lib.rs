@@ -1,0 +1,80 @@
+//! # mdx-topology
+//!
+//! Network topology substrate for the Hitachi SR2201 reproduction.
+//!
+//! The central object is the **multi-dimensional crossbar network** (Yasuda et
+//! al., IPPS'97, Sec. 3): `n = n1 * n2 * ... * nd` processing elements (PEs)
+//! arranged on a d-dimensional lattice, where every axis-aligned line of PEs
+//! shares one full crossbar switch (XB), and each PE attaches to its `d`
+//! crossbars through a private `(d+1) x (d+1)` relay switch (router).
+//!
+//! The crate provides:
+//!
+//! * [`Shape`] / [`Coord`] — lattice geometry and PE addressing;
+//! * [`Node`] / [`NodeId`] / [`ChannelId`] — the switch-level network graph
+//!   vocabulary shared by the routing and simulation crates;
+//! * [`NetworkGraph`] — a generic directed channel graph over switches;
+//! * [`MdCrossbar`] — construction of the SR2201 network proper;
+//! * [`mesh`] — 2D mesh / torus / hypercube comparison topologies;
+//! * [`metrics`] — the structural properties claimed in Sec. 3.1 of the paper
+//!   (diameter, router port counts, channel counts, bisection);
+//! * [`embed`] — conflict-free remapping of ring / mesh / hypercube / tree
+//!   workload topologies onto the MD crossbar.
+//!
+//! Everything here is pure data and geometry; routing decisions live in
+//! `mdx-core` and dynamics live in `mdx-sim`.
+//!
+//! ```
+//! use mdx_topology::{Coord, MdCrossbar, Shape};
+//!
+//! // The paper's Fig. 2 network: 12 PEs, 3 X-crossbars, 4 Y-crossbars.
+//! let net = MdCrossbar::build(Shape::fig2());
+//! assert_eq!(net.num_xbars(), 7);
+//!
+//! // Any two PEs are at most d = 2 crossbar hops apart.
+//! let shape = net.shape();
+//! assert_eq!(shape.xbar_hops(Coord::new(&[0, 0]), Coord::new(&[3, 2])), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coord;
+pub mod embed;
+pub mod graph;
+pub mod mdxbar;
+pub mod mesh;
+pub mod metrics;
+
+pub use coord::{Coord, Shape, MAX_DIMS};
+pub use graph::{ChannelId, ChannelInfo, NetworkGraph, Node, NodeId, XbarRef};
+pub use mdxbar::MdCrossbar;
+
+/// Errors produced when constructing or querying topologies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A shape had zero dimensions or more than [`MAX_DIMS`].
+    BadDimensionCount(usize),
+    /// A dimension extent was zero or exceeded `u16::MAX`.
+    BadExtent(usize),
+    /// A coordinate lay outside the shape.
+    OutOfBounds,
+    /// A total PE count was not expressible in the requested topology
+    /// (e.g. a hypercube needs a power of two).
+    BadSize(usize),
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::BadDimensionCount(d) => {
+                write!(f, "dimension count {d} outside 1..={MAX_DIMS}")
+            }
+            TopologyError::BadExtent(e) => write!(f, "dimension extent {e} invalid"),
+            TopologyError::OutOfBounds => write!(f, "coordinate out of bounds"),
+            TopologyError::BadSize(n) => write!(f, "size {n} not valid for this topology"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}

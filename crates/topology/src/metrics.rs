@@ -1,0 +1,293 @@
+//! Structural metrics backing the paper's Sec. 3.1 claims: short
+//! communication distances, wide channels (router port counts), and network
+//! cost (switch/channel counts).
+
+use crate::coord::Shape;
+use crate::graph::{NetworkGraph, Node, NodeId};
+use crate::mdxbar::MdCrossbar;
+use crate::mesh::{DirectNetwork, Wrap};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Structural summary of one topology, in comparable units.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopologyMetrics {
+    /// Human-readable topology name.
+    pub name: String,
+    /// PE count.
+    pub num_pes: usize,
+    /// Ports per PE router (pin-bandwidth proxy; the paper's "wide
+    /// communication channels" argument: d+1 for the MD crossbar vs
+    /// log2(n)+1 for the hypercube).
+    pub router_ports: usize,
+    /// Total switch count (routers + shared crossbars where present).
+    pub num_switches: usize,
+    /// Total directed channel count.
+    pub num_channels: usize,
+    /// Maximum crossbar-traversal distance between any PE pair
+    /// (the paper's "maximum of d hops on d crossbars").
+    pub diameter_xbar_hops: usize,
+    /// Maximum switch-to-switch channel traversals between any PE pair
+    /// (counting every channel on the path, PE links included).
+    pub diameter_channel_hops: usize,
+    /// Directed channels crossing the mid-plane of the widest dimension —
+    /// the classic bisection-bandwidth proxy.
+    pub bisection_channels: usize,
+}
+
+/// Computes graph-level metrics by BFS over the channel graph.
+fn graph_diameter_from_pes(g: &NetworkGraph) -> usize {
+    let pes = g.pe_ids();
+    let mut diameter = 0;
+    let mut dist: Vec<u32> = Vec::new();
+    for &src in &pes {
+        dist.clear();
+        dist.resize(g.num_nodes(), u32::MAX);
+        let mut q = VecDeque::new();
+        dist[src.0 as usize] = 0;
+        q.push_back(src);
+        while let Some(u) = q.pop_front() {
+            let du = dist[u.0 as usize];
+            for &ch in g.outgoing(u) {
+                let v = g.channel(ch).dst;
+                if dist[v.0 as usize] == u32::MAX {
+                    dist[v.0 as usize] = du + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        for &dst in &pes {
+            let d = dist[dst.0 as usize];
+            assert_ne!(d, u32::MAX, "disconnected PE pair");
+            diameter = diameter.max(d as usize);
+        }
+    }
+    diameter
+}
+
+fn count_switches(g: &NetworkGraph) -> usize {
+    g.node_ids()
+        .filter(|&id| !matches!(g.node(id), Node::Pe(_)))
+        .count()
+}
+
+fn router_ports(g: &NetworkGraph) -> usize {
+    g.node_ids()
+        .filter(|&id| matches!(g.node(id), Node::Router(_)))
+        .map(|id| g.outgoing(id).len())
+        .max()
+        .unwrap_or(0)
+}
+
+/// Directed channels whose endpoints straddle the mid-plane of the widest
+/// dimension (PE/router nodes are placed by coordinate; a crossbar node
+/// belongs to both halves of the dimension it spans, so each of its
+/// cross-plane router links counts).
+fn bisection_channels(g: &NetworkGraph, split_dim: usize, split_at: u16) -> usize {
+    let side = |id: NodeId| -> Option<bool> {
+        g.coord(id).map(|c| c.get(split_dim) >= split_at)
+    };
+    let mut count = 0;
+    for ch in g.channel_ids() {
+        let info = g.channel(ch);
+        match (g.node(info.src), g.node(info.dst)) {
+            // Router-to-router links (direct networks).
+            (Node::Router(_), Node::Router(_)) => {
+                if let (Some(a), Some(b)) = (side(info.src), side(info.dst)) {
+                    if a != b {
+                        count += 1;
+                    }
+                }
+            }
+            // A crossbar spans the cut only if it runs along the split
+            // dimension; its capacity across the cut is its links into the
+            // far half (one per far-half router on the line).
+            (Node::Xbar(x), Node::Router(_))
+                if x.dim as usize == split_dim && side(info.dst) == Some(true) =>
+            {
+                count += 1;
+            }
+            _ => {}
+        }
+    }
+    count
+}
+
+/// Metrics of an MD crossbar network.
+pub fn md_crossbar_metrics(net: &MdCrossbar) -> TopologyMetrics {
+    let g = net.graph();
+    let extents: Vec<String> = net
+        .shape()
+        .extents()
+        .iter()
+        .map(|e| e.to_string())
+        .collect();
+    let split_dim = (0..net.shape().d())
+        .max_by_key(|&d| net.shape().extent(d))
+        .unwrap_or(0);
+    TopologyMetrics {
+        name: format!("md-crossbar {}", extents.join("x")),
+        num_pes: net.shape().num_pes(),
+        router_ports: router_ports(g),
+        num_switches: count_switches(g),
+        num_channels: g.num_channels(),
+        diameter_xbar_hops: net.shape().d(),
+        diameter_channel_hops: graph_diameter_from_pes(g),
+        bisection_channels: bisection_channels(
+            g,
+            split_dim,
+            net.shape().extent(split_dim) / 2,
+        ),
+    }
+}
+
+/// Metrics of a mesh/torus/hypercube network.
+pub fn direct_network_metrics(net: &DirectNetwork) -> TopologyMetrics {
+    let g = net.graph();
+    let extents: Vec<String> = net
+        .shape()
+        .extents()
+        .iter()
+        .map(|e| e.to_string())
+        .collect();
+    let kind = match net.wrap() {
+        Wrap::Mesh => "mesh",
+        Wrap::Torus => "torus",
+    };
+    // Worst-case router-to-router hop distance plus the two PE links.
+    let mut max_dist = 0;
+    for i in 0..net.shape().num_pes() {
+        for j in 0..net.shape().num_pes() {
+            max_dist = max_dist.max(
+                net.distance(net.shape().coord_of(i), net.shape().coord_of(j)),
+            );
+        }
+    }
+    let split_dim = (0..net.shape().d())
+        .max_by_key(|&d| net.shape().extent(d))
+        .unwrap_or(0);
+    TopologyMetrics {
+        name: format!("{kind} {}", extents.join("x")),
+        num_pes: net.shape().num_pes(),
+        router_ports: router_ports(g),
+        num_switches: count_switches(g),
+        num_channels: g.num_channels(),
+        diameter_xbar_hops: max_dist,
+        diameter_channel_hops: graph_diameter_from_pes(g),
+        bisection_channels: bisection_channels(
+            g,
+            split_dim,
+            net.shape().extent(split_dim) / 2,
+        ),
+    }
+}
+
+/// The hypercube router port count the paper cites (`log2(n) + 1`) for a
+/// given PE count, without building the network.
+pub fn hypercube_router_ports(n: usize) -> usize {
+    assert!(n.is_power_of_two() && n > 1);
+    (n.trailing_zeros() as usize) + 1
+}
+
+/// The MD crossbar router port count the paper cites (`d + 1`).
+pub fn md_crossbar_router_ports(shape: &Shape) -> usize {
+    shape.d() + 1
+}
+
+/// BFS shortest channel-hop distance between two specific nodes.
+pub fn channel_distance(g: &NetworkGraph, src: NodeId, dst: NodeId) -> Option<usize> {
+    let mut dist: Vec<u32> = vec![u32::MAX; g.num_nodes()];
+    let mut q = VecDeque::new();
+    dist[src.0 as usize] = 0;
+    q.push_back(src);
+    while let Some(u) = q.pop_front() {
+        if u == dst {
+            return Some(dist[u.0 as usize] as usize);
+        }
+        for &ch in g.outgoing(u) {
+            let v = g.channel(ch).dst;
+            if dist[v.0 as usize] == u32::MAX {
+                dist[v.0 as usize] = dist[u.0 as usize] + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coord::Coord;
+
+    #[test]
+    fn md_crossbar_diameter_is_channel_hops() {
+        // PE -> R -> XB -> R -> XB -> R -> PE for a 2D far pair: 6 channels.
+        let net = MdCrossbar::build(Shape::fig2());
+        let m = md_crossbar_metrics(&net);
+        assert_eq!(m.diameter_xbar_hops, 2);
+        assert_eq!(m.diameter_channel_hops, 6);
+        assert_eq!(m.router_ports, 3); // d + 1
+        assert_eq!(m.num_switches, 12 + 7);
+    }
+
+    #[test]
+    fn port_count_claims() {
+        // Sec. 3.1: MD crossbar needs d+1 router ports; a hypercube of the
+        // same size needs log2(n)+1.
+        let shape = Shape::new(&[16, 16, 8]).unwrap(); // 2048 PEs
+        assert_eq!(md_crossbar_router_ports(&shape), 4);
+        assert_eq!(hypercube_router_ports(2048), 12);
+    }
+
+    #[test]
+    fn mesh_diameter_exceeds_md_crossbar() {
+        let shape = Shape::new(&[8, 8]).unwrap();
+        let mdx = md_crossbar_metrics(&MdCrossbar::build(shape.clone()));
+        let mesh =
+            direct_network_metrics(&DirectNetwork::build(shape.clone(), Wrap::Mesh));
+        let torus = direct_network_metrics(&DirectNetwork::build(shape, Wrap::Torus));
+        assert!(mesh.diameter_channel_hops > mdx.diameter_channel_hops);
+        assert!(torus.diameter_channel_hops > mdx.diameter_channel_hops);
+        assert!(torus.diameter_channel_hops <= mesh.diameter_channel_hops);
+    }
+
+    #[test]
+    fn channel_distance_examples() {
+        let net = MdCrossbar::build(Shape::fig2());
+        let g = net.graph();
+        let a = net.pe_at(Coord::new(&[0, 0]));
+        let b = net.pe_at(Coord::new(&[3, 2]));
+        assert_eq!(channel_distance(g, a, b), Some(6));
+        assert_eq!(channel_distance(g, a, a), Some(0));
+        // Same row: one crossbar, 4 channels.
+        let c = net.pe_at(Coord::new(&[3, 0]));
+        assert_eq!(channel_distance(g, a, c), Some(4));
+    }
+
+    #[test]
+    fn bisection_counts() {
+        // 8x8 mesh: 8 rows x 1 link x 2 directions across the vertical cut.
+        let mesh =
+            direct_network_metrics(&DirectNetwork::build(Shape::new(&[8, 8]).unwrap(), Wrap::Mesh));
+        assert_eq!(mesh.bisection_channels, 16);
+        // Torus adds the wrap links: 8 more rows x 2 directions.
+        let torus = direct_network_metrics(&DirectNetwork::build(
+            Shape::new(&[8, 8]).unwrap(),
+            Wrap::Torus,
+        ));
+        assert_eq!(torus.bisection_channels, 32);
+        // MD crossbar: every row crossbar spans the cut and feeds 4 routers
+        // in the far half: 8 rows x 4 = 32 crossing XB->router links.
+        let mdx = md_crossbar_metrics(&MdCrossbar::build(Shape::new(&[8, 8]).unwrap()));
+        assert_eq!(mdx.bisection_channels, 32);
+    }
+
+    #[test]
+    fn hypercube_metrics() {
+        let hc = DirectNetwork::hypercube(8).unwrap();
+        let m = direct_network_metrics(&hc);
+        assert_eq!(m.router_ports, 4); // log2(8) + 1
+        assert_eq!(m.diameter_xbar_hops, 3);
+    }
+}

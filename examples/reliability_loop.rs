@@ -1,0 +1,81 @@
+//! The full reliability story, end to end: a switch dies, the service
+//! processor localizes it from probe outcomes, configures the detour
+//! facility, and application messages (segmented and reassembled by the
+//! NIA) flow again — deadlock-free.
+//!
+//! ```text
+//! cargo run --release --example reliability_loop
+//! ```
+
+use sr2201::fault::diagnosis::diagnose_all_pairs;
+use sr2201::nia::{reassemble, segment, Message, NiaConfig};
+use sr2201::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let net = Arc::new(MdCrossbar::build(Shape::new(&[8, 8]).unwrap()));
+    let shape = net.shape().clone();
+
+    // 1. A router dies somewhere in the machine.
+    let truth = FaultSet::single(FaultSite::Router(shape.index_of(Coord::new(&[3, 2]))));
+    println!("ground truth: {}", truth.sites().next().unwrap());
+
+    // 2. The service processor probes all pairs and diagnoses.
+    let diagnosis = diagnose_all_pairs(&net, &truth);
+    println!(
+        "diagnosis from {} failed probes: {:?} (unique: {})",
+        diagnosis.failed_probes,
+        diagnosis.candidates,
+        diagnosis.is_unique()
+    );
+    let believed = FaultSet::single(diagnosis.candidates[0]);
+
+    // 3. Configure the facility: fault registers at the neighbors, S-XB and
+    //    D-XB relocated off the faulty coordinate, D-XB = S-XB.
+    let scheme = Sr2201Routing::new(net.clone(), &believed).unwrap();
+    println!(
+        "reconfigured: S-XB = D-XB = {} (deadlock-free: {})",
+        scheme.config().sxb(),
+        scheme.config().deadlock_free()
+    );
+
+    // 4. Applications resume: the NIA segments messages into packets and
+    //    reassembles them at the receivers.
+    let messages = vec![
+        Message { src: 0, dst: 27, bytes: 4096, at: 0 },
+        Message { src: 63, dst: 1, bytes: 2048, at: 5 },
+        Message { src: 17, dst: 45, bytes: 8192, at: 10 },
+    ];
+    let (specs, map) = segment(&shape, &messages, NiaConfig::default());
+    println!(
+        "\nNIA: {} messages -> {} packets",
+        messages.len(),
+        specs.len()
+    );
+    let mut sim = Simulator::new(net.graph().clone(), Arc::new(scheme), SimConfig::default());
+    for &s in &specs {
+        sim.schedule(s);
+    }
+    // A broadcast rides along, proving the combined traffic stays live.
+    sim.schedule(InjectSpec {
+        src_pe: 5,
+        header: Header::broadcast_request(shape.coord_of(5)),
+        flits: 8,
+        inject_at: 3,
+    });
+    let result = sim.run();
+    println!("simulation: {:?} in {} cycles", result.outcome, result.stats.cycles);
+    for m in reassemble(
+        &sr2201::sim::SimResult {
+            outcome: result.outcome.clone(),
+            stats: result.stats.clone(),
+            packets: result.packets[..specs.len()].to_vec(),
+        },
+        &map,
+    ) {
+        println!(
+            "  message {} ({} packets): completed at cycle {:?}, in order: {}",
+            m.message, m.packets, m.completed_at, m.complete_in_order
+        );
+    }
+}

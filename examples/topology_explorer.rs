@@ -1,0 +1,62 @@
+//! Topology explorer: build an arbitrary multi-dimensional crossbar and
+//! print its structural properties and remapping behavior next to mesh,
+//! torus and hypercube equivalents (paper Sec. 3.1).
+//!
+//! ```text
+//! cargo run --release --example topology_explorer -- 8 8
+//! cargo run --release --example topology_explorer -- 16 16 8
+//! ```
+
+use sr2201::topology::mesh::{DirectNetwork, Wrap};
+use sr2201::topology::{embed, metrics, MdCrossbar, Shape};
+
+fn main() {
+    let dims: Vec<u16> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("dimension extents must be integers"))
+        .collect();
+    let dims = if dims.is_empty() { vec![8, 8] } else { dims };
+    let shape = Shape::new(&dims).expect("valid shape");
+    let n = shape.num_pes();
+    println!("shape {dims:?}: {n} PEs\n");
+
+    let print = |m: metrics::TopologyMetrics| {
+        println!(
+            "  {:24} ports/router {:2}  switches {:5}  channels {:6}  diameter {} xbar-hops / {} channel-hops",
+            m.name, m.router_ports, m.num_switches, m.num_channels,
+            m.diameter_xbar_hops, m.diameter_channel_hops,
+        );
+    };
+    let net = MdCrossbar::build(shape.clone());
+    print(metrics::md_crossbar_metrics(&net));
+    print(metrics::direct_network_metrics(&DirectNetwork::build(
+        shape.clone(),
+        Wrap::Mesh,
+    )));
+    print(metrics::direct_network_metrics(&DirectNetwork::build(
+        shape.clone(),
+        Wrap::Torus,
+    )));
+    if n.is_power_of_two() && n > 1 {
+        print(metrics::direct_network_metrics(
+            &DirectNetwork::hypercube(n).expect("power of two"),
+        ));
+    }
+
+    // Conflict-free remapping of classic program topologies (Sec. 3.1).
+    println!("\nremapping conflicts under dimension-order routing:");
+    let mut schedules: Vec<(&str, Vec<embed::Phase>)> = vec![
+        ("ring shifts", embed::ring_phases(n)),
+        ("mesh neighbor exchange", embed::mesh_phases(&shape)),
+    ];
+    if shape.extents().iter().all(|e| e.is_power_of_two()) {
+        schedules.push(("hypercube exchange", embed::hypercube_phases(&shape)));
+    }
+    for (name, phases) in schedules {
+        let conflicts: usize = phases
+            .iter()
+            .map(|p| embed::phase_conflicts_mdx(&net, p))
+            .sum();
+        println!("  {name:24} {} phases, {conflicts} conflicts", phases.len());
+    }
+}

@@ -1,0 +1,93 @@
+//! # sr2201 — deadlock-free fault-tolerant routing in the multi-dimensional crossbar
+//!
+//! A from-scratch Rust reproduction of *"Deadlock-free Fault-tolerant
+//! Routing in the Multi-dimensional Crossbar Network and Its Implementation
+//! for the Hitachi SR2201"* (Yasuda et al., IPPS 1997): the SR2201's
+//! hyper-crossbar interconnect, its RC-bit routing protocol, the S-XB
+//! serialized hardware broadcast, the hardware detour path selection
+//! facility, and the paper's deadlock-freedom result (D-XB = S-XB) — plus a
+//! cycle-level cut-through simulator, a static wait-graph deadlock
+//! analyzer, the baselines the paper compares against, and an experiment
+//! harness regenerating every figure-level result.
+//!
+//! This crate is an umbrella: it re-exports the workspace crates under
+//! stable module names and hosts the runnable examples and the cross-crate
+//! integration tests.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sr2201::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // The paper's Fig. 2 network: a 4x3 two-dimensional crossbar.
+//! let net = Arc::new(MdCrossbar::build(Shape::fig2()));
+//!
+//! // The deadlock-free fault-tolerant scheme with a faulty router at (1,0).
+//! let shape = net.shape().clone();
+//! let faults = FaultSet::single(FaultSite::Router(shape.index_of(Coord::new(&[1, 0]))));
+//! let scheme = Sr2201Routing::new(net.clone(), &faults).unwrap();
+//!
+//! // Route around the fault: the packet detours through the D-XB (= S-XB).
+//! let header = Header::unicast(Coord::new(&[0, 0]), Coord::new(&[1, 1]));
+//! let trace = trace_unicast(&scheme, net.graph(), header, 0).unwrap();
+//! assert!(trace.used_detour());
+//! println!("{}", trace.pretty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Network topologies: the multi-dimensional crossbar and comparison
+/// networks (re-export of `mdx-topology`).
+pub mod topology {
+    pub use mdx_topology::*;
+}
+
+/// Fault model and per-switch fault registers (re-export of `mdx-fault`).
+pub mod fault {
+    pub use mdx_fault::*;
+}
+
+/// The paper's routing schemes (re-export of `mdx-core`).
+pub mod routing {
+    pub use mdx_core::*;
+}
+
+/// The cycle-level cut-through simulator (re-export of `mdx-sim`).
+pub mod sim {
+    pub use mdx_sim::*;
+}
+
+/// Network interface adapter model: messages, segmentation, reassembly
+/// (re-export of `mdx-nia`).
+pub mod nia {
+    pub use mdx_nia::*;
+}
+
+/// Static wait-graph deadlock analysis (re-export of `mdx-deadlock`).
+pub mod deadlock {
+    pub use mdx_deadlock::*;
+}
+
+/// Traffic generation (re-export of `mdx-workloads`).
+pub mod workloads {
+    pub use mdx_workloads::*;
+}
+
+/// Baseline networks and fault-handling strategies (re-export of
+/// `mdx-baselines`).
+pub mod baselines {
+    pub use mdx_baselines::*;
+}
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use mdx_core::{
+        trace_broadcast, trace_unicast, Header, NaiveBroadcast, Packet, RouteChange,
+        RoutingConfig, Scheme, Sr2201Routing,
+    };
+    pub use mdx_fault::{enumerate_single_faults, FaultRegisters, FaultSet, FaultSite};
+    pub use mdx_sim::{InjectSpec, SimConfig, SimOutcome, Simulator};
+    pub use mdx_topology::{Coord, MdCrossbar, Node, Shape, XbarRef};
+}

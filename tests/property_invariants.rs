@@ -1,0 +1,130 @@
+//! Property-based cross-crate invariants: for randomized shapes, faults and
+//! traffic, the paper's scheme always delivers, never duplicates, never
+//! deadlocks, and the simulator conserves packets.
+
+use proptest::prelude::*;
+use sr2201::prelude::*;
+use sr2201::routing::{trace_broadcast, trace_unicast};
+use sr2201::sim::PacketOutcome;
+use std::sync::Arc;
+
+/// Arbitrary small 2D/3D shapes with extents >= 2 (the facility's
+/// requirement for clearing a fault).
+fn shapes() -> impl Strategy<Value = Shape> {
+    proptest::collection::vec(2u16..5, 2..=3).prop_map(|dims| Shape::new(&dims).unwrap())
+}
+
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Unicast delivery + detour-serialization invariant under any single
+    /// fault and any pair.
+    #[test]
+    fn unicast_always_delivered(shape in shapes(), fault_pick in any::<u64>(),
+                                src_pick in any::<u64>(), dst_pick in any::<u64>()) {
+        let net = Arc::new(MdCrossbar::build(shape.clone()));
+        let sites = enumerate_single_faults(&net);
+        let site = sites[(fault_pick as usize) % sites.len()];
+        let faults = FaultSet::single(site);
+        let scheme = Sr2201Routing::new(net.clone(), &faults).unwrap();
+        let n = shape.num_pes();
+        let src = (src_pick as usize) % n;
+        let dst = (dst_pick as usize) % n;
+        prop_assume!(src != dst && faults.pe_usable(src) && faults.pe_usable(dst));
+        let h = Header::unicast(shape.coord_of(src), shape.coord_of(dst));
+        let t = trace_unicast(&scheme, net.graph(), h, src).unwrap();
+        prop_assert_eq!(t.steps.last().unwrap().node, Node::Pe(dst));
+        // Detours always pass the D-XB (= S-XB): the serialization property.
+        if t.used_detour() {
+            let dxb = Node::Xbar(scheme.config().dxb());
+            prop_assert!(t.nodes().any(|nd| nd == dxb));
+        }
+        // The faulty switch never appears on any route.
+        prop_assert!(t.nodes().all(|nd| nd != site.node()));
+    }
+
+    /// Broadcast coverage invariant: exactly the usable PEs, exactly once.
+    #[test]
+    fn broadcast_exact_coverage(shape in shapes(), fault_pick in any::<u64>(),
+                                src_pick in any::<u64>()) {
+        let net = Arc::new(MdCrossbar::build(shape.clone()));
+        let sites = enumerate_single_faults(&net);
+        let site = sites[(fault_pick as usize) % sites.len()];
+        let faults = FaultSet::single(site);
+        let scheme = Sr2201Routing::new(net.clone(), &faults).unwrap();
+        let n = shape.num_pes();
+        let src = (src_pick as usize) % n;
+        prop_assume!(faults.pe_usable(src));
+        let t = trace_broadcast(&scheme, net.graph(), src, shape.coord_of(src)).unwrap();
+        let mut got = t.delivered.clone();
+        got.sort_unstable();
+        let expect: Vec<usize> = (0..n).filter(|&p| faults.pe_usable(p)).collect();
+        prop_assert_eq!(got, expect);
+        prop_assert!(t.duplicates.is_empty());
+    }
+
+    /// Simulator conservation: every scheduled packet reaches a terminal
+    /// state, and the run never deadlocks under the paper's scheme.
+    #[test]
+    fn sim_conserves_packets(shape in shapes(), seed in any::<u64>(), rate_pct in 1u32..5) {
+        let net = Arc::new(MdCrossbar::build(shape.clone()));
+        let faults = FaultSet::none();
+        let scheme = Arc::new(Sr2201Routing::new(net.clone(), &faults).unwrap());
+        let specs = sr2201::workloads::mixed_schedule(
+            &shape,
+            sr2201::workloads::TrafficPattern::UniformRandom,
+            sr2201::workloads::OpenLoop {
+                rate: rate_pct as f64 / 100.0,
+                packet_flits: 6,
+                window: 60,
+                seed,
+            },
+            0.004,
+            &faults,
+        );
+        let mut sim = Simulator::new(net.graph().clone(), scheme, SimConfig {
+            arb_seed: seed,
+            ..SimConfig::default()
+        });
+        for &s in &specs {
+            sim.schedule(s);
+        }
+        let r = sim.run();
+        prop_assert_eq!(&r.outcome, &SimOutcome::Completed);
+        prop_assert_eq!(r.packets.len(), specs.len());
+        for p in &r.packets {
+            prop_assert_eq!(&p.outcome, &PacketOutcome::Delivered);
+            prop_assert!(p.finished_at.unwrap() >= p.injected_at);
+        }
+        // Latency statistics are internally consistent.
+        let sum: u64 = r.packets.iter().filter_map(|p| p.latency()).sum();
+        prop_assert_eq!(sum, r.stats.latency_sum);
+    }
+
+    /// Determinism: identical inputs give identical results.
+    #[test]
+    fn sim_is_deterministic(seed in any::<u64>()) {
+        let shape = Shape::fig2();
+        let net = Arc::new(MdCrossbar::build(shape.clone()));
+        let mk = || {
+            let scheme = Arc::new(Sr2201Routing::new(net.clone(), &FaultSet::none()).unwrap());
+            let mut sim = Simulator::new(net.graph().clone(), scheme, SimConfig {
+                arb_seed: seed,
+                ..SimConfig::default()
+            });
+            for src in 0..12usize {
+                sim.schedule(InjectSpec {
+                    src_pe: src,
+                    header: Header::unicast(shape.coord_of(src), shape.coord_of((src + 5) % 12)),
+                    flits: 5,
+                    inject_at: (src % 3) as u64,
+                });
+            }
+            sim.run()
+        };
+        let (a, b) = (mk(), mk());
+        prop_assert_eq!(a.stats, b.stats);
+        prop_assert_eq!(a.packets, b.packets);
+    }
+}
