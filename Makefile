@@ -1,6 +1,6 @@
 # Convenience targets for the SR2201 reproduction.
 
-.PHONY: test experiments bench examples doc clippy all
+.PHONY: test experiments bench examples doc clippy lint campaign campaign-smoke all
 
 test:
 	cargo test --workspace
@@ -17,11 +17,26 @@ examples:
 	cargo run --release --example broadcast_storm -- 3
 	cargo run --release --example topology_explorer -- 8 8
 	cargo run --release --example reliability_loop
+	cargo run --release --example campaign_witness
 
 doc:
 	cargo doc --workspace --no-deps
 
 clippy:
 	cargo clippy --workspace --all-targets
+
+lint:
+	cargo fmt --check
+	cargo clippy --workspace -- -D warnings
+
+# The full acceptance sweep: the paper scheme must be deadlock-free, the
+# broken variants must not be.
+campaign:
+	cargo run --release -p mdx-campaign -- run --scheme all --max-faults 1 --seeds 32
+
+# Small deterministic campaign gating the paper scheme on zero deadlocks.
+campaign-smoke:
+	cargo run --release -p mdx-campaign -- run --scheme sr2201 --max-faults 1 \
+		--seeds 4 --fail-on-deadlock
 
 all: test experiments bench doc

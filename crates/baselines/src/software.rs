@@ -114,9 +114,7 @@ pub fn software_tree_broadcast(
             "software broadcast round must complete"
         );
         for (i, &(_, d, _)) in sends.iter().enumerate() {
-            let finished = r.packets[i]
-                .finished_at
-                .expect("round packet finished");
+            let finished = r.packets[i].finished_at.expect("round packet finished");
             holders.push((d, finished));
         }
         messages += sends.len();

@@ -2,8 +2,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mdx_core::Sr2201Routing;
-use mdx_deadlock::waitgraph::TrafficFamily;
 use mdx_deadlock::verify_scheme;
+use mdx_deadlock::waitgraph::TrafficFamily;
 use mdx_fault::{FaultSet, FaultSite};
 use mdx_topology::{MdCrossbar, Shape};
 use std::sync::Arc;

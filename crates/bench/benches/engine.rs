@@ -22,8 +22,12 @@ fn bench_engine(c: &mut Criterion) {
             window: 100,
             seed: 1,
         };
-        let specs =
-            unicast_schedule(&shape, TrafficPattern::UniformRandom, cfg, &FaultSet::none());
+        let specs = unicast_schedule(
+            &shape,
+            TrafficPattern::UniformRandom,
+            cfg,
+            &FaultSet::none(),
+        );
         g.throughput(Throughput::Elements(specs.len() as u64));
         g.bench_with_input(
             BenchmarkId::from_parameter(format!("{}x{}", dims[0], dims[1])),
@@ -54,21 +58,25 @@ fn bench_engine(c: &mut Criterion) {
         &FaultSet::none(),
     );
     for buffer in [1usize, 2, 8, 32] {
-        g.bench_with_input(BenchmarkId::from_parameter(buffer), &buffer, |b, &buffer| {
-            b.iter(|| {
-                let scheme =
-                    Arc::new(Sr2201Routing::new(net.clone(), &FaultSet::none()).unwrap());
-                run_schedule(
-                    net.graph(),
-                    scheme,
-                    &specs,
-                    SimConfig {
-                        buffer_flits: buffer,
-                        ..SimConfig::default()
-                    },
-                )
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(buffer),
+            &buffer,
+            |b, &buffer| {
+                b.iter(|| {
+                    let scheme =
+                        Arc::new(Sr2201Routing::new(net.clone(), &FaultSet::none()).unwrap());
+                    run_schedule(
+                        net.graph(),
+                        scheme,
+                        &specs,
+                        SimConfig {
+                            buffer_flits: buffer,
+                            ..SimConfig::default()
+                        },
+                    )
+                })
+            },
+        );
     }
     g.finish();
 }

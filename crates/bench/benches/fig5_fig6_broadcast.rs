@@ -47,8 +47,7 @@ fn bench_broadcast(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("concurrent", k), &k, |b, &k| {
             let sources = [0usize, 4, 8, 3, 7, 11];
             b.iter(|| {
-                let scheme =
-                    Arc::new(Sr2201Routing::new(net.clone(), &FaultSet::none()).unwrap());
+                let scheme = Arc::new(Sr2201Routing::new(net.clone(), &FaultSet::none()).unwrap());
                 let specs: Vec<InjectSpec> = sources[..k]
                     .iter()
                     .map(|&s| InjectSpec {

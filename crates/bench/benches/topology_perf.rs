@@ -19,7 +19,12 @@ fn bench_topologies(c: &mut Criterion) {
         window: 200,
         seed: 7,
     };
-    let specs = unicast_schedule(&shape, TrafficPattern::UniformRandom, cfg, &FaultSet::none());
+    let specs = unicast_schedule(
+        &shape,
+        TrafficPattern::UniformRandom,
+        cfg,
+        &FaultSet::none(),
+    );
 
     let mdx = Arc::new(MdCrossbar::build(shape.clone()));
     let mesh = Arc::new(DirectNetwork::build(shape.clone(), Wrap::Mesh));
@@ -30,8 +35,16 @@ fn bench_topologies(c: &mut Criterion) {
             mdx.graph().clone(),
             Arc::new(Sr2201Routing::new(mdx.clone(), &FaultSet::none()).unwrap()),
         ),
-        ("mesh", mesh.graph().clone(), Arc::new(DirectDor::new(mesh.clone()))),
-        ("torus", torus.graph().clone(), Arc::new(DirectDor::new(torus.clone()))),
+        (
+            "mesh",
+            mesh.graph().clone(),
+            Arc::new(DirectDor::new(mesh.clone())),
+        ),
+        (
+            "torus",
+            torus.graph().clone(),
+            Arc::new(DirectDor::new(torus.clone())),
+        ),
     ];
 
     let mut g = c.benchmark_group("uniform_8x8_load0.02");

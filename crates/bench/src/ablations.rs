@@ -17,7 +17,9 @@ pub fn buffer_depth() -> Vec<Table> {
         "abl-buffer-depth",
         "two concurrent broadcasts (4x3): deadlock rate vs channel buffer depth, 32 seeds",
         &[
-            "buffer (flits)", "naive bc, 16-flit pkts", "naive bc, 96-flit pkts",
+            "buffer (flits)",
+            "naive bc, 16-flit pkts",
+            "naive bc, 96-flit pkts",
             "S-XB bc, 96-flit pkts",
         ],
     );
@@ -80,7 +82,13 @@ pub fn sxb_placement() -> Vec<Table> {
     let mut t = Table::new(
         "abl-sxb-placement",
         "S-XB (= D-XB) line choice on 8x8: broadcast + mixed traffic latency",
-        &["S-XB line (y)", "outcome", "mean latency", "p99", "broadcast latency"],
+        &[
+            "S-XB line (y)",
+            "outcome",
+            "mean latency",
+            "p99",
+            "broadcast latency",
+        ],
     );
     let shape = Shape::new(&[8, 8]).unwrap();
     let net = Arc::new(MdCrossbar::build(shape.clone()));

@@ -59,6 +59,10 @@ fn main() {
                 f.write_all(body.as_bytes()).expect("write json");
             }
         }
-        eprintln!("[{} finished in {:.1}s]\n", id, start.elapsed().as_secs_f64());
+        eprintln!(
+            "[{} finished in {:.1}s]\n",
+            id,
+            start.elapsed().as_secs_f64()
+        );
     }
 }

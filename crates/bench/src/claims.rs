@@ -53,10 +53,14 @@ pub fn mdx_vs_mesh() -> Vec<Table> {
             ),
             &[
                 "offered rate (pkts/PE/cyc)",
-                "md-crossbar lat", "md-crossbar done",
-                "mesh lat", "mesh done",
-                "torus lat", "torus done",
-                "torus+VC lat", "torus+VC done",
+                "md-crossbar lat",
+                "md-crossbar done",
+                "mesh lat",
+                "mesh done",
+                "torus lat",
+                "torus done",
+                "torus+VC lat",
+                "torus+VC done",
             ],
         );
         let rows: Vec<Vec<String>> = loads
@@ -123,7 +127,11 @@ pub fn fault_overhead() -> Vec<Table> {
         "claim-fault-overhead",
         "uniform traffic, 8x8, one faulty router: fault-handling strategies",
         &[
-            "strategy", "mean latency", "p99", "throughput (flit-hops/cyc)", "delivered",
+            "strategy",
+            "mean latency",
+            "p99",
+            "throughput (flit-hops/cyc)",
+            "delivered",
             "state cost",
         ],
     );
@@ -204,7 +212,14 @@ pub fn bc_scaling() -> Vec<Table> {
     let mut t = Table::new(
         "claim-bc-scaling",
         "single broadcast completion latency (cycles), hardware S-XB vs software binomial tree",
-        &["network", "PEs", "hw S-XB", "sw tree", "sw rounds", "hw speedup"],
+        &[
+            "network",
+            "PEs",
+            "hw S-XB",
+            "sw tree",
+            "sw rounds",
+            "hw speedup",
+        ],
     );
     for dims in [&[4u16, 3][..], &[4, 4], &[8, 8], &[16, 16], &[8, 8, 4]] {
         let shape = Shape::new(dims).unwrap();
@@ -252,7 +267,12 @@ pub fn scale_2048() -> Vec<Table> {
         "claim-scale-2048",
         "full-scale SR2201 (16x16x8 = 2048 PEs): mixed traffic, fault-free and one faulty router",
         &[
-            "scenario", "packets", "outcome", "mean latency", "p99", "sim cycles",
+            "scenario",
+            "packets",
+            "outcome",
+            "mean latency",
+            "p99",
+            "sim cycles",
             "wall time (s)",
         ],
     );

@@ -41,10 +41,7 @@ pub fn multi_fault() -> Vec<Table> {
             .into_par_iter()
             .map(|seed| {
                 let mut rng = ChaCha12Rng::seed_from_u64(seed * 31 + k as u64);
-                let faults: FaultSet = all_sites
-                    .choose_multiple(&mut rng, k)
-                    .copied()
-                    .collect();
+                let faults: FaultSet = all_sites.choose_multiple(&mut rng, k).copied().collect();
                 let Ok(scheme) = Sr2201Routing::new(net.clone(), &faults) else {
                     return (false, 0, 0, 0, 0, 0);
                 };
@@ -69,8 +66,7 @@ pub fn multi_fault() -> Vec<Table> {
                 let (mut covered, mut usable) = (0usize, 0usize);
                 if let Some(src) = (0..n).find(|&p| faults.pe_usable(p)) {
                     usable = (0..n).filter(|&p| faults.pe_usable(p)).count();
-                    if let Ok(bt) =
-                        trace_broadcast(&scheme, net.graph(), src, shape.coord_of(src))
+                    if let Ok(bt) = trace_broadcast(&scheme, net.graph(), src, shape.coord_of(src))
                     {
                         covered = bt.delivered.len();
                     }
@@ -125,7 +121,13 @@ pub fn adaptive_order() -> Vec<Table> {
                 "{} traffic, 8x8: dimension-order vs O1TURN two-order (2 lanes)",
                 pattern.name()
             ),
-            &["offered rate", "X-Y order lat", "X-Y done", "o1turn lat", "o1turn done"],
+            &[
+                "offered rate",
+                "X-Y order lat",
+                "X-Y done",
+                "o1turn lat",
+                "o1turn done",
+            ],
         );
         let rows: Vec<Vec<String>> = [0.01f64, 0.02, 0.04, 0.06]
             .par_iter()
@@ -147,8 +149,7 @@ pub fn adaptive_order() -> Vec<Table> {
                     Arc::new(O1TurnRouting::new(net.clone(), 7)),
                 ];
                 for scheme in schemes {
-                    let r =
-                        run_schedule(net.graph(), scheme, &specs, SimConfig::default());
+                    let r = run_schedule(net.graph(), scheme, &specs, SimConfig::default());
                     row.push(f3(r.stats.mean_latency()));
                     row.push(match &r.outcome {
                         SimOutcome::Completed => {
@@ -274,8 +275,7 @@ pub fn switching() -> Vec<Table> {
     let net = Arc::new(MdCrossbar::build(shape.clone()));
     for flits in [2usize, 4, 8, 16, 32, 64] {
         let lat = |saf: bool| {
-            let scheme =
-                Arc::new(Sr2201Routing::new(net.clone(), &FaultSet::none()).unwrap());
+            let scheme = Arc::new(Sr2201Routing::new(net.clone(), &FaultSet::none()).unwrap());
             let specs = vec![InjectSpec {
                 src_pe: 0,
                 header: Header::unicast(shape.coord_of(0), shape.coord_of(63)),
@@ -389,7 +389,10 @@ pub fn diagnosis() -> Vec<Table> {
         "ext-diagnosis",
         "single-fault localization from all-pairs probes (8x8, every fault site)",
         &[
-            "fault class", "faults", "uniquely localized", "within coordinate",
+            "fault class",
+            "faults",
+            "uniquely localized",
+            "within coordinate",
             "loop closed (deliver after reconfigure)",
         ],
     );
@@ -415,8 +418,10 @@ pub fn diagnosis() -> Vec<Table> {
                 let unique = d.is_unique() && d.candidates[0] == site;
                 let same_coord = d.candidates.iter().all(|c| match (c, &site) {
                     (FaultSite::Xbar(a), FaultSite::Xbar(b)) => a == b,
-                    (FaultSite::Router(a) | FaultSite::Pe(a),
-                     FaultSite::Router(b) | FaultSite::Pe(b)) => a == b,
+                    (
+                        FaultSite::Router(a) | FaultSite::Pe(a),
+                        FaultSite::Router(b) | FaultSite::Pe(b),
+                    ) => a == b,
                     _ => false,
                 }) && d.candidates.contains(&site);
                 // Close the loop: configure from the strongest candidate
@@ -435,16 +440,12 @@ pub fn diagnosis() -> Vec<Table> {
                             Err(_) => false,
                             Ok(scheme) => (0..n).step_by(7).all(|src| {
                                 (0..n).step_by(5).all(|dst| {
-                                    if src == dst
-                                        || !truth.pe_usable(src)
-                                        || !truth.pe_usable(dst)
+                                    if src == dst || !truth.pe_usable(src) || !truth.pe_usable(dst)
                                     {
                                         return true;
                                     }
-                                    let h = Header::unicast(
-                                        shape.coord_of(src),
-                                        shape.coord_of(dst),
-                                    );
+                                    let h =
+                                        Header::unicast(shape.coord_of(src), shape.coord_of(dst));
                                     trace_unicast(&scheme, net.graph(), h, src).is_ok()
                                 })
                             }),

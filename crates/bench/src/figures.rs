@@ -2,12 +2,13 @@
 
 use crate::report::{f3, pct, Table};
 use crate::run_schedule;
+use mdx_campaign::{detour_stress_for, run_campaign, Scenario, Workload};
 use mdx_core::{
     trace_broadcast, trace_unicast, Header, NaiveBroadcast, Packet, RouteChange, RoutingConfig,
     Sr2201Routing,
 };
-use mdx_deadlock::waitgraph::TrafficFamily;
 use mdx_deadlock::verify_scheme;
+use mdx_deadlock::waitgraph::TrafficFamily;
 use mdx_fault::{enumerate_single_faults, FaultSet, FaultSite};
 use mdx_sim::{InjectSpec, PacketOutcome, SimConfig, SimOutcome};
 use mdx_topology::{
@@ -43,23 +44,20 @@ fn naive_bc(shape: &Shape, src: usize, flits: usize, at: u64) -> InjectSpec {
     }
 }
 
-fn unicast(shape: &Shape, src: usize, dst: usize, flits: usize, at: u64) -> InjectSpec {
-    InjectSpec {
-        src_pe: src,
-        header: Header::unicast(shape.coord_of(src), shape.coord_of(dst)),
-        flits,
-        inject_at: at,
-    }
-}
-
 /// Fig. 2 + Sec. 3.1: structure and structural claims of the MD crossbar.
 pub fn fig2_topology() -> Vec<Table> {
     let mut t = Table::new(
         "fig2-topology",
         "multi-dimensional crossbar structure vs mesh/torus/hypercube",
         &[
-            "topology", "PEs", "router ports", "switches", "channels", "diameter (xbar hops)",
-            "diameter (channel hops)", "bisection channels",
+            "topology",
+            "PEs",
+            "router ports",
+            "switches",
+            "channels",
+            "diameter (xbar hops)",
+            "diameter (channel hops)",
+            "bisection channels",
         ],
     );
     let mut push = |m: metrics::TopologyMetrics| {
@@ -103,7 +101,12 @@ pub fn fig2_topology() -> Vec<Table> {
     let mut r = Table::new(
         "fig2-remap",
         "conflict-free remapping of workload topologies (Sec. 3.1)",
-        &["schedule", "phases", "conflicts on md-crossbar", "conflicts on mesh"],
+        &[
+            "schedule",
+            "phases",
+            "conflicts on md-crossbar",
+            "conflicts on mesh",
+        ],
     );
     let shape = Shape::new(&[8, 8]).unwrap();
     let net = MdCrossbar::build(shape.clone());
@@ -152,8 +155,7 @@ pub fn fig3_packet() -> Vec<Table> {
         t.row(vec![
             format!("{bits:02b}"),
             rc.to_string(),
-            wire
-                .iter()
+            wire.iter()
                 .take(9)
                 .map(|b| format!("{b:02x}"))
                 .collect::<Vec<_>>()
@@ -196,7 +198,11 @@ pub fn fig5_bc_deadlock() -> Vec<Table> {
                 .is_deadlock()
             })
             .count();
-        t.row(vec![k.to_string(), deadlocks.to_string(), pct(deadlocks, 32)]);
+        t.row(vec![
+            k.to_string(),
+            deadlocks.to_string(),
+            pct(deadlocks, 32),
+        ]);
     }
     // Exhibit one concrete cycle, like the figure.
     let scheme = Arc::new(NaiveBroadcast::new(net.clone()));
@@ -231,7 +237,11 @@ pub fn fig6_sxb_broadcast() -> Vec<Table> {
         "fig6-sxb-broadcast",
         "S-XB serialized broadcast: completion and latency vs concurrent broadcasts (4x3)",
         &[
-            "concurrent broadcasts", "completed", "deliveries/bc", "mean latency", "max latency",
+            "concurrent broadcasts",
+            "completed",
+            "deliveries/bc",
+            "mean latency",
+            "max latency",
         ],
     );
     let net = fig2_net();
@@ -286,7 +296,11 @@ pub fn fig6_sxb_broadcast() -> Vec<Table> {
     steps.row(vec!["2: S-XB emission".into(), stage2.join(", ")]);
     steps.row(vec![
         "3-4: fan-out and delivery".into(),
-        format!("{} edges, {} PEs delivered", rest.len(), trace.delivered.len()),
+        format!(
+            "{} edges, {} PEs delivered",
+            rest.len(),
+            trace.delivered.len()
+        ),
     ]);
     vec![t, steps]
 }
@@ -297,7 +311,11 @@ pub fn fig8_detour() -> Vec<Table> {
         "fig8-detour",
         "hardware detour: delivery and hop overhead under every single fault (8x8)",
         &[
-            "fault class", "faults", "usable pairs", "delivered", "detoured pairs",
+            "fault class",
+            "faults",
+            "usable pairs",
+            "delivered",
+            "detoured pairs",
             "mean extra xbar hops (detoured)",
         ],
     );
@@ -340,10 +358,8 @@ pub fn fig8_detour() -> Vec<Table> {
                             delivered += 1;
                             if tr.used_detour() {
                                 detoured += 1;
-                                let base = shape.xbar_hops(
-                                    shape.coord_of(src),
-                                    shape.coord_of(dst),
-                                );
+                                let base =
+                                    shape.xbar_hops(shape.coord_of(src), shape.coord_of(dst));
                                 extra += tr.xbar_hops() - base;
                             }
                         }
@@ -391,87 +407,57 @@ pub fn fig8_detour() -> Vec<Table> {
 }
 
 /// Fig. 9: D-XB != S-XB deadlocks under combined broadcast + detour traffic.
+///
+/// The offsets x seeds stress loop runs on the campaign engine, so every
+/// deadlock found here comes with a replayable scenario token.
 pub fn fig9_combined_deadlock() -> Vec<Table> {
     let mut t = Table::new(
         "fig9-combined-deadlock",
         "broadcast + detoured unicast, faulty router (1,0) on 4x3: deadlock rate over injection offsets x 8 seeds",
         &["configuration", "runs", "deadlocks", "rate"],
     );
-    let net = fig2_net();
-    let shape = net.shape().clone();
+    let shape = Shape::fig2();
     let faulty = shape.index_of(Coord::new(&[1, 0]));
-    let faults = FaultSet::single(FaultSite::Router(faulty));
-    for separate in [true, false] {
-        let outcomes: Vec<bool> = (0..(28 * 8))
-            .into_par_iter()
-            .map(|i| {
-                let offset = 10 + (i / 8) as u64;
-                let seed = (i % 8) as u64;
-                let mut cfg = RoutingConfig::for_faults(&shape, &faults).unwrap();
-                if separate {
-                    cfg = cfg.with_separate_dxb(&faults);
-                }
-                let scheme =
-                    Arc::new(Sr2201Routing::with_config(net.clone(), cfg, &faults));
-                let specs = vec![
-                    bc_request(&shape, 9, 24, 0),
-                    unicast(&shape, 0, 5, 24, offset),
-                ];
-                run_schedule(
-                    net.graph(),
-                    scheme,
-                    &specs,
-                    SimConfig {
-                        arb_seed: seed,
-                        ..SimConfig::default()
-                    },
-                )
-                .outcome
-                .is_deadlock()
+    for (label, scheme) in [
+        ("D-XB != S-XB (fig9)", "separate-dxb"),
+        ("D-XB = S-XB (fig10)", "sr2201"),
+    ] {
+        let scenarios: Vec<Scenario> = (10..38u64)
+            .flat_map(|offset| {
+                let shape = &shape;
+                (0..8u64).map(move |seed| {
+                    Scenario::new(
+                        vec![4, 3],
+                        scheme,
+                        detour_stress_for(shape, 24, offset),
+                        seed,
+                    )
+                    .with_faults([FaultSite::Router(faulty)])
+                })
             })
             .collect();
-        let deadlocks = outcomes.iter().filter(|&&d| d).count();
+        let result = run_campaign(scenarios);
+        let runs = result.reports.len();
+        let deadlocks = result.deadlocks().count();
         t.row(vec![
-            if separate {
-                "D-XB != S-XB (fig9)".to_string()
-            } else {
-                "D-XB = S-XB (fig10)".to_string()
-            },
-            outcomes.len().to_string(),
+            label.to_string(),
+            runs.to_string(),
             deadlocks.to_string(),
-            pct(deadlocks, outcomes.len()),
+            pct(deadlocks, runs),
         ]);
-    }
-    // Exhibit one cycle.
-    let cfg = RoutingConfig::for_faults(&shape, &faults)
-        .unwrap()
-        .with_separate_dxb(&faults);
-    let scheme = Arc::new(Sr2201Routing::with_config(net.clone(), cfg, &faults));
-    'outer: for offset in 10..38u64 {
-        for seed in 0..8u64 {
-            let specs = vec![
-                bc_request(&shape, 9, 24, 0),
-                unicast(&shape, 0, 5, 24, offset),
-            ];
-            let r = run_schedule(
-                net.graph(),
-                scheme.clone(),
-                &specs,
-                SimConfig {
-                    arb_seed: seed,
-                    ..SimConfig::default()
-                },
-            );
-            if let SimOutcome::Deadlock(info) = r.outcome {
-                t.note(format!("example cycle (offset {offset}, seed {seed}):"));
+        // Exhibit one cycle, with its replay token.
+        let witness = result.deadlocks().next();
+        if let Some(r) = witness {
+            t.note(format!("example cycle ({}):", r.scenario));
+            if let Some(info) = &r.deadlock {
                 for e in &info.cycle {
                     t.note(format!(
                         "  {} waits for {} held by {}",
                         e.waiter, e.channel, e.holder
                     ));
                 }
-                break 'outer;
             }
+            t.note(format!("replay: campaign replay {}", r.token));
         }
     }
     vec![t]
@@ -488,46 +474,40 @@ pub fn fig10_deadlock_free() -> Vec<Table> {
     let shape = net.shape().clone();
     let mut sites: Vec<Option<FaultSite>> = vec![None];
     sites.extend(enumerate_single_faults(&net).into_iter().map(Some));
-    for site in &sites {
-        let faults = site.map(FaultSet::single).unwrap_or_default();
-        let results: Vec<(bool, usize)> = (0..16u64)
-            .into_par_iter()
-            .map(|seed| {
-                let scheme = Arc::new(Sr2201Routing::new(net.clone(), &faults).unwrap());
-                let specs = mdx_workloads::mixed_schedule(
-                    &shape,
-                    mdx_workloads::TrafficPattern::UniformRandom,
-                    mdx_workloads::OpenLoop {
+    // One campaign over every (fault site, seed) cell; rows regroup by site.
+    let scenarios: Vec<Scenario> = sites
+        .iter()
+        .flat_map(|site| {
+            (0..16u64).map(move |seed| {
+                Scenario::new(
+                    vec![4, 3],
+                    "sr2201",
+                    Workload::Mixed {
+                        pattern: mdx_workloads::TrafficPattern::UniformRandom,
                         rate: 0.02,
                         packet_flits: 12,
                         window: 200,
-                        seed,
+                        broadcast_rate: 0.002,
                     },
-                    0.002,
-                    &faults,
-                );
-                let r = run_schedule(
-                    net.graph(),
-                    scheme,
-                    &specs,
-                    SimConfig {
-                        arb_seed: seed,
-                        ..SimConfig::default()
-                    },
-                );
-                let undelivered = r
-                    .packets
-                    .iter()
-                    .filter(|p| p.outcome == PacketOutcome::Unfinished)
-                    .count();
-                (r.outcome.is_deadlock(), undelivered)
+                    seed,
+                )
+                .with_faults(*site)
             })
+        })
+        .collect();
+    let result = run_campaign(scenarios);
+    for site in &sites {
+        let site_faults: Vec<FaultSite> = site.iter().copied().collect();
+        let rows: Vec<_> = result
+            .reports
+            .iter()
+            .filter(|r| r.scenario.faults == site_faults)
             .collect();
-        let deadlocks = results.iter().filter(|r| r.0).count();
-        let undelivered: usize = results.iter().map(|r| r.1).sum();
+        let deadlocks = rows.iter().filter(|r| r.is_deadlock()).count();
+        let undelivered: usize = rows.iter().map(|r| r.stats.unfinished).sum();
         t.row(vec![
             site.map(|s| s.to_string()).unwrap_or("none".to_string()),
-            results.len().to_string(),
+            rows.len().to_string(),
             deadlocks.to_string(),
             undelivered.to_string(),
         ]);

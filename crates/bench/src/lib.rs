@@ -10,8 +10,8 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
-pub mod extensions;
 pub mod claims;
+pub mod extensions;
 pub mod figures;
 pub mod report;
 

@@ -1,0 +1,228 @@
+//! The `campaign` CLI: run, replay, and shrink routing experiments.
+//!
+//! ```text
+//! campaign run [--scheme all|id,..] [--shape 4x3] [--max-faults N]
+//!              [--fault-samples N] [--seeds N] [--workloads mixed,storm,detour]
+//!              [--max-cycles N] [--jsonl PATH] [--quiet]
+//! campaign replay <token>
+//! campaign shrink <token>
+//! ```
+//!
+//! Every row a campaign emits carries an `MDX1.` token; `replay` reruns one
+//! bit-identically and `shrink` minimizes a deadlocking one.
+
+use mdx_campaign::{
+    enumerate_scenarios, run_campaign, run_scenario, shrink, CampaignConfig, Scenario,
+    WorkloadKind, CAMPAIGN_SCHEMES,
+};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  \
+         campaign run [--scheme all|id,..] [--shape WxH[xD..]] [--max-faults N]\n    \
+         [--fault-samples N] [--seeds N] [--workloads mixed,storm,detour]\n    \
+         [--max-cycles N] [--jsonl PATH] [--quiet] [--fail-on-deadlock]\n  \
+         campaign replay <token>\n  \
+         campaign shrink <token>"
+    );
+    std::process::exit(2);
+}
+
+fn parse_shape(s: &str) -> Vec<u16> {
+    let dims: Option<Vec<u16>> = s.split('x').map(|p| p.parse().ok()).collect();
+    match dims {
+        Some(d) if !d.is_empty() => d,
+        _ => {
+            eprintln!("error: bad --shape `{s}` (expected e.g. 4x3)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, v: Option<String>) -> T {
+    match v.and_then(|s| s.parse().ok()) {
+        Some(n) => n,
+        None => {
+            eprintln!("error: {flag} needs a numeric argument");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let mut cfg = CampaignConfig {
+        seeds: 8,
+        ..CampaignConfig::default()
+    };
+    let mut jsonl: Option<String> = None;
+    let mut quiet = false;
+    let mut fail_on_deadlock = false;
+
+    let mut it = args.iter().cloned();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scheme" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                cfg.schemes = if v == "all" {
+                    CAMPAIGN_SCHEMES.iter().map(|s| s.to_string()).collect()
+                } else {
+                    v.split(',')
+                        .map(|s| {
+                            if !mdx_core::registry::SCHEME_IDS.contains(&s) {
+                                eprintln!(
+                                    "error: unknown scheme `{s}` (known: {})",
+                                    mdx_core::registry::SCHEME_IDS.join(", ")
+                                );
+                                std::process::exit(2);
+                            }
+                            s.to_string()
+                        })
+                        .collect()
+                };
+            }
+            "--shape" => cfg.shape = parse_shape(&it.next().unwrap_or_else(|| usage())),
+            "--max-faults" => cfg.max_faults = parse_num("--max-faults", it.next()),
+            "--fault-samples" => cfg.fault_samples = parse_num("--fault-samples", it.next()),
+            "--seeds" => cfg.seeds = parse_num("--seeds", it.next()),
+            "--max-cycles" => cfg.max_cycles = parse_num("--max-cycles", it.next()),
+            "--workloads" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                cfg.workloads = v
+                    .split(',')
+                    .map(|w| {
+                        WorkloadKind::parse(w).unwrap_or_else(|| {
+                            eprintln!("error: unknown workload `{w}`");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+            }
+            "--jsonl" => jsonl = Some(it.next().unwrap_or_else(|| usage())),
+            "--quiet" => quiet = true,
+            "--fail-on-deadlock" => fail_on_deadlock = true,
+            _ => usage(),
+        }
+    }
+
+    let scenarios = match enumerate_scenarios(&cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if !quiet {
+        println!(
+            "running {} scenarios ({} scheme(s), shape {:?}, max {} fault(s), {} seed(s))...",
+            scenarios.len(),
+            cfg.schemes.len(),
+            cfg.shape,
+            cfg.max_faults,
+            cfg.seeds
+        );
+    }
+    let result = run_campaign(scenarios);
+
+    if let Some(path) = jsonl {
+        if let Err(e) = std::fs::write(&path, result.to_jsonl()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::from(1);
+        }
+        if !quiet {
+            println!("wrote {} rows to {path}", result.reports.len());
+        }
+    }
+
+    print!("{}", result.summary());
+    let deadlocks: Vec<_> = result.deadlocks().collect();
+    if !deadlocks.is_empty() && !quiet {
+        println!("\ndeadlock witnesses (up to 5, shrink with `campaign shrink <token>`):");
+        for r in deadlocks.iter().take(5) {
+            println!("  {}  {}", r.scenario, r.token);
+        }
+    }
+    if fail_on_deadlock && !deadlocks.is_empty() {
+        eprintln!("error: {} deadlock(s) found", deadlocks.len());
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
+fn decode(token: &str) -> Scenario {
+    match Scenario::from_token(token) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn cmd_replay(token: &str) -> ExitCode {
+    let scenario = decode(token);
+    match run_scenario(&scenario) {
+        Ok(report) => {
+            let json = serde_json::to_string_pretty(&report).expect("report serializes");
+            println!("{json}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn cmd_shrink(token: &str) -> ExitCode {
+    let scenario = decode(token);
+    match shrink(&scenario) {
+        Ok(report) => {
+            println!("scenario: {}", report.minimized);
+            println!(
+                "packets {} -> {}, flits {} -> {}, faults {} -> {}, PEs {} -> {} ({} runs)",
+                report.packets.0,
+                report.packets.1,
+                report.flits.0,
+                report.flits.1,
+                report.faults.0,
+                report.faults.1,
+                report.pes.0,
+                report.pes.1,
+                report.runs
+            );
+            for step in &report.steps {
+                println!("  - {step}");
+            }
+            println!("cyclic wait at cycle {}:", report.deadlock.detected_at);
+            for edge in &report.deadlock.cycle {
+                println!(
+                    "  {} waits for {} held by {}",
+                    edge.waiter, edge.channel, edge.holder
+                );
+            }
+            println!("minimized token:\n{}", report.token);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("replay") => match args.get(1) {
+            Some(t) => cmd_replay(t),
+            None => usage(),
+        },
+        Some("shrink") => match args.get(1) {
+            Some(t) => cmd_shrink(t),
+            None => usage(),
+        },
+        _ => usage(),
+    }
+}

@@ -1,0 +1,501 @@
+//! Campaign enumeration, parallel execution, and aggregation.
+//!
+//! A *campaign* is a grid of [`Scenario`]s — schemes × fault sets ×
+//! workloads × seeds — executed in parallel on [`mdx_sim::Simulator`].
+//! Every row carries its scenario token, so any interesting outcome can be
+//! replayed or shrunk later from the report alone.
+
+use crate::scenario::{detour_stress_for, Scenario, ScenarioError, Workload};
+use mdx_core::registry::{build_scheme, RegistryError};
+use mdx_fault::{enumerate_single_faults, sample_fault_sets, FaultSet};
+use mdx_sim::{DeadlockInfo, SimConfig, SimOutcome, SimStats, Simulator};
+use mdx_topology::{ChannelId, MdCrossbar, Shape};
+use mdx_workloads::TrafficPattern;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// The scheme ids a default campaign sweeps: the paper's deadlock-free
+/// scheme and its two broken foils.
+pub const CAMPAIGN_SCHEMES: &[&str] = &["sr2201", "separate-dxb", "naive-broadcast"];
+
+/// Which workload families to enumerate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// Fig. 10 mixed open-loop traffic.
+    Mixed,
+    /// Fig. 5 broadcast storm.
+    Storm,
+    /// Fig. 9 broadcast-plus-detoured-unicast race.
+    Detour,
+}
+
+impl WorkloadKind {
+    /// All families, in enumeration order.
+    pub fn all() -> Vec<WorkloadKind> {
+        vec![
+            WorkloadKind::Mixed,
+            WorkloadKind::Storm,
+            WorkloadKind::Detour,
+        ]
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<WorkloadKind> {
+        match s {
+            "mixed" => Some(WorkloadKind::Mixed),
+            "storm" => Some(WorkloadKind::Storm),
+            "detour" => Some(WorkloadKind::Detour),
+            _ => None,
+        }
+    }
+}
+
+/// Grid parameters for [`enumerate_scenarios`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Topology extents.
+    pub shape: Vec<u16>,
+    /// Scheme ids to sweep.
+    pub schemes: Vec<String>,
+    /// Largest fault-set size. `0` runs fault-free only; `1` adds every
+    /// single fault exhaustively; higher k adds [`sample_fault_sets`]
+    /// samples per size.
+    pub max_faults: usize,
+    /// Sampled fault sets per size for k >= 2.
+    pub fault_samples: usize,
+    /// Seeds per (scheme, fault set, workload) cell.
+    pub seeds: u64,
+    /// Workload families to enumerate.
+    pub workloads: Vec<WorkloadKind>,
+    /// Engine buffer depth (wormhole at the default 2).
+    pub buffer_flits: usize,
+    /// Engine cycle limit per scenario.
+    pub max_cycles: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            shape: vec![4, 3],
+            schemes: CAMPAIGN_SCHEMES.iter().map(|s| s.to_string()).collect(),
+            max_faults: 1,
+            fault_samples: 8,
+            seeds: 8,
+            workloads: WorkloadKind::all(),
+            buffer_flits: SimConfig::default().buffer_flits,
+            max_cycles: 50_000,
+        }
+    }
+}
+
+/// The fault sets a config sweeps: fault-free, then every single fault,
+/// then sampled k-fault sets up to `max_faults`.
+pub fn enumerate_fault_sets(net: &MdCrossbar, cfg: &CampaignConfig) -> Vec<FaultSet> {
+    let mut sets = vec![FaultSet::none()];
+    if cfg.max_faults >= 1 {
+        sets.extend(
+            enumerate_single_faults(net)
+                .into_iter()
+                .map(FaultSet::single),
+        );
+    }
+    for k in 2..=cfg.max_faults {
+        sets.extend(sample_fault_sets(
+            net,
+            k,
+            cfg.fault_samples,
+            0xFA17 + k as u64,
+        ));
+    }
+    sets
+}
+
+/// Expands the grid into concrete scenarios.
+pub fn enumerate_scenarios(cfg: &CampaignConfig) -> Result<Vec<Scenario>, ScenarioError> {
+    let shape = Shape::new(&cfg.shape).map_err(|e| ScenarioError::BadShape(e.to_string()))?;
+    let net = MdCrossbar::build(shape.clone());
+    let fault_sets = enumerate_fault_sets(&net, cfg);
+
+    // Fig. 5-style storm sources: PEs spread across the machine.
+    let n = shape.num_pes();
+    let storm_sources: Vec<usize> = (0..4.min(n)).map(|i| i * n / 4.min(n)).collect();
+
+    let mut scenarios = Vec::new();
+    for scheme in &cfg.schemes {
+        for faults in &fault_sets {
+            for &wk in &cfg.workloads {
+                for seed in 0..cfg.seeds {
+                    let workload = match wk {
+                        WorkloadKind::Mixed => Workload::Mixed {
+                            pattern: TrafficPattern::UniformRandom,
+                            rate: 0.02,
+                            packet_flits: 12,
+                            window: 200,
+                            broadcast_rate: 0.002,
+                        },
+                        WorkloadKind::Storm => Workload::BroadcastStorm {
+                            sources: storm_sources.clone(),
+                            flits: 16,
+                        },
+                        // Sweep the injection offset with the seed: the
+                        // Fig. 9 race is offset-sensitive.
+                        WorkloadKind::Detour => detour_stress_for(&shape, 24, 10 + seed % 28),
+                    };
+                    let mut s = Scenario::new(cfg.shape.clone(), scheme, workload, seed);
+                    s.buffer_flits = cfg.buffer_flits;
+                    s.max_cycles = cfg.max_cycles;
+                    scenarios.push(s.with_faults(faults.sites()));
+                }
+            }
+        }
+    }
+    Ok(scenarios)
+}
+
+/// Why a scenario could not run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignError {
+    /// The scenario itself is malformed.
+    Scenario(ScenarioError),
+    /// The scheme cannot be configured for this shape/fault combination
+    /// (e.g. conflicting crossbar faults) — a *skip*, not a failure.
+    Registry(RegistryError),
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::Scenario(e) => write!(f, "{e}"),
+            CampaignError::Registry(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<ScenarioError> for CampaignError {
+    fn from(e: ScenarioError) -> CampaignError {
+        CampaignError::Scenario(e)
+    }
+}
+
+impl From<RegistryError> for CampaignError {
+    fn from(e: RegistryError) -> CampaignError {
+        CampaignError::Registry(e)
+    }
+}
+
+/// FNV-1a over bytes — the digest used to compare replays bit-for-bit.
+fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One campaign row: a scenario plus everything observed running it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// The replay token (also recoverable from `scenario`).
+    pub token: String,
+    /// The scenario that ran.
+    pub scenario: Scenario,
+    /// Terminal condition, as a stable string: `completed`, `deadlock`,
+    /// `stalled`, or `cycle-limit`.
+    pub outcome: String,
+    /// Packets offered by the workload.
+    pub offered: usize,
+    /// Run aggregates.
+    pub stats: SimStats,
+    /// Latency percentiles (p50, p95, p99) over delivered packets.
+    pub latency_p50: Option<u64>,
+    /// 95th percentile latency.
+    pub latency_p95: Option<u64>,
+    /// 99th percentile latency.
+    pub latency_p99: Option<u64>,
+    /// The busiest channels as `(description, flits crossed)`, descending.
+    pub hot_channels: Vec<(String, u64)>,
+    /// The cyclic wait, when the run deadlocked.
+    pub deadlock: Option<DeadlockInfo>,
+    /// FNV-1a digest (hex) of the full serialized [`mdx_sim::SimResult`] —
+    /// two runs match bit-for-bit iff their digests match.
+    pub digest: String,
+}
+
+impl ScenarioReport {
+    /// Whether this row ended in a detected deadlock.
+    pub fn is_deadlock(&self) -> bool {
+        self.outcome == "deadlock"
+    }
+}
+
+/// Stable outcome label for report rows.
+fn outcome_label(o: &SimOutcome) -> &'static str {
+    match o {
+        SimOutcome::Completed => "completed",
+        SimOutcome::Deadlock(_) => "deadlock",
+        SimOutcome::Stalled => "stalled",
+        SimOutcome::CycleLimit => "cycle-limit",
+    }
+}
+
+/// Runs one scenario to completion and aggregates its outcome.
+pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, CampaignError> {
+    let shape = scenario.shape_obj()?;
+    let faults = scenario.fault_set()?;
+    let net = Arc::new(MdCrossbar::build(shape.clone()));
+    let scheme = build_scheme(&scenario.scheme, net.clone(), &faults)?;
+    let specs = scenario.specs(&shape, &faults);
+
+    let mut sim = Simulator::new(net.graph().clone(), scheme, scenario.sim_config());
+    for &spec in &specs {
+        sim.schedule(spec);
+    }
+    let result = sim.run();
+
+    let mut hot: Vec<(String, u64)> = sim
+        .channel_flits()
+        .iter()
+        .enumerate()
+        .filter(|(_, &f)| f > 0)
+        .map(|(i, &f)| (net.graph().describe_channel(ChannelId(i as u32)), f))
+        .collect();
+    hot.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    hot.truncate(5);
+
+    let digest = format!(
+        "{:016x}",
+        fnv1a64(
+            serde_json::to_string(&result)
+                .expect("sim result serializes")
+                .as_bytes()
+        )
+    );
+    let deadlock = match &result.outcome {
+        SimOutcome::Deadlock(info) => Some(info.clone()),
+        _ => None,
+    };
+    Ok(ScenarioReport {
+        token: scenario.token(),
+        scenario: scenario.clone(),
+        outcome: outcome_label(&result.outcome).to_string(),
+        offered: specs.len(),
+        stats: result.stats.clone(),
+        latency_p50: result.latency_percentile(50),
+        latency_p95: result.latency_percentile(95),
+        latency_p99: result.latency_percentile(99),
+        hot_channels: hot,
+        deadlock,
+        digest,
+    })
+}
+
+/// A finished campaign: rows for every runnable scenario, plus the
+/// scenarios skipped because their scheme/fault combination admits no
+/// routing configuration.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// One row per executed scenario, in enumeration order.
+    pub reports: Vec<ScenarioReport>,
+    /// `(scenario, reason)` for combinations that cannot be configured.
+    pub skipped: Vec<(Scenario, String)>,
+}
+
+impl CampaignResult {
+    /// Rows that deadlocked.
+    pub fn deadlocks(&self) -> impl Iterator<Item = &ScenarioReport> {
+        self.reports.iter().filter(|r| r.is_deadlock())
+    }
+
+    /// Deadlock count per scheme id, in first-seen order.
+    pub fn deadlocks_by_scheme(&self) -> Vec<(String, usize, usize)> {
+        let mut rows: Vec<(String, usize, usize)> = Vec::new();
+        for r in &self.reports {
+            let scheme = &r.scenario.scheme;
+            let entry = match rows.iter_mut().find(|(s, _, _)| s == scheme) {
+                Some(e) => e,
+                None => {
+                    rows.push((scheme.clone(), 0, 0));
+                    rows.last_mut().expect("just pushed")
+                }
+            };
+            entry.1 += 1;
+            if r.is_deadlock() {
+                entry.2 += 1;
+            }
+        }
+        rows
+    }
+
+    /// Serializes every row as JSON Lines.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.reports {
+            out.push_str(&serde_json::to_string(r).expect("report serializes"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// A human-readable per-scheme summary table.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<16} {:>9} {:>10} {:>8} {:>11} {:>10} {:>10}\n",
+            "scheme", "scenarios", "completed", "deadlock", "cycle-limit", "delivered", "p95 lat"
+        ));
+        for (scheme, _, _) in self.deadlocks_by_scheme() {
+            let rows: Vec<&ScenarioReport> = self
+                .reports
+                .iter()
+                .filter(|r| r.scenario.scheme == scheme)
+                .collect();
+            let completed = rows.iter().filter(|r| r.outcome == "completed").count();
+            let deadlock = rows.iter().filter(|r| r.outcome == "deadlock").count();
+            let limit = rows
+                .iter()
+                .filter(|r| r.outcome == "cycle-limit" || r.outcome == "stalled")
+                .count();
+            let delivered: usize = rows.iter().map(|r| r.stats.delivered).sum();
+            let mut p95s: Vec<u64> = rows.iter().filter_map(|r| r.latency_p95).collect();
+            p95s.sort_unstable();
+            let p95 = p95s
+                .get(p95s.len().saturating_sub(1) / 2)
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "-".to_string());
+            out.push_str(&format!(
+                "{scheme:<16} {:>9} {completed:>10} {deadlock:>8} {limit:>11} {delivered:>10} {p95:>10}\n",
+                rows.len()
+            ));
+        }
+        if !self.skipped.is_empty() {
+            out.push_str(&format!(
+                "({} scenario(s) skipped: unconfigurable scheme/fault combinations)\n",
+                self.skipped.len()
+            ));
+        }
+        out
+    }
+}
+
+/// Runs every scenario in parallel (rayon) and collects the rows in
+/// enumeration order.
+pub fn run_campaign(scenarios: Vec<Scenario>) -> CampaignResult {
+    let outcomes: Vec<(Scenario, Result<ScenarioReport, CampaignError>)> = scenarios
+        .into_par_iter()
+        .map(|s| {
+            let r = run_scenario(&s);
+            (s, r)
+        })
+        .collect();
+    let mut reports = Vec::new();
+    let mut skipped = Vec::new();
+    for (scenario, outcome) in outcomes {
+        match outcome {
+            Ok(report) => reports.push(report),
+            Err(CampaignError::Registry(e)) => skipped.push((scenario, e.to_string())),
+            Err(CampaignError::Scenario(e)) => skipped.push((scenario, e.to_string())),
+        }
+    }
+    CampaignResult { reports, skipped }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdx_fault::FaultSite;
+    use mdx_topology::Coord;
+
+    #[test]
+    fn enumerate_counts_multiply() {
+        let cfg = CampaignConfig {
+            schemes: vec!["sr2201".to_string()],
+            max_faults: 0,
+            seeds: 3,
+            workloads: vec![WorkloadKind::Mixed, WorkloadKind::Storm],
+            ..CampaignConfig::default()
+        };
+        let scenarios = enumerate_scenarios(&cfg).unwrap();
+        // 1 scheme x 1 fault set (none) x 2 workloads x 3 seeds.
+        assert_eq!(scenarios.len(), 6);
+    }
+
+    #[test]
+    fn single_fault_universe_is_exhaustive() {
+        let cfg = CampaignConfig::default();
+        let net = MdCrossbar::build(Shape::fig2());
+        // Fig. 2: 7 crossbars + 12 routers + 12 PEs, plus fault-free.
+        assert_eq!(enumerate_fault_sets(&net, &cfg).len(), 1 + 31);
+    }
+
+    #[test]
+    fn run_scenario_completes_and_digests() {
+        let s = Scenario::new(
+            vec![4, 3],
+            "sr2201",
+            Workload::BroadcastStorm {
+                sources: vec![0, 4, 8],
+                flits: 16,
+            },
+            1,
+        );
+        let r = run_scenario(&s).unwrap();
+        assert_eq!(r.outcome, "completed");
+        assert_eq!(r.offered, 3);
+        assert_eq!(r.stats.delivered, 3);
+        assert!(!r.hot_channels.is_empty());
+        // The digest is a replay invariant.
+        assert_eq!(run_scenario(&s).unwrap().digest, r.digest);
+    }
+
+    #[test]
+    fn detour_scenario_deadlocks_separate_dxb_only() {
+        let shape = Shape::fig2();
+        let faulty = shape.index_of(Coord::new(&[1, 0]));
+        let mk = |scheme: &str, seed: u64, offset: u64| {
+            Scenario::new(
+                vec![4, 3],
+                scheme,
+                detour_stress_for(&shape, 24, offset),
+                seed,
+            )
+            .with_faults([FaultSite::Router(faulty)])
+        };
+        let mut bad_deadlocks = 0;
+        for seed in 0..8 {
+            for offset in 10..38 {
+                let bad = run_scenario(&mk("separate-dxb", seed, offset)).unwrap();
+                if bad.is_deadlock() {
+                    bad_deadlocks += 1;
+                    assert!(bad.deadlock.is_some());
+                }
+                let good = run_scenario(&mk("sr2201", seed, offset)).unwrap();
+                assert_ne!(good.outcome, "deadlock");
+            }
+        }
+        assert!(bad_deadlocks > 0, "fig9 variant never deadlocked");
+    }
+
+    #[test]
+    fn skips_unconfigurable_combinations() {
+        let s = Scenario::new(
+            vec![4, 3],
+            "sr2201",
+            Workload::BroadcastStorm {
+                sources: vec![0],
+                flits: 8,
+            },
+            0,
+        )
+        .with_faults([
+            FaultSite::Xbar(mdx_topology::XbarRef { dim: 0, line: 0 }),
+            FaultSite::Xbar(mdx_topology::XbarRef { dim: 1, line: 1 }),
+        ]);
+        let out = run_campaign(vec![s]);
+        assert!(out.reports.is_empty());
+        assert_eq!(out.skipped.len(), 1);
+    }
+}

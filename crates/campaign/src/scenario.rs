@@ -1,0 +1,455 @@
+//! The [`Scenario`] type: one fully-specified simulation run.
+//!
+//! A scenario pins *everything* an experiment run depends on — topology
+//! shape, routing scheme id, fault set, workload, seed, and the engine
+//! parameters — so that any campaign row can be replayed bit-identically
+//! from its printed token alone (see [`crate::token`]).
+
+use crate::token::{self, TokenError};
+use mdx_core::{Header, RouteChange};
+use mdx_fault::{FaultSet, FaultSite};
+use mdx_sim::{InjectSpec, SimConfig};
+use mdx_topology::{Coord, Shape, TopologyError, MAX_DIMS};
+use mdx_workloads::{mixed_schedule, OpenLoop, TrafficPattern};
+use serde::{Deserialize, Serialize};
+
+/// The traffic a scenario offers to the network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Workload {
+    /// Open-loop unicast traffic plus Bernoulli broadcast requests
+    /// ([`mdx_workloads::mixed_schedule`], the Fig. 10 stress recipe). The
+    /// generator seed is the scenario seed.
+    Mixed {
+        /// Destination-selection rule for the unicast fraction.
+        pattern: TrafficPattern,
+        /// Per-PE-per-cycle unicast injection probability.
+        rate: f64,
+        /// Packet length in flits.
+        packet_flits: usize,
+        /// Injection window in cycles.
+        window: u64,
+        /// Per-PE-per-cycle broadcast-request probability.
+        broadcast_rate: f64,
+    },
+    /// Simultaneous broadcasts from the listed sources at cycle 0 — the
+    /// Fig. 5 recipe that deadlocks unserialized broadcast.
+    BroadcastStorm {
+        /// Source PEs (unusable or out-of-range entries are skipped).
+        sources: Vec<usize>,
+        /// Packet length in flits.
+        flits: usize,
+    },
+    /// One broadcast plus one unicast injected `offset` cycles later and
+    /// routed so that, under a suitable fault, it takes the detour path —
+    /// the Fig. 9 recipe that deadlocks the D-XB ≠ S-XB variant.
+    DetourStress {
+        /// Broadcast source PE.
+        bc_src: usize,
+        /// Unicast source PE.
+        uni_src: usize,
+        /// Unicast destination PE.
+        uni_dst: usize,
+        /// Packet length in flits (both packets).
+        flits: usize,
+        /// Unicast injection cycle.
+        offset: u64,
+    },
+    /// A literal injection schedule. Produced by the shrinker; also the
+    /// escape hatch for replaying hand-built cases.
+    Explicit {
+        /// The exact packets to inject.
+        specs: Vec<InjectSpec>,
+    },
+}
+
+impl Workload {
+    /// Short name for report rows.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Workload::Mixed { .. } => "mixed",
+            Workload::BroadcastStorm { .. } => "storm",
+            Workload::DetourStress { .. } => "detour",
+            Workload::Explicit { .. } => "explicit",
+        }
+    }
+}
+
+/// Errors turning a scenario into a runnable simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// The shape vector is not a valid [`Shape`].
+    BadShape(String),
+    /// A fault site references a component outside the shape.
+    BadFault(String),
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::BadShape(e) => write!(f, "bad shape: {e}"),
+            ScenarioError::BadFault(e) => write!(f, "bad fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// One fully-specified simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Topology extents (one per dimension).
+    pub shape: Vec<u16>,
+    /// Routing scheme id (see [`mdx_core::registry`]).
+    pub scheme: String,
+    /// Faulty components.
+    pub faults: Vec<FaultSite>,
+    /// Offered traffic.
+    pub workload: Workload,
+    /// The run seed: used for workload generation *and* arbitration
+    /// tie-breaking, so one number replays the run.
+    pub seed: u64,
+    /// Engine buffer depth per channel ([`SimConfig::buffer_flits`]).
+    pub buffer_flits: usize,
+    /// Engine hard cycle limit ([`SimConfig::max_cycles`]).
+    pub max_cycles: u64,
+}
+
+impl Scenario {
+    /// A scenario with the default engine parameters (wormhole buffers,
+    /// campaign-sized cycle limit).
+    pub fn new(shape: Vec<u16>, scheme: &str, workload: Workload, seed: u64) -> Scenario {
+        Scenario {
+            shape,
+            scheme: scheme.to_string(),
+            faults: Vec::new(),
+            workload,
+            seed,
+            buffer_flits: SimConfig::default().buffer_flits,
+            max_cycles: 50_000,
+        }
+    }
+
+    /// Adds fault sites (builder style).
+    #[must_use]
+    pub fn with_faults(mut self, faults: impl IntoIterator<Item = FaultSite>) -> Scenario {
+        self.faults.extend(faults);
+        self.faults.sort_unstable();
+        self.faults.dedup();
+        self
+    }
+
+    /// The validated [`Shape`].
+    pub fn shape_obj(&self) -> Result<Shape, ScenarioError> {
+        if self.shape.len() > MAX_DIMS {
+            return Err(ScenarioError::BadShape(format!(
+                "{} dimensions exceed MAX_DIMS = {MAX_DIMS}",
+                self.shape.len()
+            )));
+        }
+        Shape::new(&self.shape).map_err(|e: TopologyError| ScenarioError::BadShape(e.to_string()))
+    }
+
+    /// The fault set, validated against the shape.
+    pub fn fault_set(&self) -> Result<FaultSet, ScenarioError> {
+        let shape = self.shape_obj()?;
+        let n = shape.num_pes();
+        for &site in &self.faults {
+            let ok = match site {
+                FaultSite::Router(i) | FaultSite::Pe(i) => i < n,
+                FaultSite::Xbar(x) => {
+                    (x.dim as usize) < shape.d()
+                        && (x.line as usize) < n / shape.extent(x.dim as usize) as usize
+                }
+            };
+            if !ok {
+                return Err(ScenarioError::BadFault(format!(
+                    "{site} does not exist in shape {:?}",
+                    self.shape
+                )));
+            }
+        }
+        Ok(self.faults.iter().copied().collect())
+    }
+
+    /// The engine configuration this scenario runs under.
+    pub fn sim_config(&self) -> SimConfig {
+        SimConfig {
+            buffer_flits: self.buffer_flits,
+            max_cycles: self.max_cycles,
+            arb_seed: self.seed,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Materializes the workload into an injection schedule.
+    ///
+    /// Broadcast requests (RC=1) are rewritten to plain broadcasts (RC=2)
+    /// for the `naive-broadcast` scheme — it has no S-XB to serialize
+    /// requests, which is exactly the property under test — and dropped
+    /// entirely for `o1turn`, which speaks no broadcast at all.
+    pub fn specs(&self, shape: &Shape, faults: &FaultSet) -> Vec<InjectSpec> {
+        let n = shape.num_pes();
+        let usable = |pe: usize| pe < n && faults.pe_usable(pe);
+        let mut specs = match &self.workload {
+            Workload::Mixed {
+                pattern,
+                rate,
+                packet_flits,
+                window,
+                broadcast_rate,
+            } => mixed_schedule(
+                shape,
+                *pattern,
+                OpenLoop {
+                    rate: *rate,
+                    packet_flits: *packet_flits,
+                    window: *window,
+                    seed: self.seed,
+                },
+                *broadcast_rate,
+                faults,
+            ),
+            Workload::BroadcastStorm { sources, flits } => sources
+                .iter()
+                .filter(|&&s| usable(s))
+                .map(|&s| InjectSpec {
+                    src_pe: s,
+                    header: Header::broadcast_request(shape.coord_of(s)),
+                    flits: *flits,
+                    inject_at: 0,
+                })
+                .collect(),
+            Workload::DetourStress {
+                bc_src,
+                uni_src,
+                uni_dst,
+                flits,
+                offset,
+            } => {
+                let mut v = Vec::new();
+                if usable(*bc_src) {
+                    v.push(InjectSpec {
+                        src_pe: *bc_src,
+                        header: Header::broadcast_request(shape.coord_of(*bc_src)),
+                        flits: *flits,
+                        inject_at: 0,
+                    });
+                }
+                if usable(*uni_src) && usable(*uni_dst) && uni_src != uni_dst {
+                    v.push(InjectSpec {
+                        src_pe: *uni_src,
+                        header: Header::unicast(shape.coord_of(*uni_src), shape.coord_of(*uni_dst)),
+                        flits: *flits,
+                        inject_at: *offset,
+                    });
+                }
+                v
+            }
+            Workload::Explicit { specs } => {
+                specs.iter().filter(|s| s.src_pe < n).copied().collect()
+            }
+        };
+        match self.scheme.as_str() {
+            "naive-broadcast" => {
+                for s in &mut specs {
+                    if s.header.rc == RouteChange::BroadcastRequest {
+                        s.header = Header {
+                            rc: RouteChange::Broadcast,
+                            dest: s.header.src,
+                            src: s.header.src,
+                        };
+                    }
+                }
+            }
+            "o1turn" => specs.retain(|s| s.header.rc == RouteChange::Normal),
+            _ => {}
+        }
+        specs
+    }
+
+    /// Encodes the scenario as a printable `MDX1.` token.
+    pub fn token(&self) -> String {
+        let json = serde_json::to_string(self).expect("scenario serializes");
+        token::wrap(&json)
+    }
+
+    /// Decodes a scenario from its token.
+    pub fn from_token(t: &str) -> Result<Scenario, TokenError> {
+        let json = token::unwrap(t)?;
+        serde_json::from_str(&json).map_err(|e| TokenError::BadScenario(e.to_string()))
+    }
+}
+
+/// A compact one-line description for logs and tables.
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let shape = self
+            .shape
+            .iter()
+            .map(u16::to_string)
+            .collect::<Vec<_>>()
+            .join("x");
+        let faults = if self.faults.is_empty() {
+            "none".to_string()
+        } else {
+            self.faults
+                .iter()
+                .map(|s| s.node().to_string())
+                .collect::<Vec<_>>()
+                .join("+")
+        };
+        write!(
+            f,
+            "{shape} {} {} faults={faults} seed={}",
+            self.scheme,
+            self.workload.kind(),
+            self.seed
+        )
+    }
+}
+
+/// Fig. 9's detour-stress placement generalized to any shape with at least
+/// two dimensions of extent >= 2: broadcast from the far corner of the
+/// first line, unicast from the origin across the `(1, 0)` router — the
+/// pair whose broadcast turn and detour turn can close a cyclic wait when
+/// D-XB ≠ S-XB.
+pub fn detour_stress_for(shape: &Shape, flits: usize, offset: u64) -> Workload {
+    let bc = Coord::ORIGIN
+        .with(0, 1.min(shape.extent(0) - 1))
+        .with(shape.d() - 1, shape.extent(shape.d() - 1) - 1);
+    let uni_dst = {
+        let mut c = Coord::ORIGIN;
+        for dim in 0..shape.d().min(2) {
+            c = c.with(dim, 1.min(shape.extent(dim) - 1));
+        }
+        c
+    };
+    Workload::DetourStress {
+        bc_src: shape.index_of(bc),
+        uni_src: 0,
+        uni_dst: shape.index_of(uni_dst),
+        flits,
+        offset,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdx_topology::XbarRef;
+
+    fn fig2_scenario() -> Scenario {
+        Scenario::new(
+            vec![4, 3],
+            "sr2201",
+            Workload::Mixed {
+                pattern: TrafficPattern::UniformRandom,
+                rate: 0.02,
+                packet_flits: 12,
+                window: 200,
+                broadcast_rate: 0.002,
+            },
+            7,
+        )
+        .with_faults([FaultSite::Router(5)])
+    }
+
+    #[test]
+    fn token_roundtrip_is_identity() {
+        let s = fig2_scenario();
+        let t = s.token();
+        assert!(t.starts_with("MDX1."));
+        assert_eq!(Scenario::from_token(&t).unwrap(), s);
+    }
+
+    #[test]
+    fn token_roundtrip_all_workloads() {
+        let shape = Shape::fig2();
+        for w in [
+            Workload::BroadcastStorm {
+                sources: vec![0, 4, 8],
+                flits: 16,
+            },
+            detour_stress_for(&shape, 24, 13),
+            Workload::Explicit {
+                specs: vec![InjectSpec {
+                    src_pe: 0,
+                    header: Header::unicast(shape.coord_of(0), shape.coord_of(5)),
+                    flits: 24,
+                    inject_at: 10,
+                }],
+            },
+        ] {
+            let s = Scenario::new(vec![4, 3], "separate-dxb", w, 3);
+            assert_eq!(Scenario::from_token(&s.token()).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn detour_stress_matches_fig9_on_fig2() {
+        // On the 4x3 network the generalized placement reproduces the
+        // paper's Fig. 9 actors: broadcast from PE9 = (1,2), unicast
+        // (0,0) -> (1,1).
+        let shape = Shape::fig2();
+        match detour_stress_for(&shape, 24, 10) {
+            Workload::DetourStress {
+                bc_src,
+                uni_src,
+                uni_dst,
+                ..
+            } => {
+                assert_eq!(bc_src, shape.index_of(Coord::new(&[1, 2])));
+                assert_eq!(uni_src, 0);
+                assert_eq!(uni_dst, shape.index_of(Coord::new(&[1, 1])));
+            }
+            other => panic!("unexpected workload {other:?}"),
+        }
+    }
+
+    #[test]
+    fn materialize_filters_unusable_pes() {
+        let shape = Shape::fig2();
+        let mut s = fig2_scenario();
+        s.workload = Workload::BroadcastStorm {
+            sources: vec![0, 5, 99],
+            flits: 8,
+        };
+        let faults = s.fault_set().unwrap();
+        // PE5's router is faulty and 99 is out of range: only PE0 remains.
+        let specs = s.specs(&shape, &faults);
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].src_pe, 0);
+    }
+
+    #[test]
+    fn naive_rewrite_turns_requests_into_broadcasts() {
+        let shape = Shape::fig2();
+        let s = Scenario::new(
+            vec![4, 3],
+            "naive-broadcast",
+            Workload::BroadcastStorm {
+                sources: vec![0, 4],
+                flits: 16,
+            },
+            0,
+        );
+        for spec in s.specs(&shape, &FaultSet::none()) {
+            assert_eq!(spec.header.rc, RouteChange::Broadcast);
+            assert_eq!(spec.header.dest, spec.header.src);
+        }
+    }
+
+    #[test]
+    fn fault_validation() {
+        let mut s = fig2_scenario();
+        s.faults = vec![FaultSite::Pe(12)];
+        assert!(s.fault_set().is_err());
+        s.faults = vec![FaultSite::Xbar(XbarRef { dim: 2, line: 0 })];
+        assert!(s.fault_set().is_err());
+        // On 4x3 dimension 1 has 12/3 = 4 lines (one per X column).
+        s.faults = vec![FaultSite::Xbar(XbarRef { dim: 1, line: 4 })];
+        assert!(s.fault_set().is_err());
+        s.faults = vec![FaultSite::Xbar(XbarRef { dim: 1, line: 3 })];
+        assert!(s.fault_set().is_ok());
+    }
+}

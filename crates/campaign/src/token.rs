@@ -1,0 +1,127 @@
+//! The `MDX1.` scenario token: a URL-safe, copy-pastable encoding of a
+//! [`crate::Scenario`].
+//!
+//! Format: the literal prefix `MDX1.` followed by unpadded base64url
+//! (RFC 4648 §5) of the scenario's compact JSON. The prefix versions the
+//! encoding so future scenario shapes can evolve without ambiguity.
+
+/// Version prefix of every scenario token.
+pub const TOKEN_PREFIX: &str = "MDX1.";
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_";
+
+/// Errors decoding a token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenError {
+    /// The string does not start with [`TOKEN_PREFIX`].
+    BadPrefix,
+    /// The payload contains a byte outside the base64url alphabet, or has
+    /// an impossible length.
+    BadPayload,
+    /// The payload decoded but its JSON does not describe a scenario.
+    BadScenario(String),
+}
+
+impl std::fmt::Display for TokenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TokenError::BadPrefix => write!(f, "token must start with `{TOKEN_PREFIX}`"),
+            TokenError::BadPayload => write!(f, "token payload is not valid base64url"),
+            TokenError::BadScenario(e) => write!(f, "token payload is not a scenario: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TokenError {}
+
+/// Encodes bytes as unpadded base64url.
+pub fn base64url_encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b = [
+            chunk[0],
+            chunk.get(1).copied().unwrap_or(0),
+            chunk.get(2).copied().unwrap_or(0),
+        ];
+        let n = (u32::from(b[0]) << 16) | (u32::from(b[1]) << 8) | u32::from(b[2]);
+        let sextets = [(n >> 18) & 63, (n >> 12) & 63, (n >> 6) & 63, n & 63];
+        for &s in sextets.iter().take(1 + chunk.len()) {
+            out.push(ALPHABET[s as usize] as char);
+        }
+    }
+    out
+}
+
+/// Decodes unpadded base64url.
+pub fn base64url_decode(s: &str) -> Result<Vec<u8>, TokenError> {
+    fn val(c: u8) -> Result<u32, TokenError> {
+        match c {
+            b'A'..=b'Z' => Ok(u32::from(c - b'A')),
+            b'a'..=b'z' => Ok(u32::from(c - b'a') + 26),
+            b'0'..=b'9' => Ok(u32::from(c - b'0') + 52),
+            b'-' => Ok(62),
+            b'_' => Ok(63),
+            _ => Err(TokenError::BadPayload),
+        }
+    }
+    if s.len() % 4 == 1 {
+        return Err(TokenError::BadPayload);
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len() * 3 / 4);
+    for chunk in bytes.chunks(4) {
+        let mut n = 0u32;
+        for &c in chunk {
+            n = (n << 6) | val(c)?;
+        }
+        n <<= 6 * (4 - chunk.len());
+        let produced = chunk.len() - 1;
+        let decoded = [(n >> 16) as u8, (n >> 8) as u8, n as u8];
+        out.extend_from_slice(&decoded[..produced]);
+    }
+    Ok(out)
+}
+
+/// Wraps a JSON payload into a token.
+pub fn wrap(json: &str) -> String {
+    format!("{TOKEN_PREFIX}{}", base64url_encode(json.as_bytes()))
+}
+
+/// Unwraps a token back to its JSON payload.
+pub fn unwrap(token: &str) -> Result<String, TokenError> {
+    let payload = token
+        .strip_prefix(TOKEN_PREFIX)
+        .ok_or(TokenError::BadPrefix)?;
+    let bytes = base64url_decode(payload.trim())?;
+    String::from_utf8(bytes).map_err(|_| TokenError::BadPayload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base64_roundtrip_all_lengths() {
+        for len in 0..40usize {
+            let data: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+            let enc = base64url_encode(&data);
+            assert!(enc.bytes().all(|b| ALPHABET.contains(&b)));
+            assert_eq!(base64url_decode(&enc).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn wrap_unwrap() {
+        let json = r#"{"shape":[4,3],"seed":7}"#;
+        let t = wrap(json);
+        assert!(t.starts_with("MDX1."));
+        assert_eq!(unwrap(&t).unwrap(), json);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(unwrap("nope"), Err(TokenError::BadPrefix));
+        assert_eq!(unwrap("MDX1.???"), Err(TokenError::BadPayload));
+        assert_eq!(unwrap("MDX1.AAAAA"), Err(TokenError::BadPayload));
+    }
+}

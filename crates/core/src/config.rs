@@ -179,8 +179,7 @@ impl RoutingConfig {
             })
             .collect();
         for dim in self.ord[1..].iter().copied() {
-            let mut forbidden: Vec<u16> =
-                router_coords.iter().map(|c| c.get(dim)).collect();
+            let mut forbidden: Vec<u16> = router_coords.iter().map(|c| c.get(dim)).collect();
             forbidden.push(self.special.get(dim));
             if let Some(v) = pick_avoiding(self.shape.extent(dim), &forbidden) {
                 self.detour = self.special.with(dim, v);
@@ -252,12 +251,16 @@ impl RoutingConfig {
     /// Whether `c` lies on the S-XB's line (agrees with the special line in
     /// every non-first dimension).
     pub fn on_special_line(&self, c: Coord) -> bool {
-        self.ord[1..].iter().all(|&d| c.get(d) == self.special.get(d))
+        self.ord[1..]
+            .iter()
+            .all(|&d| c.get(d) == self.special.get(d))
     }
 
     /// Whether `c` lies on the D-XB's line.
     pub fn on_detour_line(&self, c: Coord) -> bool {
-        self.ord[1..].iter().all(|&d| c.get(d) == self.detour.get(d))
+        self.ord[1..]
+            .iter()
+            .all(|&d| c.get(d) == self.detour.get(d))
     }
 }
 
@@ -318,8 +321,7 @@ mod tests {
     #[test]
     fn pe_fault_changes_nothing() {
         let shape = fig2();
-        let cfg =
-            RoutingConfig::for_faults(&shape, &FaultSet::single(FaultSite::Pe(5))).unwrap();
+        let cfg = RoutingConfig::for_faults(&shape, &FaultSet::single(FaultSite::Pe(5))).unwrap();
         assert_eq!(cfg, RoutingConfig::fault_free(shape));
     }
 
@@ -359,19 +361,14 @@ mod tests {
         let shape = Shape::new(&[4, 3, 2]).unwrap();
         let net = mdx_topology::MdCrossbar::build(shape.clone());
         for site in mdx_fault::enumerate_single_faults(&net) {
-            let cfg =
-                RoutingConfig::for_faults(&shape, &FaultSet::single(site)).unwrap();
+            let cfg = RoutingConfig::for_faults(&shape, &FaultSet::single(site)).unwrap();
             match site {
                 FaultSite::Router(r) => {
                     let c = shape.coord_of(r);
                     // The special line differs from the fault in EVERY
                     // non-first dimension (the convergence condition).
                     for &dim in &cfg.order()[1..] {
-                        assert_ne!(
-                            cfg.special_line().get(dim),
-                            c.get(dim),
-                            "{site} dim {dim}"
-                        );
+                        assert_ne!(cfg.special_line().get(dim), c.get(dim), "{site} dim {dim}");
                     }
                     assert!(!cfg.on_special_line(c));
                 }

@@ -144,10 +144,7 @@ pub fn check_scheme(
                     if t.delivered.len() != n {
                         violations.push(Violation {
                             kind: ViolationKind::Broadcast,
-                            context: format!(
-                                "src {src}: covered {}/{n} PEs",
-                                t.delivered.len()
-                            ),
+                            context: format!("src {src}: covered {}/{n} PEs", t.delivered.len()),
                         });
                     }
                 }

@@ -67,6 +67,7 @@ pub mod conformance;
 pub mod naive;
 pub mod o1turn;
 pub mod packet;
+pub mod registry;
 pub mod scheme;
 pub mod sr2201;
 pub mod trace;
@@ -76,6 +77,7 @@ pub use conformance::{check_scheme, ConformanceFamily, ConformanceReport};
 pub use naive::NaiveBroadcast;
 pub use o1turn::O1TurnRouting;
 pub use packet::{Header, Packet, RouteChange};
+pub use registry::{build_scheme, RegistryError, SCHEME_IDS};
 pub use scheme::{Action, Branch, DropReason, Scheme};
 pub use sr2201::Sr2201Routing;
 pub use trace::{trace_broadcast, trace_unicast, BroadcastTrace, TraceError, UnicastTrace};

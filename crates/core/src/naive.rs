@@ -188,7 +188,11 @@ mod tests {
         let src = Coord::new(&[2, 1]);
         let r = Shape::fig2().index_of(src);
         let h = bc_header(src);
-        match s.decide(Node::Xbar(XbarRef { dim: 0, line: 1 }), Some(Node::Router(r)), &h) {
+        match s.decide(
+            Node::Xbar(XbarRef { dim: 0, line: 1 }),
+            Some(Node::Router(r)),
+            &h,
+        ) {
             Action::Forward(b) => assert_eq!(b.len(), 4),
             other => panic!("unexpected {other:?}"),
         }

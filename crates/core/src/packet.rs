@@ -263,7 +263,10 @@ mod tests {
         let mut bad = BytesMut::new();
         bad.put_u8(7);
         bad.put_slice(&[0u8; 12]);
-        assert_eq!(Packet::decode(&shape, bad.freeze()), Err(DecodeError::BadRc));
+        assert_eq!(
+            Packet::decode(&shape, bad.freeze()),
+            Err(DecodeError::BadRc)
+        );
         // Address (9, 9) outside 4x3.
         let h = Header::unicast(Coord::new(&[1, 0]), Coord::new(&[3, 2]));
         let p = Packet::new(h, Bytes::new());

@@ -1,0 +1,130 @@
+//! Routing schemes by name.
+//!
+//! The experiment campaigns identify schemes by stable string ids so a
+//! whole run can be replayed from a printed token. This module is the
+//! single place those ids are defined:
+//!
+//! | id | scheme |
+//! |----|--------|
+//! | `sr2201` | the paper's deadlock-free scheme (D-XB = S-XB) |
+//! | `separate-dxb` | the Fig. 9 deadlock-prone variant (D-XB ≠ S-XB) |
+//! | `naive-broadcast` | the unserialized Fig. 5 broadcast strawman |
+//! | `o1turn` | the O1TURN baseline (no fault tolerance, no broadcast) |
+
+use crate::config::{ConfigError, RoutingConfig};
+use crate::naive::NaiveBroadcast;
+use crate::o1turn::O1TurnRouting;
+use crate::scheme::Scheme;
+use crate::sr2201::Sr2201Routing;
+use mdx_fault::FaultSet;
+use mdx_topology::MdCrossbar;
+use std::sync::Arc;
+
+/// The registered scheme ids, in presentation order.
+pub const SCHEME_IDS: &[&str] = &["sr2201", "separate-dxb", "naive-broadcast", "o1turn"];
+
+/// Why a scheme could not be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The id is not in [`SCHEME_IDS`].
+    UnknownScheme(String),
+    /// The shape/fault combination admits no routing configuration.
+    Config(ConfigError),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::UnknownScheme(id) => {
+                write!(
+                    f,
+                    "unknown scheme `{id}` (known: {})",
+                    SCHEME_IDS.join(", ")
+                )
+            }
+            RegistryError::Config(e) => write!(f, "cannot configure scheme: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+impl From<ConfigError> for RegistryError {
+    fn from(e: ConfigError) -> RegistryError {
+        RegistryError::Config(e)
+    }
+}
+
+/// Builds the scheme registered under `id` for `net` under `faults`.
+pub fn build_scheme(
+    id: &str,
+    net: Arc<MdCrossbar>,
+    faults: &FaultSet,
+) -> Result<Arc<dyn Scheme>, RegistryError> {
+    match id {
+        "sr2201" => Ok(Arc::new(Sr2201Routing::new(net, faults)?)),
+        "separate-dxb" => {
+            let cfg = RoutingConfig::for_faults(net.shape(), faults)?.with_separate_dxb(faults);
+            Ok(Arc::new(Sr2201Routing::with_config(net, cfg, faults)))
+        }
+        "naive-broadcast" => Ok(Arc::new(NaiveBroadcast::new(net))),
+        "o1turn" => Ok(Arc::new(O1TurnRouting::new(net, 0))),
+        other => Err(RegistryError::UnknownScheme(other.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdx_fault::FaultSite;
+    use mdx_topology::Shape;
+
+    fn fig2() -> Arc<MdCrossbar> {
+        Arc::new(MdCrossbar::build(Shape::fig2()))
+    }
+
+    #[test]
+    fn every_registered_id_builds_fault_free() {
+        for &id in SCHEME_IDS {
+            let s = build_scheme(id, fig2(), &FaultSet::none()).unwrap();
+            assert!(!s.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn separate_dxb_differs_from_paper_scheme_under_fault() {
+        let net = fig2();
+        let faults = FaultSet::single(FaultSite::Router(
+            net.shape().index_of(mdx_topology::Coord::new(&[1, 0])),
+        ));
+        let cfg = RoutingConfig::for_faults(net.shape(), &faults)
+            .unwrap()
+            .with_separate_dxb(&faults);
+        assert!(!cfg.deadlock_free());
+        assert!(build_scheme("separate-dxb", net, &faults).is_ok());
+    }
+
+    #[test]
+    fn unknown_id_is_an_error() {
+        let err = build_scheme("nope", fig2(), &FaultSet::none())
+            .err()
+            .unwrap();
+        assert!(matches!(err, RegistryError::UnknownScheme(_)));
+        assert!(err.to_string().contains("sr2201"));
+    }
+
+    #[test]
+    fn config_errors_propagate() {
+        // Faulty crossbars in two different dimensions admit no dimension
+        // order that clears both.
+        let net = fig2();
+        let faults: FaultSet = [
+            FaultSite::Xbar(mdx_topology::XbarRef { dim: 0, line: 0 }),
+            FaultSite::Xbar(mdx_topology::XbarRef { dim: 1, line: 1 }),
+        ]
+        .into_iter()
+        .collect();
+        let err = build_scheme("sr2201", net, &faults).err().unwrap();
+        assert!(matches!(err, RegistryError::Config(_)));
+    }
+}

@@ -86,7 +86,11 @@ impl Sr2201Routing {
 
     /// The first dimension, in config order, where `c` differs from `dest`.
     fn first_mismatch(&self, c: Coord, dest: Coord) -> Option<usize> {
-        self.cfg.order().iter().copied().find(|&d| c.get(d) != dest.get(d))
+        self.cfg
+            .order()
+            .iter()
+            .copied()
+            .find(|&d| c.get(d) != dest.get(d))
     }
 
     /// Router decision for an RC=0 packet at coordinate `c`.
@@ -572,8 +576,8 @@ mod tests {
         let s = scheme(&FaultSet::single(FaultSite::Router(faulty)));
         let dxb = s.config().dxb();
         let detour_line = s.config().detour_line();
-        let h = Header::unicast(Coord::new(&[0, 0]), Coord::new(&[1, 1]))
-            .with_rc(RouteChange::Detour);
+        let h =
+            Header::unicast(Coord::new(&[0, 0]), Coord::new(&[1, 1])).with_rc(RouteChange::Detour);
         // Enter the D-XB from some router on its line.
         let entry = detour_line.with(0, 2);
         match s.decide(
@@ -631,7 +635,11 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         // The row-0 router pushes into the S-XB, which gathers.
-        match s.decide(Node::Router(2), Some(Node::Xbar(XbarRef { dim: 1, line: 2 })), &h) {
+        match s.decide(
+            Node::Router(2),
+            Some(Node::Xbar(XbarRef { dim: 1, line: 2 })),
+            &h,
+        ) {
             Action::Forward(b) => {
                 assert_eq!(b[0].to, Node::Xbar(s.config().sxb()));
             }

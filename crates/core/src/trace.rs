@@ -277,7 +277,10 @@ mod tests {
                 let h = Header::unicast(shape.coord_of(src), shape.coord_of(dst));
                 let t = trace_unicast(&s, s.network().graph(), h, src).unwrap();
                 assert_eq!(t.steps.last().unwrap().node, Node::Pe(dst));
-                assert_eq!(t.xbar_hops(), shape.xbar_hops(shape.coord_of(src), shape.coord_of(dst)));
+                assert_eq!(
+                    t.xbar_hops(),
+                    shape.xbar_hops(shape.coord_of(src), shape.coord_of(dst))
+                );
                 assert!(!t.used_detour());
             }
         }
@@ -295,7 +298,10 @@ mod tests {
         let h = Header::unicast(Coord::new(&[0, 0]), Coord::new(&[1, 1]));
         let t = trace_unicast(&s, s.network().graph(), h, 0).unwrap();
         assert!(t.used_detour(), "route: {}", t.pretty());
-        assert_eq!(t.steps.last().unwrap().node, Node::Pe(shape.index_of(Coord::new(&[1, 1]))));
+        assert_eq!(
+            t.steps.last().unwrap().node,
+            Node::Pe(shape.index_of(Coord::new(&[1, 1])))
+        );
         // The D-XB (= S-XB) must appear on the route.
         let dxb = Node::Xbar(s.config().dxb());
         assert!(t.nodes().any(|n| n == dxb), "route: {}", t.pretty());
@@ -360,8 +366,7 @@ mod tests {
         let s = sr2201(&FaultSet::none());
         let shape = Shape::fig2();
         for src in 0..12 {
-            let t =
-                trace_broadcast(&s, s.network().graph(), src, shape.coord_of(src)).unwrap();
+            let t = trace_broadcast(&s, s.network().graph(), src, shape.coord_of(src)).unwrap();
             assert!(t.gathered);
             assert_eq!(t.delivered.len(), 12, "src {src}");
             assert!(t.duplicates.is_empty(), "src {src}: {:?}", t.duplicates);

@@ -382,15 +382,9 @@ mod tests {
         assert_eq!(request.len(), 4);
         // Emission: 4 root ports + per-column router fans (PE + Y-XB) and
         // leaf deliveries. Root fan shares fan id and has no parent.
-        assert_eq!(
-            emission.parent.iter().filter(|p| p.is_none()).count(),
-            4
-        );
+        assert_eq!(emission.parent.iter().filter(|p| p.is_none()).count(), 4);
         let root_fan = emission.fan[0];
-        assert_eq!(
-            emission.fan.iter().filter(|&&f| f == root_fan).count(),
-            4
-        );
+        assert_eq!(emission.fan.iter().filter(|&&f| f == root_fan).count(), 4);
         // Every PE link is claimed exactly once: 12 deliveries.
         let pe_links = emission
             .channels

@@ -525,13 +525,9 @@ mod tests {
                     if src == dst {
                         continue;
                     }
-                    let h = mdx_core::Header::unicast(
-                        shape.coord_of(src),
-                        shape.coord_of(dst),
-                    );
+                    let h = mdx_core::Header::unicast(shape.coord_of(src), shape.coord_of(dst));
                     trees.push(
-                        crate::claims::unicast_claims(scheme, torus.graph(), h, src)
-                            .unwrap(),
+                        crate::claims::unicast_claims(scheme, torus.graph(), h, src).unwrap(),
                     );
                 }
             }
@@ -583,8 +579,7 @@ mod tests {
                         continue;
                     }
                     let e = shape.extent(dim) as i32;
-                    let fwd =
-                        (dest.get(dim) as i32 - c.get(dim) as i32).rem_euclid(e);
+                    let fwd = (dest.get(dim) as i32 - c.get(dim) as i32).rem_euclid(e);
                     let positive = match self.net.wrap() {
                         Wrap::Mesh => dest.get(dim) > c.get(dim),
                         Wrap::Torus => fwd <= e - fwd,
@@ -625,18 +620,14 @@ mod tests {
                 }
                 match at {
                     Node::Pe(p) => match came_from {
-                        None => {
-                            Action::Forward(vec![Branch::new(Node::Router(p), *header)])
-                        }
+                        None => Action::Forward(vec![Branch::new(Node::Router(p), *header)]),
                         Some(Node::Router(_)) => Action::Deliver,
                         Some(_) => Action::Drop(DropReason::ProtocolViolation),
                     },
                     Node::Router(r) => {
                         let c = self.net.shape().coord_of(r);
                         match self.next_hop(c, header.src, header.dest) {
-                            None => {
-                                Action::Forward(vec![Branch::new(Node::Pe(r), *header)])
-                            }
+                            None => Action::Forward(vec![Branch::new(Node::Pe(r), *header)]),
                             Some((nc, vc)) => Action::Forward(vec![Branch::on_vc(
                                 Node::Router(self.net.shape().index_of(nc)),
                                 *header,
@@ -668,5 +659,4 @@ mod tests {
             );
         }
     }
-
 }

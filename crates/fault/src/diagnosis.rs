@@ -59,7 +59,11 @@ pub fn dor_path_nodes(net: &MdCrossbar, src: usize, dst: usize) -> Vec<Node> {
 /// Simulates the probe matrix a service processor would observe under
 /// `faults` (used by tests and the diagnosis experiment; a real system
 /// gets these from timeouts).
-pub fn observe_probes(net: &MdCrossbar, faults: &FaultSet, probes: &[(usize, usize)]) -> Vec<Probe> {
+pub fn observe_probes(
+    net: &MdCrossbar,
+    faults: &FaultSet,
+    probes: &[(usize, usize)],
+) -> Vec<Probe> {
     probes
         .iter()
         .map(|&(src, dst)| {

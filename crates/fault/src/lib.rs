@@ -28,10 +28,12 @@
 pub mod connectivity;
 pub mod diagnosis;
 pub mod registers;
+pub mod sampling;
 
 pub use connectivity::{reachable_pairs, ConnectivityReport};
 pub use diagnosis::{diagnose, diagnose_all_pairs, Diagnosis};
 pub use registers::FaultRegisters;
+pub use sampling::sample_fault_sets;
 
 use mdx_topology::{MdCrossbar, Node, XbarRef};
 use serde::{Deserialize, Serialize};
@@ -131,9 +133,7 @@ impl FaultSet {
         match node {
             Node::Xbar(x) => self.contains(FaultSite::Xbar(x)),
             Node::Router(r) => self.contains(FaultSite::Router(r)),
-            Node::Pe(p) => {
-                self.contains(FaultSite::Pe(p)) || self.contains(FaultSite::Router(p))
-            }
+            Node::Pe(p) => self.contains(FaultSite::Pe(p)) || self.contains(FaultSite::Router(p)),
         }
     }
 
@@ -211,7 +211,10 @@ mod tests {
     #[test]
     fn single_xbar_accessor() {
         let xb = XbarRef { dim: 1, line: 2 };
-        assert_eq!(FaultSet::single(FaultSite::Xbar(xb)).single_xbar(), Some(xb));
+        assert_eq!(
+            FaultSet::single(FaultSite::Xbar(xb)).single_xbar(),
+            Some(xb)
+        );
         assert_eq!(FaultSet::single(FaultSite::Router(0)).single_xbar(), None);
         let mut two = FaultSet::single(FaultSite::Xbar(xb));
         two.insert(FaultSite::Router(0));
@@ -238,7 +241,9 @@ mod tests {
     #[test]
     fn from_iterator_dedupes() {
         let xb = XbarRef { dim: 0, line: 1 };
-        let f: FaultSet = [FaultSite::Xbar(xb), FaultSite::Xbar(xb)].into_iter().collect();
+        let f: FaultSet = [FaultSite::Xbar(xb), FaultSite::Xbar(xb)]
+            .into_iter()
+            .collect();
         assert_eq!(f.len(), 1);
     }
 }

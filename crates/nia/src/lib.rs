@@ -190,10 +190,30 @@ mod tests {
         // 16-flit packets carry 15 * FLIT_BYTES payload.
         let per = 15 * FLIT_BYTES;
         let msgs = [
-            Message { src: 0, dst: 5, bytes: 1, at: 0 },
-            Message { src: 0, dst: 5, bytes: per, at: 0 },
-            Message { src: 0, dst: 5, bytes: per + 1, at: 0 },
-            Message { src: 0, dst: 5, bytes: 3 * per + 7, at: 9 },
+            Message {
+                src: 0,
+                dst: 5,
+                bytes: 1,
+                at: 0,
+            },
+            Message {
+                src: 0,
+                dst: 5,
+                bytes: per,
+                at: 0,
+            },
+            Message {
+                src: 0,
+                dst: 5,
+                bytes: per + 1,
+                at: 0,
+            },
+            Message {
+                src: 0,
+                dst: 5,
+                bytes: 3 * per + 7,
+                at: 9,
+            },
         ];
         let (specs, map) = segment(&shape, &msgs, NiaConfig::default());
         assert_eq!(map.packets_of[0].len(), 1);
@@ -205,14 +225,23 @@ mod tests {
         assert_eq!(specs[map.packets_of[2][0]].flits, 16);
         assert_eq!(specs[map.packets_of[2][1]].flits, 2);
         // Message 3's packets are presented back to back starting at 9.
-        let at: Vec<u64> = map.packets_of[3].iter().map(|&i| specs[i].inject_at).collect();
+        let at: Vec<u64> = map.packets_of[3]
+            .iter()
+            .map(|&i| specs[i].inject_at)
+            .collect();
         assert_eq!(at, vec![9, 10, 11, 12]);
     }
 
     #[test]
     #[should_panic(expected = "header + payload")]
     fn tiny_packets_rejected() {
-        segment(&Shape::fig2(), &[], NiaConfig { max_packet_flits: 1 });
+        segment(
+            &Shape::fig2(),
+            &[],
+            NiaConfig {
+                max_packet_flits: 1,
+            },
+        );
     }
 
     #[test]
@@ -220,8 +249,18 @@ mod tests {
         let shape = Shape::fig2();
         let net = Arc::new(MdCrossbar::build(shape.clone()));
         let msgs = [
-            Message { src: 0, dst: 11, bytes: 1000, at: 0 },
-            Message { src: 3, dst: 8, bytes: 500, at: 2 },
+            Message {
+                src: 0,
+                dst: 11,
+                bytes: 1000,
+                at: 0,
+            },
+            Message {
+                src: 3,
+                dst: 8,
+                bytes: 500,
+                at: 2,
+            },
         ];
         let (specs, map) = segment(&shape, &msgs, NiaConfig::default());
         let scheme = Arc::new(Sr2201Routing::new(net.clone(), &FaultSet::none()).unwrap());

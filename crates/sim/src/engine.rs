@@ -17,6 +17,7 @@
 //! * **Serialization** — the scheme's S-XB gathers RC=1 requests into a
 //!   FIFO; one packet at a time is re-emitted on all S-XB ports (Fig. 6).
 
+use crate::observer::SimObserver;
 use crate::result::{
     DeadlockInfo, InjectSpec, PacketId, PacketOutcome, PacketResult, SimOutcome, SimResult,
     SimStats, WaitEdge,
@@ -181,6 +182,7 @@ pub struct Simulator {
     /// Flits crossed per channel (utilization statistics).
     chan_flits: Vec<u64>,
     finished_packets: usize,
+    observer: Option<Box<dyn SimObserver>>,
 }
 
 impl Simulator {
@@ -216,7 +218,21 @@ impl Simulator {
             flit_hops: 0,
             chan_flits: vec![0; channels],
             finished_packets: 0,
+            observer: None,
         }
+    }
+
+    /// Attaches an event observer (replacing any previous one). The engine
+    /// calls its hooks at packet-lifecycle transitions; see
+    /// [`SimObserver`].
+    pub fn set_observer(&mut self, observer: Box<dyn SimObserver>) {
+        self.observer = Some(observer);
+    }
+
+    /// Detaches and returns the current observer, if any — typically after
+    /// [`Simulator::run`], to read back what it accumulated.
+    pub fn take_observer(&mut self) -> Option<Box<dyn SimObserver>> {
+        self.observer.take()
     }
 
     /// Port (lane) index of a channel + virtual channel pair.
@@ -445,6 +461,9 @@ impl Simulator {
             }
             self.next_inject += 1;
             self.packets[pidx as usize].started = true;
+            if let Some(obs) = self.observer.as_deref_mut() {
+                obs.on_inject(PacketId(pidx), &spec, self.now);
+            }
             let at = self.graph.expect_id(Node::Pe(spec.src_pe));
             self.create_visit(pidx, at, None, None, None, spec.header);
         }
@@ -466,7 +485,14 @@ impl Simulator {
             let packet = self.visits[run.0 as usize].packet;
             let header = self.branch(run).header;
             let info = self.graph.channel(ChannelId((pu / self.vcs) as u32));
-            self.create_visit(packet, info.dst, Some(info.src), Some(port), Some(run), header);
+            self.create_visit(
+                packet,
+                info.dst,
+                Some(info.src),
+                Some(port),
+                Some(run),
+                header,
+            );
         }
 
         // 3. S-XB emission: strictly one broadcast at a time, in order of
@@ -541,9 +567,7 @@ impl Simulator {
                     // look finished while flits are queued behind another
                     // packet's resident run.
                     self.packets[self.visits[vidx as usize].packet as usize].open += 1;
-                    if let VKind::Forward { branches, .. } =
-                        &mut self.visits[vidx as usize].kind
-                    {
+                    if let VKind::Forward { branches, .. } = &mut self.visits[vidx as usize].kind {
                         branches[bidx as usize].granted = true;
                     }
                 }
@@ -594,8 +618,7 @@ impl Simulator {
                         usize::MAX
                     };
                     for (bi, b) in branches.iter().enumerate() {
-                        if b.crossed >= v.total || b.crossed >= avail || b.crossed >= lockstep
-                        {
+                        if b.crossed >= v.total || b.crossed >= avail || b.crossed >= lockstep {
                             continue;
                         }
                         if self.occupancy(self.port(b.channel, b.vc)) < self.cfg.buffer_flits {
@@ -673,7 +696,12 @@ impl Simulator {
                     let packet = v.packet;
                     match sink.clone() {
                         SinkKind::Deliver(pe) => {
-                            self.packets[packet as usize].deliveries.push((pe, self.now));
+                            self.packets[packet as usize]
+                                .deliveries
+                                .push((pe, self.now));
+                            if let Some(obs) = self.observer.as_deref_mut() {
+                                obs.on_delivery(PacketId(packet), pe, self.now);
+                            }
                         }
                         SinkKind::Gather => {
                             // Queue slot stays open until emission starts.
@@ -715,7 +743,10 @@ impl Simulator {
                 let run = self.chan_resident[pu]
                     .pop_front()
                     .expect("front run exists while its visit is live");
-                debug_assert_eq!(self.visits[run.0 as usize].packet, self.visits[d as usize].packet);
+                debug_assert_eq!(
+                    self.visits[run.0 as usize].packet,
+                    self.visits[d as usize].packet
+                );
                 self.chan_downstream[pu] = None;
                 if self.chan_resident[pu].is_empty() {
                     self.resident_chans.remove(&port);
@@ -748,6 +779,9 @@ impl Simulator {
         if p.open == 0 && p.started && p.finished_at.is_none() {
             p.finished_at = Some(self.now);
             self.finished_packets += 1;
+            if let Some(obs) = self.observer.as_deref_mut() {
+                obs.on_packet_finished(PacketId(packet), self.now);
+            }
         }
     }
 
@@ -767,9 +801,7 @@ impl Simulator {
                         let port = self.port(b.channel, b.vc);
                         if let Some((ovi, _)) = self.chan_owner[port] {
                             let holder = self.visits[ovi as usize].packet;
-                            adj.entry(v.packet)
-                                .or_default()
-                                .push((holder, port as u32));
+                            adj.entry(v.packet).or_default().push((holder, port as u32));
                         }
                     }
                 }
@@ -858,7 +890,12 @@ impl Simulator {
                 && self.now - self.last_progress >= self.cfg.watchdog
             {
                 break match self.analyze_deadlock() {
-                    Some(info) => SimOutcome::Deadlock(info),
+                    Some(info) => {
+                        if let Some(obs) = self.observer.as_deref_mut() {
+                            obs.on_deadlock(&info);
+                        }
+                        SimOutcome::Deadlock(info)
+                    }
                     None => SimOutcome::Stalled,
                 };
             }
@@ -1061,8 +1098,8 @@ mod tests {
             );
             sim.schedule(spec(&net, 0, 3, 24, 0)); // hog
             sim.schedule(spec(&net, 1, 7, 8, 2)); // crosses the hog's row exit? no:
-            // (1,0)->(3,1): X to column 3 on row 0 (contends with the hog's
-            // exit), then Y.
+                                                  // (1,0)->(3,1): X to column 3 on row 0 (contends with the hog's
+                                                  // exit), then Y.
             sim.schedule(spec(&net, 1, 3, 8, 2));
             let r = sim.run();
             assert_eq!(r.outcome, SimOutcome::Completed);

@@ -58,9 +58,11 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod observer;
 pub mod result;
 
 pub use engine::{SimConfig, Simulator};
+pub use observer::{EventCounts, SimObserver};
 pub use result::{
     DeadlockInfo, InjectSpec, PacketId, PacketOutcome, PacketResult, SimOutcome, SimResult,
     SimStats, WaitEdge,

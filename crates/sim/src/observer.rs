@@ -1,0 +1,60 @@
+//! Lightweight event hooks into the engine.
+//!
+//! A [`SimObserver`] lets instrumentation (campaign runners, trace
+//! collectors, live dashboards) watch a run without the engine allocating
+//! anything on their behalf: every method defaults to a no-op and the
+//! engine calls them only at the four packet-lifecycle transitions.
+
+use crate::result::{DeadlockInfo, InjectSpec, PacketId};
+
+/// Callbacks fired by [`crate::Simulator`] as packets move through their
+/// lifecycle. All methods have empty defaults; implement only what you
+/// need. Attach with [`crate::Simulator::set_observer`].
+pub trait SimObserver {
+    /// A packet entered the network (its header left the source NIA).
+    fn on_inject(&mut self, _id: PacketId, _spec: &InjectSpec, _now: u64) {}
+
+    /// A packet's tail reached the destination PE `pe` (fires once per
+    /// leaf for broadcasts).
+    fn on_delivery(&mut self, _id: PacketId, _pe: usize, _now: u64) {}
+
+    /// A packet reached a terminal state: every visit closed and all
+    /// resources released.
+    fn on_packet_finished(&mut self, _id: PacketId, _now: u64) {}
+
+    /// The watchdog extracted a cyclic wait; the run is about to end as
+    /// [`crate::SimOutcome::Deadlock`].
+    fn on_deadlock(&mut self, _info: &DeadlockInfo) {}
+}
+
+/// An observer that counts lifecycle events — handy as a smoke-test of the
+/// hook wiring and as a cheap progress probe.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct EventCounts {
+    /// Packets injected.
+    pub injected: usize,
+    /// Deliveries (per-leaf for broadcasts).
+    pub deliveries: usize,
+    /// Packets that reached a terminal state.
+    pub finished: usize,
+    /// Deadlock reports (0 or 1 per run).
+    pub deadlocks: usize,
+}
+
+impl SimObserver for EventCounts {
+    fn on_inject(&mut self, _id: PacketId, _spec: &InjectSpec, _now: u64) {
+        self.injected += 1;
+    }
+
+    fn on_delivery(&mut self, _id: PacketId, _pe: usize, _now: u64) {
+        self.deliveries += 1;
+    }
+
+    fn on_packet_finished(&mut self, _id: PacketId, _now: u64) {
+        self.finished += 1;
+    }
+
+    fn on_deadlock(&mut self, _info: &DeadlockInfo) {
+        self.deadlocks += 1;
+    }
+}

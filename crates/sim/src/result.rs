@@ -22,7 +22,7 @@ impl std::fmt::Display for PacketId {
 }
 
 /// One packet to inject.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct InjectSpec {
     /// Source PE index.
     pub src_pe: usize,
@@ -97,7 +97,11 @@ impl std::fmt::Display for DeadlockInfo {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "deadlock detected at cycle {}:", self.detected_at)?;
         for e in &self.cycle {
-            writeln!(f, "  {} waits for {} held by {}", e.waiter, e.channel, e.holder)?;
+            writeln!(
+                f,
+                "  {} waits for {} held by {}",
+                e.waiter, e.channel, e.holder
+            )?;
         }
         Ok(())
     }
@@ -165,7 +169,7 @@ impl SimStats {
 }
 
 /// The full result of one run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimResult {
     /// Terminal condition.
     pub outcome: SimOutcome,

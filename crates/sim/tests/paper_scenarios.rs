@@ -53,7 +53,10 @@ fn single_unicast_delivers_with_pipeline_latency() {
     let r = sim.run();
     assert_eq!(r.outcome, SimOutcome::Completed);
     assert_eq!(r.packets[0].outcome, PacketOutcome::Delivered);
-    assert_eq!(r.packets[0].deliveries, vec![(11, r.packets[0].finished_at.unwrap())]);
+    assert_eq!(
+        r.packets[0].deliveries,
+        vec![(11, r.packets[0].finished_at.unwrap())]
+    );
     // 6 channels, 5 flits, per-hop decision delay: strictly more than the
     // flit count, well under a store-and-forward bound.
     let lat = r.packets[0].latency().unwrap();
@@ -315,7 +318,10 @@ fn fig10_stress_never_deadlocks() {
                 }
                 sim.schedule(bc_request(&net, src, 5, k % 7));
                 for dst in 0..12usize {
-                    if dst != src && faults.pe_usable(dst) && (src + 2 * dst + seed as usize).is_multiple_of(5) {
+                    if dst != src
+                        && faults.pe_usable(dst)
+                        && (src + 2 * dst + seed as usize).is_multiple_of(5)
+                    {
                         sim.schedule(unicast(&net, src, dst, 5, k % 11));
                     }
                 }

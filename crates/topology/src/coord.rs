@@ -257,10 +257,7 @@ mod tests {
 
     #[test]
     fn shape_rejects_bad_inputs() {
-        assert_eq!(
-            Shape::new(&[]),
-            Err(TopologyError::BadDimensionCount(0))
-        );
+        assert_eq!(Shape::new(&[]), Err(TopologyError::BadDimensionCount(0)));
         assert_eq!(Shape::new(&[4, 0]), Err(TopologyError::BadExtent(0)));
         let too_many = [2u16; MAX_DIMS + 1];
         assert!(matches!(

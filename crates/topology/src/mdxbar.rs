@@ -133,7 +133,9 @@ impl MdCrossbar {
 
     /// Total number of crossbars across all dimensions.
     pub fn num_xbars(&self) -> usize {
-        (0..self.shape.d()).map(|d| self.shape.lines_in_dim(d)).sum()
+        (0..self.shape.d())
+            .map(|d| self.shape.lines_in_dim(d))
+            .sum()
     }
 
     /// The routers attached to a crossbar, in line-position order.
@@ -230,10 +232,7 @@ mod tests {
         let net = MdCrossbar::build(Shape::new(&[4, 3, 2]).unwrap());
         for xb in net.xbars() {
             let routers = net.routers_on_xbar(xb);
-            assert_eq!(
-                routers.len(),
-                net.shape().extent(xb.dim as usize) as usize
-            );
+            assert_eq!(routers.len(), net.shape().extent(xb.dim as usize) as usize);
             // All routers on the crossbar agree on every non-dim coordinate.
             let c0 = net.graph().coord(routers[0]).unwrap();
             for &r in &routers[1..] {

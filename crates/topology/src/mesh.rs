@@ -190,10 +190,7 @@ mod tests {
         assert_eq!(torus.distance(a, b), 1);
         assert_eq!(mesh.neighbor(a, 0, false), None);
         assert_eq!(torus.neighbor(a, 0, false), Some(b));
-        assert_eq!(
-            mesh.neighbor(a, 0, true),
-            Some(Coord::new(&[1, 0]))
-        );
+        assert_eq!(mesh.neighbor(a, 0, true), Some(Coord::new(&[1, 0])));
     }
 
     #[test]

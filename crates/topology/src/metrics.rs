@@ -84,9 +84,7 @@ fn router_ports(g: &NetworkGraph) -> usize {
 /// belongs to both halves of the dimension it spans, so each of its
 /// cross-plane router links counts).
 fn bisection_channels(g: &NetworkGraph, split_dim: usize, split_at: u16) -> usize {
-    let side = |id: NodeId| -> Option<bool> {
-        g.coord(id).map(|c| c.get(split_dim) >= split_at)
-    };
+    let side = |id: NodeId| -> Option<bool> { g.coord(id).map(|c| c.get(split_dim) >= split_at) };
     let mut count = 0;
     for ch in g.channel_ids() {
         let info = g.channel(ch);
@@ -133,11 +131,7 @@ pub fn md_crossbar_metrics(net: &MdCrossbar) -> TopologyMetrics {
         num_channels: g.num_channels(),
         diameter_xbar_hops: net.shape().d(),
         diameter_channel_hops: graph_diameter_from_pes(g),
-        bisection_channels: bisection_channels(
-            g,
-            split_dim,
-            net.shape().extent(split_dim) / 2,
-        ),
+        bisection_channels: bisection_channels(g, split_dim, net.shape().extent(split_dim) / 2),
     }
 }
 
@@ -158,9 +152,7 @@ pub fn direct_network_metrics(net: &DirectNetwork) -> TopologyMetrics {
     let mut max_dist = 0;
     for i in 0..net.shape().num_pes() {
         for j in 0..net.shape().num_pes() {
-            max_dist = max_dist.max(
-                net.distance(net.shape().coord_of(i), net.shape().coord_of(j)),
-            );
+            max_dist = max_dist.max(net.distance(net.shape().coord_of(i), net.shape().coord_of(j)));
         }
     }
     let split_dim = (0..net.shape().d())
@@ -174,11 +166,7 @@ pub fn direct_network_metrics(net: &DirectNetwork) -> TopologyMetrics {
         num_channels: g.num_channels(),
         diameter_xbar_hops: max_dist,
         diameter_channel_hops: graph_diameter_from_pes(g),
-        bisection_channels: bisection_channels(
-            g,
-            split_dim,
-            net.shape().extent(split_dim) / 2,
-        ),
+        bisection_channels: bisection_channels(g, split_dim, net.shape().extent(split_dim) / 2),
     }
 }
 
@@ -244,8 +232,7 @@ mod tests {
     fn mesh_diameter_exceeds_md_crossbar() {
         let shape = Shape::new(&[8, 8]).unwrap();
         let mdx = md_crossbar_metrics(&MdCrossbar::build(shape.clone()));
-        let mesh =
-            direct_network_metrics(&DirectNetwork::build(shape.clone(), Wrap::Mesh));
+        let mesh = direct_network_metrics(&DirectNetwork::build(shape.clone(), Wrap::Mesh));
         let torus = direct_network_metrics(&DirectNetwork::build(shape, Wrap::Torus));
         assert!(mesh.diameter_channel_hops > mdx.diameter_channel_hops);
         assert!(torus.diameter_channel_hops > mdx.diameter_channel_hops);
@@ -268,8 +255,10 @@ mod tests {
     #[test]
     fn bisection_counts() {
         // 8x8 mesh: 8 rows x 1 link x 2 directions across the vertical cut.
-        let mesh =
-            direct_network_metrics(&DirectNetwork::build(Shape::new(&[8, 8]).unwrap(), Wrap::Mesh));
+        let mesh = direct_network_metrics(&DirectNetwork::build(
+            Shape::new(&[8, 8]).unwrap(),
+            Wrap::Mesh,
+        ));
         assert_eq!(mesh.bisection_channels, 16);
         // Torus adds the wrap links: 8 more rows x 2 directions.
         let torus = direct_network_metrics(&DirectNetwork::build(

@@ -52,12 +52,7 @@ pub enum TrafficPattern {
 impl TrafficPattern {
     /// The destination for `src`, or `None` when the pattern maps `src` to
     /// itself (the generator then skips the injection).
-    pub fn destination(
-        &self,
-        shape: &Shape,
-        src: usize,
-        rng: &mut impl Rng,
-    ) -> Option<usize> {
+    pub fn destination(&self, shape: &Shape, src: usize, rng: &mut impl Rng) -> Option<usize> {
         let n = shape.num_pes();
         let dst = match *self {
             TrafficPattern::UniformRandom => {
@@ -292,7 +287,9 @@ mod tests {
     fn tornado_goes_halfway() {
         let s = shape();
         let mut rng = ChaCha12Rng::seed_from_u64(0);
-        let d = TrafficPattern::Tornado.destination(&s, 1, &mut rng).unwrap();
+        let d = TrafficPattern::Tornado
+            .destination(&s, 1, &mut rng)
+            .unwrap();
         assert_eq!(d, 3); // (1,0) -> (3,0) on extent 4
     }
 
@@ -334,22 +331,27 @@ mod tests {
             window: 30,
             seed: 42,
         };
-        let a = mixed_schedule(&s, TrafficPattern::UniformRandom, cfg, 0.01, &FaultSet::none());
-        let b = mixed_schedule(&s, TrafficPattern::UniformRandom, cfg, 0.01, &FaultSet::none());
+        let a = mixed_schedule(
+            &s,
+            TrafficPattern::UniformRandom,
+            cfg,
+            0.01,
+            &FaultSet::none(),
+        );
+        let b = mixed_schedule(
+            &s,
+            TrafficPattern::UniformRandom,
+            cfg,
+            0.01,
+            &FaultSet::none(),
+        );
         assert_eq!(a, b);
     }
 
     #[test]
     fn permutation_schedule_one_per_source() {
         let s = shape();
-        let specs = permutation_schedule(
-            &s,
-            TrafficPattern::Transpose,
-            4,
-            0,
-            1,
-            &FaultSet::none(),
-        );
+        let specs = permutation_schedule(&s, TrafficPattern::Transpose, 4, 0, 1, &FaultSet::none());
         // Diagonal PEs map to themselves and are skipped: 16 - 4.
         assert_eq!(specs.len(), 12);
     }

@@ -26,8 +26,7 @@ fn main() {
     println!("\nX-Y route (0,0) -> (3,2):\n  {}", trace.pretty());
 
     // A hardware broadcast: RC=1 request to the S-XB, serialized fan-out.
-    let bc = sr2201::routing::trace_broadcast(&scheme, net.graph(), 3, shape.coord_of(3))
-        .unwrap();
+    let bc = sr2201::routing::trace_broadcast(&scheme, net.graph(), 3, shape.coord_of(3)).unwrap();
     println!(
         "\nbroadcast from PE3: gathered at {} and delivered to {} PEs",
         scheme.config().sxb(),
@@ -35,11 +34,7 @@ fn main() {
     );
 
     // Cycle-level simulation: mixed unicast + broadcast traffic.
-    let mut sim = Simulator::new(
-        net.graph().clone(),
-        Arc::new(scheme),
-        SimConfig::default(),
-    );
+    let mut sim = Simulator::new(net.graph().clone(), Arc::new(scheme), SimConfig::default());
     for src in 0..shape.num_pes() {
         let dst = (src * 5 + 2) % shape.num_pes();
         if dst != src {

@@ -42,9 +42,24 @@ fn main() {
     // 4. Applications resume: the NIA segments messages into packets and
     //    reassembles them at the receivers.
     let messages = vec![
-        Message { src: 0, dst: 27, bytes: 4096, at: 0 },
-        Message { src: 63, dst: 1, bytes: 2048, at: 5 },
-        Message { src: 17, dst: 45, bytes: 8192, at: 10 },
+        Message {
+            src: 0,
+            dst: 27,
+            bytes: 4096,
+            at: 0,
+        },
+        Message {
+            src: 63,
+            dst: 1,
+            bytes: 2048,
+            at: 5,
+        },
+        Message {
+            src: 17,
+            dst: 45,
+            bytes: 8192,
+            at: 10,
+        },
     ];
     let (specs, map) = segment(&shape, &messages, NiaConfig::default());
     println!(
@@ -64,7 +79,10 @@ fn main() {
         inject_at: 3,
     });
     let result = sim.run();
-    println!("simulation: {:?} in {} cycles", result.outcome, result.stats.cycles);
+    println!(
+        "simulation: {:?} in {} cycles",
+        result.outcome, result.stats.cycles
+    );
     for m in reassemble(
         &sr2201::sim::SimResult {
             outcome: result.outcome.clone(),

@@ -1,0 +1,182 @@
+//! Offline shim for the `rand_chacha` crate: a real ChaCha stream-cipher
+//! core (8/12/20 rounds) keyed from a 64-bit seed via SplitMix64.
+//!
+//! Deterministic and stable for this repository, but **not** bit-compatible
+//! with the crates.io `rand_chacha` output stream. See `shims/README.md`.
+
+use rand::{RngCore, SeedableRng};
+
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[derive(Clone, Debug)]
+struct ChaChaCore {
+    state: [u32; 16],
+    buf: [u32; 16],
+    idx: usize,
+    rounds: usize,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[inline]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaChaCore {
+    fn from_seed_u64(seed: u64, rounds: usize) -> ChaChaCore {
+        let mut sm = seed;
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&SIGMA);
+        for i in 0..4 {
+            let w = splitmix64(&mut sm);
+            state[4 + 2 * i] = w as u32;
+            state[4 + 2 * i + 1] = (w >> 32) as u32;
+        }
+        // counter = 0, nonce = 0
+        ChaChaCore {
+            state,
+            buf: [0; 16],
+            idx: 16,
+            rounds,
+        }
+    }
+
+    fn refill(&mut self) {
+        let mut w = self.state;
+        for _ in 0..self.rounds / 2 {
+            quarter_round(&mut w, 0, 4, 8, 12);
+            quarter_round(&mut w, 1, 5, 9, 13);
+            quarter_round(&mut w, 2, 6, 10, 14);
+            quarter_round(&mut w, 3, 7, 11, 15);
+            quarter_round(&mut w, 0, 5, 10, 15);
+            quarter_round(&mut w, 1, 6, 11, 12);
+            quarter_round(&mut w, 2, 7, 8, 13);
+            quarter_round(&mut w, 3, 4, 9, 14);
+        }
+        for (i, out) in self.buf.iter_mut().enumerate() {
+            *out = w[i].wrapping_add(self.state[i]);
+        }
+        // 64-bit block counter in words 12..14.
+        let (lo, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = lo;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+        self.idx = 0;
+    }
+
+    fn next_word(&mut self) -> u32 {
+        if self.idx >= 16 {
+            self.refill();
+        }
+        let w = self.buf[self.idx];
+        self.idx += 1;
+        w
+    }
+}
+
+macro_rules! chacha_rng {
+    ($(#[$doc:meta])* $name:ident, $rounds:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Debug)]
+        pub struct $name {
+            core: ChaChaCore,
+        }
+
+        impl SeedableRng for $name {
+            fn seed_from_u64(seed: u64) -> Self {
+                $name {
+                    core: ChaChaCore::from_seed_u64(seed, $rounds),
+                }
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.core.next_word() as u64;
+                let hi = self.core.next_word() as u64;
+                lo | (hi << 32)
+            }
+
+            fn next_u32(&mut self) -> u32 {
+                self.core.next_word()
+            }
+        }
+    };
+}
+
+chacha_rng!(
+    /// ChaCha with 8 rounds.
+    ChaCha8Rng,
+    8
+);
+chacha_rng!(
+    /// ChaCha with 12 rounds (the workspace's reproducibility workhorse).
+    ChaCha12Rng,
+    12
+);
+chacha_rng!(
+    /// ChaCha with 20 rounds.
+    ChaCha20Rng,
+    20
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha12Rng::seed_from_u64(1234);
+        let mut b = ChaCha12Rng::seed_from_u64(1234);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha12Rng::seed_from_u64(1235);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn chacha20_test_vector_block_shape() {
+        // Sanity: the all-zero-keyed raw block function must match the
+        // RFC 8439 structure (first word of block 0 for the zero key/nonce).
+        let mut core = ChaChaCore {
+            state: {
+                let mut s = [0u32; 16];
+                s[..4].copy_from_slice(&SIGMA);
+                s
+            },
+            buf: [0; 16],
+            idx: 16,
+            rounds: 20,
+        };
+        // RFC 8439 §2.3.2-style zero-key block: spot-check the constant mix.
+        let w = core.next_word();
+        assert_eq!(w, 0xade0b876, "zero-key ChaCha20 block 0 word 0");
+    }
+
+    #[test]
+    fn stream_continues_across_blocks() {
+        let mut r = ChaCha8Rng::seed_from_u64(7);
+        let first: Vec<u32> = (0..40).map(|_| r.next_u32()).collect();
+        let mut r2 = ChaCha8Rng::seed_from_u64(7);
+        let again: Vec<u32> = (0..40).map(|_| r2.next_u32()).collect();
+        assert_eq!(first, again);
+        // More than one 16-word block was produced and they differ.
+        assert_ne!(&first[..16], &first[16..32]);
+    }
+}

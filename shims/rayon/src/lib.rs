@@ -1,0 +1,220 @@
+//! Offline shim for the `rayon` crate: data parallelism on
+//! `std::thread::scope`.
+//!
+//! Each combinator (`map`, `filter`, `for_each`) is evaluated eagerly across
+//! OS threads in contiguous chunks, preserving input order. That keeps the
+//! implementation tiny while still using every core for the
+//! coarse-grained work (whole simulation runs) this workspace parallelizes.
+//! See `shims/README.md`.
+
+/// Number of worker threads to fan out over.
+fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item in parallel, preserving order.
+fn par_apply<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = num_threads().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let f = &f;
+    let mut out: Vec<R> = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("rayon shim worker panicked"));
+        }
+    });
+    out
+}
+
+/// An eagerly materialized "parallel iterator": holds the items and runs
+/// each combinator across threads.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel map.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParIter<R> {
+        ParIter {
+            items: par_apply(self.items, f),
+        }
+    }
+
+    /// Parallel filter (the predicate runs in parallel).
+    pub fn filter<F: Fn(&T) -> bool + Sync>(self, f: F) -> ParIter<T>
+    where
+        T: Sync,
+    {
+        let keep = par_apply(self.items.iter().collect::<Vec<&T>>(), &f);
+        ParIter {
+            items: self
+                .items
+                .into_iter()
+                .zip(keep)
+                .filter_map(|(t, k)| k.then_some(t))
+                .collect(),
+        }
+    }
+
+    /// Parallel side effects.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        par_apply(self.items, f);
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    /// Collects into any `FromIterator` container, preserving order.
+    #[allow(clippy::should_implement_trait)]
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Sums the items.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Reduces with `identity` and `op` (sequential tail after parallel map
+    /// stages; adequate for this workspace's workloads).
+    pub fn reduce<ID: Fn() -> T, OP: Fn(T, T) -> T>(self, identity: ID, op: OP) -> T {
+        self.items.into_iter().fold(identity(), op)
+    }
+}
+
+/// Types convertible into a [`ParIter`] by value.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Conversion.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        self.as_slice().into_par_iter()
+    }
+}
+
+impl<'a, T: Sync, const N: usize> IntoParallelIterator for &'a [T; N] {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        self.as_slice().into_par_iter()
+    }
+}
+
+macro_rules! range_into_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+range_into_par!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types whose references convert into a [`ParIter`] (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a reference).
+    type Item: Send;
+    /// Conversion.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, C: ?Sized + 'a> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoParallelIterator,
+{
+    type Item = <&'a C as IntoParallelIterator>::Item;
+    fn par_iter(&'a self) -> ParIter<Self::Item> {
+        self.into_par_iter()
+    }
+}
+
+/// Marker for API compatibility with `rayon::prelude::ParallelIterator`.
+pub trait ParallelIterator {}
+impl<T> ParallelIterator for ParIter<T> {}
+
+/// The customary glob import.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<u64> = (0u64..100).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0u64..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_count() {
+        let n = (0u64..1000).into_par_iter().filter(|&x| x % 3 == 0).count();
+        assert_eq!(n, 334);
+    }
+
+    #[test]
+    fn ref_par_iter_on_arrays_and_vecs() {
+        let arr = [1.0f64, 2.0, 3.0];
+        let doubled: Vec<f64> = arr.par_iter().map(|&x| x * 2.0).collect();
+        assert_eq!(doubled, vec![2.0, 4.0, 6.0]);
+        let v = vec![5usize, 6];
+        let s: usize = v.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 11);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}

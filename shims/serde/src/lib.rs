@@ -1,0 +1,19 @@
+//! Offline shim for the `serde` crate.
+//!
+//! Instead of the real crate's visitor-based `Serializer`/`Deserializer`
+//! machinery, this shim routes everything through one in-memory data model
+//! ([`value::Value`]): `Serialize` renders a value *into* the model and
+//! `Deserialize` reads one back *out of* it. `serde_json` (also shimmed)
+//! prints and parses that model. The derive macros (`serde_derive` shim,
+//! re-exported under the `derive` feature) generate impls of these traits
+//! for the struct/enum shapes used in this workspace. See `shims/README.md`.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::Deserialize;
+pub use ser::Serialize;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -81,11 +81,18 @@ pub mod baselines {
     pub use mdx_baselines::*;
 }
 
+/// Replayable experiment campaigns: scenario tokens, the parallel campaign
+/// runner, and the deadlock-witness shrinker (re-export of `mdx-campaign`).
+pub mod campaign {
+    pub use mdx_campaign::*;
+}
+
 /// The most commonly used items in one import.
 pub mod prelude {
+    pub use mdx_campaign::{run_scenario, Scenario, Workload};
     pub use mdx_core::{
-        trace_broadcast, trace_unicast, Header, NaiveBroadcast, Packet, RouteChange,
-        RoutingConfig, Scheme, Sr2201Routing,
+        trace_broadcast, trace_unicast, Header, NaiveBroadcast, Packet, RouteChange, RoutingConfig,
+        Scheme, Sr2201Routing,
     };
     pub use mdx_fault::{enumerate_single_faults, FaultRegisters, FaultSet, FaultSite};
     pub use mdx_sim::{InjectSpec, SimConfig, SimOutcome, Simulator};

@@ -2,8 +2,8 @@
 //! end-to-end: topology claims, broadcast serialization, fault-tolerant
 //! delivery, and the deadlock dichotomy of Figs. 9/10.
 
-use sr2201::deadlock::waitgraph::TrafficFamily;
 use sr2201::deadlock::verify_scheme;
+use sr2201::deadlock::waitgraph::TrafficFamily;
 use sr2201::prelude::*;
 use sr2201::routing::{trace_broadcast, trace_unicast};
 use sr2201::topology::metrics;
@@ -177,8 +177,7 @@ fn headline_uniform_latency_beats_mesh() {
         },
         &FaultSet::none(),
     );
-    let run = |graph: &sr2201::topology::NetworkGraph,
-               scheme: Arc<dyn sr2201::routing::Scheme>| {
+    let run = |graph: &sr2201::topology::NetworkGraph, scheme: Arc<dyn sr2201::routing::Scheme>| {
         let mut sim = Simulator::new(graph.clone(), scheme, SimConfig::default());
         for &s in &specs {
             sim.schedule(s);
@@ -340,8 +339,11 @@ fn static_traces_match_simulated_routes() {
                 });
                 let r = sim.run();
                 assert_eq!(r.outcome, SimOutcome::Completed);
-                let simulated: Vec<String> =
-                    r.packets[0].route.iter().map(|(nd, _)| nd.clone()).collect();
+                let simulated: Vec<String> = r.packets[0]
+                    .route
+                    .iter()
+                    .map(|(nd, _)| nd.clone())
+                    .collect();
                 assert_eq!(simulated, expected, "{src}->{dst} under {faults:?}");
             }
         }
@@ -358,7 +360,10 @@ fn flit_hops_equal_sum_of_path_lengths() {
     let mut sim = Simulator::new(net.graph().clone(), scheme.clone(), SimConfig::default());
     let mut expected = 0u64;
     let flits = 4u64;
-    for (i, (src, dst)) in [(0usize, 11usize), (5, 2), (7, 7), (3, 8)].iter().enumerate() {
+    for (i, (src, dst)) in [(0usize, 11usize), (5, 2), (7, 7), (3, 8)]
+        .iter()
+        .enumerate()
+    {
         let h = Header::unicast(shape.coord_of(*src), shape.coord_of(*dst));
         let t = trace_unicast(&*scheme, net.graph(), h, *src).unwrap();
         expected += (t.steps.len() as u64 - 1) * flits;

@@ -14,7 +14,6 @@ fn shapes() -> impl Strategy<Value = Shape> {
     proptest::collection::vec(2u16..5, 2..=3).prop_map(|dims| Shape::new(&dims).unwrap())
 }
 
-
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
