@@ -1,6 +1,6 @@
 # Convenience targets for the SR2201 reproduction.
 
-.PHONY: test experiments bench examples doc clippy lint campaign campaign-smoke all
+.PHONY: test experiments bench examples doc clippy lint campaign campaign-smoke metrics-demo all
 
 test:
 	cargo test --workspace
@@ -38,5 +38,9 @@ campaign:
 campaign-smoke:
 	cargo run --release -p mdx-campaign -- run --scheme sr2201 --max-faults 1 \
 		--seeds 4 --fail-on-deadlock
+
+# Telemetry dashboard: heatmap + stall timeline on the fig10/fig5 scenarios.
+metrics-demo:
+	cargo run --release --example telemetry_dashboard
 
 all: test experiments bench doc

@@ -6,7 +6,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use mdx_bench::run_schedule;
 use mdx_core::Sr2201Routing;
 use mdx_fault::FaultSet;
-use mdx_sim::SimConfig;
+use mdx_obs::MetricsObserver;
+use mdx_sim::{EventCounts, SimConfig, SimObserver, Simulator};
 use mdx_topology::{MdCrossbar, Shape};
 use mdx_workloads::{unicast_schedule, OpenLoop, TrafficPattern};
 use std::sync::Arc;
@@ -78,6 +79,47 @@ fn bench_engine(c: &mut Criterion) {
             },
         );
     }
+    g.finish();
+
+    // Observer-seam overhead: the `none` row is the zero-cost claim — with
+    // no observer attached the hook call sites reduce to one `is_some`
+    // branch each, so it must track the uninstrumented engine rows above.
+    let mut g = c.benchmark_group("engine_observer_overhead");
+    let shape = Shape::new(&[8, 8]).unwrap();
+    let net = Arc::new(MdCrossbar::build(shape.clone()));
+    let specs = unicast_schedule(
+        &shape,
+        TrafficPattern::UniformRandom,
+        OpenLoop {
+            rate: 0.03,
+            packet_flits: 8,
+            window: 100,
+            seed: 1,
+        },
+        &FaultSet::none(),
+    );
+    let run_with = |observer: Option<Box<dyn SimObserver>>| {
+        let scheme = Arc::new(Sr2201Routing::new(net.clone(), &FaultSet::none()).unwrap());
+        let mut sim = Simulator::new(net.graph().clone(), scheme, SimConfig::default());
+        if let Some(obs) = observer {
+            sim.set_observer(obs);
+        }
+        for &spec in &specs {
+            sim.schedule(spec);
+        }
+        sim.run()
+    };
+    g.bench_function("none", |b| b.iter(|| run_with(None)));
+    g.bench_function("event_counts", |b| {
+        b.iter(|| run_with(Some(Box::new(EventCounts::default()))))
+    });
+    g.bench_function("metrics", |b| {
+        b.iter(|| {
+            let (obs, handle) = MetricsObserver::new(net.graph().clone());
+            let r = run_with(Some(Box::new(obs)));
+            (r.stats.cycles, handle.report(r.stats.cycles).total_flits)
+        })
+    });
     g.finish();
 }
 

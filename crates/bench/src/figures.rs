@@ -2,7 +2,9 @@
 
 use crate::report::{f3, pct, Table};
 use crate::run_schedule;
-use mdx_campaign::{detour_stress_for, run_campaign, Scenario, Workload};
+use mdx_campaign::{
+    detour_stress_for, run_campaign_with, ObsOptions, Scenario, ScenarioReport, Workload,
+};
 use mdx_core::{
     trace_broadcast, trace_unicast, Header, NaiveBroadcast, Packet, RouteChange, RoutingConfig,
     Sr2201Routing,
@@ -19,6 +21,23 @@ use std::sync::Arc;
 
 fn fig2_net() -> Arc<MdCrossbar> {
     Arc::new(MdCrossbar::build(Shape::fig2()))
+}
+
+/// Mean of one per-row telemetry field over instrumented campaign rows;
+/// `-` when no row carried telemetry.
+fn mean_util<'a>(
+    rows: impl Iterator<Item = &'a ScenarioReport>,
+    field: impl Fn(&mdx_campaign::RowTelemetry) -> Option<f64>,
+) -> String {
+    let vals: Vec<f64> = rows
+        .filter_map(|r| r.telemetry.as_ref())
+        .filter_map(&field)
+        .collect();
+    if vals.is_empty() {
+        "-".to_string()
+    } else {
+        f3(vals.iter().sum::<f64>() / vals.len() as f64)
+    }
 }
 
 fn bc_request(shape: &Shape, src: usize, flits: usize, at: u64) -> InjectSpec {
@@ -414,7 +433,14 @@ pub fn fig9_combined_deadlock() -> Vec<Table> {
     let mut t = Table::new(
         "fig9-combined-deadlock",
         "broadcast + detoured unicast, faulty router (1,0) on 4x3: deadlock rate over injection offsets x 8 seeds",
-        &["configuration", "runs", "deadlocks", "rate"],
+        &[
+            "configuration",
+            "runs",
+            "deadlocks",
+            "rate",
+            "S-XB util",
+            "D-XB util",
+        ],
     );
     let shape = Shape::fig2();
     let faulty = shape.index_of(Coord::new(&[1, 0]));
@@ -436,7 +462,13 @@ pub fn fig9_combined_deadlock() -> Vec<Table> {
                 })
             })
             .collect();
-        let result = run_campaign(scenarios);
+        let result = run_campaign_with(
+            scenarios,
+            &ObsOptions {
+                metrics: true,
+                ..ObsOptions::default()
+            },
+        );
         let runs = result.reports.len();
         let deadlocks = result.deadlocks().count();
         t.row(vec![
@@ -444,6 +476,8 @@ pub fn fig9_combined_deadlock() -> Vec<Table> {
             runs.to_string(),
             deadlocks.to_string(),
             pct(deadlocks, runs),
+            mean_util(result.reports.iter(), |t| t.sxb_util),
+            mean_util(result.reports.iter(), |t| t.dxb_util),
         ]);
         // Exhibit one cycle, with its replay token.
         let witness = result.deadlocks().next();
@@ -468,7 +502,14 @@ pub fn fig10_deadlock_free() -> Vec<Table> {
     let mut t = Table::new(
         "fig10-stress",
         "paper scheme (D-XB = S-XB): randomized mixed traffic under faults, 4x3",
-        &["fault", "runs", "deadlocks", "undelivered packets"],
+        &[
+            "fault",
+            "runs",
+            "deadlocks",
+            "undelivered packets",
+            "S-XB util",
+            "D-XB util",
+        ],
     );
     let net = fig2_net();
     let shape = net.shape().clone();
@@ -495,7 +536,13 @@ pub fn fig10_deadlock_free() -> Vec<Table> {
             })
         })
         .collect();
-    let result = run_campaign(scenarios);
+    let result = run_campaign_with(
+        scenarios,
+        &ObsOptions {
+            metrics: true,
+            ..ObsOptions::default()
+        },
+    );
     for site in &sites {
         let site_faults: Vec<FaultSite> = site.iter().copied().collect();
         let rows: Vec<_> = result
@@ -510,9 +557,12 @@ pub fn fig10_deadlock_free() -> Vec<Table> {
             rows.len().to_string(),
             deadlocks.to_string(),
             undelivered.to_string(),
+            mean_util(rows.iter().copied(), |t| t.sxb_util),
+            mean_util(rows.iter().copied(), |t| t.dxb_util),
         ]);
     }
     t.note("expected: zero deadlocks and zero undelivered everywhere");
+    t.note("S-XB util = mean busy fraction of the serializing crossbar's output ports (D-XB = S-XB under this scheme)");
 
     let mut v = Table::new(
         "fig10-static",

@@ -3,17 +3,23 @@
 //! ```text
 //! campaign run [--scheme all|id,..] [--shape 4x3] [--max-faults N]
 //!              [--fault-samples N] [--seeds N] [--workloads mixed,storm,detour]
-//!              [--max-cycles N] [--jsonl PATH] [--quiet]
-//! campaign replay <token>
+//!              [--max-cycles N] [--jsonl PATH] [--quiet] [--metrics]
+//! campaign replay <token> [--metrics] [--trace-out PATH] [--stall-probe N]
 //! campaign shrink <token>
 //! ```
 //!
 //! Every row a campaign emits carries an `MDX1.` token; `replay` reruns one
-//! bit-identically and `shrink` minimizes a deadlocking one.
+//! bit-identically and `shrink` minimizes a deadlocking one. `--metrics`
+//! attaches the telemetry observers (`mdx-obs`): under `run` it adds
+//! per-row S-XB/D-XB utilization summaries to the JSONL rows, under
+//! `replay` it prints the channel/crossbar heatmap. `--trace-out` writes a
+//! Chrome `trace_event` JSON file (open at <https://ui.perfetto.dev>), and
+//! `--stall-probe N` samples the wait graph every N cycles and prints the
+//! stall timeline.
 
 use mdx_campaign::{
-    enumerate_scenarios, run_campaign, run_scenario, shrink, CampaignConfig, Scenario,
-    WorkloadKind, CAMPAIGN_SCHEMES,
+    enumerate_scenarios, run_campaign_with, run_scenario_instrumented, shrink, CampaignConfig,
+    ObsOptions, Scenario, WorkloadKind, CAMPAIGN_SCHEMES,
 };
 use std::process::ExitCode;
 
@@ -22,8 +28,8 @@ fn usage() -> ! {
         "usage:\n  \
          campaign run [--scheme all|id,..] [--shape WxH[xD..]] [--max-faults N]\n    \
          [--fault-samples N] [--seeds N] [--workloads mixed,storm,detour]\n    \
-         [--max-cycles N] [--jsonl PATH] [--quiet] [--fail-on-deadlock]\n  \
-         campaign replay <token>\n  \
+         [--max-cycles N] [--jsonl PATH] [--quiet] [--fail-on-deadlock] [--metrics]\n  \
+         campaign replay <token> [--metrics] [--trace-out PATH] [--stall-probe N]\n  \
          campaign shrink <token>"
     );
     std::process::exit(2);
@@ -58,6 +64,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let mut jsonl: Option<String> = None;
     let mut quiet = false;
     let mut fail_on_deadlock = false;
+    let mut obs = ObsOptions::default();
 
     let mut it = args.iter().cloned();
     while let Some(arg) = it.next() {
@@ -101,6 +108,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
             "--jsonl" => jsonl = Some(it.next().unwrap_or_else(|| usage())),
             "--quiet" => quiet = true,
             "--fail-on-deadlock" => fail_on_deadlock = true,
+            "--metrics" => obs.metrics = true,
             _ => usage(),
         }
     }
@@ -122,7 +130,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
             cfg.seeds
         );
     }
-    let result = run_campaign(scenarios);
+    let result = run_campaign_with(scenarios, &obs);
 
     if let Some(path) = jsonl {
         if let Err(e) = std::fs::write(&path, result.to_jsonl()) {
@@ -159,12 +167,44 @@ fn decode(token: &str) -> Scenario {
     }
 }
 
-fn cmd_replay(token: &str) -> ExitCode {
+fn cmd_replay(token: &str, args: &[String]) -> ExitCode {
     let scenario = decode(token);
-    match run_scenario(&scenario) {
-        Ok(report) => {
+    let mut obs = ObsOptions::default();
+    let mut trace_out: Option<String> = None;
+    let mut it = args.iter().cloned();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--metrics" => obs.metrics = true,
+            "--stall-probe" => obs.stall_probe = Some(parse_num("--stall-probe", it.next())),
+            "--trace-out" => {
+                trace_out = Some(it.next().unwrap_or_else(|| usage()));
+                obs.trace = true;
+            }
+            _ => usage(),
+        }
+    }
+    match run_scenario_instrumented(&scenario, &obs) {
+        Ok((report, telemetry)) => {
             let json = serde_json::to_string_pretty(&report).expect("report serializes");
             println!("{json}");
+            if let Some(m) = &telemetry.metrics {
+                println!();
+                print!(
+                    "{}",
+                    m.heatmap(telemetry.sxb_name.as_deref(), telemetry.dxb_name.as_deref())
+                );
+            }
+            if let Some(s) = &telemetry.stall {
+                println!();
+                print!("{}", s.timeline());
+            }
+            if let (Some(path), Some(doc)) = (trace_out, &telemetry.trace) {
+                if let Err(e) = std::fs::write(&path, doc) {
+                    eprintln!("error: cannot write {path}: {e}");
+                    return ExitCode::from(1);
+                }
+                println!("\nwrote trace to {path} (open at https://ui.perfetto.dev)");
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -216,7 +256,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("replay") => match args.get(1) {
-            Some(t) => cmd_replay(t),
+            Some(t) => cmd_replay(t, &args[2..]),
             None => usage(),
         },
         Some("shrink") => match args.get(1) {

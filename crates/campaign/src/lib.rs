@@ -43,8 +43,9 @@ pub mod shrink;
 pub mod token;
 
 pub use runner::{
-    enumerate_fault_sets, enumerate_scenarios, run_campaign, run_scenario, CampaignConfig,
-    CampaignError, CampaignResult, ScenarioReport, WorkloadKind, CAMPAIGN_SCHEMES,
+    enumerate_fault_sets, enumerate_scenarios, run_campaign, run_campaign_with, run_scenario,
+    run_scenario_instrumented, CampaignConfig, CampaignError, CampaignResult, ObsOptions,
+    RowTelemetry, ScenarioReport, Telemetry, WorkloadKind, CAMPAIGN_SCHEMES,
 };
 pub use scenario::{detour_stress_for, Scenario, ScenarioError, Workload};
 pub use shrink::{shrink, ShrinkError, ShrinkReport};

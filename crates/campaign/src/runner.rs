@@ -8,6 +8,9 @@
 use crate::scenario::{detour_stress_for, Scenario, ScenarioError, Workload};
 use mdx_core::registry::{build_scheme, RegistryError};
 use mdx_fault::{enumerate_single_faults, sample_fault_sets, FaultSet};
+use mdx_obs::{
+    FanoutObserver, MetricsObserver, MetricsReport, StallProbe, StallReport, TraceRecorder,
+};
 use mdx_sim::{DeadlockInfo, SimConfig, SimOutcome, SimStats, Simulator};
 use mdx_topology::{ChannelId, MdCrossbar, Shape};
 use mdx_workloads::TrafficPattern;
@@ -196,6 +199,64 @@ fn fnv1a64(data: &[u8]) -> u64 {
     h
 }
 
+/// Which telemetry instruments to attach when running a scenario (see
+/// [`run_scenario_instrumented`]). The default attaches none — the
+/// zero-cost path [`run_scenario`] takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ObsOptions {
+    /// Attach a [`MetricsObserver`] (channel/crossbar utilization, gather
+    /// queue, detour rate).
+    pub metrics: bool,
+    /// Attach a [`StallProbe`] sampling the wait graph every N cycles.
+    pub stall_probe: Option<u64>,
+    /// Attach a [`TraceRecorder`] (Chrome `trace_event` JSON for Perfetto).
+    pub trace: bool,
+}
+
+impl ObsOptions {
+    /// True when no instrument is requested.
+    pub fn is_none(&self) -> bool {
+        !self.metrics && self.stall_probe.is_none() && !self.trace
+    }
+}
+
+/// The compact telemetry summary embedded in a [`ScenarioReport`] row when
+/// the scenario ran with [`ObsOptions::metrics`] (and, for the wait-chain
+/// fields, a stall probe).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RowTelemetry {
+    /// Mean output-port utilization of the scheme's S-XB, if it has one.
+    pub sxb_util: Option<f64>,
+    /// Mean output-port utilization of the scheme's D-XB, if it has one.
+    pub dxb_util: Option<f64>,
+    /// Highest mean output-port utilization among all *other* crossbars.
+    pub max_other_xbar_util: Option<f64>,
+    /// Peak S-XB serialization-queue depth.
+    pub gather_peak: usize,
+    /// Detour initiations observed.
+    pub detours: u64,
+    /// Longest wait chain any stall probe saw (0 without a probe).
+    pub peak_wait_chain: usize,
+    /// Longest blocked duration any stall probe saw, in cycles.
+    pub peak_blocked_wait: u64,
+}
+
+/// The full (non-embedded) telemetry of one instrumented run.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    /// Metrics report, when [`ObsOptions::metrics`] was set.
+    pub metrics: Option<MetricsReport>,
+    /// Stall history, when [`ObsOptions::stall_probe`] was set.
+    pub stall: Option<StallReport>,
+    /// Rendered Chrome `trace_event` document, when [`ObsOptions::trace`]
+    /// was set.
+    pub trace: Option<String>,
+    /// S-XB name under the scenario's scheme (e.g. `X0-XB`), for labeling.
+    pub sxb_name: Option<String>,
+    /// D-XB name under the scenario's scheme.
+    pub dxb_name: Option<String>,
+}
+
 /// One campaign row: a scenario plus everything observed running it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioReport {
@@ -223,6 +284,10 @@ pub struct ScenarioReport {
     /// FNV-1a digest (hex) of the full serialized [`mdx_sim::SimResult`] —
     /// two runs match bit-for-bit iff their digests match.
     pub digest: String,
+    /// Telemetry summary, when the row ran instrumented (see
+    /// [`run_scenario_instrumented`]); `None` on plain runs. Excluded from
+    /// the digest, which hashes only the engine's result.
+    pub telemetry: Option<RowTelemetry>,
 }
 
 impl ScenarioReport {
@@ -242,15 +307,56 @@ fn outcome_label(o: &SimOutcome) -> &'static str {
     }
 }
 
-/// Runs one scenario to completion and aggregates its outcome.
+/// Runs one scenario to completion and aggregates its outcome. No
+/// telemetry instruments are attached — the engine takes its zero-cost
+/// uninstrumented path. See [`run_scenario_instrumented`] to attach them.
 pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, CampaignError> {
+    run_scenario_instrumented(scenario, &ObsOptions::default()).map(|(report, _)| report)
+}
+
+/// Runs one scenario with the telemetry instruments selected by `opts`
+/// attached, returning the campaign row (with its [`RowTelemetry`] summary
+/// when metrics ran) plus the full [`Telemetry`].
+///
+/// The replay digest is unaffected by instrumentation: observers only read
+/// engine state, and the digest hashes the engine's [`mdx_sim::SimResult`].
+pub fn run_scenario_instrumented(
+    scenario: &Scenario,
+    opts: &ObsOptions,
+) -> Result<(ScenarioReport, Telemetry), CampaignError> {
     let shape = scenario.shape_obj()?;
     let faults = scenario.fault_set()?;
     let net = Arc::new(MdCrossbar::build(shape.clone()));
     let scheme = build_scheme(&scenario.scheme, net.clone(), &faults)?;
+    let sxb_name = scheme.serializing_node().map(|n| n.to_string());
+    let dxb_name = scheme.detour_node().map(|n| n.to_string());
     let specs = scenario.specs(&shape, &faults);
 
     let mut sim = Simulator::new(net.graph().clone(), scheme, scenario.sim_config());
+
+    let mut metrics_handle = None;
+    let mut stall_handle = None;
+    let mut trace_handle = None;
+    if !opts.is_none() {
+        let mut fan = FanoutObserver::new();
+        if opts.metrics {
+            let (obs, handle) = MetricsObserver::new(net.graph().clone());
+            fan.push(Box::new(obs));
+            metrics_handle = Some(handle);
+        }
+        if let Some(interval) = opts.stall_probe {
+            let (probe, handle) = StallProbe::new(interval);
+            fan.push(Box::new(probe));
+            stall_handle = Some(handle);
+        }
+        if opts.trace {
+            let (rec, handle) = TraceRecorder::new(net.graph());
+            fan.push(Box::new(rec));
+            trace_handle = Some(handle);
+        }
+        sim.set_observer(Box::new(fan));
+    }
+
     for &spec in &specs {
         sim.schedule(spec);
     }
@@ -278,19 +384,59 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, CampaignError
         SimOutcome::Deadlock(info) => Some(info.clone()),
         _ => None,
     };
-    Ok(ScenarioReport {
+
+    let telemetry = Telemetry {
+        metrics: metrics_handle.map(|h| h.report(result.stats.cycles)),
+        stall: stall_handle.map(|h| h.report()),
+        trace: trace_handle.map(|h| h.render(result.stats.cycles)),
+        sxb_name: sxb_name.clone(),
+        dxb_name: dxb_name.clone(),
+    };
+    let row_telemetry = telemetry.metrics.as_ref().map(|m| {
+        let util_of = |name: &Option<String>| {
+            name.as_deref()
+                .and_then(|n| m.xbar(n))
+                .map(|x| x.utilization)
+        };
+        let special: Vec<&str> = [sxb_name.as_deref(), dxb_name.as_deref()]
+            .into_iter()
+            .flatten()
+            .collect();
+        RowTelemetry {
+            sxb_util: util_of(&sxb_name),
+            dxb_util: util_of(&dxb_name),
+            max_other_xbar_util: m
+                .crossbars
+                .iter()
+                .filter(|x| !special.contains(&x.name.as_str()))
+                .map(|x| x.utilization)
+                .fold(None, |acc: Option<f64>, u| {
+                    Some(acc.map_or(u, |a| a.max(u)))
+                }),
+            gather_peak: m.gather_peak,
+            detours: m.detours,
+            peak_wait_chain: telemetry.stall.as_ref().map_or(0, |s| s.peak_chain()),
+            peak_blocked_wait: telemetry.stall.as_ref().map_or(0, |s| s.peak_wait()),
+        }
+    });
+
+    // One sort serves all three percentile columns.
+    let lats = result.sorted_latencies();
+    let report = ScenarioReport {
         token: scenario.token(),
         scenario: scenario.clone(),
         outcome: outcome_label(&result.outcome).to_string(),
         offered: specs.len(),
         stats: result.stats.clone(),
-        latency_p50: result.latency_percentile(50),
-        latency_p95: result.latency_percentile(95),
-        latency_p99: result.latency_percentile(99),
+        latency_p50: lats.percentile(50),
+        latency_p95: lats.percentile(95),
+        latency_p99: lats.percentile(99),
         hot_channels: hot,
         deadlock,
         digest,
-    })
+        telemetry: row_telemetry,
+    };
+    Ok((report, telemetry))
 }
 
 /// A finished campaign: rows for every runnable scenario, plus the
@@ -384,10 +530,18 @@ impl CampaignResult {
 /// Runs every scenario in parallel (rayon) and collects the rows in
 /// enumeration order.
 pub fn run_campaign(scenarios: Vec<Scenario>) -> CampaignResult {
+    run_campaign_with(scenarios, &ObsOptions::default())
+}
+
+/// [`run_campaign`] with telemetry instruments attached to every row. The
+/// per-row [`RowTelemetry`] summaries land in the reports; the full
+/// [`Telemetry`] payloads (trace documents, raw series) are dropped — use
+/// [`run_scenario_instrumented`] for a single run when those are needed.
+pub fn run_campaign_with(scenarios: Vec<Scenario>, opts: &ObsOptions) -> CampaignResult {
     let outcomes: Vec<(Scenario, Result<ScenarioReport, CampaignError>)> = scenarios
         .into_par_iter()
         .map(|s| {
-            let r = run_scenario(&s);
+            let r = run_scenario_instrumented(&s, opts).map(|(report, _)| report);
             (s, r)
         })
         .collect();

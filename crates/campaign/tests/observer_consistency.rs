@@ -1,0 +1,197 @@
+//! Property test: observer totals are consistent with the engine's own
+//! accounting, randomized over campaign scenarios (schemes × workloads ×
+//! faults × seeds).
+//!
+//! The telemetry layer ([`mdx_obs`]) trusts the [`SimObserver`] hooks to
+//! fire exactly once per lifecycle event. This test pins that contract by
+//! attaching the stock [`EventCounts`] observer (through a shared-cell
+//! wrapper so the totals are readable after the run) and checking its
+//! counters against [`SimResult`]'s independently-derived statistics.
+
+use mdx_campaign::{detour_stress_for, Scenario, Workload, CAMPAIGN_SCHEMES};
+use mdx_core::registry::build_scheme;
+use mdx_core::RouteChange;
+use mdx_fault::enumerate_single_faults;
+use mdx_sim::{
+    DeadlockInfo, EventCounts, InjectSpec, PacketId, SimObserver, Simulator, WaitSnapshot,
+};
+use mdx_topology::{ChannelId, MdCrossbar, Node};
+use mdx_workloads::TrafficPattern;
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Forwards every hook to an [`EventCounts`] behind a shared cell, so the
+/// totals survive the engine taking ownership of the boxed observer.
+struct SharedCounts(Rc<RefCell<EventCounts>>);
+
+impl SimObserver for SharedCounts {
+    fn on_inject(&mut self, id: PacketId, spec: &InjectSpec, now: u64) {
+        self.0.borrow_mut().on_inject(id, spec, now);
+    }
+    fn on_hop(&mut self, id: PacketId, at: Node, in_channel: Option<ChannelId>, now: u64) {
+        self.0.borrow_mut().on_hop(id, at, in_channel, now);
+    }
+    fn on_rc_change(
+        &mut self,
+        id: PacketId,
+        at: Node,
+        from: RouteChange,
+        to: RouteChange,
+        now: u64,
+    ) {
+        self.0.borrow_mut().on_rc_change(id, at, from, to, now);
+    }
+    fn on_blocked(
+        &mut self,
+        id: PacketId,
+        channel: ChannelId,
+        vc: u8,
+        holder: Option<PacketId>,
+        now: u64,
+    ) {
+        self.0.borrow_mut().on_blocked(id, channel, vc, holder, now);
+    }
+    fn on_unblocked(&mut self, id: PacketId, channel: ChannelId, vc: u8, waited: u64, now: u64) {
+        self.0
+            .borrow_mut()
+            .on_unblocked(id, channel, vc, waited, now);
+    }
+    fn on_flit(&mut self, channel: ChannelId, vc: u8, occupancy: usize, now: u64) {
+        self.0.borrow_mut().on_flit(channel, vc, occupancy, now);
+    }
+    fn on_gather(&mut self, id: PacketId, depth: usize, now: u64) {
+        self.0.borrow_mut().on_gather(id, depth, now);
+    }
+    fn on_emission(&mut self, id: PacketId, depth: usize, now: u64) {
+        self.0.borrow_mut().on_emission(id, depth, now);
+    }
+    fn on_delivery(&mut self, id: PacketId, pe: usize, now: u64) {
+        self.0.borrow_mut().on_delivery(id, pe, now);
+    }
+    fn on_packet_finished(&mut self, id: PacketId, now: u64) {
+        self.0.borrow_mut().on_packet_finished(id, now);
+    }
+    fn on_probe(&mut self, now: u64, waits: &[WaitSnapshot]) {
+        self.0.borrow_mut().on_probe(now, waits);
+    }
+    fn on_deadlock(&mut self, info: &DeadlockInfo) {
+        self.0.borrow_mut().on_deadlock(info);
+    }
+}
+
+/// Builds one random campaign-style scenario from the raw picks: every
+/// scheme the campaign sweeps, every workload family, fault-free and
+/// single-fault, assorted seeds.
+fn make_scenario(
+    shape_pick: usize,
+    scheme_pick: usize,
+    wl_pick: u8,
+    fault_pick: u64,
+    seed: u64,
+) -> Scenario {
+    const SHAPES: [&[u16]; 3] = [&[4, 3], &[3, 3], &[2, 2, 2]];
+    let scheme = CAMPAIGN_SCHEMES[scheme_pick % CAMPAIGN_SCHEMES.len()];
+    // `separate-dxb` needs an extent of 3 in a non-first dimension to place
+    // its distinct fault-clear D-XB line, so it skips the 2x2x2 shape.
+    let shape_pick = if scheme == "separate-dxb" {
+        shape_pick % 2
+    } else {
+        shape_pick % SHAPES.len()
+    };
+    let shape_v: Vec<u16> = SHAPES[shape_pick].to_vec();
+    let shape = mdx_topology::Shape::new(&shape_v).unwrap();
+    let n = shape.num_pes();
+    let workload = match wl_pick {
+        0 => Workload::Mixed {
+            pattern: TrafficPattern::UniformRandom,
+            rate: 0.02,
+            packet_flits: 8,
+            window: 120,
+            broadcast_rate: 0.005,
+        },
+        1 => Workload::BroadcastStorm {
+            sources: vec![
+                seed as usize % n,
+                (seed / 7) as usize % n,
+                (seed / 31) as usize % n,
+            ],
+            flits: 8,
+        },
+        _ => detour_stress_for(&shape, 8, seed % 16),
+    };
+    let scenario = Scenario::new(shape_v, scheme, workload, seed);
+    // Half the cases run fault-free, half under one random fault.
+    if fault_pick.is_multiple_of(2) {
+        scenario
+    } else {
+        let net = MdCrossbar::build(shape);
+        let sites = enumerate_single_faults(&net);
+        let site = sites[(fault_pick as usize / 2) % sites.len()];
+        scenario.with_faults([site])
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn observer_totals_match_engine_accounting(
+        shape_pick in 0usize..3, scheme_pick in 0usize..3, wl_pick in 0u8..3,
+        fault_pick in any::<u64>(), seed in any::<u64>(),
+    ) {
+        let scenario = make_scenario(shape_pick, scheme_pick, wl_pick, fault_pick, seed);
+        let shape = scenario.shape_obj().unwrap();
+        let faults = scenario.fault_set().unwrap();
+        let net = Arc::new(MdCrossbar::build(shape.clone()));
+        let scheme = match build_scheme(&scenario.scheme, net.clone(), &faults) {
+            Ok(s) => s,
+            // Some scheme/fault combinations are legitimately unbuildable.
+            Err(_) => return Ok(()),
+        };
+        let specs = scenario.specs(&shape, &faults);
+        prop_assume!(!specs.is_empty());
+
+        let counts = Rc::new(RefCell::new(EventCounts::default()));
+        let mut sim = Simulator::new(net.graph().clone(), scheme, scenario.sim_config());
+        sim.set_observer(Box::new(SharedCounts(counts.clone())));
+        for &spec in &specs {
+            sim.schedule(spec);
+        }
+        let result = sim.run();
+        let c = counts.borrow();
+        let stats = &result.stats;
+
+        // Every scheduled packet was injected and ended in exactly one of
+        // the three terminal states the stats partition into.
+        prop_assert_eq!(c.injected, specs.len());
+        prop_assert_eq!(c.injected, stats.delivered + stats.dropped + stats.unfinished);
+
+        // Finish fires exactly once per packet that reached a terminal
+        // state, dropped or delivered.
+        prop_assert_eq!(c.finished, stats.delivered + stats.dropped);
+
+        // Each delivered packet produced at least one delivery hook (one
+        // per leaf for broadcasts), and with no drops the per-leaf count
+        // dominates the per-packet one.
+        prop_assert!(c.deliveries >= stats.delivered);
+        if stats.dropped == 0 {
+            prop_assert!(c.deliveries >= c.finished);
+        }
+
+        // The flit hook fired once per flit-hop the engine counted.
+        prop_assert_eq!(c.flits, stats.flit_hops);
+
+        // Blocked episodes open before they close; a run that ends with
+        // packets still waiting simply leaves episodes unclosed.
+        prop_assert!(c.blocked >= c.unblocked);
+
+        // The S-XB serialization queue never emits more than it gathered.
+        prop_assert!(c.gathered >= c.emissions);
+
+        // The watchdog reports a deadlock to the observer iff the run's
+        // outcome is a deadlock.
+        prop_assert_eq!(c.deadlocks, usize::from(result.outcome.is_deadlock()));
+    }
+}

@@ -103,6 +103,13 @@ pub trait Scheme: Send + Sync {
         None
     }
 
+    /// The crossbar (if any) where detoured packets (RC=3) reset to normal
+    /// routing — the D-XB. Purely informational: telemetry uses it to label
+    /// per-crossbar utilization; the engine never consults it.
+    fn detour_node(&self) -> Option<Node> {
+        None
+    }
+
     /// The branches on which the serializing crossbar re-emits a gathered
     /// broadcast request (paper Fig. 6, step 2: *"the S-XB changes the RC
     /// bit from 'broadcast request' to 'broadcast', then transmits the

@@ -440,6 +440,10 @@ impl Scheme for Sr2201Routing {
         Some(Node::Xbar(self.cfg.sxb()))
     }
 
+    fn detour_node(&self) -> Option<Node> {
+        Some(Node::Xbar(self.cfg.dxb()))
+    }
+
     fn emission(&self, header: &Header) -> Vec<Branch> {
         // Fig. 6 step 2: RC 'broadcast request' -> 'broadcast', transmitted
         // to every PE (router) connected to the S-XB.

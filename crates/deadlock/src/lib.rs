@@ -49,7 +49,9 @@
 #![warn(missing_docs)]
 
 pub mod claims;
+pub mod runtime;
 pub mod waitgraph;
 
 pub use claims::{broadcast_claims, unicast_claims, ClaimError, ClaimTree};
+pub use runtime::{analyze_waits, ChainReport, WaitFor};
 pub use waitgraph::{analyze_trees, verify_scheme, CdgReport, SchemeVerdict};

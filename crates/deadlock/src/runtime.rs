@@ -1,0 +1,165 @@
+//! Runtime wait-graph analysis over live blocked-on snapshots.
+//!
+//! The static analysis in [`crate::waitgraph`] certifies schemes ahead of
+//! time; this module serves the *observability* side: given a snapshot of
+//! who-waits-on-whom taken from a running simulation (see
+//! `mdx_sim::SimObserver::on_probe`), it measures how deep the wait chains
+//! currently are and whether they already close a cycle. A chain that keeps
+//! growing probe after probe is the near-deadlock early warning the SR2201
+//! watchdog only reports *after* the fact.
+
+use std::collections::HashMap;
+
+/// One blocked-on edge of a runtime wait snapshot: `waiter` wants a
+/// resource currently held by `holder` (or by nobody, when the port is
+/// merely contended but free — such edges terminate a chain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitFor {
+    /// The blocked packet (dense run-local id).
+    pub waiter: u32,
+    /// The packet holding the wanted resource, if any.
+    pub holder: Option<u32>,
+}
+
+/// Summary of one wait-graph snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChainReport {
+    /// Number of packets in the longest simple waiter→holder chain
+    /// (0 when nothing waits; a lone blocked packet whose holder is not
+    /// itself blocked counts 2).
+    pub longest_chain: usize,
+    /// Whether the snapshot already contains a cyclic wait — the condition
+    /// the engine's watchdog will eventually certify as deadlock.
+    pub has_cycle: bool,
+}
+
+/// Analyzes a snapshot of blocked-on edges: longest waiter→holder chain and
+/// cycle presence.
+///
+/// Chains follow `waiter -> holder` links: if the holder is itself blocked,
+/// the chain extends through it. A cycle (the holder set leads back to a
+/// packet already on the path) both sets [`ChainReport::has_cycle`] and
+/// bounds that chain at the number of distinct packets involved.
+pub fn analyze_waits(edges: &[WaitFor]) -> ChainReport {
+    // waiter -> holders adjacency.
+    let mut adj: HashMap<u32, Vec<u32>> = HashMap::new();
+    let mut nodes: Vec<u32> = Vec::new();
+    for e in edges {
+        nodes.push(e.waiter);
+        let holders = adj.entry(e.waiter).or_default();
+        if let Some(h) = e.holder {
+            nodes.push(h);
+            if !holders.contains(&h) {
+                holders.push(h);
+            }
+        }
+    }
+    nodes.sort_unstable();
+    nodes.dedup();
+
+    // Depth of the longest chain starting at each node, memoized; GRAY
+    // nodes on the current DFS path signal a cycle.
+    const GRAY: i64 = -1;
+    let mut depth: HashMap<u32, i64> = HashMap::new();
+    let mut has_cycle = false;
+    let mut longest = 0usize;
+    for &start in &nodes {
+        longest = longest.max(chain_depth(start, &adj, &mut depth, &mut has_cycle) as usize);
+    }
+    return ChainReport {
+        longest_chain: longest,
+        has_cycle,
+    };
+
+    fn chain_depth(
+        u: u32,
+        adj: &HashMap<u32, Vec<u32>>,
+        depth: &mut HashMap<u32, i64>,
+        has_cycle: &mut bool,
+    ) -> i64 {
+        match depth.get(&u) {
+            Some(&GRAY) => {
+                *has_cycle = true;
+                return 0; // cycle: stop extending, count the nodes on the path
+            }
+            Some(&d) => return d,
+            None => {}
+        }
+        depth.insert(u, GRAY);
+        let mut best = 0i64;
+        if let Some(holders) = adj.get(&u) {
+            for &h in holders {
+                best = best.max(chain_depth(h, adj, depth, has_cycle));
+            }
+        }
+        let d = best + 1;
+        depth.insert(u, d);
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(waiter: u32, holder: u32) -> WaitFor {
+        WaitFor {
+            waiter,
+            holder: Some(holder),
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_is_quiet() {
+        let r = analyze_waits(&[]);
+        assert_eq!(r.longest_chain, 0);
+        assert!(!r.has_cycle);
+    }
+
+    #[test]
+    fn single_wait_is_a_two_chain() {
+        let r = analyze_waits(&[w(0, 1)]);
+        assert_eq!(r.longest_chain, 2);
+        assert!(!r.has_cycle);
+    }
+
+    #[test]
+    fn holderless_wait_counts_alone() {
+        let r = analyze_waits(&[WaitFor {
+            waiter: 3,
+            holder: None,
+        }]);
+        assert_eq!(r.longest_chain, 1);
+        assert!(!r.has_cycle);
+    }
+
+    #[test]
+    fn chains_extend_through_blocked_holders() {
+        // 0 -> 1 -> 2 -> 3 plus an unrelated 7 -> 8.
+        let r = analyze_waits(&[w(0, 1), w(1, 2), w(2, 3), w(7, 8)]);
+        assert_eq!(r.longest_chain, 4);
+        assert!(!r.has_cycle);
+    }
+
+    #[test]
+    fn branching_takes_the_deepest_arm() {
+        // 0 waits on both 1 (chain of 2 more) and 9 (leaf).
+        let r = analyze_waits(&[w(0, 1), w(0, 9), w(1, 2)]);
+        assert_eq!(r.longest_chain, 3);
+    }
+
+    #[test]
+    fn cycle_is_flagged_and_bounded() {
+        let r = analyze_waits(&[w(0, 1), w(1, 2), w(2, 0)]);
+        assert!(r.has_cycle);
+        assert_eq!(r.longest_chain, 3);
+    }
+
+    #[test]
+    fn tail_into_cycle_counts_the_tail() {
+        // 5 -> 0 -> 1 -> 0 (two-cycle with a tail).
+        let r = analyze_waits(&[w(5, 0), w(0, 1), w(1, 0)]);
+        assert!(r.has_cycle);
+        assert_eq!(r.longest_chain, 3);
+    }
+}

@@ -1,0 +1,371 @@
+//! Chrome `trace_event` / Perfetto JSON export.
+//!
+//! [`TraceRecorder`] turns one simulation run into a trace openable in
+//! [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`. One simulated
+//! cycle maps to one microsecond of trace time. The trace carries four
+//! process groups:
+//!
+//! - **pid 1 — packets**: one track per packet; a complete (`"X"`) slice
+//!   per switch visit (hop-to-hop residency) with instant markers for RC
+//!   rewrites, deliveries, and completion.
+//! - **pid 2 — stalls**: one track per packet; a slice per blocked episode,
+//!   named after the contended channel, with the holding packet in `args`.
+//! - **pid 3 — queues**: a counter track for the S-XB serialization-queue
+//!   depth.
+//! - **pid 4 — crossbars**: one cumulative-flits counter track per crossbar
+//!   switch, so the hot crossbar is visible at a glance.
+//!
+//! Events are pre-serialized into JSON strings as they happen (the strings
+//! involved are switch/packet names — plain ASCII), so rendering the final
+//! document is a join.
+
+use mdx_core::RouteChange;
+use mdx_sim::{DeadlockInfo, InjectSpec, PacketId, SimObserver};
+use mdx_topology::{ChannelId, NetworkGraph, Node};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+const PID_PACKETS: u32 = 1;
+const PID_STALLS: u32 = 2;
+const PID_QUEUES: u32 = 3;
+const PID_XBARS: u32 = 4;
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// A blocked episode's key: (packet, channel, vc lane).
+type BlockKey = (u32, u32, u8);
+/// A blocked episode's opening: (start cycle, holding packet).
+type BlockOpen = (u64, Option<u32>);
+
+struct State {
+    chan_desc: Vec<String>,
+    chan_src_xbar: Vec<Option<u32>>,
+    xbar_names: Vec<String>,
+    events: Vec<String>,
+    open_hops: HashMap<u32, (String, u64)>,
+    open_blocks: HashMap<BlockKey, BlockOpen>,
+    xbar_flits: Vec<u64>,
+}
+
+impl State {
+    fn slice(&mut self, pid: u32, tid: u32, name: &str, start: u64, end: u64, args: &str) {
+        let dur = (end.saturating_sub(start)).max(1);
+        self.events.push(format!(
+            "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{},\"dur\":{}{}}}",
+            esc(name),
+            pid,
+            tid,
+            start,
+            dur,
+            args
+        ));
+    }
+
+    fn instant(&mut self, pid: u32, tid: u32, name: &str, ts: u64) {
+        self.events.push(format!(
+            "{{\"name\":\"{}\",\"ph\":\"i\",\"pid\":{},\"tid\":{},\"ts\":{},\"s\":\"t\"}}",
+            esc(name),
+            pid,
+            tid,
+            ts
+        ));
+    }
+
+    fn counter(&mut self, pid: u32, name: &str, ts: u64, key: &str, value: u64) {
+        self.events.push(format!(
+            "{{\"name\":\"{}\",\"ph\":\"C\",\"pid\":{},\"tid\":0,\"ts\":{},\"args\":{{\"{}\":{}}}}}",
+            esc(name),
+            pid,
+            ts,
+            key,
+            value
+        ));
+    }
+
+    fn name_meta(&mut self, kind: &str, pid: u32, tid: u32, name: &str) {
+        let tid_field = if kind == "thread_name" {
+            format!(",\"tid\":{tid}")
+        } else {
+            String::new()
+        };
+        self.events.push(format!(
+            "{{\"name\":\"{}\",\"ph\":\"M\",\"pid\":{}{},\"args\":{{\"name\":\"{}\"}}}}",
+            kind,
+            pid,
+            tid_field,
+            esc(name)
+        ));
+    }
+}
+
+/// The attachable half of the trace instrument; pair with the
+/// [`TraceHandle`] returned by [`TraceRecorder::new`].
+pub struct TraceRecorder {
+    state: Rc<RefCell<State>>,
+}
+
+/// The caller-retained half of the trace instrument; renders the collected
+/// events to a Chrome `trace_event` JSON document after the run.
+#[derive(Clone)]
+pub struct TraceHandle {
+    state: Rc<RefCell<State>>,
+}
+
+impl TraceRecorder {
+    /// Creates the recorder/handle pair for a run on `graph`.
+    pub fn new(graph: &NetworkGraph) -> (TraceRecorder, TraceHandle) {
+        let chan_desc: Vec<String> = graph
+            .channel_ids()
+            .map(|c| graph.describe_channel(c))
+            .collect();
+        let mut xbar_names = Vec::new();
+        let mut xbar_index: HashMap<Node, u32> = HashMap::new();
+        for id in graph.node_ids() {
+            let n = graph.node(id);
+            if matches!(n, Node::Xbar(_)) {
+                xbar_index.insert(n, xbar_names.len() as u32);
+                xbar_names.push(n.to_string());
+            }
+        }
+        let chan_src_xbar: Vec<Option<u32>> = graph
+            .channel_ids()
+            .map(|c| xbar_index.get(&graph.node(graph.channel(c).src)).copied())
+            .collect();
+        let xbar_count = xbar_names.len();
+        let mut state = State {
+            chan_desc,
+            chan_src_xbar,
+            xbar_names,
+            events: Vec::new(),
+            open_hops: HashMap::new(),
+            open_blocks: HashMap::new(),
+            xbar_flits: vec![0; xbar_count],
+        };
+        state.name_meta("process_name", PID_PACKETS, 0, "packets");
+        state.name_meta("process_name", PID_STALLS, 0, "stalls");
+        state.name_meta("process_name", PID_QUEUES, 0, "queues");
+        state.name_meta("process_name", PID_XBARS, 0, "crossbars");
+        let state = Rc::new(RefCell::new(state));
+        (
+            TraceRecorder {
+                state: Rc::clone(&state),
+            },
+            TraceHandle { state },
+        )
+    }
+}
+
+impl SimObserver for TraceRecorder {
+    fn on_inject(&mut self, id: PacketId, spec: &InjectSpec, _now: u64) {
+        let mut s = self.state.borrow_mut();
+        let label = format!("pkt{} (from PE{})", id.0, spec.src_pe);
+        s.name_meta("thread_name", PID_PACKETS, id.0, &label);
+        s.name_meta("thread_name", PID_STALLS, id.0, &label);
+    }
+
+    fn on_hop(&mut self, id: PacketId, at: Node, _in_channel: Option<ChannelId>, now: u64) {
+        let mut s = self.state.borrow_mut();
+        if let Some((name, start)) = s.open_hops.remove(&id.0) {
+            s.slice(PID_PACKETS, id.0, &name, start, now, "");
+        }
+        s.open_hops.insert(id.0, (at.to_string(), now));
+    }
+
+    fn on_rc_change(
+        &mut self,
+        id: PacketId,
+        at: Node,
+        from: RouteChange,
+        to: RouteChange,
+        now: u64,
+    ) {
+        self.state.borrow_mut().instant(
+            PID_PACKETS,
+            id.0,
+            &format!("RC {from:?} -> {to:?} at {at}"),
+            now,
+        );
+    }
+
+    fn on_blocked(
+        &mut self,
+        id: PacketId,
+        channel: ChannelId,
+        vc: u8,
+        holder: Option<PacketId>,
+        now: u64,
+    ) {
+        self.state
+            .borrow_mut()
+            .open_blocks
+            .insert((id.0, channel.0, vc), (now, holder.map(|h| h.0)));
+    }
+
+    fn on_unblocked(&mut self, id: PacketId, channel: ChannelId, vc: u8, _waited: u64, now: u64) {
+        let mut s = self.state.borrow_mut();
+        if let Some((start, holder)) = s.open_blocks.remove(&(id.0, channel.0, vc)) {
+            let name = format!("blocked: {}", s.chan_desc[channel.idx()]);
+            let args = match holder {
+                Some(h) => format!(",\"args\":{{\"holder\":\"pkt{h}\"}}"),
+                None => String::new(),
+            };
+            s.slice(PID_STALLS, id.0, &name, start, now, &args);
+        }
+    }
+
+    fn on_flit(&mut self, channel: ChannelId, _vc: u8, _occupancy: usize, now: u64) {
+        let mut s = self.state.borrow_mut();
+        if let Some(x) = s.chan_src_xbar[channel.idx()] {
+            s.xbar_flits[x as usize] += 1;
+            let name = format!("{} flits", s.xbar_names[x as usize]);
+            let total = s.xbar_flits[x as usize];
+            s.counter(PID_XBARS, &name, now, "flits", total);
+        }
+    }
+
+    fn on_gather(&mut self, _id: PacketId, depth: usize, now: u64) {
+        self.state.borrow_mut().counter(
+            PID_QUEUES,
+            "S-XB gather depth",
+            now,
+            "depth",
+            depth as u64,
+        );
+    }
+
+    fn on_emission(&mut self, id: PacketId, depth: usize, now: u64) {
+        let mut s = self.state.borrow_mut();
+        s.counter(PID_QUEUES, "S-XB gather depth", now, "depth", depth as u64);
+        s.instant(PID_PACKETS, id.0, "S-XB emission", now);
+    }
+
+    fn on_delivery(&mut self, id: PacketId, pe: usize, now: u64) {
+        self.state
+            .borrow_mut()
+            .instant(PID_PACKETS, id.0, &format!("delivered to PE{pe}"), now);
+    }
+
+    fn on_packet_finished(&mut self, id: PacketId, now: u64) {
+        let mut s = self.state.borrow_mut();
+        if let Some((name, start)) = s.open_hops.remove(&id.0) {
+            s.slice(PID_PACKETS, id.0, &name, start, now, "");
+        }
+        s.instant(PID_PACKETS, id.0, "finished", now);
+    }
+
+    fn on_deadlock(&mut self, info: &DeadlockInfo) {
+        let mut s = self.state.borrow_mut();
+        let packets: Vec<u32> = info.cycle.iter().map(|e| e.waiter.0).collect();
+        s.instant(
+            PID_PACKETS,
+            packets.first().copied().unwrap_or(0),
+            &format!("DEADLOCK ({} packets in cycle)", packets.len()),
+            info.detected_at,
+        );
+    }
+}
+
+impl TraceHandle {
+    /// Number of events recorded so far (open slices not yet counted).
+    pub fn len(&self) -> usize {
+        self.state.borrow().events.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Renders the full trace document. `end` (usually
+    /// [`mdx_sim::SimStats::cycles`]) closes any still-open hop and blocked
+    /// slices — packets caught in a deadlock show as slices running to the
+    /// end of the trace.
+    pub fn render(&self, end: u64) -> String {
+        let mut s = self.state.borrow_mut();
+        let open_hops: Vec<(u32, (String, u64))> = s.open_hops.drain().collect();
+        for (pkt, (name, start)) in open_hops {
+            s.slice(PID_PACKETS, pkt, &name, start, end, "");
+        }
+        let open_blocks: Vec<(BlockKey, BlockOpen)> = s.open_blocks.drain().collect();
+        for ((pkt, chan, _vc), (start, holder)) in open_blocks {
+            let name = format!("blocked: {}", s.chan_desc[chan as usize]);
+            let args = match holder {
+                Some(h) => format!(",\"args\":{{\"holder\":\"pkt{h}\"}}"),
+                None => String::new(),
+            };
+            s.slice(PID_STALLS, pkt, &name, start, end, &args);
+        }
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, e) in s.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            out.push_str(e);
+        }
+        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdx_core::Header;
+    use mdx_topology::graph::GraphBuilder;
+    use mdx_topology::{Coord, XbarRef};
+
+    fn tiny_graph() -> NetworkGraph {
+        let mut b = GraphBuilder::new();
+        let pe = b.add_node(Node::Pe(0), None);
+        let r = b.add_node(Node::Router(0), None);
+        let x = b.add_node(Node::Xbar(XbarRef { dim: 0, line: 0 }), None);
+        b.add_link(pe, r);
+        b.add_link(r, x);
+        b.build()
+    }
+
+    #[test]
+    fn records_slices_counters_and_closes_open_work() {
+        let g = tiny_graph();
+        let xbar_out = g
+            .channel_ids()
+            .find(|&c| matches!(g.node(g.channel(c).src), Node::Xbar(_)))
+            .unwrap();
+        let (mut rec, handle) = TraceRecorder::new(&g);
+        let spec = InjectSpec {
+            src_pe: 0,
+            header: Header::unicast(Coord::ORIGIN, Coord::ORIGIN),
+            flits: 2,
+            inject_at: 0,
+        };
+        rec.on_inject(PacketId(0), &spec, 0);
+        rec.on_hop(PacketId(0), Node::Pe(0), None, 0);
+        rec.on_hop(PacketId(0), Node::Router(0), None, 2);
+        rec.on_blocked(PacketId(0), xbar_out, 0, Some(PacketId(1)), 2);
+        rec.on_unblocked(PacketId(0), xbar_out, 0, 3, 5);
+        rec.on_flit(xbar_out, 0, 1, 6);
+        rec.on_gather(PacketId(0), 2, 6);
+        // One hop left open on purpose: render() must close it.
+        let doc = handle.render(10);
+        assert!(doc.starts_with("{\"traceEvents\":["));
+        assert!(doc.trim_end().ends_with("}"));
+        assert!(doc.contains("\"ph\":\"X\""));
+        assert!(doc.contains("\"ph\":\"C\""));
+        assert!(doc.contains("blocked: X0-XB -> R0"));
+        assert!(doc.contains("X0-XB flits"));
+        assert!(doc.contains("S-XB gather depth"));
+        assert!(doc.contains("\"holder\":\"pkt1\""));
+        // The still-open Router(0) residency closed at end=10.
+        assert!(doc.contains("\"name\":\"R0\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":2,\"dur\":8"));
+        // Valid JSON (parse with the workspace shim).
+        let v: serde_json::Value = serde_json::from_str(&doc).unwrap();
+        match v {
+            serde_json::Value::Map(_) => {}
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+}

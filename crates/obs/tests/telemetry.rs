@@ -1,0 +1,190 @@
+//! Acceptance tests for the telemetry layer on real paper scenarios.
+//!
+//! - An instrumented Fig. 10 run (mixed unicast + serialized broadcast
+//!   traffic) must show the S-XB's output utilization strictly dominating
+//!   every other X-dimension crossbar — the serialization point is, by
+//!   construction, the broadcast hot spot.
+//! - A naive-broadcast storm (Fig. 5) must show the stall probe's wait
+//!   chain *growing* before the watchdog confirms the deadlock — the
+//!   near-deadlock early warning the probe exists for.
+
+use mdx_core::{NaiveBroadcast, RouteChange, Sr2201Routing};
+use mdx_fault::FaultSet;
+use mdx_obs::{FanoutObserver, MetricsObserver, StallProbe, TraceRecorder};
+use mdx_sim::{EventCounts, InjectSpec, SimConfig, SimOutcome, Simulator};
+use mdx_topology::{MdCrossbar, Node, Shape};
+use mdx_workloads::{mixed_schedule, OpenLoop, TrafficPattern};
+use std::sync::Arc;
+
+fn fig2_net() -> Arc<MdCrossbar> {
+    Arc::new(MdCrossbar::build(Shape::fig2()))
+}
+
+/// Fig. 10 mixed traffic (unicasts + serialized broadcast requests).
+fn fig10_specs(net: &MdCrossbar, seed: u64) -> Vec<InjectSpec> {
+    mixed_schedule(
+        net.shape(),
+        TrafficPattern::UniformRandom,
+        OpenLoop {
+            rate: 0.02,
+            packet_flits: 12,
+            window: 200,
+            seed,
+        },
+        0.004,
+        &FaultSet::none(),
+    )
+}
+
+#[test]
+fn fig10_sxb_utilization_dominates_other_x_crossbars() {
+    let net = fig2_net();
+    let scheme = Arc::new(Sr2201Routing::new(net.clone(), &FaultSet::none()).unwrap());
+    let sxb = scheme.config().sxb();
+    assert_eq!(sxb.dim, 0, "the S-XB is an X-dimension crossbar");
+
+    let mut sim = Simulator::new(net.graph().clone(), scheme, SimConfig::default());
+    let (obs, metrics) = MetricsObserver::new(net.graph().clone());
+    sim.set_observer(Box::new(obs));
+    let specs = fig10_specs(&net, 7);
+    assert!(
+        specs
+            .iter()
+            .any(|s| s.header.rc == RouteChange::BroadcastRequest),
+        "fig10 traffic must include broadcasts"
+    );
+    for &spec in &specs {
+        sim.schedule(spec);
+    }
+    let result = sim.run();
+    assert_eq!(result.outcome, SimOutcome::Completed);
+
+    let report = metrics.report(result.stats.cycles);
+    // Observer flit accounting agrees with the engine's own counters.
+    assert_eq!(report.total_flits, result.stats.flit_hops);
+
+    let sxb_name = Node::Xbar(sxb).to_string();
+    let sxb_util = report
+        .xbar(&sxb_name)
+        .expect("S-XB row present in metrics")
+        .utilization;
+    assert!(sxb_util > 0.0);
+    let mut others = 0;
+    for x in report.crossbars.iter().filter(|x| x.dim == 0) {
+        if x.name == sxb_name {
+            continue;
+        }
+        others += 1;
+        assert!(
+            sxb_util > x.utilization,
+            "S-XB {sxb_name} ({sxb_util:.4}) must strictly dominate {} ({:.4})",
+            x.name,
+            x.utilization
+        );
+    }
+    assert!(others >= 2, "4x3 has at least two non-S-XB X crossbars");
+    // Broadcasts actually serialized: the gather queue saw traffic.
+    assert!(report.gather_peak >= 1);
+}
+
+#[test]
+fn naive_broadcast_storm_wait_chain_grows_before_watchdog_fires() {
+    let net = fig2_net();
+    let shape = net.shape().clone();
+    let sources = [0usize, 4, 8];
+
+    // The Fig. 5 outcome is arbitration-order sensitive; scan seeds for a
+    // deadlocking run, as the fig5 bench does.
+    for seed in 0..64u64 {
+        let scheme = Arc::new(NaiveBroadcast::new(net.clone()));
+        let mut sim = Simulator::new(
+            net.graph().clone(),
+            scheme,
+            SimConfig {
+                arb_seed: seed,
+                ..SimConfig::default()
+            },
+        );
+        let (probe, stall) = StallProbe::new(64);
+        sim.set_observer(Box::new(probe));
+        for &src in &sources {
+            let c = shape.coord_of(src);
+            sim.schedule(InjectSpec {
+                src_pe: src,
+                header: mdx_core::Header {
+                    rc: RouteChange::Broadcast,
+                    dest: c,
+                    src: c,
+                },
+                flits: 16,
+                inject_at: 0,
+            });
+        }
+        let result = sim.run();
+        if !result.outcome.is_deadlock() {
+            continue;
+        }
+
+        let report = stall.report();
+        assert_eq!(
+            report.deadlock_at.is_some(),
+            true,
+            "probe saw the watchdog's verdict"
+        );
+        // The chain grew probe over probe before the watchdog fired: there
+        // is a strictly increasing adjacent pair in the series.
+        let series = report.chain_series();
+        assert!(
+            series.windows(2).any(|w| w[1] > w[0]),
+            "wait chain never grew: {series:?}"
+        );
+        // And the cyclic wait was visible to the probe before confirmation.
+        assert!(report.saw_cycle(), "probe never saw the cycle");
+        assert!(report.peak_chain() >= 3, "fig5 cycles involve >= 3 packets");
+        assert!(report.warning().is_some());
+        let tl = report.timeline();
+        assert!(tl.contains("<< CYCLE"));
+        assert!(tl.contains("DEADLOCK confirmed"));
+        return;
+    }
+    panic!("no seed in 0..64 deadlocked the naive broadcast storm");
+}
+
+#[test]
+fn all_three_observers_compose_via_fanout() {
+    let net = fig2_net();
+    let scheme = Arc::new(Sr2201Routing::new(net.clone(), &FaultSet::none()).unwrap());
+    let mut sim = Simulator::new(net.graph().clone(), scheme, SimConfig::default());
+
+    let (metrics_obs, metrics) = MetricsObserver::new(net.graph().clone());
+    let (trace_obs, trace) = TraceRecorder::new(net.graph());
+    let (probe, stall) = StallProbe::new(32);
+    sim.set_observer(Box::new(
+        FanoutObserver::new()
+            .with(Box::new(metrics_obs))
+            .with(Box::new(trace_obs))
+            .with(Box::new(probe))
+            .with(Box::new(EventCounts::default())),
+    ));
+
+    for &spec in &fig10_specs(&net, 3) {
+        sim.schedule(spec);
+    }
+    let result = sim.run();
+    assert_eq!(result.outcome, SimOutcome::Completed);
+
+    let m = metrics.report(result.stats.cycles);
+    assert_eq!(m.total_flits, result.stats.flit_hops);
+    assert!(!m.heatmap(None, None).is_empty());
+
+    let doc = trace.render(result.stats.cycles);
+    assert!(doc.contains("\"traceEvents\""));
+    assert!(doc.contains("S-XB gather depth") || m.gather_peak == 0);
+    let parsed: serde_json::Value = serde_json::from_str(&doc).unwrap();
+    assert!(matches!(parsed, serde_json::Value::Map(_)));
+
+    let s = stall.report();
+    assert_eq!(s.interval, 32);
+    assert!(s.deadlock_at.is_none());
+    assert!(!s.samples.is_empty());
+}

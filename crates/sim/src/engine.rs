@@ -17,7 +17,7 @@
 //! * **Serialization** — the scheme's S-XB gathers RC=1 requests into a
 //!   FIFO; one packet at a time is re-emitted on all S-XB ports (Fig. 6).
 
-use crate::observer::SimObserver;
+use crate::observer::{SimObserver, WaitSnapshot};
 use crate::result::{
     DeadlockInfo, InjectSpec, PacketId, PacketOutcome, PacketResult, SimOutcome, SimResult,
     SimStats, WaitEdge,
@@ -93,6 +93,10 @@ struct BranchState {
     header: Header,
     granted: bool,
     crossed: usize,
+    /// Cycle this branch's port request entered a blocked episode.
+    /// Maintained only while an observer is attached (it feeds the
+    /// `on_blocked`/`on_unblocked`/`on_probe` hooks, not engine semantics).
+    blocked_since: Option<u64>,
 }
 
 #[derive(Debug, Clone)]
@@ -138,7 +142,9 @@ struct PacketRt {
     finished_at: Option<u64>,
     deliveries: Vec<(usize, u64)>,
     dropped: Option<DropReason>,
-    route: Vec<(String, u64)>,
+    /// (graph node id, header-arrival cycle) per hop — interned into the
+    /// run-level name table by `collect_result`.
+    route: Vec<(u32, u64)>,
 }
 
 /// The simulator. Feed it a schedule with [`Simulator::schedule`], then call
@@ -353,11 +359,25 @@ impl Simulator {
         let at_node = self.graph.node(at);
         let from_node = came_from.map(|id| self.graph.node(id));
         if self.cfg.record_routes {
-            self.packets[packet as usize]
-                .route
-                .push((at_node.to_string(), self.now));
+            self.packets[packet as usize].route.push((at.0, self.now));
         }
         let action = self.scheme.decide(at_node, from_node, &header);
+        if self.observer.is_some() {
+            let in_channel = in_port.map(|p| ChannelId(p / self.vcs as u32));
+            let rc_change = match &action {
+                Action::Forward(branches) => branches
+                    .iter()
+                    .map(|b| b.header.rc)
+                    .find(|&rc| rc != header.rc),
+                _ => None,
+            };
+            if let Some(obs) = self.observer.as_deref_mut() {
+                obs.on_hop(PacketId(packet), at_node, in_channel, self.now);
+                if let Some(to) = rc_change {
+                    obs.on_rc_change(PacketId(packet), at_node, header.rc, to, self.now);
+                }
+            }
+        }
         let kind = match action {
             Action::Deliver => match at_node {
                 Node::Pe(p) => VKind::Sink {
@@ -397,6 +417,7 @@ impl Simulator {
                             header: b.header,
                             granted: false,
                             crossed: 0,
+                            blocked_since: None,
                         }),
                         None => bad = true,
                     }
@@ -517,8 +538,24 @@ impl Simulator {
                             header: b.header,
                             granted: false,
                             crossed: 0,
+                            blocked_since: None,
                         }),
                         None => bad = true,
+                    }
+                }
+                if self.observer.is_some() {
+                    let at = self.graph.node(serial);
+                    let depth = self.serial_queue.len();
+                    let rc_change = states
+                        .iter()
+                        .map(|b| b.header.rc)
+                        .find(|&rc| rc != header.rc);
+                    if let Some(obs) = self.observer.as_deref_mut() {
+                        obs.on_emission(PacketId(pidx), depth, self.now);
+                        obs.on_hop(PacketId(pidx), at, None, self.now);
+                        if let Some(to) = rc_change {
+                            obs.on_rc_change(PacketId(pidx), at, header.rc, to, self.now);
+                        }
                     }
                 }
                 let kind = if bad {
@@ -566,9 +603,46 @@ impl Simulator {
                     // the downstream buffer (step 9), so a packet can never
                     // look finished while flits are queued behind another
                     // packet's resident run.
-                    self.packets[self.visits[vidx as usize].packet as usize].open += 1;
+                    let packet = self.visits[vidx as usize].packet;
+                    self.packets[packet as usize].open += 1;
+                    let mut was_blocked = None;
                     if let VKind::Forward { branches, .. } = &mut self.visits[vidx as usize].kind {
-                        branches[bidx as usize].granted = true;
+                        let b = &mut branches[bidx as usize];
+                        b.granted = true;
+                        was_blocked = b.blocked_since.take();
+                    }
+                    if let (Some(since), Some(obs)) = (was_blocked, self.observer.as_deref_mut()) {
+                        let ch = ChannelId((pu / self.vcs) as u32);
+                        let vc = (pu % self.vcs) as u8;
+                        obs.on_unblocked(PacketId(packet), ch, vc, self.now - since, self.now);
+                    }
+                }
+            }
+            // Requests still queued after arbitration transition to
+            // *blocked* (once per episode) — observer bookkeeping only.
+            if self.observer.is_some() && !self.chan_requests[pu].is_empty() {
+                let holder =
+                    self.chan_owner[pu].map(|(ovi, _)| PacketId(self.visits[ovi as usize].packet));
+                let waiting: Vec<(u32, u32)> = self.chan_requests[pu]
+                    .iter()
+                    .map(|&(v, b, _)| (v, b))
+                    .collect();
+                for (vidx, bidx) in waiting {
+                    let packet = self.visits[vidx as usize].packet;
+                    let mut newly = false;
+                    if let VKind::Forward { branches, .. } = &mut self.visits[vidx as usize].kind {
+                        let b = &mut branches[bidx as usize];
+                        if b.blocked_since.is_none() {
+                            b.blocked_since = Some(self.now);
+                            newly = true;
+                        }
+                    }
+                    if newly {
+                        if let Some(obs) = self.observer.as_deref_mut() {
+                            let ch = ChannelId((pu / self.vcs) as u32);
+                            let vc = (pu % self.vcs) as u8;
+                            obs.on_blocked(PacketId(packet), ch, vc, holder, self.now);
+                        }
                     }
                 }
             }
@@ -675,6 +749,12 @@ impl Simulator {
             }
             self.chan_flits[ch.idx()] += 1;
             self.flit_hops += 1;
+            if self.observer.is_some() {
+                let occupancy = self.occupancy(port);
+                if let Some(obs) = self.observer.as_deref_mut() {
+                    obs.on_flit(ch, vc, occupancy, self.now);
+                }
+            }
             progress = true;
         }
         for vi in sink_moves {
@@ -706,7 +786,12 @@ impl Simulator {
                         SinkKind::Gather => {
                             // Queue slot stays open until emission starts.
                             self.packets[packet as usize].open += 1;
-                            self.serial_queue.push_back((packet, v.header));
+                            let header = v.header;
+                            self.serial_queue.push_back((packet, header));
+                            let depth = self.serial_queue.len();
+                            if let Some(obs) = self.observer.as_deref_mut() {
+                                obs.on_gather(PacketId(packet), depth, self.now);
+                            }
                         }
                         SinkKind::Drop(r) => {
                             let p = &mut self.packets[packet as usize];
@@ -869,12 +954,42 @@ impl Simulator {
         None
     }
 
+    /// Snapshot of every ungranted port want, for [`SimObserver::on_probe`].
+    fn wait_snapshot(&self) -> Vec<WaitSnapshot> {
+        let mut waits = Vec::new();
+        for &vi in &self.active {
+            let v = &self.visits[vi as usize];
+            if let VKind::Forward { branches, .. } = &v.kind {
+                for b in branches {
+                    if b.granted {
+                        continue;
+                    }
+                    let port = self.port(b.channel, b.vc);
+                    waits.push(WaitSnapshot {
+                        waiter: PacketId(v.packet),
+                        holder: self.chan_owner[port]
+                            .map(|(ovi, _)| PacketId(self.visits[ovi as usize].packet)),
+                        channel: b.channel,
+                        vc: b.vc,
+                        since: b.blocked_since.unwrap_or(self.now),
+                    });
+                }
+            }
+        }
+        waits
+    }
+
     /// Runs to completion, deadlock, stall, or the cycle limit.
     pub fn run(&mut self) -> SimResult {
         let mut order: Vec<u32> = (0..self.packets.len() as u32).collect();
         order.sort_by_key(|&i| (self.packets[i as usize].spec.inject_at, i));
         self.inject_order = order;
         self.next_inject = 0;
+        let probe_every = self
+            .observer
+            .as_deref()
+            .and_then(|o| o.probe_interval())
+            .filter(|&iv| iv > 0);
 
         let outcome = loop {
             if !self.work_remaining() {
@@ -884,6 +999,14 @@ impl Simulator {
                 break SimOutcome::CycleLimit;
             }
             let progress = self.step();
+            if let Some(iv) = probe_every {
+                if self.now.is_multiple_of(iv) {
+                    let waits = self.wait_snapshot();
+                    if let Some(obs) = self.observer.as_deref_mut() {
+                        obs.on_probe(self.now, &waits);
+                    }
+                }
+            }
             if progress {
                 self.last_progress = self.now;
             } else if self.next_inject >= self.inject_order.len()
@@ -905,6 +1028,17 @@ impl Simulator {
     }
 
     fn collect_result(&self, outcome: SimOutcome) -> SimResult {
+        // Intern route node names: one table entry per distinct switch, one
+        // u32 per hop — `record_routes` no longer allocates per hop.
+        let mut name_of: HashMap<u32, u32> = HashMap::new();
+        let mut route_names: Vec<String> = Vec::new();
+        let mut intern = |node: u32| -> u32 {
+            *name_of.entry(node).or_insert_with(|| {
+                let idx = route_names.len() as u32;
+                route_names.push(self.graph.node(NodeId(node)).to_string());
+                idx
+            })
+        };
         let mut packets = Vec::with_capacity(self.packets.len());
         let mut stats = SimStats {
             cycles: self.now,
@@ -940,13 +1074,14 @@ impl Simulator {
                 finished_at: p.finished_at,
                 deliveries: p.deliveries.clone(),
                 outcome: outcome_p,
-                route: p.route.clone(),
+                route: p.route.iter().map(|&(n, t)| (intern(n), t)).collect(),
             });
         }
         SimResult {
             outcome,
             stats,
             packets,
+            route_names,
         }
     }
 }
@@ -1229,11 +1364,14 @@ mod tests {
         );
         sim.schedule(spec(&net, 0, 11, 4, 0));
         let r = sim.run();
-        let route: Vec<&str> = r.packets[0].route.iter().map(|(n, _)| n.as_str()).collect();
+        let named = r.route_of(PacketId(0));
+        let route: Vec<&str> = named.iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(
             route,
             vec!["PE0", "R0", "X0-XB", "R3", "Y3-XB", "R11", "PE11"]
         );
+        // The name table holds each switch once.
+        assert_eq!(r.route_names.len(), 7);
         // Arrival cycles strictly increase along the path.
         let cycles: Vec<u64> = r.packets[0].route.iter().map(|&(_, c)| c).collect();
         assert!(cycles.windows(2).all(|w| w[0] < w[1]), "{cycles:?}");

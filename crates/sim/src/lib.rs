@@ -62,8 +62,8 @@ pub mod observer;
 pub mod result;
 
 pub use engine::{SimConfig, Simulator};
-pub use observer::{EventCounts, SimObserver};
+pub use observer::{EventCounts, SimObserver, WaitSnapshot};
 pub use result::{
     DeadlockInfo, InjectSpec, PacketId, PacketOutcome, PacketResult, SimOutcome, SimResult,
-    SimStats, WaitEdge,
+    SimStats, SortedLatencies, WaitEdge,
 };

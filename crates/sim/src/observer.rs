@@ -2,17 +2,131 @@
 //!
 //! A [`SimObserver`] lets instrumentation (campaign runners, trace
 //! collectors, live dashboards) watch a run without the engine allocating
-//! anything on their behalf: every method defaults to a no-op and the
-//! engine calls them only at the four packet-lifecycle transitions.
+//! anything on their behalf: every method defaults to a no-op, every call
+//! site in the engine is guarded by a single branch on `Option::is_some`,
+//! and nothing below the packet-lifecycle/hop granularity is materialized
+//! unless an observer is attached.
+//!
+//! ## Hook firing order
+//!
+//! Within one simulated cycle the engine fires hooks in this fixed order
+//! (each bullet only when its event happens that cycle):
+//!
+//! 1. [`SimObserver::on_inject`] — a scheduled packet's injection cycle
+//!    arrived; immediately followed by that packet's first
+//!    [`SimObserver::on_hop`] at its source PE.
+//! 2. [`SimObserver::on_hop`] — a header reached the front of a channel
+//!    buffer and the downstream switch made its routing decision; fired
+//!    *before* any of that hop's port requests are arbitrated. When the
+//!    decision rewrites the RC field, [`SimObserver::on_rc_change`] fires
+//!    directly after the hop.
+//! 3. [`SimObserver::on_emission`] — the S-XB dequeued a gathered
+//!    broadcast request and began emitting it (one at a time, Fig. 6);
+//!    followed by its `on_hop`/`on_rc_change` at the S-XB.
+//! 4. [`SimObserver::on_blocked`] / [`SimObserver::on_unblocked`] — port
+//!    arbitration ran: a request that could not be granted this cycle
+//!    transitions to *blocked* (fired once per blocked episode, not per
+//!    cycle); a granted request that had been blocked fires `on_unblocked`
+//!    with the episode length.
+//! 5. [`SimObserver::on_flit`] — one flit crossed one channel (at most one
+//!    per lane per physical link per cycle).
+//! 6. [`SimObserver::on_delivery`] — a packet's tail drained into a
+//!    destination PE. [`SimObserver::on_gather`] fires here instead when
+//!    the sink is the S-XB gather queue.
+//! 7. [`SimObserver::on_packet_finished`] — the packet's last open element
+//!    closed (all visits complete and all buffers drained).
+//! 8. [`SimObserver::on_probe`] — end of cycle, only on multiples of
+//!    [`SimObserver::probe_interval`]: a snapshot of every ungranted port
+//!    want, for wait-chain analysis.
+//!
+//! [`SimObserver::on_deadlock`] fires once, outside the cycle loop, when
+//! the watchdog extracts a cyclic wait; it is the last hook of such a run.
 
 use crate::result::{DeadlockInfo, InjectSpec, PacketId};
+use mdx_core::RouteChange;
+use mdx_topology::{ChannelId, Node};
+
+/// One ungranted port want, as seen by a periodic [`SimObserver::on_probe`]
+/// snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitSnapshot {
+    /// The blocked packet.
+    pub waiter: PacketId,
+    /// The packet currently owning the wanted port (`None` when the port is
+    /// free but the grant has not happened yet this cycle).
+    pub holder: Option<PacketId>,
+    /// The wanted channel.
+    pub channel: ChannelId,
+    /// The wanted virtual-channel lane.
+    pub vc: u8,
+    /// Cycle at which this want became blocked.
+    pub since: u64,
+}
 
 /// Callbacks fired by [`crate::Simulator`] as packets move through their
-/// lifecycle. All methods have empty defaults; implement only what you
-/// need. Attach with [`crate::Simulator::set_observer`].
+/// lifecycle and across individual channels. All methods have empty
+/// defaults; implement only what you need. Attach with
+/// [`crate::Simulator::set_observer`]. See the [module docs](self) for the
+/// exact per-cycle firing order.
 pub trait SimObserver {
     /// A packet entered the network (its header left the source NIA).
     fn on_inject(&mut self, _id: PacketId, _spec: &InjectSpec, _now: u64) {}
+
+    /// A packet's header arrived at switch `at` and the routing decision
+    /// for this hop was made. `in_channel` is the channel it arrived on
+    /// (`None` for injection at the source PE and for S-XB emission, which
+    /// read from local memory).
+    fn on_hop(&mut self, _id: PacketId, _at: Node, _in_channel: Option<ChannelId>, _now: u64) {}
+
+    /// The routing decision at `at` rewrote the header's RC field — a
+    /// broadcast request entering the S-XB pipeline, the S-XB emission
+    /// (RC=1 → RC=2), a detour initiation (RC=0 → RC=3), or the detour
+    /// completion at the D-XB (RC=3 → RC=0).
+    fn on_rc_change(
+        &mut self,
+        _id: PacketId,
+        _at: Node,
+        _from: RouteChange,
+        _to: RouteChange,
+        _now: u64,
+    ) {
+    }
+
+    /// A packet's port request lost arbitration and transitioned to
+    /// *blocked* (fired once per blocked episode). `holder` is the packet
+    /// owning the port, if any.
+    fn on_blocked(
+        &mut self,
+        _id: PacketId,
+        _channel: ChannelId,
+        _vc: u8,
+        _holder: Option<PacketId>,
+        _now: u64,
+    ) {
+    }
+
+    /// A previously blocked port request was granted after `waited` cycles.
+    fn on_unblocked(
+        &mut self,
+        _id: PacketId,
+        _channel: ChannelId,
+        _vc: u8,
+        _waited: u64,
+        _now: u64,
+    ) {
+    }
+
+    /// One flit crossed `channel` on lane `vc`. `occupancy` is the number
+    /// of flits in the channel's downstream buffer *after* this crossing.
+    fn on_flit(&mut self, _channel: ChannelId, _vc: u8, _occupancy: usize, _now: u64) {}
+
+    /// A gathered broadcast request joined the S-XB serialization queue;
+    /// `depth` is the queue length after the enqueue.
+    fn on_gather(&mut self, _id: PacketId, _depth: usize, _now: u64) {}
+
+    /// The S-XB dequeued a gathered request and began its emission fan;
+    /// `depth` is the queue length after the dequeue.
+    fn on_emission(&mut self, _id: PacketId, _depth: usize, _now: u64) {}
 
     /// A packet's tail reached the destination PE `pe` (fires once per
     /// leaf for broadcasts).
@@ -21,6 +135,17 @@ pub trait SimObserver {
     /// A packet reached a terminal state: every visit closed and all
     /// resources released.
     fn on_packet_finished(&mut self, _id: PacketId, _now: u64) {}
+
+    /// Cycle period at which the engine should take [`WaitSnapshot`]s and
+    /// call [`SimObserver::on_probe`]. `None` (the default) disables
+    /// probing entirely — the engine then never materializes snapshots.
+    fn probe_interval(&self) -> Option<u64> {
+        None
+    }
+
+    /// A periodic snapshot of every ungranted port want (see
+    /// [`SimObserver::probe_interval`]). `waits` is unordered.
+    fn on_probe(&mut self, _now: u64, _waits: &[WaitSnapshot]) {}
 
     /// The watchdog extracted a cyclic wait; the run is about to end as
     /// [`crate::SimOutcome::Deadlock`].
@@ -33,6 +158,20 @@ pub trait SimObserver {
 pub struct EventCounts {
     /// Packets injected.
     pub injected: usize,
+    /// Header arrivals at switches (including injection and emission).
+    pub hops: usize,
+    /// RC-field rewrites observed.
+    pub rc_changes: usize,
+    /// Blocked episodes started.
+    pub blocked: usize,
+    /// Blocked episodes ended in a grant.
+    pub unblocked: usize,
+    /// Flit channel crossings.
+    pub flits: u64,
+    /// Requests gathered into the S-XB queue.
+    pub gathered: usize,
+    /// S-XB emissions started.
+    pub emissions: usize,
     /// Deliveries (per-leaf for broadcasts).
     pub deliveries: usize,
     /// Packets that reached a terminal state.
@@ -44,6 +183,55 @@ pub struct EventCounts {
 impl SimObserver for EventCounts {
     fn on_inject(&mut self, _id: PacketId, _spec: &InjectSpec, _now: u64) {
         self.injected += 1;
+    }
+
+    fn on_hop(&mut self, _id: PacketId, _at: Node, _in_channel: Option<ChannelId>, _now: u64) {
+        self.hops += 1;
+    }
+
+    fn on_rc_change(
+        &mut self,
+        _id: PacketId,
+        _at: Node,
+        _from: RouteChange,
+        _to: RouteChange,
+        _now: u64,
+    ) {
+        self.rc_changes += 1;
+    }
+
+    fn on_blocked(
+        &mut self,
+        _id: PacketId,
+        _channel: ChannelId,
+        _vc: u8,
+        _holder: Option<PacketId>,
+        _now: u64,
+    ) {
+        self.blocked += 1;
+    }
+
+    fn on_unblocked(
+        &mut self,
+        _id: PacketId,
+        _channel: ChannelId,
+        _vc: u8,
+        _waited: u64,
+        _now: u64,
+    ) {
+        self.unblocked += 1;
+    }
+
+    fn on_flit(&mut self, _channel: ChannelId, _vc: u8, _occupancy: usize, _now: u64) {
+        self.flits += 1;
+    }
+
+    fn on_gather(&mut self, _id: PacketId, _depth: usize, _now: u64) {
+        self.gathered += 1;
+    }
+
+    fn on_emission(&mut self, _id: PacketId, _depth: usize, _now: u64) {
+        self.emissions += 1;
     }
 
     fn on_delivery(&mut self, _id: PacketId, _pe: usize, _now: u64) {

@@ -59,16 +59,28 @@ pub struct PacketResult {
     pub deliveries: Vec<(usize, u64)>,
     /// Outcome classification.
     pub outcome: PacketOutcome,
-    /// Per-switch route with header-arrival cycles — populated only when
-    /// [`crate::SimConfig::record_routes`] is set (BFS order for broadcast
-    /// trees).
-    pub route: Vec<(String, u64)>,
+    /// Per-switch route as (name-table id, header-arrival cycle) pairs —
+    /// populated only when [`crate::SimConfig::record_routes`] is set (BFS
+    /// order for broadcast trees). The ids index
+    /// [`SimResult::route_names`]; resolve them with
+    /// [`PacketResult::named_route`] or [`SimResult::route_of`].
+    pub route: Vec<(u32, u64)>,
 }
 
 impl PacketResult {
     /// End-to-end latency in cycles (injection to final sink), if finished.
     pub fn latency(&self) -> Option<u64> {
         self.finished_at.map(|f| f - self.injected_at)
+    }
+
+    /// Resolves [`PacketResult::route`] against a run's name table
+    /// ([`SimResult::route_names`]) — the pre-interning `(name, cycle)`
+    /// shape, allocated on demand instead of per hop during the run.
+    pub fn named_route(&self, names: &[String]) -> Vec<(String, u64)> {
+        self.route
+            .iter()
+            .map(|&(n, t)| (names[n as usize].clone(), t))
+            .collect()
     }
 }
 
@@ -177,12 +189,39 @@ pub struct SimResult {
     pub stats: SimStats,
     /// Per-packet details, indexed by [`PacketId`].
     pub packets: Vec<PacketResult>,
+    /// Interned switch names for [`PacketResult::route`] entries (empty
+    /// unless [`crate::SimConfig::record_routes`] was set).
+    pub route_names: Vec<String>,
+}
+
+/// Latencies of a run's delivered packets, collected and sorted **once** —
+/// query as many percentiles as needed without re-sorting (see
+/// [`SimResult::sorted_latencies`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SortedLatencies(Vec<u64>);
+
+impl SortedLatencies {
+    /// The p-th percentile (p in 0..=100), `None` when nothing was
+    /// delivered.
+    pub fn percentile(&self, p: usize) -> Option<u64> {
+        if self.0.is_empty() {
+            return None;
+        }
+        let idx = (p.min(100) * (self.0.len() - 1)) / 100;
+        Some(self.0[idx])
+    }
+
+    /// The sorted latencies, ascending.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.0
+    }
 }
 
 impl SimResult {
-    /// Latencies of all delivered packets, sorted ascending (for
-    /// percentiles).
-    pub fn sorted_latencies(&self) -> Vec<u64> {
+    /// Latencies of all delivered packets, sorted ascending. Collect once
+    /// and reuse via [`SortedLatencies::percentile`] — the p50/p95/p99
+    /// triple of a campaign row costs one sort, not three.
+    pub fn sorted_latencies(&self) -> SortedLatencies {
         let mut v: Vec<u64> = self
             .packets
             .iter()
@@ -190,17 +229,21 @@ impl SimResult {
             .filter_map(|p| p.latency())
             .collect();
         v.sort_unstable();
-        v
+        SortedLatencies(v)
     }
 
     /// The p-th latency percentile (p in 0..=100) of delivered packets.
+    /// One-shot convenience; for several percentiles of the same run use
+    /// [`SimResult::sorted_latencies`] once instead.
     pub fn latency_percentile(&self, p: usize) -> Option<u64> {
-        let v = self.sorted_latencies();
-        if v.is_empty() {
-            return None;
-        }
-        let idx = (p.min(100) * (v.len() - 1)) / 100;
-        Some(v[idx])
+        self.sorted_latencies().percentile(p)
+    }
+
+    /// The resolved `(switch name, header-arrival cycle)` route of packet
+    /// `id` — the compatibility accessor for the pre-interning
+    /// [`PacketResult::route`] shape.
+    pub fn route_of(&self, id: PacketId) -> Vec<(String, u64)> {
+        self.packets[id.idx()].named_route(&self.route_names)
     }
 }
 
@@ -274,10 +317,50 @@ mod tests {
                 latency_max: 0,
             },
             packets: vec![mk(0, 30), mk(1, 10), mk(2, 20)],
+            route_names: Vec::new(),
         };
         assert_eq!(r.latency_percentile(0), Some(10));
         assert_eq!(r.latency_percentile(50), Some(20));
         assert_eq!(r.latency_percentile(100), Some(30));
+        // One collection serves every percentile.
+        let lats = r.sorted_latencies();
+        assert_eq!(lats.as_slice(), &[10, 20, 30]);
+        assert_eq!(lats.percentile(0), Some(10));
+        assert_eq!(lats.percentile(95), Some(20));
+        assert_eq!(lats.percentile(100), Some(30));
         let _ = Header::unicast(Coord::ORIGIN, Coord::ORIGIN); // keep import honest
+    }
+
+    #[test]
+    fn route_interning_roundtrip() {
+        let r = SimResult {
+            outcome: SimOutcome::Completed,
+            stats: SimStats {
+                cycles: 0,
+                flit_hops: 0,
+                delivered: 1,
+                dropped: 0,
+                unfinished: 0,
+                latency_sum: 0,
+                latency_max: 0,
+            },
+            packets: vec![PacketResult {
+                id: PacketId(0),
+                injected_at: 0,
+                finished_at: Some(9),
+                deliveries: vec![(1, 9)],
+                outcome: PacketOutcome::Delivered,
+                route: vec![(0, 0), (1, 2), (0, 4)],
+            }],
+            route_names: vec!["PE0".to_string(), "R0".to_string()],
+        };
+        assert_eq!(
+            r.route_of(PacketId(0)),
+            vec![
+                ("PE0".to_string(), 0),
+                ("R0".to_string(), 2),
+                ("PE0".to_string(), 4)
+            ]
+        );
     }
 }

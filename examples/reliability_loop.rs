@@ -88,6 +88,7 @@ fn main() {
             outcome: result.outcome.clone(),
             stats: result.stats.clone(),
             packets: result.packets[..specs.len()].to_vec(),
+            route_names: result.route_names.clone(),
         },
         &map,
     ) {

@@ -75,6 +75,12 @@ pub mod workloads {
     pub use mdx_workloads::*;
 }
 
+/// Telemetry observers: channel metrics, Perfetto traces, stall probes
+/// (re-export of `mdx-obs`).
+pub mod obs {
+    pub use mdx_obs::*;
+}
+
 /// Baseline networks and fault-handling strategies (re-export of
 /// `mdx-baselines`).
 pub mod baselines {
@@ -95,6 +101,6 @@ pub mod prelude {
         Scheme, Sr2201Routing,
     };
     pub use mdx_fault::{enumerate_single_faults, FaultRegisters, FaultSet, FaultSite};
-    pub use mdx_sim::{InjectSpec, SimConfig, SimOutcome, Simulator};
+    pub use mdx_sim::{InjectSpec, PacketId, SimConfig, SimObserver, SimOutcome, Simulator};
     pub use mdx_topology::{Coord, MdCrossbar, Node, Shape, XbarRef};
 }

@@ -339,10 +339,10 @@ fn static_traces_match_simulated_routes() {
                 });
                 let r = sim.run();
                 assert_eq!(r.outcome, SimOutcome::Completed);
-                let simulated: Vec<String> = r.packets[0]
-                    .route
-                    .iter()
-                    .map(|(nd, _)| nd.clone())
+                let simulated: Vec<String> = r
+                    .route_of(PacketId(0))
+                    .into_iter()
+                    .map(|(nd, _)| nd)
                     .collect();
                 assert_eq!(simulated, expected, "{src}->{dst} under {faults:?}");
             }
