@@ -1,12 +1,17 @@
 # Convenience targets for the SR2201 reproduction.
 
-.PHONY: test experiments bench examples doc clippy lint campaign campaign-smoke metrics-demo all
+.PHONY: test experiments trajectory bench examples doc clippy lint campaign campaign-smoke metrics-demo all
 
 test:
 	cargo test --workspace
 
-experiments:
+experiments: trajectory
 	cargo run --release -p mdx-bench --bin experiments -- --json results all
+
+# Append one fig9/fig10 metric snapshot to BENCH_fig9.json / BENCH_fig10.json
+# and diff it against the previous run.
+trajectory:
+	cargo run --release -p mdx-bench --bin experiments -- trajectory --dir .
 
 bench:
 	cargo bench --workspace
@@ -35,9 +40,10 @@ campaign:
 	cargo run --release -p mdx-campaign -- run --scheme all --max-faults 1 --seeds 32
 
 # Small deterministic campaign gating the paper scheme on zero deadlocks.
+# The flight recorder rides along: any failure auto-dumps a post-mortem.
 campaign-smoke:
 	cargo run --release -p mdx-campaign -- run --scheme sr2201 --max-faults 1 \
-		--seeds 4 --fail-on-deadlock
+		--seeds 4 --fail-on-deadlock --flight-recorder --postmortem-dir postmortems
 
 # Telemetry dashboard: heatmap + stall timeline on the fig10/fig5 scenarios.
 metrics-demo:

@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use mdx_bench::run_schedule;
 use mdx_core::Sr2201Routing;
 use mdx_fault::FaultSet;
-use mdx_obs::MetricsObserver;
+use mdx_obs::{FlightRecorder, MetricsObserver, DEFAULT_FLIGHT_CAPACITY};
 use mdx_sim::{EventCounts, SimConfig, SimObserver, Simulator};
 use mdx_topology::{MdCrossbar, Shape};
 use mdx_workloads::{unicast_schedule, OpenLoop, TrafficPattern};
@@ -118,6 +118,16 @@ fn bench_engine(c: &mut Criterion) {
             let (obs, handle) = MetricsObserver::new(net.graph().clone());
             let r = run_with(Some(Box::new(obs)));
             (r.stats.cycles, handle.report(r.stats.cycles).total_flits)
+        })
+    });
+    // The always-on flight recorder must stay close to `none`: it skips
+    // per-flit events and the ring writes are fixed-size stores.
+    g.bench_function("flight", |b| {
+        b.iter(|| {
+            let (obs, handle) =
+                FlightRecorder::new(net.graph().clone(), 1, DEFAULT_FLIGHT_CAPACITY);
+            let r = run_with(Some(Box::new(obs)));
+            (r.stats.cycles, handle.events_recorded())
         })
     });
     g.finish();

@@ -5,13 +5,69 @@
 //! experiments fig5-bc-deadlock fig6-sxb-broadcast
 //! experiments --list
 //! experiments --json results/ all
+//! experiments trajectory --dir .          # append BENCH_fig9/fig10 snapshots
+//! experiments trajectory --fail-on-regression
 //! ```
 
 use mdx_bench::{experiment_ids, run_experiment};
 use std::io::Write;
 
+/// `experiments trajectory [--dir DIR] [--threshold FRAC] [--fail-on-regression]`:
+/// runs the scaled-down fig9/fig10 sweeps, appends one snapshot each to
+/// `BENCH_fig9.json` / `BENCH_fig10.json` under DIR, and prints the diff
+/// against the previous snapshot.
+fn cmd_trajectory(args: &[String]) -> ! {
+    let mut dir = ".".to_string();
+    let mut threshold = mdx_bench::DEFAULT_THRESHOLD;
+    let mut fail_on_regression = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--dir" => match it.next() {
+                Some(d) => dir = d.clone(),
+                None => {
+                    eprintln!("--dir requires a directory");
+                    std::process::exit(2);
+                }
+            },
+            "--threshold" => match it.next().and_then(|t| t.parse::<f64>().ok()) {
+                Some(t) => threshold = t,
+                None => {
+                    eprintln!("--threshold requires a fraction (e.g. 0.10)");
+                    std::process::exit(2);
+                }
+            },
+            "--fail-on-regression" => fail_on_regression = true,
+            other => {
+                eprintln!("unknown trajectory flag: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    std::fs::create_dir_all(&dir).expect("create trajectory dir");
+    let mut regressions = 0usize;
+    for (file, entry) in [
+        ("BENCH_fig9.json", mdx_bench::snapshot_fig9()),
+        ("BENCH_fig10.json", mdx_bench::snapshot_fig10()),
+    ] {
+        let path = std::path::Path::new(&dir).join(file);
+        let diff = mdx_bench::append_snapshot(&path, entry, threshold).expect("append snapshot");
+        print!("{}", diff.render());
+        println!("  -> {}", path.display());
+        regressions += diff.regressions;
+    }
+    if fail_on_regression && regressions > 0 {
+        eprintln!("trajectory: {regressions} regression(s) beyond threshold");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("trajectory") {
+        cmd_trajectory(&args[1..]);
+    }
     if args.iter().any(|a| a == "--list") {
         for id in experiment_ids() {
             println!("{id}");

@@ -14,6 +14,7 @@ pub mod claims;
 pub mod extensions;
 pub mod figures;
 pub mod report;
+pub mod trajectory;
 
 use mdx_core::Scheme;
 use mdx_sim::{InjectSpec, SimConfig, SimResult, Simulator};
@@ -21,6 +22,10 @@ use mdx_topology::NetworkGraph;
 use std::sync::Arc;
 
 pub use report::Table;
+pub use trajectory::{
+    append_snapshot, snapshot_fig10, snapshot_fig9, MetricDelta, TrajectoryDiff, TrajectoryEntry,
+    TrajectoryFile, DEFAULT_THRESHOLD,
+};
 
 /// Runs one schedule to completion and returns the result.
 pub fn run_schedule(

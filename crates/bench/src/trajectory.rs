@@ -1,0 +1,397 @@
+//! Cross-run bench trajectory: append-only metric snapshots with
+//! regression diffs.
+//!
+//! A *trajectory file* (`BENCH_fig9.json`, `BENCH_fig10.json`) accumulates
+//! one [`TrajectoryEntry`] per invocation of the `experiments trajectory`
+//! subcommand: throughput, latency, deadlock rate, and S-XB utilization of
+//! a scaled-down Fig. 9 / Fig. 10 sweep. [`append_snapshot`] appends the
+//! new entry and diffs it against the previous one, flagging any metric
+//! that moved in its bad direction by more than a threshold — so a perf or
+//! correctness regression shows up as a trajectory kink in CI, not as a
+//! silent drift discovered figures later.
+//!
+//! Wall-clock timestamps are recorded for humans but excluded from the
+//! diff: two snapshots of the same commit compare clean.
+
+use mdx_campaign::{run_campaign_with, CampaignResult, ObsOptions, Scenario, Workload};
+use mdx_fault::{enumerate_single_faults, FaultSite};
+use mdx_topology::{Coord, MdCrossbar, Shape};
+use mdx_workloads::TrafficPattern;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Default regression threshold: a metric moving more than this fraction
+/// in its bad direction flags the diff.
+pub const DEFAULT_THRESHOLD: f64 = 0.10;
+
+/// One metric snapshot of a figure-level sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrajectoryEntry {
+    /// Which sweep this snapshot measures (`fig9`, `fig10`).
+    pub figure: String,
+    /// Wall-clock seconds since the epoch when the snapshot ran. For
+    /// humans reading the file; **never** compared by the diff.
+    pub recorded_at_epoch_s: u64,
+    /// Scenarios executed.
+    pub scenarios: usize,
+    /// Fraction of runs that deadlocked.
+    pub deadlock_rate: f64,
+    /// Fraction of runs that completed.
+    pub completed_rate: f64,
+    /// Delivered packets per kilocycle, summed over the sweep.
+    pub throughput: f64,
+    /// Mean of per-run median (p50) packet latencies, in cycles.
+    pub mean_latency: f64,
+    /// Mean of per-run p95 packet latencies, in cycles.
+    pub p95_latency: f64,
+    /// Mean S-XB output utilization over instrumented rows.
+    pub sxb_util: f64,
+}
+
+/// A trajectory file: every snapshot ever appended for one figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrajectoryFile {
+    /// The figure this file tracks.
+    pub figure: String,
+    /// Snapshots, oldest first.
+    pub entries: Vec<TrajectoryEntry>,
+}
+
+/// One metric's movement between the two most recent snapshots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricDelta {
+    /// Metric name (field name of [`TrajectoryEntry`]).
+    pub metric: String,
+    /// Previous snapshot's value.
+    pub previous: f64,
+    /// New snapshot's value.
+    pub current: f64,
+    /// Signed relative change (`(current - previous) / |previous|`; a full
+    /// `1.0` when rising from exactly zero).
+    pub delta: f64,
+    /// Whether the movement exceeds the threshold *in the metric's bad
+    /// direction* (throughput/completion falling; latency/deadlocks
+    /// rising).
+    pub regression: bool,
+}
+
+/// The result of appending a snapshot: the diff against the previous one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrajectoryDiff {
+    /// The figure diffed.
+    pub figure: String,
+    /// True when this was the file's first entry (nothing to diff).
+    pub first: bool,
+    /// Per-metric movements (empty on the first entry).
+    pub deltas: Vec<MetricDelta>,
+    /// Number of flagged regressions.
+    pub regressions: usize,
+}
+
+impl TrajectoryDiff {
+    /// Renders the diff as an aligned text block.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.first {
+            out.push_str(&format!(
+                "{}: first snapshot recorded (no previous entry to diff)\n",
+                self.figure
+            ));
+            return out;
+        }
+        out.push_str(&format!(
+            "{} trajectory diff (vs previous entry):\n",
+            self.figure
+        ));
+        for d in &self.deltas {
+            out.push_str(&format!(
+                "  {:<16} {:>10.4} -> {:>10.4}  ({:+.1}%){}\n",
+                d.metric,
+                d.previous,
+                d.current,
+                d.delta * 100.0,
+                if d.regression { "  << REGRESSION" } else { "" }
+            ));
+        }
+        if self.regressions > 0 {
+            out.push_str(&format!("  {} regression(s) flagged\n", self.regressions));
+        }
+        out
+    }
+}
+
+/// Bad direction of each diffed metric: `true` = higher is worse.
+const METRICS: &[(&str, bool)] = &[
+    ("deadlock_rate", true),
+    ("completed_rate", false),
+    ("throughput", false),
+    ("mean_latency", true),
+    ("p95_latency", true),
+];
+
+fn metric_value(e: &TrajectoryEntry, name: &str) -> f64 {
+    match name {
+        "deadlock_rate" => e.deadlock_rate,
+        "completed_rate" => e.completed_rate,
+        "throughput" => e.throughput,
+        "mean_latency" => e.mean_latency,
+        "p95_latency" => e.p95_latency,
+        "sxb_util" => e.sxb_util,
+        _ => unreachable!("unknown trajectory metric {name}"),
+    }
+}
+
+fn diff_entries(prev: &TrajectoryEntry, cur: &TrajectoryEntry, threshold: f64) -> Vec<MetricDelta> {
+    METRICS
+        .iter()
+        .map(|&(name, higher_is_worse)| {
+            let previous = metric_value(prev, name);
+            let current = metric_value(cur, name);
+            let delta = if previous.abs() > f64::EPSILON {
+                (current - previous) / previous.abs()
+            } else if current.abs() > f64::EPSILON {
+                1.0
+            } else {
+                0.0
+            };
+            let bad_move = if higher_is_worse { delta } else { -delta };
+            MetricDelta {
+                metric: name.to_string(),
+                previous,
+                current,
+                delta,
+                regression: bad_move > threshold,
+            }
+        })
+        .collect()
+}
+
+/// Reduces a campaign sweep into a trajectory entry.
+fn summarize(figure: &str, result: &CampaignResult) -> TrajectoryEntry {
+    let n = result.reports.len().max(1);
+    let deadlocks = result.deadlocks().count();
+    let completed = result
+        .reports
+        .iter()
+        .filter(|r| r.outcome == "completed")
+        .count();
+    let delivered: usize = result.reports.iter().map(|r| r.stats.delivered).sum();
+    let cycles: u64 = result.reports.iter().map(|r| r.stats.cycles).sum();
+    let mean_of = |vals: Vec<f64>| {
+        if vals.is_empty() {
+            0.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    };
+    TrajectoryEntry {
+        figure: figure.to_string(),
+        recorded_at_epoch_s: SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        scenarios: result.reports.len(),
+        deadlock_rate: deadlocks as f64 / n as f64,
+        completed_rate: completed as f64 / n as f64,
+        throughput: if cycles == 0 {
+            0.0
+        } else {
+            delivered as f64 * 1000.0 / cycles as f64
+        },
+        mean_latency: mean_of(
+            result
+                .reports
+                .iter()
+                .filter_map(|r| r.latency_p50.map(|v| v as f64))
+                .collect(),
+        ),
+        p95_latency: mean_of(
+            result
+                .reports
+                .iter()
+                .filter_map(|r| r.latency_p95.map(|v| v as f64))
+                .collect(),
+        ),
+        sxb_util: mean_of(
+            result
+                .reports
+                .iter()
+                .filter_map(|r| r.telemetry.as_ref().and_then(|t| t.sxb_util))
+                .collect(),
+        ),
+    }
+}
+
+fn metrics_opts() -> ObsOptions {
+    ObsOptions {
+        metrics: true,
+        ..ObsOptions::default()
+    }
+}
+
+/// A scaled-down Fig. 9 sweep (broadcast + detoured unicast around a
+/// faulty router, both D-XB placements): the figure's full offset range
+/// at half the seeds, so the separate-D-XB deadlock rate stays non-zero
+/// and trackable.
+pub fn snapshot_fig9() -> TrajectoryEntry {
+    let shape = Shape::fig2();
+    let faulty = shape.index_of(Coord::new(&[1, 0]));
+    let scenarios: Vec<Scenario> = ["separate-dxb", "sr2201"]
+        .iter()
+        .flat_map(|scheme| {
+            let shape = &shape;
+            (10..38u64).flat_map(move |offset| {
+                (0..4u64).map(move |seed| {
+                    Scenario::new(
+                        vec![4, 3],
+                        scheme,
+                        mdx_campaign::detour_stress_for(shape, 24, offset),
+                        seed,
+                    )
+                    .with_faults([FaultSite::Router(faulty)])
+                })
+            })
+        })
+        .collect();
+    summarize("fig9", &run_campaign_with(scenarios, &metrics_opts()))
+}
+
+/// A scaled-down Fig. 10 sweep (the paper's scheme under every single
+/// fault, mixed traffic): (fault-free + every single fault) x 2 seeds.
+pub fn snapshot_fig10() -> TrajectoryEntry {
+    let net = MdCrossbar::build(Shape::fig2());
+    let mut sites: Vec<Option<FaultSite>> = vec![None];
+    sites.extend(enumerate_single_faults(&net).into_iter().map(Some));
+    let scenarios: Vec<Scenario> = sites
+        .iter()
+        .flat_map(|site| {
+            (0..2u64).map(move |seed| {
+                Scenario::new(
+                    vec![4, 3],
+                    "sr2201",
+                    Workload::Mixed {
+                        pattern: TrafficPattern::UniformRandom,
+                        rate: 0.02,
+                        packet_flits: 12,
+                        window: 200,
+                        broadcast_rate: 0.002,
+                    },
+                    seed,
+                )
+                .with_faults(*site)
+            })
+        })
+        .collect();
+    summarize("fig10", &run_campaign_with(scenarios, &metrics_opts()))
+}
+
+/// Appends `entry` to the trajectory file at `path` (creating it when
+/// absent), writes the file back, and returns the diff against the
+/// previously last entry.
+pub fn append_snapshot(
+    path: &Path,
+    entry: TrajectoryEntry,
+    threshold: f64,
+) -> io::Result<TrajectoryDiff> {
+    let mut file = match std::fs::read_to_string(path) {
+        Ok(body) => serde_json::from_str::<TrajectoryFile>(&body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{path:?}: {e}")))?,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => TrajectoryFile {
+            figure: entry.figure.clone(),
+            entries: Vec::new(),
+        },
+        Err(e) => return Err(e),
+    };
+    let diff = match file.entries.last() {
+        Some(prev) => {
+            let deltas = diff_entries(prev, &entry, threshold);
+            let regressions = deltas.iter().filter(|d| d.regression).count();
+            TrajectoryDiff {
+                figure: entry.figure.clone(),
+                first: false,
+                deltas,
+                regressions,
+            }
+        }
+        None => TrajectoryDiff {
+            figure: entry.figure.clone(),
+            first: true,
+            deltas: Vec::new(),
+            regressions: 0,
+        },
+    };
+    file.entries.push(entry);
+    let body = serde_json::to_string_pretty(&file)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(path, body)?;
+    Ok(diff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(figure: &str, throughput: f64, deadlock_rate: f64) -> TrajectoryEntry {
+        TrajectoryEntry {
+            figure: figure.to_string(),
+            recorded_at_epoch_s: 0,
+            scenarios: 10,
+            deadlock_rate,
+            completed_rate: 1.0 - deadlock_rate,
+            throughput,
+            mean_latency: 40.0,
+            p95_latency: 90.0,
+            sxb_util: 0.2,
+        }
+    }
+
+    #[test]
+    fn append_creates_then_diffs_and_flags_direction() {
+        let path = std::env::temp_dir().join(format!(
+            "mdx-trajectory-test-{}-{:?}.json",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        let d1 = append_snapshot(&path, entry("fig9", 2.0, 0.5), 0.10).unwrap();
+        assert!(d1.first);
+        assert_eq!(d1.regressions, 0);
+
+        // Throughput collapses, deadlocks rise, and (derived) completion
+        // falls: all three flagged.
+        let d2 = append_snapshot(&path, entry("fig9", 1.0, 0.8), 0.10).unwrap();
+        assert!(!d2.first);
+        assert_eq!(d2.regressions, 3);
+        let by_name = |n: &str| d2.deltas.iter().find(|d| d.metric == n).unwrap().clone();
+        assert!(by_name("throughput").regression);
+        assert!(by_name("deadlock_rate").regression);
+        assert!(by_name("completed_rate").regression);
+        assert!(!by_name("mean_latency").regression);
+        assert!(d2.render().contains("REGRESSION"));
+
+        // Throughput *rising* and deadlocks *falling* is improvement, not
+        // regression.
+        let d3 = append_snapshot(&path, entry("fig9", 3.0, 0.1), 0.10).unwrap();
+        assert_eq!(d3.regressions, 0);
+
+        // The file accumulated all three entries and round-trips.
+        let file: TrajectoryFile =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(file.entries.len(), 3);
+        assert_eq!(file.figure, "fig9");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn zero_baseline_rise_counts_as_full_move() {
+        let prev = entry("fig10", 1.0, 0.0);
+        let cur = entry("fig10", 1.0, 0.25);
+        let deltas = diff_entries(&prev, &cur, 0.10);
+        let dl = deltas.iter().find(|d| d.metric == "deadlock_rate").unwrap();
+        assert_eq!(dl.delta, 1.0);
+        assert!(dl.regression);
+    }
+}

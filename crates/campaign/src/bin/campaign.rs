@@ -4,7 +4,9 @@
 //! campaign run [--scheme all|id,..] [--shape 4x3] [--max-faults N]
 //!              [--fault-samples N] [--seeds N] [--workloads mixed,storm,detour]
 //!              [--max-cycles N] [--jsonl PATH] [--quiet] [--metrics]
+//!              [--flight-recorder] [--postmortem-dir DIR]
 //! campaign replay <token> [--metrics] [--trace-out PATH] [--stall-probe N]
+//!                 [--flight-recorder] [--postmortem-dir DIR]
 //! campaign shrink <token>
 //! ```
 //!
@@ -16,11 +18,23 @@
 //! Chrome `trace_event` JSON file (open at <https://ui.perfetto.dev>), and
 //! `--stall-probe N` samples the wait graph every N cycles and prints the
 //! stall timeline.
+//!
+//! `--flight-recorder` attaches the always-on flight recorder: every run
+//! that ends abnormally (deadlock, stall, cycle limit) gets a forensic
+//! post-mortem — the cyclic wait annotated with each packet's RC state,
+//! recent hops, and a Fig. 5/Fig. 9 signature classification. Under `run`,
+//! each failed scenario auto-dumps `postmortem-<digest>.json` and `.txt`
+//! into `--postmortem-dir` (default `.`); under `replay`, the report is
+//! printed (and dumped too when `--postmortem-dir` is given). `shrink`
+//! always attaches the recorder to the minimized witness and prints its
+//! report.
 
 use mdx_campaign::{
     enumerate_scenarios, run_campaign_with, run_scenario_instrumented, shrink, CampaignConfig,
     ObsOptions, Scenario, WorkloadKind, CAMPAIGN_SCHEMES,
 };
+use mdx_obs::{PostmortemReport, DEFAULT_FLIGHT_CAPACITY};
+use std::path::Path;
 use std::process::ExitCode;
 
 fn usage() -> ! {
@@ -28,11 +42,24 @@ fn usage() -> ! {
         "usage:\n  \
          campaign run [--scheme all|id,..] [--shape WxH[xD..]] [--max-faults N]\n    \
          [--fault-samples N] [--seeds N] [--workloads mixed,storm,detour]\n    \
-         [--max-cycles N] [--jsonl PATH] [--quiet] [--fail-on-deadlock] [--metrics]\n  \
-         campaign replay <token> [--metrics] [--trace-out PATH] [--stall-probe N]\n  \
+         [--max-cycles N] [--jsonl PATH] [--quiet] [--fail-on-deadlock] [--metrics]\n    \
+         [--flight-recorder] [--postmortem-dir DIR]\n  \
+         campaign replay <token> [--metrics] [--trace-out PATH] [--stall-probe N]\n    \
+         [--flight-recorder] [--postmortem-dir DIR]\n  \
          campaign shrink <token>"
     );
     std::process::exit(2);
+}
+
+/// Writes `postmortem-<digest>.json` and `.txt` into `dir`; returns the
+/// JSON path for logging.
+fn dump_postmortem(dir: &str, digest: &str, pm: &PostmortemReport) -> std::io::Result<String> {
+    std::fs::create_dir_all(dir)?;
+    let json_path = Path::new(dir).join(format!("postmortem-{digest}.json"));
+    let txt_path = Path::new(dir).join(format!("postmortem-{digest}.txt"));
+    std::fs::write(&json_path, pm.to_json())?;
+    std::fs::write(&txt_path, pm.render())?;
+    Ok(json_path.display().to_string())
 }
 
 fn parse_shape(s: &str) -> Vec<u16> {
@@ -65,6 +92,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let mut quiet = false;
     let mut fail_on_deadlock = false;
     let mut obs = ObsOptions::default();
+    let mut postmortem_dir = ".".to_string();
 
     let mut it = args.iter().cloned();
     while let Some(arg) = it.next() {
@@ -109,6 +137,8 @@ fn cmd_run(args: &[String]) -> ExitCode {
             "--quiet" => quiet = true,
             "--fail-on-deadlock" => fail_on_deadlock = true,
             "--metrics" => obs.metrics = true,
+            "--flight-recorder" => obs.flight = Some(DEFAULT_FLIGHT_CAPACITY),
+            "--postmortem-dir" => postmortem_dir = it.next().unwrap_or_else(|| usage()),
             _ => usage(),
         }
     }
@@ -143,6 +173,31 @@ fn cmd_run(args: &[String]) -> ExitCode {
     }
 
     print!("{}", result.summary());
+
+    // With the flight recorder attached, every failed row auto-dumps its
+    // forensic report.
+    if obs.flight.is_some() {
+        let mut dumped = 0usize;
+        for r in result.reports.iter().filter(|r| r.outcome != "completed") {
+            let Some(pm) = &r.postmortem else { continue };
+            match dump_postmortem(&postmortem_dir, &r.digest, pm) {
+                Ok(path) => {
+                    dumped += 1;
+                    if !quiet {
+                        println!("post-mortem [{}]: {path}", pm.classification);
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: cannot write post-mortem for {}: {e}", r.token);
+                    return ExitCode::from(1);
+                }
+            }
+        }
+        if !quiet && dumped > 0 {
+            println!("{dumped} post-mortem(s) written to {postmortem_dir}");
+        }
+    }
+
     let deadlocks: Vec<_> = result.deadlocks().collect();
     if !deadlocks.is_empty() && !quiet {
         println!("\ndeadlock witnesses (up to 5, shrink with `campaign shrink <token>`):");
@@ -171,6 +226,7 @@ fn cmd_replay(token: &str, args: &[String]) -> ExitCode {
     let scenario = decode(token);
     let mut obs = ObsOptions::default();
     let mut trace_out: Option<String> = None;
+    let mut postmortem_dir: Option<String> = None;
     let mut it = args.iter().cloned();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -179,6 +235,11 @@ fn cmd_replay(token: &str, args: &[String]) -> ExitCode {
             "--trace-out" => {
                 trace_out = Some(it.next().unwrap_or_else(|| usage()));
                 obs.trace = true;
+            }
+            "--flight-recorder" => obs.flight = Some(DEFAULT_FLIGHT_CAPACITY),
+            "--postmortem-dir" => {
+                postmortem_dir = Some(it.next().unwrap_or_else(|| usage()));
+                obs.flight.get_or_insert(DEFAULT_FLIGHT_CAPACITY);
             }
             _ => usage(),
         }
@@ -197,6 +258,21 @@ fn cmd_replay(token: &str, args: &[String]) -> ExitCode {
             if let Some(s) = &telemetry.stall {
                 println!();
                 print!("{}", s.timeline());
+            }
+            if let Some(pm) = &telemetry.postmortem {
+                println!();
+                print!("{}", pm.render());
+                if let Some(dir) = &postmortem_dir {
+                    match dump_postmortem(dir, &report.digest, pm) {
+                        Ok(path) => println!("wrote post-mortem to {path}"),
+                        Err(e) => {
+                            eprintln!("error: cannot write post-mortem: {e}");
+                            return ExitCode::from(1);
+                        }
+                    }
+                }
+            } else if obs.flight.is_some() {
+                println!("\n(run completed; no post-mortem to report)");
             }
             if let (Some(path), Some(doc)) = (trace_out, &telemetry.trace) {
                 if let Err(e) = std::fs::write(&path, doc) {
@@ -240,6 +316,10 @@ fn cmd_shrink(token: &str) -> ExitCode {
                     "  {} waits for {} held by {}",
                     edge.waiter, edge.channel, edge.holder
                 );
+            }
+            if let Some(pm) = &report.postmortem {
+                println!();
+                print!("{}", pm.render());
             }
             println!("minimized token:\n{}", report.token);
             ExitCode::SUCCESS

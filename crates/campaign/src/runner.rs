@@ -9,7 +9,8 @@ use crate::scenario::{detour_stress_for, Scenario, ScenarioError, Workload};
 use mdx_core::registry::{build_scheme, RegistryError};
 use mdx_fault::{enumerate_single_faults, sample_fault_sets, FaultSet};
 use mdx_obs::{
-    FanoutObserver, MetricsObserver, MetricsReport, StallProbe, StallReport, TraceRecorder,
+    FanoutObserver, FlightRecorder, MetricsObserver, MetricsReport, PostmortemReport, StallProbe,
+    StallReport, TraceRecorder,
 };
 use mdx_sim::{DeadlockInfo, SimConfig, SimOutcome, SimStats, Simulator};
 use mdx_topology::{ChannelId, MdCrossbar, Shape};
@@ -211,12 +212,16 @@ pub struct ObsOptions {
     pub stall_probe: Option<u64>,
     /// Attach a [`TraceRecorder`] (Chrome `trace_event` JSON for Perfetto).
     pub trace: bool,
+    /// Attach a [`FlightRecorder`] with this ring capacity
+    /// ([`mdx_obs::DEFAULT_FLIGHT_CAPACITY`] is the usual choice). Failed
+    /// runs then carry a [`PostmortemReport`] in their row and telemetry.
+    pub flight: Option<usize>,
 }
 
 impl ObsOptions {
     /// True when no instrument is requested.
     pub fn is_none(&self) -> bool {
-        !self.metrics && self.stall_probe.is_none() && !self.trace
+        !self.metrics && self.stall_probe.is_none() && !self.trace && self.flight.is_none()
     }
 }
 
@@ -251,6 +256,9 @@ pub struct Telemetry {
     /// Rendered Chrome `trace_event` document, when [`ObsOptions::trace`]
     /// was set.
     pub trace: Option<String>,
+    /// Deadlock post-mortem, when [`ObsOptions::flight`] was set and the
+    /// run failed.
+    pub postmortem: Option<PostmortemReport>,
     /// S-XB name under the scenario's scheme (e.g. `X0-XB`), for labeling.
     pub sxb_name: Option<String>,
     /// D-XB name under the scenario's scheme.
@@ -288,6 +296,10 @@ pub struct ScenarioReport {
     /// [`run_scenario_instrumented`]); `None` on plain runs. Excluded from
     /// the digest, which hashes only the engine's result.
     pub telemetry: Option<RowTelemetry>,
+    /// Flight-recorder post-mortem, when the row ran with
+    /// [`ObsOptions::flight`] and ended abnormally. Like telemetry,
+    /// excluded from the digest.
+    pub postmortem: Option<PostmortemReport>,
 }
 
 impl ScenarioReport {
@@ -330,6 +342,9 @@ pub fn run_scenario_instrumented(
     let scheme = build_scheme(&scenario.scheme, net.clone(), &faults)?;
     let sxb_name = scheme.serializing_node().map(|n| n.to_string());
     let dxb_name = scheme.detour_node().map(|n| n.to_string());
+    // Lane count, so the flight recorder's channel names match the
+    // engine's deadlock witness.
+    let vcs = scheme.max_vcs().max(1) as usize;
     let specs = scenario.specs(&shape, &faults);
 
     let mut sim = Simulator::new(net.graph().clone(), scheme, scenario.sim_config());
@@ -337,6 +352,7 @@ pub fn run_scenario_instrumented(
     let mut metrics_handle = None;
     let mut stall_handle = None;
     let mut trace_handle = None;
+    let mut flight_handle = None;
     if !opts.is_none() {
         let mut fan = FanoutObserver::new();
         if opts.metrics {
@@ -353,6 +369,11 @@ pub fn run_scenario_instrumented(
             let (rec, handle) = TraceRecorder::new(net.graph());
             fan.push(Box::new(rec));
             trace_handle = Some(handle);
+        }
+        if let Some(capacity) = opts.flight {
+            let (rec, handle) = FlightRecorder::new(net.graph().clone(), vcs, capacity);
+            fan.push(Box::new(rec));
+            flight_handle = Some(handle);
         }
         sim.set_observer(Box::new(fan));
     }
@@ -389,6 +410,7 @@ pub fn run_scenario_instrumented(
         metrics: metrics_handle.map(|h| h.report(result.stats.cycles)),
         stall: stall_handle.map(|h| h.report()),
         trace: trace_handle.map(|h| h.render(result.stats.cycles)),
+        postmortem: flight_handle.and_then(|h| h.postmortem(&result.outcome, &result.diagnostics)),
         sxb_name: sxb_name.clone(),
         dxb_name: dxb_name.clone(),
     };
@@ -435,6 +457,7 @@ pub fn run_scenario_instrumented(
         deadlock,
         digest,
         telemetry: row_telemetry,
+        postmortem: telemetry.postmortem.clone(),
     };
     Ok((report, telemetry))
 }

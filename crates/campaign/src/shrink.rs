@@ -7,8 +7,9 @@
 //! packets whose turns close the cyclic wait — together with the wait-for
 //! cycle the engine reported for it.
 
-use crate::runner::{run_scenario, CampaignError};
+use crate::runner::{run_scenario, run_scenario_instrumented, CampaignError, ObsOptions};
 use crate::scenario::{Scenario, Workload};
+use mdx_obs::{PostmortemReport, DEFAULT_FLIGHT_CAPACITY};
 use mdx_sim::{DeadlockInfo, InjectSpec};
 use mdx_topology::Shape;
 use serde::{Deserialize, Serialize};
@@ -59,6 +60,10 @@ pub struct ShrinkReport {
     pub steps: Vec<String>,
     /// The cyclic wait of the minimized scenario.
     pub deadlock: DeadlockInfo,
+    /// Flight-recorder forensics of the minimized scenario: the shrunk
+    /// witness ships with its own post-mortem (one extra instrumented
+    /// run).
+    pub postmortem: Option<PostmortemReport>,
 }
 
 impl ShrinkReport {
@@ -329,6 +334,18 @@ pub fn shrink(scenario: &Scenario) -> Result<ShrinkReport, ShrinkError> {
     }
 
     let deadlock = still_deadlocks(&current, &mut runs).expect("fixpoint scenario still deadlocks");
+    // One final instrumented run: the minimal witness ships with its
+    // forensic report.
+    runs += 1;
+    let postmortem = run_scenario_instrumented(
+        &current,
+        &ObsOptions {
+            flight: Some(DEFAULT_FLIGHT_CAPACITY),
+            ..ObsOptions::default()
+        },
+    )
+    .ok()
+    .and_then(|(report, _)| report.postmortem);
     let after_sizes = match &current.workload {
         Workload::Explicit { specs } => spec_sizes(specs),
         _ => unreachable!(),
@@ -349,6 +366,7 @@ pub fn shrink(scenario: &Scenario) -> Result<ShrinkReport, ShrinkError> {
         runs,
         steps,
         deadlock,
+        postmortem,
     })
 }
 
@@ -391,6 +409,14 @@ mod tests {
             "a deadlock needs at least two packets"
         );
         assert!(!report.deadlock.cycle.is_empty());
+        // The shrunk witness ships with its forensic report, and the
+        // reconstructed cycle names the same channels as the witness.
+        let pm = report
+            .postmortem
+            .as_ref()
+            .expect("shrunk witness carries a post-mortem");
+        assert_eq!(pm.classification, "fig5-naive-broadcast");
+        assert_eq!(pm.cycle.len(), report.deadlock.cycle.len());
         // The minimized scenario replays from its token and still deadlocks.
         let replayed = Scenario::from_token(&report.token).unwrap();
         let rerun = run_scenario(&replayed).unwrap();

@@ -1,0 +1,428 @@
+//! Always-on flight recorder: a fixed-capacity ring of packet lifecycle
+//! events, drained into a forensic post-mortem when a run fails.
+//!
+//! [`FlightRecorder`] subscribes to the [`SimObserver`] hop-level hooks and
+//! keeps the last `capacity` events in a pre-allocated ring — **zero
+//! allocation in steady state**, so it can stay attached to every run the
+//! way a cockpit flight recorder stays powered. Per-flit channel crossings
+//! are deliberately *not* recorded: they dominate event volume a
+//! hundredfold and carry no forensic information beyond what the hop,
+//! blocked, and gather events already pin down; skipping them keeps the
+//! ring's history window long enough to cover the whole failure build-up.
+//!
+//! Alongside the ring, the recorder maintains tiny per-packet state tables
+//! (current RC field, injection cycle — grown only at injection, amortized)
+//! plus the S-XB gather-queue depth, and captures the engine's terminal
+//! wait snapshot ([`SimObserver::on_final_waits`]) and deadlock witness
+//! ([`SimObserver::on_deadlock`]) when the watchdog fires. The paired
+//! [`FlightHandle`] turns all of that into a
+//! [`crate::PostmortemReport`][crate::postmortem::PostmortemReport] after
+//! the run.
+
+use mdx_core::RouteChange;
+use mdx_sim::{DeadlockInfo, InjectSpec, PacketId, SimObserver, WaitSnapshot};
+use mdx_topology::{ChannelId, NetworkGraph, Node};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Default ring capacity: deep enough to hold the full build-up of every
+/// deadlock the paper's scenarios produce, small enough to be always-on.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 4096;
+
+/// What one ring entry records. All variants are fixed-size (`Copy`) so the
+/// ring never allocates after construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FlightEventKind {
+    /// The packet entered the network from `src_pe`.
+    Inject {
+        /// Source PE index.
+        src_pe: u32,
+    },
+    /// The packet's header reached switch `at`.
+    Hop {
+        /// The switch reached.
+        at: Node,
+    },
+    /// The routing decision rewrote the RC field at `at`.
+    RcChange {
+        /// The rewriting switch.
+        at: Node,
+        /// RC before.
+        from: RouteChange,
+        /// RC after.
+        to: RouteChange,
+    },
+    /// A port request lost arbitration and began a blocked episode.
+    Blocked {
+        /// The contended channel.
+        channel: ChannelId,
+        /// The contended lane.
+        vc: u8,
+        /// The owning packet, if any.
+        holder: Option<PacketId>,
+    },
+    /// A blocked port request was granted after `waited` cycles.
+    Unblocked {
+        /// The granted channel.
+        channel: ChannelId,
+        /// The granted lane.
+        vc: u8,
+        /// Blocked episode length in cycles.
+        waited: u64,
+    },
+    /// The packet joined the S-XB serialization queue (depth after).
+    Gather {
+        /// Queue depth after the enqueue.
+        depth: u32,
+    },
+    /// The S-XB began emitting the packet (depth after the dequeue).
+    Emission {
+        /// Queue depth after the dequeue.
+        depth: u32,
+    },
+    /// The packet's tail reached destination PE `pe`.
+    Delivery {
+        /// Destination PE index.
+        pe: u32,
+    },
+    /// The packet reached a terminal state.
+    Finished,
+}
+
+/// One entry of the flight-recorder ring.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlightEvent {
+    /// Simulation cycle of the event.
+    pub now: u64,
+    /// The packet concerned ([`PacketId::MAX`-like sentinel never occurs —
+    /// every recorded hook names a packet]).
+    pub packet: PacketId,
+    /// What happened.
+    pub kind: FlightEventKind,
+}
+
+pub(crate) struct FlightState {
+    pub(crate) graph: NetworkGraph,
+    /// Virtual-channel lanes per physical channel, for channel descriptions
+    /// that match the engine's (`... (vcN)` suffix only when lanes > 1).
+    pub(crate) vcs: usize,
+    ring: Vec<FlightEvent>,
+    capacity: usize,
+    /// Next overwrite position once the ring is full.
+    head: usize,
+    /// Total events offered to the ring (recorded + overwritten).
+    recorded: u64,
+    /// Last-known RC field per packet (paper Fig. 4 encoding), grown at
+    /// injection.
+    pub(crate) rc: Vec<RouteChange>,
+    /// Injection cycle per packet, grown at injection.
+    pub(crate) injected_at: Vec<u64>,
+    /// Current S-XB gather-queue depth.
+    pub(crate) gather_depth: u32,
+    /// Peak S-XB gather-queue depth.
+    pub(crate) gather_peak: u32,
+    /// The engine's terminal wait snapshot, captured at abnormal run end.
+    pub(crate) final_waits: Vec<WaitSnapshot>,
+    /// Cycle at which the terminal snapshot was taken.
+    pub(crate) final_at: Option<u64>,
+    /// The watchdog's deadlock witness, when the run deadlocked.
+    pub(crate) deadlock: Option<DeadlockInfo>,
+}
+
+impl FlightState {
+    #[inline]
+    fn push(&mut self, now: u64, packet: PacketId, kind: FlightEventKind) {
+        let ev = FlightEvent { now, packet, kind };
+        if self.ring.len() < self.capacity {
+            // Capacity was reserved up front: this push never reallocates.
+            self.ring.push(ev);
+        } else {
+            self.ring[self.head] = ev;
+        }
+        self.head = (self.head + 1) % self.capacity;
+        self.recorded += 1;
+    }
+
+    /// Grows the per-packet tables to cover `id` (amortized; only at
+    /// injection).
+    fn ensure_packet(&mut self, id: PacketId) {
+        if id.idx() >= self.rc.len() {
+            self.rc.resize(id.idx() + 1, RouteChange::Normal);
+            self.injected_at.resize(id.idx() + 1, 0);
+        }
+    }
+
+    /// Ring contents in chronological order (oldest first).
+    pub(crate) fn events_in_order(&self) -> Vec<FlightEvent> {
+        if self.ring.len() < self.capacity {
+            self.ring.clone()
+        } else {
+            let mut out = Vec::with_capacity(self.ring.len());
+            out.extend_from_slice(&self.ring[self.head..]);
+            out.extend_from_slice(&self.ring[..self.head]);
+            out
+        }
+    }
+
+    pub(crate) fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    pub(crate) fn dropped(&self) -> u64 {
+        self.recorded - self.ring.len() as u64
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Channel description matching the engine's port naming.
+    pub(crate) fn describe(&self, channel: ChannelId, vc: u8) -> String {
+        if self.vcs > 1 {
+            format!("{} (vc{vc})", self.graph.describe_channel(channel))
+        } else {
+            self.graph.describe_channel(channel)
+        }
+    }
+}
+
+/// The attachable half of the flight recorder; pair with the
+/// [`FlightHandle`] returned by [`FlightRecorder::new`].
+pub struct FlightRecorder {
+    state: Rc<RefCell<FlightState>>,
+}
+
+/// The caller-retained half of the flight recorder: inspect the ring after
+/// the run, or build a
+/// [`PostmortemReport`](crate::postmortem::PostmortemReport) when it
+/// failed.
+#[derive(Clone)]
+pub struct FlightHandle {
+    pub(crate) state: Rc<RefCell<FlightState>>,
+}
+
+impl FlightRecorder {
+    /// Creates the recorder/handle pair for a run on `graph`.
+    ///
+    /// `vcs` is the scheme's virtual-channel lane count
+    /// ([`mdx_core::Scheme::max_vcs`], clamped to at least 1) so channel
+    /// names in the post-mortem match the engine's deadlock witness;
+    /// `capacity` is the ring depth ([`DEFAULT_FLIGHT_CAPACITY`] is the
+    /// always-on default). The ring is allocated once, here.
+    pub fn new(graph: NetworkGraph, vcs: usize, capacity: usize) -> (FlightRecorder, FlightHandle) {
+        let capacity = capacity.max(1);
+        let state = Rc::new(RefCell::new(FlightState {
+            graph,
+            vcs: vcs.max(1),
+            ring: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            recorded: 0,
+            rc: Vec::new(),
+            injected_at: Vec::new(),
+            gather_depth: 0,
+            gather_peak: 0,
+            final_waits: Vec::new(),
+            final_at: None,
+            deadlock: None,
+        }));
+        (
+            FlightRecorder {
+                state: Rc::clone(&state),
+            },
+            FlightHandle { state },
+        )
+    }
+}
+
+impl SimObserver for FlightRecorder {
+    fn on_inject(&mut self, id: PacketId, spec: &InjectSpec, now: u64) {
+        let mut s = self.state.borrow_mut();
+        s.ensure_packet(id);
+        s.rc[id.idx()] = spec.header.rc;
+        s.injected_at[id.idx()] = now;
+        s.push(
+            now,
+            id,
+            FlightEventKind::Inject {
+                src_pe: spec.src_pe as u32,
+            },
+        );
+    }
+
+    fn on_hop(&mut self, id: PacketId, at: Node, _in_channel: Option<ChannelId>, now: u64) {
+        self.state
+            .borrow_mut()
+            .push(now, id, FlightEventKind::Hop { at });
+    }
+
+    fn on_rc_change(
+        &mut self,
+        id: PacketId,
+        at: Node,
+        from: RouteChange,
+        to: RouteChange,
+        now: u64,
+    ) {
+        let mut s = self.state.borrow_mut();
+        s.ensure_packet(id);
+        s.rc[id.idx()] = to;
+        s.push(now, id, FlightEventKind::RcChange { at, from, to });
+    }
+
+    fn on_blocked(
+        &mut self,
+        id: PacketId,
+        channel: ChannelId,
+        vc: u8,
+        holder: Option<PacketId>,
+        now: u64,
+    ) {
+        self.state.borrow_mut().push(
+            now,
+            id,
+            FlightEventKind::Blocked {
+                channel,
+                vc,
+                holder,
+            },
+        );
+    }
+
+    fn on_unblocked(&mut self, id: PacketId, channel: ChannelId, vc: u8, waited: u64, now: u64) {
+        self.state.borrow_mut().push(
+            now,
+            id,
+            FlightEventKind::Unblocked {
+                channel,
+                vc,
+                waited,
+            },
+        );
+    }
+
+    fn on_gather(&mut self, id: PacketId, depth: usize, now: u64) {
+        let mut s = self.state.borrow_mut();
+        s.gather_depth = depth as u32;
+        s.gather_peak = s.gather_peak.max(depth as u32);
+        s.push(
+            now,
+            id,
+            FlightEventKind::Gather {
+                depth: depth as u32,
+            },
+        );
+    }
+
+    fn on_emission(&mut self, id: PacketId, depth: usize, now: u64) {
+        let mut s = self.state.borrow_mut();
+        s.gather_depth = depth as u32;
+        s.push(
+            now,
+            id,
+            FlightEventKind::Emission {
+                depth: depth as u32,
+            },
+        );
+    }
+
+    fn on_delivery(&mut self, id: PacketId, pe: usize, now: u64) {
+        self.state
+            .borrow_mut()
+            .push(now, id, FlightEventKind::Delivery { pe: pe as u32 });
+    }
+
+    fn on_packet_finished(&mut self, id: PacketId, now: u64) {
+        self.state
+            .borrow_mut()
+            .push(now, id, FlightEventKind::Finished);
+    }
+
+    fn on_final_waits(&mut self, now: u64, waits: &[WaitSnapshot]) {
+        let mut s = self.state.borrow_mut();
+        s.final_at = Some(now);
+        s.final_waits = waits.to_vec();
+    }
+
+    fn on_deadlock(&mut self, info: &DeadlockInfo) {
+        self.state.borrow_mut().deadlock = Some(info.clone());
+    }
+}
+
+impl FlightHandle {
+    /// Total events offered to the ring (including overwritten ones).
+    pub fn events_recorded(&self) -> u64 {
+        self.state.borrow().recorded()
+    }
+
+    /// Events overwritten because the ring wrapped.
+    pub fn events_dropped(&self) -> u64 {
+        self.state.borrow().dropped()
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.state.borrow().capacity()
+    }
+
+    /// Snapshot of the ring, oldest event first.
+    pub fn events(&self) -> Vec<FlightEvent> {
+        self.state.borrow().events_in_order()
+    }
+
+    /// The engine's deadlock witness, when one was reported.
+    pub fn deadlock(&self) -> Option<DeadlockInfo> {
+        self.state.borrow().deadlock.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdx_core::Header;
+    use mdx_topology::{Coord, MdCrossbar, Shape};
+
+    fn graph() -> NetworkGraph {
+        MdCrossbar::build(Shape::fig2()).graph().clone()
+    }
+
+    #[test]
+    fn ring_wraps_and_keeps_newest() {
+        let (mut rec, handle) = FlightRecorder::new(graph(), 1, 4);
+        for i in 0..10u64 {
+            rec.on_hop(PacketId(0), Node::Router(i as usize % 3), None, i);
+        }
+        assert_eq!(handle.events_recorded(), 10);
+        assert_eq!(handle.events_dropped(), 6);
+        assert_eq!(handle.capacity(), 4);
+        let evs = handle.events();
+        assert_eq!(evs.len(), 4);
+        // Oldest-first: cycles 6, 7, 8, 9 survive.
+        let cycles: Vec<u64> = evs.iter().map(|e| e.now).collect();
+        assert_eq!(cycles, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn tracks_rc_state_and_gather_depth() {
+        let (mut rec, handle) = FlightRecorder::new(graph(), 1, 16);
+        let spec = InjectSpec {
+            src_pe: 0,
+            header: Header::broadcast_request(Coord::ORIGIN),
+            flits: 4,
+            inject_at: 0,
+        };
+        rec.on_inject(PacketId(0), &spec, 0);
+        rec.on_gather(PacketId(0), 2, 3);
+        rec.on_rc_change(
+            PacketId(0),
+            Node::Pe(0),
+            RouteChange::BroadcastRequest,
+            RouteChange::Broadcast,
+            5,
+        );
+        let s = handle.state.borrow();
+        assert_eq!(s.rc[0], RouteChange::Broadcast);
+        assert_eq!(s.injected_at[0], 0);
+        assert_eq!(s.gather_peak, 2);
+    }
+}

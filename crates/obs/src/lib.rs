@@ -19,6 +19,16 @@
 //!   [`mdx_deadlock::analyze_waits`]: longest wait-chain length and maximum
 //!   blocked duration are near-deadlock early warnings long before the
 //!   watchdog fires.
+//! - [`FlightRecorder`] — *what happened right before it died?* An
+//!   always-on, fixed-capacity ring of hop-level events (zero allocation
+//!   in steady state). When a run ends abnormally, the paired
+//!   [`FlightHandle`] joins the ring with the engine's terminal wait
+//!   snapshot and deadlock witness into a [`PostmortemReport`]: the cyclic
+//!   wait with each packet's RC state, recent hops, S-XB gather depth, and
+//!   a classification against the paper's Fig. 5 / Fig. 9 signatures.
+//!
+//! [`TraceDoc`] is the strict schema for the trace recorder's Chrome-trace
+//! JSON (deny-unknown-fields, per-phase shape checks).
 //!
 //! Each observer follows the same *handle* pattern: the observer itself is
 //! attached to the simulator (which takes ownership of the `Box<dyn
@@ -55,13 +65,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod flight;
 mod metrics;
+mod postmortem;
+mod schema;
 mod stall;
 mod trace;
 
+pub use flight::{
+    FlightEvent, FlightEventKind, FlightHandle, FlightRecorder, DEFAULT_FLIGHT_CAPACITY,
+};
 pub use metrics::{
     ChannelMetrics, GatherSample, MetricsHandle, MetricsObserver, MetricsReport, XbarMetrics,
 };
+pub use postmortem::{CycleEdge, HopTrace, PacketForensics, PostmortemReport, LAST_HOPS};
+pub use schema::{TraceArgs, TraceDoc, TraceEvent};
 pub use stall::{StallHandle, StallProbe, StallReport, StallSample};
 pub use trace::{TraceHandle, TraceRecorder};
 
@@ -190,6 +208,12 @@ impl SimObserver for FanoutObserver {
     fn on_probe(&mut self, now: u64, waits: &[WaitSnapshot]) {
         for p in &mut self.parts {
             p.on_probe(now, waits);
+        }
+    }
+
+    fn on_final_waits(&mut self, now: u64, waits: &[WaitSnapshot]) {
+        for p in &mut self.parts {
+            p.on_final_waits(now, waits);
         }
     }
 

@@ -361,11 +361,26 @@ mod tests {
         assert!(doc.contains("\"holder\":\"pkt1\""));
         // The still-open Router(0) residency closed at end=10.
         assert!(doc.contains("\"name\":\"R0\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":2,\"dur\":8"));
-        // Valid JSON (parse with the workspace shim).
-        let v: serde_json::Value = serde_json::from_str(&doc).unwrap();
-        match v {
-            serde_json::Value::Map(_) => {}
-            other => panic!("expected object, got {other:?}"),
-        }
+        // The strict schema accepts every emitted event: named fields only,
+        // known phases only, per-phase required fields present.
+        let parsed = crate::TraceDoc::parse(&doc).expect("trace passes the strict schema");
+        assert_eq!(parsed.display_time_unit, "ms");
+        let open_hop = parsed
+            .events("X")
+            .find(|e| e.name == "R0")
+            .expect("closed-out hop slice present");
+        assert_eq!((open_hop.ts, open_hop.dur), (Some(2), Some(8)));
+        let blocked = parsed
+            .events("X")
+            .find(|e| e.name.starts_with("blocked"))
+            .expect("blocked slice present");
+        assert_eq!(
+            blocked.args.as_ref().and_then(|a| a.holder.as_deref()),
+            Some("pkt1")
+        );
+        assert!(parsed.events("C").all(|e| e
+            .args
+            .as_ref()
+            .is_some_and(|a| a.flits.is_some() ^ a.depth.is_some())));
     }
 }

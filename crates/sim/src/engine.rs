@@ -19,8 +19,8 @@
 
 use crate::observer::{SimObserver, WaitSnapshot};
 use crate::result::{
-    DeadlockInfo, InjectSpec, PacketId, PacketOutcome, PacketResult, SimOutcome, SimResult,
-    SimStats, WaitEdge,
+    DeadlockInfo, EngineDiagnostic, InjectSpec, PacketId, PacketOutcome, PacketResult, SimOutcome,
+    SimResult, SimStats, WaitEdge,
 };
 use mdx_core::{Action, DropReason, Header, Scheme};
 use mdx_topology::{ChannelId, NetworkGraph, Node, NodeId};
@@ -189,6 +189,9 @@ pub struct Simulator {
     chan_flits: Vec<u64>,
     finished_packets: usize,
     observer: Option<Box<dyn SimObserver>>,
+    /// Invariant violations recorded instead of panicking (see
+    /// [`EngineDiagnostic`]); copied into [`SimResult::diagnostics`].
+    diagnostics: Vec<EngineDiagnostic>,
 }
 
 impl Simulator {
@@ -225,6 +228,7 @@ impl Simulator {
             chan_flits: vec![0; channels],
             finished_packets: 0,
             observer: None,
+            diagnostics: Vec::new(),
         }
     }
 
@@ -286,6 +290,12 @@ impl Simulator {
     /// Flits that crossed each channel (indexed by [`ChannelId`]).
     pub fn channel_flits(&self) -> &[u64] {
         &self.chan_flits
+    }
+
+    /// Engine bookkeeping anomalies recorded so far (also carried by
+    /// [`SimResult::diagnostics`] after the run). Empty on a healthy run.
+    pub fn diagnostics(&self) -> &[EngineDiagnostic] {
+        &self.diagnostics
     }
 
     fn channel_of(&self, from: NodeId, to: Node) -> Option<ChannelId> {
@@ -593,9 +603,21 @@ impl Simulator {
                         let packet = self.visits[vidx as usize].packet;
                         (cycle, arb_hash(seed, port, packet))
                     })
-                    .map(|(i, _)| i);
-                if let Some(i) = winner {
-                    let (vidx, bidx, _) = self.chan_requests[pu].remove(i).unwrap();
+                    .map(|(i, &(vidx, _, _))| (i, self.visits[vidx as usize].packet));
+                if let Some((i, winner_packet)) = winner {
+                    let Some((vidx, bidx, _)) = self.chan_requests[pu].remove(i) else {
+                        // Unreachable by construction — the winner index came
+                        // from enumerating this very queue — but a panic here
+                        // would cut an abnormal run's post-mortem short, so
+                        // record the anomaly and skip the grant this cycle.
+                        self.diagnostics.push(EngineDiagnostic {
+                            at: self.now,
+                            packet: PacketId(winner_packet),
+                            channel: self.describe_port(pu),
+                            note: "arbitration winner vanished from the request queue".to_string(),
+                        });
+                        continue;
+                    };
                     self.chan_owner[pu] = Some((vidx, bidx));
                     self.chan_resident[pu].push_back((vidx, bidx));
                     self.resident_chans.insert(port);
@@ -1013,17 +1035,27 @@ impl Simulator {
                 && self.now - self.last_progress >= self.cfg.watchdog
             {
                 break match self.analyze_deadlock() {
-                    Some(info) => {
-                        if let Some(obs) = self.observer.as_deref_mut() {
-                            obs.on_deadlock(&info);
-                        }
-                        SimOutcome::Deadlock(info)
-                    }
+                    Some(info) => SimOutcome::Deadlock(info),
                     None => SimOutcome::Stalled,
                 };
             }
             self.now += 1;
         };
+        // Abnormal endings drain the terminal wait graph to the observer
+        // (the flight-recorder/post-mortem hook), then — for deadlocks —
+        // hand over the extracted cycle. See the firing-order contract in
+        // [`crate::observer`].
+        if self.observer.is_some() && !matches!(outcome, SimOutcome::Completed) {
+            let waits = self.wait_snapshot();
+            if let Some(obs) = self.observer.as_deref_mut() {
+                obs.on_final_waits(self.now, &waits);
+            }
+        }
+        if let SimOutcome::Deadlock(info) = &outcome {
+            if let Some(obs) = self.observer.as_deref_mut() {
+                obs.on_deadlock(info);
+            }
+        }
         self.collect_result(outcome)
     }
 
@@ -1082,6 +1114,7 @@ impl Simulator {
             stats,
             packets,
             route_names,
+            diagnostics: self.diagnostics.clone(),
         }
     }
 }

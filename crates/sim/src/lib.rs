@@ -64,6 +64,6 @@ pub mod result;
 pub use engine::{SimConfig, Simulator};
 pub use observer::{EventCounts, SimObserver, WaitSnapshot};
 pub use result::{
-    DeadlockInfo, InjectSpec, PacketId, PacketOutcome, PacketResult, SimOutcome, SimResult,
-    SimStats, SortedLatencies, WaitEdge,
+    DeadlockInfo, EngineDiagnostic, InjectSpec, PacketId, PacketOutcome, PacketResult, SimOutcome,
+    SimResult, SimStats, SortedLatencies, WaitEdge,
 };

@@ -39,8 +39,12 @@
 //!    [`SimObserver::probe_interval`]: a snapshot of every ungranted port
 //!    want, for wait-chain analysis.
 //!
-//! [`SimObserver::on_deadlock`] fires once, outside the cycle loop, when
-//! the watchdog extracts a cyclic wait; it is the last hook of such a run.
+//! Two hooks fire once, outside the cycle loop, when a run ends abnormally
+//! (deadlock, stall, or the cycle limit): first
+//! [`SimObserver::on_final_waits`] with the terminal wait snapshot — the
+//! drain point for post-mortem instruments such as a flight recorder —
+//! then, for deadlocks only, [`SimObserver::on_deadlock`] with the
+//! extracted cyclic wait; `on_deadlock` is the last hook of such a run.
 
 use crate::result::{DeadlockInfo, InjectSpec, PacketId};
 use mdx_core::RouteChange;
@@ -146,6 +150,15 @@ pub trait SimObserver {
     /// A periodic snapshot of every ungranted port want (see
     /// [`SimObserver::probe_interval`]). `waits` is unordered.
     fn on_probe(&mut self, _now: u64, _waits: &[WaitSnapshot]) {}
+
+    /// The run is about to end abnormally (deadlock, stall, or cycle
+    /// limit): `waits` is the terminal snapshot of every ungranted port
+    /// want, in the engine's stable visit order — the same edges the
+    /// watchdog's deadlock analysis walks. Fired once, after the cycle
+    /// loop and before [`SimObserver::on_deadlock`]; never fired for
+    /// completed runs. This is the drain point for post-mortem
+    /// instruments.
+    fn on_final_waits(&mut self, _now: u64, _waits: &[WaitSnapshot]) {}
 
     /// The watchdog extracted a cyclic wait; the run is about to end as
     /// [`crate::SimOutcome::Deadlock`].

@@ -84,6 +84,36 @@ impl PacketResult {
     }
 }
 
+/// A non-fatal engine bookkeeping anomaly, recorded instead of panicking
+/// so an abnormal run still reaches its post-mortem intact.
+///
+/// The engine's internal invariants are checked at a few arbitration
+/// points; a violation is a simulator bug, but aborting mid-run would cut
+/// the forensic trail short. Diagnostics carry enough context — the sim
+/// tick, the packet, the contended channel — to reconstruct what the
+/// engine was doing when the invariant broke.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineDiagnostic {
+    /// Simulation cycle at which the anomaly was observed.
+    pub at: u64,
+    /// The packet involved.
+    pub packet: PacketId,
+    /// Human-readable description of the channel (port) involved.
+    pub channel: String,
+    /// What went wrong.
+    pub note: String,
+}
+
+impl std::fmt::Display for EngineDiagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cycle {}: {} at {}: {}",
+            self.at, self.packet, self.channel, self.note
+        )
+    }
+}
+
 /// One blocked-on relationship in a deadlock cycle.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WaitEdge {
@@ -192,6 +222,9 @@ pub struct SimResult {
     /// Interned switch names for [`PacketResult::route`] entries (empty
     /// unless [`crate::SimConfig::record_routes`] was set).
     pub route_names: Vec<String>,
+    /// Engine bookkeeping anomalies recorded during the run (empty on a
+    /// healthy run — any entry is a simulator bug worth a report).
+    pub diagnostics: Vec<EngineDiagnostic>,
 }
 
 /// Latencies of a run's delivered packets, collected and sorted **once** —
@@ -318,6 +351,7 @@ mod tests {
             },
             packets: vec![mk(0, 30), mk(1, 10), mk(2, 20)],
             route_names: Vec::new(),
+            diagnostics: Vec::new(),
         };
         assert_eq!(r.latency_percentile(0), Some(10));
         assert_eq!(r.latency_percentile(50), Some(20));
@@ -353,6 +387,7 @@ mod tests {
                 route: vec![(0, 0), (1, 2), (0, 4)],
             }],
             route_names: vec!["PE0".to_string(), "R0".to_string()],
+            diagnostics: Vec::new(),
         };
         assert_eq!(
             r.route_of(PacketId(0)),

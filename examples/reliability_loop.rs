@@ -89,6 +89,7 @@ fn main() {
             stats: result.stats.clone(),
             packets: result.packets[..specs.len()].to_vec(),
             route_names: result.route_names.clone(),
+            diagnostics: result.diagnostics.clone(),
         },
         &map,
     ) {
