@@ -1,6 +1,6 @@
 # Convenience targets for the SR2201 reproduction.
 
-.PHONY: test experiments trajectory bench examples doc clippy lint campaign campaign-smoke metrics-demo all
+.PHONY: test experiments trajectory bench examples doc clippy lint campaign campaign-smoke metrics-demo reconfig-demo reconfig-smoke all
 
 test:
 	cargo test --workspace
@@ -48,5 +48,19 @@ campaign-smoke:
 # Telemetry dashboard: heatmap + stall timeline on the fig10/fig5 scenarios.
 metrics-demo:
 	cargo run --release --example telemetry_dashboard
+
+# Live reconfiguration walkthrough: a crossbar dies mid-run, the epoch
+# protocol drains/reprograms/resumes, under all three recovery policies.
+reconfig-demo:
+	cargo run --release --example live_reconfig
+
+# Small deterministic live-fault campaign: every single fault on 4x4x4
+# activates at cycle 40; reinject must lose nothing and every transition
+# must be free of mixed-epoch wait cycles.
+reconfig-smoke:
+	cargo run --release -p mdx-campaign -- run --scheme sr2201 --shape 4x4x4 \
+		--max-faults 1 --seeds 1 --workloads fault-storm \
+		--timeline 40 --recovery reinject --fail-on-deadlock --fail-on-loss \
+		--jsonl reconfig-smoke.jsonl
 
 all: test experiments bench doc

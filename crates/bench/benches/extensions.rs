@@ -51,6 +51,40 @@ fn bench_extensions(c: &mut Criterion) {
         faults.insert(FaultSite::Xbar(mdx_topology::XbarRef { dim: 0, line: 5 }));
         b.iter(|| Sr2201Routing::new(net.clone(), &faults).unwrap())
     });
+
+    // The full epoch protocol: fault at cycle 60 mid-workload, drain,
+    // reprogram, reinject the victims, watch the transition window.
+    c.bench_function("ext_reconfig_reinject_8x8", |b| {
+        use mdx_fault::FaultTimeline;
+        use mdx_reconfig::{run_reconfig, ReconfigSpec, RecoveryPolicy};
+
+        let site = FaultSite::Xbar(mdx_topology::XbarRef { dim: 1, line: 2 });
+        let specs = unicast_schedule(
+            &shape,
+            TrafficPattern::UniformRandom,
+            OpenLoop {
+                rate: 0.02,
+                packet_flits: 12,
+                window: 200,
+                seed: 11,
+            },
+            &FaultSet::single(site),
+        );
+        let spec = ReconfigSpec::new(FaultTimeline::new().inject(site, 60))
+            .with_policy(RecoveryPolicy::Reinject);
+        b.iter(|| {
+            run_reconfig(
+                net.clone(),
+                "sr2201",
+                &FaultSet::none(),
+                &specs,
+                SimConfig::default(),
+                &spec,
+                None,
+            )
+            .unwrap()
+        })
+    });
 }
 
 criterion_group! {

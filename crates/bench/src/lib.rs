@@ -63,6 +63,7 @@ pub fn experiment_ids() -> Vec<&'static str> {
         "ext-hotspots",
         "ext-switching",
         "ext-diagnosis",
+        "ext-reconfig",
     ]
 }
 
@@ -91,6 +92,7 @@ pub fn run_experiment(id: &str) -> Vec<Table> {
         "ext-hotspots" => extensions::hotspots(),
         "ext-switching" => extensions::switching(),
         "ext-diagnosis" => extensions::diagnosis(),
+        "ext-reconfig" => extensions::reconfig_policies(),
         other => panic!("unknown experiment id {other}"),
     }
 }

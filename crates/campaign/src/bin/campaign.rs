@@ -2,13 +2,26 @@
 //!
 //! ```text
 //! campaign run [--scheme all|id,..] [--shape 4x3] [--max-faults N]
-//!              [--fault-samples N] [--seeds N] [--workloads mixed,storm,detour]
+//!              [--fault-samples N] [--seeds N]
+//!              [--workloads mixed,storm,detour,fault-storm]
+//!              [--timeline CYCLE] [--recovery drop|reinject|reroute]
 //!              [--max-cycles N] [--jsonl PATH] [--quiet] [--metrics]
+//!              [--fail-on-deadlock] [--fail-on-loss]
 //!              [--flight-recorder] [--postmortem-dir DIR]
 //! campaign replay <token> [--metrics] [--trace-out PATH] [--stall-probe N]
 //!                 [--flight-recorder] [--postmortem-dir DIR]
 //! campaign shrink <token>
 //! ```
+//!
+//! `--timeline CYCLE` turns the fault dimension *live*: instead of wearing
+//! its fault set from cycle 0, every scenario starts fault-free and injects
+//! the faults at the given cycle through the SR2201-style epoch protocol
+//! (quiesce, drain, reprogram, resume — see `mdx-reconfig`). `--recovery`
+//! picks what happens to packets wounded by the activation (default
+//! `reinject`). Live rows carry a `reconfig` report with per-phase cycle
+//! counts and the transition-safety verdict; `--fail-on-loss` exits
+//! nonzero unless every live row recovered every victim and crossed the
+//! transition with no mixed-epoch wait cycle.
 //!
 //! Every row a campaign emits carries an `MDX1.` token; `replay` reruns one
 //! bit-identically and `shrink` minimizes a deadlocking one. `--metrics`
@@ -41,8 +54,10 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  \
          campaign run [--scheme all|id,..] [--shape WxH[xD..]] [--max-faults N]\n    \
-         [--fault-samples N] [--seeds N] [--workloads mixed,storm,detour]\n    \
-         [--max-cycles N] [--jsonl PATH] [--quiet] [--fail-on-deadlock] [--metrics]\n    \
+         [--fault-samples N] [--seeds N] [--workloads mixed,storm,detour,fault-storm]\n    \
+         [--timeline CYCLE] [--recovery drop|reinject|reroute]\n    \
+         [--max-cycles N] [--jsonl PATH] [--quiet] [--fail-on-deadlock] [--fail-on-loss]\n    \
+         [--metrics]\n    \
          [--flight-recorder] [--postmortem-dir DIR]\n  \
          campaign replay <token> [--metrics] [--trace-out PATH] [--stall-probe N]\n    \
          [--flight-recorder] [--postmortem-dir DIR]\n  \
@@ -91,6 +106,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let mut jsonl: Option<String> = None;
     let mut quiet = false;
     let mut fail_on_deadlock = false;
+    let mut fail_on_loss = false;
     let mut obs = ObsOptions::default();
     let mut postmortem_dir = ".".to_string();
 
@@ -121,6 +137,17 @@ fn cmd_run(args: &[String]) -> ExitCode {
             "--fault-samples" => cfg.fault_samples = parse_num("--fault-samples", it.next()),
             "--seeds" => cfg.seeds = parse_num("--seeds", it.next()),
             "--max-cycles" => cfg.max_cycles = parse_num("--max-cycles", it.next()),
+            "--timeline" => cfg.timeline_at = Some(parse_num("--timeline", it.next())),
+            "--recovery" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                cfg.timeline_policy =
+                    mdx_reconfig::RecoveryPolicy::parse(&v).unwrap_or_else(|| {
+                        eprintln!(
+                            "error: unknown recovery policy `{v}` (known: drop, reinject, reroute)"
+                        );
+                        std::process::exit(2);
+                    });
+            }
             "--workloads" => {
                 let v = it.next().unwrap_or_else(|| usage());
                 cfg.workloads = v
@@ -136,6 +163,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
             "--jsonl" => jsonl = Some(it.next().unwrap_or_else(|| usage())),
             "--quiet" => quiet = true,
             "--fail-on-deadlock" => fail_on_deadlock = true,
+            "--fail-on-loss" => fail_on_loss = true,
             "--metrics" => obs.metrics = true,
             "--flight-recorder" => obs.flight = Some(DEFAULT_FLIGHT_CAPACITY),
             "--postmortem-dir" => postmortem_dir = it.next().unwrap_or_else(|| usage()),
@@ -208,6 +236,33 @@ fn cmd_run(args: &[String]) -> ExitCode {
     if fail_on_deadlock && !deadlocks.is_empty() {
         eprintln!("error: {} deadlock(s) found", deadlocks.len());
         return ExitCode::from(1);
+    }
+
+    // Timeline campaigns: aggregate the epoch-protocol evidence.
+    if cfg.timeline_at.is_some() {
+        let live: Vec<_> = result
+            .reports
+            .iter()
+            .filter_map(|r| r.reconfig.as_ref())
+            .collect();
+        let victims: usize = live.iter().map(|rc| rc.victims_total).sum();
+        let recovered: usize = live.iter().map(|rc| rc.recovered).sum();
+        let lost: usize = live.iter().map(|rc| rc.lost).sum();
+        let violations = live.iter().filter(|rc| !rc.transition_safe()).count();
+        if !quiet {
+            println!(
+                "reconfig: {} live row(s), victims {victims} (recovered {recovered}, \
+                 lost {lost}), {violations} transition violation(s)",
+                live.len()
+            );
+        }
+        if fail_on_loss && (live.is_empty() || lost > 0 || violations > 0) {
+            eprintln!(
+                "error: reconfig gate failed ({} live rows, {lost} lost, {violations} violations)",
+                live.len()
+            );
+            return ExitCode::from(1);
+        }
     }
     ExitCode::SUCCESS
 }

@@ -7,11 +7,12 @@
 
 use crate::scenario::{detour_stress_for, Scenario, ScenarioError, Workload};
 use mdx_core::registry::{build_scheme, RegistryError};
-use mdx_fault::{enumerate_single_faults, sample_fault_sets, FaultSet};
+use mdx_fault::{enumerate_single_faults, sample_fault_sets, FaultSet, FaultTimeline};
 use mdx_obs::{
     FanoutObserver, FlightRecorder, MetricsObserver, MetricsReport, PostmortemReport, StallProbe,
     StallReport, TraceRecorder,
 };
+use mdx_reconfig::{drive_reconfig, ReconfigError, ReconfigReport, ReconfigSpec, RecoveryPolicy};
 use mdx_sim::{DeadlockInfo, SimConfig, SimOutcome, SimStats, Simulator};
 use mdx_topology::{ChannelId, MdCrossbar, Shape};
 use mdx_workloads::TrafficPattern;
@@ -32,10 +33,16 @@ pub enum WorkloadKind {
     Storm,
     /// Fig. 9 broadcast-plus-detoured-unicast race.
     Detour,
+    /// Live-reconfiguration stress: background traffic plus a burst at
+    /// every fault-timeline event (meaningful with
+    /// [`CampaignConfig::timeline_at`]; degenerates to uniform traffic
+    /// without one).
+    FaultStorm,
 }
 
 impl WorkloadKind {
-    /// All families, in enumeration order.
+    /// All families, in enumeration order. `FaultStorm` is opt-in — it
+    /// only pulls its weight on a timeline campaign.
     pub fn all() -> Vec<WorkloadKind> {
         vec![
             WorkloadKind::Mixed,
@@ -50,6 +57,7 @@ impl WorkloadKind {
             "mixed" => Some(WorkloadKind::Mixed),
             "storm" => Some(WorkloadKind::Storm),
             "detour" => Some(WorkloadKind::Detour),
+            "fault-storm" => Some(WorkloadKind::FaultStorm),
             _ => None,
         }
     }
@@ -76,6 +84,14 @@ pub struct CampaignConfig {
     pub buffer_flits: usize,
     /// Engine cycle limit per scenario.
     pub max_cycles: u64,
+    /// When set, the fault dimension goes *live*: every enumerated
+    /// scenario starts fault-free and injects its fault set at this cycle
+    /// through the epoch protocol instead of wearing it from cycle 0
+    /// (fault-free cells keep an empty timeline — a static-equivalence
+    /// check). `None` keeps the classic static grid.
+    pub timeline_at: Option<u64>,
+    /// Recovery policy for live rows (used only with `timeline_at`).
+    pub timeline_policy: RecoveryPolicy,
 }
 
 impl Default for CampaignConfig {
@@ -89,6 +105,8 @@ impl Default for CampaignConfig {
             workloads: WorkloadKind::all(),
             buffer_flits: SimConfig::default().buffer_flits,
             max_cycles: 50_000,
+            timeline_at: None,
+            timeline_policy: RecoveryPolicy::Reinject,
         }
     }
 }
@@ -145,11 +163,29 @@ pub fn enumerate_scenarios(cfg: &CampaignConfig) -> Result<Vec<Scenario>, Scenar
                         // Sweep the injection offset with the seed: the
                         // Fig. 9 race is offset-sensitive.
                         WorkloadKind::Detour => detour_stress_for(&shape, 24, 10 + seed % 28),
+                        WorkloadKind::FaultStorm => Workload::FaultStorm {
+                            rate: 0.01,
+                            packet_flits: 12,
+                            window: cfg.timeline_at.map_or(200, |at| at + 100),
+                            burst: 8,
+                        },
                     };
                     let mut s = Scenario::new(cfg.shape.clone(), scheme, workload, seed);
                     s.buffer_flits = cfg.buffer_flits;
                     s.max_cycles = cfg.max_cycles;
-                    scenarios.push(s.with_faults(faults.sites()));
+                    let s = match cfg.timeline_at {
+                        // Live grid: the fault set becomes a mid-run
+                        // injection script on a fault-free machine.
+                        Some(at) => {
+                            let mut tl = FaultTimeline::new();
+                            for site in faults.sites() {
+                                tl = tl.inject(site, at);
+                            }
+                            s.with_reconfig(ReconfigSpec::new(tl).with_policy(cfg.timeline_policy))
+                        }
+                        None => s.with_faults(faults.sites()),
+                    };
+                    scenarios.push(s);
                 }
             }
         }
@@ -165,6 +201,10 @@ pub enum CampaignError {
     /// The scheme cannot be configured for this shape/fault combination
     /// (e.g. conflicting crossbar faults) — a *skip*, not a failure.
     Registry(RegistryError),
+    /// A live-reconfiguration row could not run its epoch protocol (bad
+    /// timeline, or a mid-run fault set the scheme cannot be reprogrammed
+    /// for) — also a *skip*.
+    Reconfig(String),
 }
 
 impl std::fmt::Display for CampaignError {
@@ -172,6 +212,7 @@ impl std::fmt::Display for CampaignError {
         match self {
             CampaignError::Scenario(e) => write!(f, "{e}"),
             CampaignError::Registry(e) => write!(f, "{e}"),
+            CampaignError::Reconfig(e) => write!(f, "{e}"),
         }
     }
 }
@@ -187,6 +228,12 @@ impl From<ScenarioError> for CampaignError {
 impl From<RegistryError> for CampaignError {
     fn from(e: RegistryError) -> CampaignError {
         CampaignError::Registry(e)
+    }
+}
+
+impl From<ReconfigError> for CampaignError {
+    fn from(e: ReconfigError) -> CampaignError {
+        CampaignError::Reconfig(e.to_string())
     }
 }
 
@@ -300,6 +347,11 @@ pub struct ScenarioReport {
     /// [`ObsOptions::flight`] and ended abnormally. Like telemetry,
     /// excluded from the digest.
     pub postmortem: Option<PostmortemReport>,
+    /// Epoch-protocol evidence (phase timings, victim accounting,
+    /// transition safety), when the scenario carried a fault timeline.
+    /// Deterministic per token, but excluded from the digest, which hashes
+    /// only the engine's result.
+    pub reconfig: Option<ReconfigReport>,
 }
 
 impl ScenarioReport {
@@ -381,7 +433,13 @@ pub fn run_scenario_instrumented(
     for &spec in &specs {
         sim.schedule(spec);
     }
-    let result = sim.run();
+    let (result, reconfig) = match &scenario.reconfig {
+        Some(rspec) => {
+            let out = drive_reconfig(&mut sim, &net, &scenario.scheme, &faults, rspec)?;
+            (out.result, Some(out.report))
+        }
+        None => (sim.run(), None),
+    };
 
     let mut hot: Vec<(String, u64)> = sim
         .channel_flits()
@@ -458,6 +516,7 @@ pub fn run_scenario_instrumented(
         digest,
         telemetry: row_telemetry,
         postmortem: telemetry.postmortem.clone(),
+        reconfig,
     };
     Ok((report, telemetry))
 }
@@ -575,6 +634,7 @@ pub fn run_campaign_with(scenarios: Vec<Scenario>, opts: &ObsOptions) -> Campaig
             Ok(report) => reports.push(report),
             Err(CampaignError::Registry(e)) => skipped.push((scenario, e.to_string())),
             Err(CampaignError::Scenario(e)) => skipped.push((scenario, e.to_string())),
+            Err(CampaignError::Reconfig(e)) => skipped.push((scenario, e)),
         }
     }
     CampaignResult { reports, skipped }

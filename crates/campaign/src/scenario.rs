@@ -7,10 +7,11 @@
 
 use crate::token::{self, TokenError};
 use mdx_core::{Header, RouteChange};
-use mdx_fault::{FaultSet, FaultSite};
+use mdx_fault::{FaultEventKind, FaultSet, FaultSite};
+use mdx_reconfig::ReconfigSpec;
 use mdx_sim::{InjectSpec, SimConfig};
 use mdx_topology::{Coord, Shape, TopologyError, MAX_DIMS};
-use mdx_workloads::{mixed_schedule, OpenLoop, TrafficPattern};
+use mdx_workloads::{fault_storm_schedule, mixed_schedule, OpenLoop, TrafficPattern};
 use serde::{Deserialize, Serialize};
 
 /// The traffic a scenario offers to the network.
@@ -60,6 +61,21 @@ pub enum Workload {
         /// The exact packets to inject.
         specs: Vec<InjectSpec>,
     },
+    /// Open-loop uniform background traffic plus a synchronized unicast
+    /// burst at every cycle the scenario's fault timeline fires
+    /// ([`mdx_workloads::fault_storm_schedule`]) — the live-reconfiguration
+    /// stress recipe. Without a timeline it degenerates to plain uniform
+    /// traffic.
+    FaultStorm {
+        /// Per-PE-per-cycle background injection probability.
+        rate: f64,
+        /// Packet length in flits.
+        packet_flits: usize,
+        /// Background injection window in cycles.
+        window: u64,
+        /// Unicasts per burst (one burst per timeline event cycle).
+        burst: usize,
+    },
 }
 
 impl Workload {
@@ -70,6 +86,7 @@ impl Workload {
             Workload::BroadcastStorm { .. } => "storm",
             Workload::DetourStress { .. } => "detour",
             Workload::Explicit { .. } => "explicit",
+            Workload::FaultStorm { .. } => "fault-storm",
         }
     }
 }
@@ -95,13 +112,18 @@ impl std::fmt::Display for ScenarioError {
 impl std::error::Error for ScenarioError {}
 
 /// One fully-specified simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialization is hand-written rather than derived so that the optional
+/// `reconfig` segment is *omitted* when absent: every token minted before
+/// live reconfiguration existed decodes unchanged, and re-encoding such a
+/// scenario reproduces the original token byte for byte.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Topology extents (one per dimension).
     pub shape: Vec<u16>,
     /// Routing scheme id (see [`mdx_core::registry`]).
     pub scheme: String,
-    /// Faulty components.
+    /// Faulty components (from cycle 0).
     pub faults: Vec<FaultSite>,
     /// Offered traffic.
     pub workload: Workload,
@@ -112,6 +134,50 @@ pub struct Scenario {
     pub buffer_flits: usize,
     /// Engine hard cycle limit ([`SimConfig::max_cycles`]).
     pub max_cycles: u64,
+    /// Live-reconfiguration script: a fault timeline plus recovery policy,
+    /// run through the epoch protocol ([`mdx_reconfig`]). `None` replays as
+    /// a plain static run.
+    pub reconfig: Option<ReconfigSpec>,
+}
+
+impl Serialize for Scenario {
+    fn to_value(&self) -> serde::value::Value {
+        let mut m = vec![
+            ("shape".to_string(), self.shape.to_value()),
+            ("scheme".to_string(), self.scheme.to_value()),
+            ("faults".to_string(), self.faults.to_value()),
+            ("workload".to_string(), self.workload.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+            ("buffer_flits".to_string(), self.buffer_flits.to_value()),
+            ("max_cycles".to_string(), self.max_cycles.to_value()),
+        ];
+        if let Some(rc) = &self.reconfig {
+            m.push(("reconfig".to_string(), rc.to_value()));
+        }
+        serde::value::Value::Map(m)
+    }
+}
+
+impl Deserialize for Scenario {
+    fn from_value(v: &serde::value::Value) -> Result<Scenario, serde::de::Error> {
+        let entries = v
+            .as_map()
+            .ok_or_else(|| serde::de::Error::expected("a Scenario map"))?;
+        let req = |name: &str| serde::de::field(entries, name);
+        Ok(Scenario {
+            shape: Deserialize::from_value(req("shape")?)?,
+            scheme: Deserialize::from_value(req("scheme")?)?,
+            faults: Deserialize::from_value(req("faults")?)?,
+            workload: Deserialize::from_value(req("workload")?)?,
+            seed: Deserialize::from_value(req("seed")?)?,
+            buffer_flits: Deserialize::from_value(req("buffer_flits")?)?,
+            max_cycles: Deserialize::from_value(req("max_cycles")?)?,
+            reconfig: match entries.iter().find(|(k, _)| k == "reconfig") {
+                Some((_, v)) => Some(Deserialize::from_value(v)?),
+                None => None,
+            },
+        })
+    }
 }
 
 impl Scenario {
@@ -126,6 +192,7 @@ impl Scenario {
             seed,
             buffer_flits: SimConfig::default().buffer_flits,
             max_cycles: 50_000,
+            reconfig: None,
         }
     }
 
@@ -135,6 +202,13 @@ impl Scenario {
         self.faults.extend(faults);
         self.faults.sort_unstable();
         self.faults.dedup();
+        self
+    }
+
+    /// Attaches a live-reconfiguration script (builder style).
+    #[must_use]
+    pub fn with_reconfig(mut self, spec: ReconfigSpec) -> Scenario {
+        self.reconfig = Some(spec);
         self
     }
 
@@ -187,8 +261,24 @@ impl Scenario {
     /// for the `naive-broadcast` scheme — it has no S-XB to serialize
     /// requests, which is exactly the property under test — and dropped
     /// entirely for `o1turn`, which speaks no broadcast at all.
+    ///
+    /// When the scenario carries a fault timeline, generated workloads
+    /// avoid sourcing or sinking traffic at components *scheduled* to die:
+    /// an application told its node enters a maintenance window does not
+    /// start transfers there, while traffic merely transiting the doomed
+    /// region still gets wounded and replayed. [`Workload::Explicit`]
+    /// schedules are exempt — they say exactly what to inject.
     pub fn specs(&self, shape: &Shape, faults: &FaultSet) -> Vec<InjectSpec> {
         let n = shape.num_pes();
+        let mut wl_faults = faults.clone();
+        if let Some(rc) = &self.reconfig {
+            for e in rc.timeline.events() {
+                if e.kind == FaultEventKind::Inject {
+                    wl_faults.insert(e.site);
+                }
+            }
+        }
+        let faults = &wl_faults;
         let usable = |pe: usize| pe < n && faults.pe_usable(pe);
         let mut specs = match &self.workload {
             Workload::Mixed {
@@ -248,6 +338,34 @@ impl Scenario {
             Workload::Explicit { specs } => {
                 specs.iter().filter(|s| s.src_pe < n).copied().collect()
             }
+            Workload::FaultStorm {
+                rate,
+                packet_flits,
+                window,
+                burst,
+            } => {
+                let burst_at: Vec<u64> = self
+                    .reconfig
+                    .as_ref()
+                    .map(|rc| {
+                        let mut ats: Vec<u64> = rc.timeline.events().iter().map(|e| e.at).collect();
+                        ats.dedup();
+                        ats
+                    })
+                    .unwrap_or_default();
+                fault_storm_schedule(
+                    shape,
+                    OpenLoop {
+                        rate: *rate,
+                        packet_flits: *packet_flits,
+                        window: *window,
+                        seed: self.seed,
+                    },
+                    &burst_at,
+                    *burst,
+                    faults,
+                )
+            }
         };
         match self.scheme.as_str() {
             "naive-broadcast" => {
@@ -304,7 +422,11 @@ impl std::fmt::Display for Scenario {
             self.scheme,
             self.workload.kind(),
             self.seed
-        )
+        )?;
+        if let Some(rc) = &self.reconfig {
+            write!(f, " timeline={}ev/{}", rc.timeline.len(), rc.policy)?;
+        }
+        Ok(())
     }
 }
 

@@ -1,0 +1,104 @@
+//! Acceptance sweep for live reconfiguration: every single-fault timeline
+//! on a 4×4×4 machine, activated mid-run under the `reinject` policy, must
+//! complete with no transition-safety violations and no lost packets, and
+//! each row's epoch evidence must replay byte-identically from its token.
+
+use mdx_campaign::{enumerate_scenarios, run_campaign, run_scenario, CampaignConfig, WorkloadKind};
+use mdx_reconfig::RecoveryPolicy;
+
+fn acceptance_config() -> CampaignConfig {
+    CampaignConfig {
+        shape: vec![4, 4, 4],
+        schemes: vec!["sr2201".to_string()],
+        max_faults: 1,
+        seeds: 1,
+        workloads: vec![WorkloadKind::FaultStorm],
+        timeline_at: Some(40),
+        timeline_policy: RecoveryPolicy::Reinject,
+        max_cycles: 50_000,
+        ..CampaignConfig::default()
+    }
+}
+
+#[test]
+fn single_fault_timelines_on_4x4x4_recover_without_loss() {
+    let cfg = acceptance_config();
+    let scenarios = enumerate_scenarios(&cfg).expect("grid enumerates");
+    // Fault-free + 64 routers + 64 PEs + 3×16 crossbars = 177 cells.
+    assert!(
+        scenarios.len() >= 100,
+        "expected at least 100 timeline scenarios, got {}",
+        scenarios.len()
+    );
+    assert!(
+        scenarios.iter().all(|s| s.reconfig.is_some()),
+        "every cell of a timeline campaign carries a reconfig spec"
+    );
+
+    let result = run_campaign(scenarios);
+    assert!(
+        result.skipped.is_empty(),
+        "no single-fault timeline should be unconfigurable under sr2201: {:?}",
+        result
+            .skipped
+            .iter()
+            .map(|(s, why)| format!("{s}: {why}"))
+            .collect::<Vec<_>>()
+    );
+
+    let mut live_rows = 0usize;
+    for row in &result.reports {
+        assert_eq!(
+            row.outcome, "completed",
+            "timeline row must complete: {} -> {}",
+            row.token, row.outcome
+        );
+        let report = row
+            .reconfig
+            .as_ref()
+            .expect("timeline rows carry a reconfig report");
+        assert!(
+            report.transition_safe(),
+            "mixed-epoch wait cycle in {}: {:?}",
+            row.token,
+            report.transition
+        );
+        assert_eq!(
+            report.lost, 0,
+            "reinject must lose no packets in {} (victims={}, recovered={})",
+            row.token, report.victims_total, report.recovered
+        );
+        assert_eq!(
+            report.victims_total, report.recovered,
+            "every wounded packet must be recovered in {}",
+            row.token
+        );
+        if !report.epochs.is_empty() {
+            live_rows += 1;
+        }
+    }
+    assert!(
+        live_rows > 100,
+        "the sweep should exercise a live epoch on (almost) every faulted cell, got {live_rows}"
+    );
+}
+
+#[test]
+fn timeline_rows_replay_byte_identically() {
+    let cfg = acceptance_config();
+    let scenarios = enumerate_scenarios(&cfg).expect("grid enumerates");
+    // A spread of cells: fault-free, and a stride through the fault grid.
+    for s in scenarios.iter().step_by(41) {
+        let token = s.token();
+        let a = run_scenario(s).expect("row runs");
+        let b = run_scenario(&mdx_campaign::Scenario::from_token(&token).unwrap())
+            .expect("row replays from token");
+        assert_eq!(a.digest, b.digest, "engine result must replay: {token}");
+        let ra = serde_json::to_string(&a.reconfig).unwrap();
+        let rb = serde_json::to_string(&b.reconfig).unwrap();
+        assert_eq!(
+            ra, rb,
+            "reconfig report must replay byte-identically: {token}"
+        );
+    }
+}

@@ -48,6 +48,10 @@ pub enum DropReason {
     /// The scheme was asked to route from a switch it can never visit
     /// (internal error surfaced for diagnosis rather than panicking mid-sim).
     ProtocolViolation,
+    /// The packet was in flight when a component on its path failed
+    /// mid-run, and the active recovery policy chose not to replay it
+    /// (or replay was impossible, e.g. the source PE died with it).
+    FaultVictim,
 }
 
 impl std::fmt::Display for DropReason {
@@ -56,6 +60,7 @@ impl std::fmt::Display for DropReason {
             DropReason::DestinationFaulty => write!(f, "destination out of service"),
             DropReason::NoUsablePath => write!(f, "no usable path"),
             DropReason::ProtocolViolation => write!(f, "routing protocol violation"),
+            DropReason::FaultVictim => write!(f, "in flight at fault activation"),
         }
     }
 }

@@ -50,8 +50,13 @@
 
 pub mod claims;
 pub mod runtime;
+pub mod transition;
 pub mod waitgraph;
 
 pub use claims::{broadcast_claims, unicast_claims, ClaimError, ClaimTree};
 pub use runtime::{analyze_waits, ChainReport, WaitFor};
+pub use transition::{
+    find_cycles, EpochWait, TransitionChecker, TransitionCycle, TransitionReport,
+    TransitionViolation,
+};
 pub use waitgraph::{analyze_trees, verify_scheme, CdgReport, SchemeVerdict};

@@ -29,11 +29,13 @@ pub mod connectivity;
 pub mod diagnosis;
 pub mod registers;
 pub mod sampling;
+pub mod timeline;
 
 pub use connectivity::{reachable_pairs, ConnectivityReport};
 pub use diagnosis::{diagnose, diagnose_all_pairs, Diagnosis};
 pub use registers::FaultRegisters;
 pub use sampling::sample_fault_sets;
+pub use timeline::{FaultEvent, FaultEventKind, FaultTimeline, TimelineError};
 
 use mdx_topology::{MdCrossbar, Node, XbarRef};
 use serde::{Deserialize, Serialize};
@@ -142,12 +144,24 @@ impl FaultSet {
         !self.disables(Node::Pe(p))
     }
 
-    /// The faulty crossbar, if the set is exactly one crossbar fault.
+    /// The faulty crossbar, if the set is *exactly* one crossbar fault.
+    ///
+    /// The precedence on multi-fault sets is explicit, not an accident of
+    /// insertion order: any second fault — even a router on the same line as
+    /// the crossbar — makes this return `None`, because the paper's
+    /// single-fault detour facility is only specified for one faulty point.
+    /// Callers that handle mixed sets (e.g. `RoutingConfig::for_faults`)
+    /// filter [`FaultSet::sites`] themselves; `sites` iterates in
+    /// `FaultSite` order (crossbars first, then routers, then PEs), so the
+    /// result never depends on the order faults were inserted.
     pub fn single_xbar(&self) -> Option<XbarRef> {
-        match self.sites.iter().next() {
-            Some(&FaultSite::Xbar(x)) if self.sites.len() == 1 => Some(x),
-            _ => None,
+        if self.sites.len() != 1 {
+            return None;
         }
+        self.sites.iter().find_map(|s| match s {
+            FaultSite::Xbar(x) => Some(*x),
+            _ => None,
+        })
     }
 }
 
@@ -219,6 +233,45 @@ mod tests {
         let mut two = FaultSet::single(FaultSite::Xbar(xb));
         two.insert(FaultSite::Router(0));
         assert_eq!(two.single_xbar(), None);
+    }
+
+    #[test]
+    fn single_xbar_is_insertion_order_independent() {
+        // A router fault on the crossbar's own line must not shadow (or be
+        // shadowed by) the crossbar fault, regardless of which was inserted
+        // first: any multi-fault set is outside the single-fault facility.
+        let xb = XbarRef { dim: 0, line: 0 };
+        let mut xbar_first = FaultSet::single(FaultSite::Xbar(xb));
+        xbar_first.insert(FaultSite::Router(0)); // router 0 sits on X row 0
+        let mut router_first = FaultSet::single(FaultSite::Router(0));
+        router_first.insert(FaultSite::Xbar(xb));
+        assert_eq!(xbar_first, router_first);
+        assert_eq!(xbar_first.single_xbar(), None);
+        assert_eq!(router_first.single_xbar(), None);
+        // Removing the router fault restores single-fault semantics.
+        xbar_first.remove(FaultSite::Router(0));
+        assert_eq!(xbar_first.single_xbar(), Some(xb));
+    }
+
+    #[test]
+    fn sites_iterate_xbars_before_routers_before_pes() {
+        // Documented iteration order for callers that filter mixed sets.
+        let f: FaultSet = [
+            FaultSite::Pe(0),
+            FaultSite::Router(9),
+            FaultSite::Xbar(XbarRef { dim: 1, line: 3 }),
+        ]
+        .into_iter()
+        .collect();
+        let kinds: Vec<_> = f
+            .sites()
+            .map(|s| match s {
+                FaultSite::Xbar(_) => 0,
+                FaultSite::Router(_) => 1,
+                FaultSite::Pe(_) => 2,
+            })
+            .collect();
+        assert_eq!(kinds, vec![0, 1, 2]);
     }
 
     #[test]

@@ -229,6 +229,56 @@ mod tests {
     }
 
     #[test]
+    fn router_and_its_own_crossbar_both_faulty() {
+        // Overlapping faults: router R2 and the X-XB of its own row. The
+        // registers have no precedence rule — each fault independently ORs
+        // its bits in, so both remain visible: every row-0 router (including
+        // the dead one) sees the X-XB fault, and the column crossbars still
+        // carry R2's position in their masks. Only the faulty X-XB itself
+        // would report R2 to no one (it is dead), but its register content
+        // is derived all the same — the service processor reads it, not the
+        // crossbar.
+        let net = fig2();
+        let shape = net.shape().clone();
+        let pe2 = Coord::new(&[2, 0]);
+        let r = shape.index_of(pe2);
+        let x0 = XbarRef { dim: 0, line: 0 };
+        let mut faults = FaultSet::single(FaultSite::Router(r));
+        faults.insert(FaultSite::Xbar(x0));
+        let regs = FaultRegisters::derive(&net, &faults);
+        // The row crossbar fault is visible to every router on row 0.
+        for i in 0..12 {
+            let on_row = shape.coord_of(i).get(1) == 0;
+            assert_eq!(regs.router_sees_xbar_fault(i, 0), on_row, "router {i}");
+        }
+        // The router fault is visible to both of its crossbars, including
+        // the one that is itself faulty.
+        assert!(regs.xbar_sees_router_fault(x0, 2));
+        let y2 = XbarRef { dim: 1, line: 2 };
+        assert!(regs.xbar_sees_router_fault(y2, 0));
+        // And the combined set is no longer a single-fault configuration.
+        assert_eq!(faults.single_xbar(), None);
+    }
+
+    #[test]
+    fn derive_is_insertion_order_independent() {
+        // `derive` only ORs bits, and `FaultSet` stores sites in a
+        // `BTreeSet`, so any insertion order yields identical registers.
+        let net = fig2();
+        let sites = [
+            FaultSite::Router(2),
+            FaultSite::Xbar(XbarRef { dim: 0, line: 0 }),
+            FaultSite::Pe(7),
+        ];
+        let forward: FaultSet = sites.into_iter().collect();
+        let reverse: FaultSet = sites.into_iter().rev().collect();
+        assert_eq!(
+            FaultRegisters::derive(&net, &forward),
+            FaultRegisters::derive(&net, &reverse)
+        );
+    }
+
+    #[test]
     fn register_cost_is_small() {
         // Hardware-cost claim: a handful of bits per switch, far less than a
         // redundant network.

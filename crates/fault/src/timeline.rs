@@ -1,0 +1,301 @@
+//! Fault events on a timeline.
+//!
+//! The paper's detour facility assumes the fault set is known before any
+//! traffic moves: *"the information of the faulty point is set in advance"*
+//! by the service processor. A [`FaultTimeline`] relaxes that single
+//! assumption: it is an ordered script of inject/repair events that a
+//! reconfiguration controller (crate `mdx-reconfig`) applies to a running
+//! simulation, triggering an SR2201-style service-processor epoch (quiesce,
+//! drain, re-derive [`crate::FaultRegisters`], resume) at each event.
+//!
+//! The timeline itself is pure data — it knows nothing about the engine.
+//! [`FaultTimeline::faults_at`] answers "what is broken at cycle `t`?",
+//! which is all the controller needs to re-derive registers and re-validate
+//! connectivity at every epoch boundary.
+
+use crate::{FaultSet, FaultSite};
+use serde::{Deserialize, Serialize};
+
+/// What a [`FaultEvent`] does to the fault set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FaultEventKind {
+    /// The component fails at the event cycle.
+    Inject,
+    /// The component is repaired (e.g. a board swap) at the event cycle.
+    Repair,
+}
+
+impl std::fmt::Display for FaultEventKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultEventKind::Inject => write!(f, "inject"),
+            FaultEventKind::Repair => write!(f, "repair"),
+        }
+    }
+}
+
+/// One scheduled change to the fault set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Cycle at which the event takes effect.
+    pub at: u64,
+    /// Inject or repair.
+    pub kind: FaultEventKind,
+    /// The component affected.
+    pub site: FaultSite,
+}
+
+impl std::fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {} @ {}", self.kind, self.site.node(), self.at)
+    }
+}
+
+/// Why a timeline is not well-formed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimelineError {
+    /// An inject targets a site already faulty at that point, or a repair
+    /// targets a site that is not faulty.
+    RedundantEvent(FaultEvent),
+    /// Two events for the same site share a cycle, so their order (and hence
+    /// the resulting fault set) would be ambiguous.
+    SameCycleConflict(FaultSite, u64),
+}
+
+impl std::fmt::Display for TimelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TimelineError::RedundantEvent(e) => write!(f, "redundant event: {e}"),
+            TimelineError::SameCycleConflict(site, at) => {
+                write!(f, "conflicting events for {} at cycle {at}", site.node())
+            }
+        }
+    }
+}
+
+impl std::error::Error for TimelineError {}
+
+/// An ordered script of fault events.
+///
+/// Events are kept sorted by `(at, kind, site)`; [`FaultTimeline::validate`]
+/// rejects scripts whose replay would be ambiguous or redundant (repairing a
+/// healthy component, double-injecting the same fault).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultTimeline {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultTimeline {
+    /// The empty timeline (equivalent to a static fault-free run).
+    pub fn new() -> Self {
+        FaultTimeline::default()
+    }
+
+    /// Builds a timeline from events, sorting them into replay order.
+    pub fn from_events(mut events: Vec<FaultEvent>) -> Self {
+        events.sort();
+        FaultTimeline { events }
+    }
+
+    /// Schedules a fault injection at `at` (builder style).
+    #[must_use]
+    pub fn inject(mut self, site: FaultSite, at: u64) -> Self {
+        self.push(FaultEvent {
+            at,
+            kind: FaultEventKind::Inject,
+            site,
+        });
+        self
+    }
+
+    /// Schedules a repair at `at` (builder style).
+    #[must_use]
+    pub fn repair(mut self, site: FaultSite, at: u64) -> Self {
+        self.push(FaultEvent {
+            at,
+            kind: FaultEventKind::Repair,
+            site,
+        });
+        self
+    }
+
+    /// Inserts one event, keeping replay order.
+    pub fn push(&mut self, e: FaultEvent) {
+        let pos = self.events.partition_point(|x| x <= &e);
+        self.events.insert(pos, e);
+    }
+
+    /// Whether there are no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The events in replay order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Checks the script replays unambiguously starting from `initial`.
+    pub fn validate(&self, initial: &FaultSet) -> Result<(), TimelineError> {
+        let mut live = initial.clone();
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                let prev = self.events[i - 1];
+                if prev.at == e.at && prev.site == e.site {
+                    return Err(TimelineError::SameCycleConflict(e.site, e.at));
+                }
+            }
+            let ok = match e.kind {
+                FaultEventKind::Inject => live.insert(e.site),
+                FaultEventKind::Repair => live.remove(e.site),
+            };
+            if !ok {
+                return Err(TimelineError::RedundantEvent(*e));
+            }
+        }
+        Ok(())
+    }
+
+    /// The fault set in force at cycle `t` (events at exactly `t` have
+    /// already taken effect), starting from `initial`.
+    pub fn faults_at(&self, initial: &FaultSet, t: u64) -> FaultSet {
+        let mut live = initial.clone();
+        for e in self.events.iter().take_while(|e| e.at <= t) {
+            match e.kind {
+                FaultEventKind::Inject => live.insert(e.site),
+                FaultEventKind::Repair => live.remove(e.site),
+            };
+        }
+        live
+    }
+
+    /// The fault set after the whole script has replayed.
+    pub fn final_faults(&self, initial: &FaultSet) -> FaultSet {
+        self.faults_at(initial, u64::MAX)
+    }
+
+    /// Cycle of the first event, if any.
+    pub fn first_event_at(&self) -> Option<u64> {
+        self.events.first().map(|e| e.at)
+    }
+
+    /// Cycle of the last event, if any.
+    pub fn last_event_at(&self) -> Option<u64> {
+        self.events.last().map(|e| e.at)
+    }
+}
+
+impl std::fmt::Display for FaultTimeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.events.is_empty() {
+            return write!(f, "(no events)");
+        }
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdx_topology::XbarRef;
+
+    #[test]
+    fn builder_keeps_events_sorted() {
+        let tl = FaultTimeline::new()
+            .inject(FaultSite::Router(3), 500)
+            .inject(FaultSite::Pe(1), 100)
+            .repair(FaultSite::Pe(1), 900);
+        let ats: Vec<u64> = tl.events().iter().map(|e| e.at).collect();
+        assert_eq!(ats, vec![100, 500, 900]);
+        assert_eq!(tl.len(), 3);
+        assert_eq!(tl.first_event_at(), Some(100));
+        assert_eq!(tl.last_event_at(), Some(900));
+    }
+
+    #[test]
+    fn faults_at_replays_prefix() {
+        let xb = FaultSite::Xbar(XbarRef { dim: 0, line: 1 });
+        let tl = FaultTimeline::new().inject(xb, 200).repair(xb, 800);
+        let initial = FaultSet::none();
+        assert!(tl.faults_at(&initial, 199).is_empty());
+        assert!(tl.faults_at(&initial, 200).contains(xb));
+        assert!(tl.faults_at(&initial, 799).contains(xb));
+        assert!(tl.faults_at(&initial, 800).is_empty());
+        assert!(tl.final_faults(&initial).is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_redundant_repair() {
+        let tl = FaultTimeline::new().repair(FaultSite::Router(0), 10);
+        let err = tl.validate(&FaultSet::none()).unwrap_err();
+        assert!(matches!(err, TimelineError::RedundantEvent(_)));
+    }
+
+    #[test]
+    fn validate_rejects_double_inject() {
+        let tl = FaultTimeline::new()
+            .inject(FaultSite::Pe(2), 10)
+            .inject(FaultSite::Pe(2), 20);
+        let err = tl.validate(&FaultSet::none()).unwrap_err();
+        assert!(matches!(err, TimelineError::RedundantEvent(_)));
+    }
+
+    #[test]
+    fn validate_rejects_same_cycle_conflict() {
+        let site = FaultSite::Router(1);
+        let tl = FaultTimeline::from_events(vec![
+            FaultEvent {
+                at: 50,
+                kind: FaultEventKind::Inject,
+                site,
+            },
+            FaultEvent {
+                at: 50,
+                kind: FaultEventKind::Repair,
+                site,
+            },
+        ]);
+        let err = tl.validate(&FaultSet::none()).unwrap_err();
+        assert_eq!(err, TimelineError::SameCycleConflict(site, 50));
+    }
+
+    #[test]
+    fn validate_accepts_inject_then_repair() {
+        let site = FaultSite::Router(7);
+        let tl = FaultTimeline::new()
+            .inject(site, 100)
+            .repair(site, 400)
+            .inject(site, 700);
+        assert_eq!(tl.validate(&FaultSet::none()), Ok(()));
+        assert!(tl.final_faults(&FaultSet::none()).contains(site));
+    }
+
+    #[test]
+    fn initial_faults_participate() {
+        let site = FaultSite::Pe(3);
+        let tl = FaultTimeline::new().repair(site, 10);
+        let initial = FaultSet::single(site);
+        assert_eq!(tl.validate(&initial), Ok(()));
+        assert!(tl.faults_at(&initial, 9).contains(site));
+        assert!(!tl.faults_at(&initial, 10).contains(site));
+    }
+
+    #[test]
+    fn token_roundtrip_via_serde() {
+        let tl = FaultTimeline::new().inject(FaultSite::Xbar(XbarRef { dim: 1, line: 2 }), 300);
+        let json = serde_json::to_string(&tl).unwrap();
+        let back: FaultTimeline = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, tl);
+    }
+}

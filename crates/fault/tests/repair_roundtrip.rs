@@ -1,0 +1,98 @@
+//! Property: repairing a fault fully clears every neighbor bit it set.
+//!
+//! The reconfiguration epoch protocol re-derives [`FaultRegisters`] from the
+//! live fault set at each event; a repair event must leave the registers
+//! exactly as if the fault had never happened, or stale bits would keep
+//! detours active forever. The property is `derive(net, faults)` after
+//! `insert` + `remove` of arbitrary sites round-trips to
+//! `FaultRegisters::fault_free(net)`.
+
+use mdx_fault::{FaultRegisters, FaultSet, FaultSite};
+use mdx_topology::{MdCrossbar, Shape, XbarRef};
+use proptest::prelude::*;
+
+/// Maps an arbitrary u64 pick onto a valid single fault of `net`.
+fn pick_site(net: &MdCrossbar, pick: u64) -> FaultSite {
+    let all: Vec<FaultSite> = mdx_fault::enumerate_single_faults(net);
+    all[(pick as usize) % all.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Insert every picked site, then remove them all (in a rotated order):
+    /// the derived registers equal the fault-free registers bit for bit.
+    #[test]
+    fn insert_then_remove_roundtrips_to_fault_free(
+        picks in proptest::collection::vec(any::<u64>(), 1..=8),
+        rotate in any::<usize>(),
+        three_d in any::<bool>(),
+    ) {
+        let shape = if three_d {
+            Shape::new(&[3, 2, 2]).unwrap()
+        } else {
+            Shape::fig2()
+        };
+        let net = MdCrossbar::build(shape);
+        let mut faults = FaultSet::none();
+        let sites: Vec<FaultSite> = picks.iter().map(|&p| pick_site(&net, p)).collect();
+        for &s in &sites {
+            faults.insert(s);
+        }
+        // Removal order is independent of insertion order.
+        let mut removal = sites.clone();
+        removal.sort();
+        removal.dedup();
+        let k = rotate % removal.len().max(1);
+        removal.rotate_left(k);
+        for &s in &removal {
+            prop_assert!(faults.remove(s), "site {s} missing on removal");
+        }
+        prop_assert!(faults.is_empty());
+        prop_assert_eq!(
+            FaultRegisters::derive(&net, &faults),
+            FaultRegisters::fault_free(&net)
+        );
+    }
+
+    /// Partial repair: remove one site from a multi-fault set; the result
+    /// equals deriving the reduced set from scratch (no residue from the
+    /// repaired site).
+    #[test]
+    fn partial_repair_matches_fresh_derivation(
+        picks in proptest::collection::vec(any::<u64>(), 2..=6),
+        victim in any::<usize>(),
+    ) {
+        let net = MdCrossbar::build(Shape::fig2());
+        let mut faults = FaultSet::none();
+        for &p in &picks {
+            faults.insert(pick_site(&net, p));
+        }
+        let sites: Vec<FaultSite> = faults.sites().collect();
+        let repaired = sites[victim % sites.len()];
+        faults.remove(repaired);
+        let fresh: FaultSet = sites.into_iter().filter(|&s| s != repaired).collect();
+        prop_assert_eq!(
+            FaultRegisters::derive(&net, &faults),
+            FaultRegisters::derive(&net, &fresh)
+        );
+    }
+}
+
+#[test]
+fn repair_clears_every_register_kind() {
+    // One deterministic case per fault kind, for readable failure output.
+    let net = MdCrossbar::build(Shape::fig2());
+    let clean = FaultRegisters::fault_free(&net);
+    for site in [
+        FaultSite::Xbar(XbarRef { dim: 1, line: 2 }),
+        FaultSite::Router(5),
+        FaultSite::Pe(5),
+    ] {
+        let mut faults = FaultSet::none();
+        faults.insert(site);
+        assert!(FaultRegisters::derive(&net, &faults).any_fault_visible());
+        faults.remove(site);
+        assert_eq!(FaultRegisters::derive(&net, &faults), clean, "{site}");
+    }
+}

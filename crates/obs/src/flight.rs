@@ -20,7 +20,7 @@
 //! the run.
 
 use mdx_core::RouteChange;
-use mdx_sim::{DeadlockInfo, InjectSpec, PacketId, SimObserver, WaitSnapshot};
+use mdx_sim::{DeadlockInfo, EpochPhase, InjectSpec, PacketId, SimObserver, WaitSnapshot};
 use mdx_topology::{ChannelId, NetworkGraph, Node};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -87,15 +87,33 @@ pub enum FlightEventKind {
     },
     /// The packet reached a terminal state.
     Finished,
+    /// A mid-run fault event activated, wounding `victims` in-flight
+    /// packets (recorded against the sentinel packet).
+    FaultActivated {
+        /// Number of packets wounded by the event.
+        victims: u32,
+    },
+    /// The reconfiguration epoch protocol advanced a phase (recorded
+    /// against the sentinel packet).
+    Epoch {
+        /// The epoch number the protocol is transitioning.
+        epoch: u32,
+        /// The phase reached.
+        phase: EpochPhase,
+    },
 }
+
+/// Sentinel packet id for ring entries that concern the whole network
+/// (fault activations, epoch phases) rather than one packet.
+pub const FLIGHT_NO_PACKET: PacketId = PacketId(u32::MAX);
 
 /// One entry of the flight-recorder ring.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FlightEvent {
     /// Simulation cycle of the event.
     pub now: u64,
-    /// The packet concerned ([`PacketId::MAX`-like sentinel never occurs —
-    /// every recorded hook names a packet]).
+    /// The packet concerned, or [`FLIGHT_NO_PACKET`] for network-wide
+    /// entries (fault activations, epoch phases).
     pub packet: PacketId,
     /// What happened.
     pub kind: FlightEventKind,
@@ -346,6 +364,24 @@ impl SimObserver for FlightRecorder {
 
     fn on_deadlock(&mut self, info: &DeadlockInfo) {
         self.state.borrow_mut().deadlock = Some(info.clone());
+    }
+
+    fn on_fault_activated(&mut self, now: u64, victims: &[PacketId]) {
+        self.state.borrow_mut().push(
+            now,
+            FLIGHT_NO_PACKET,
+            FlightEventKind::FaultActivated {
+                victims: victims.len() as u32,
+            },
+        );
+    }
+
+    fn on_epoch_phase(&mut self, epoch: u32, phase: EpochPhase, now: u64) {
+        self.state.borrow_mut().push(
+            now,
+            FLIGHT_NO_PACKET,
+            FlightEventKind::Epoch { epoch, phase },
+        );
     }
 }
 

@@ -74,6 +74,7 @@ mod trace;
 
 pub use flight::{
     FlightEvent, FlightEventKind, FlightHandle, FlightRecorder, DEFAULT_FLIGHT_CAPACITY,
+    FLIGHT_NO_PACKET,
 };
 pub use metrics::{
     ChannelMetrics, GatherSample, MetricsHandle, MetricsObserver, MetricsReport, XbarMetrics,
@@ -220,6 +221,18 @@ impl SimObserver for FanoutObserver {
     fn on_deadlock(&mut self, info: &DeadlockInfo) {
         for p in &mut self.parts {
             p.on_deadlock(info);
+        }
+    }
+
+    fn on_fault_activated(&mut self, now: u64, victims: &[PacketId]) {
+        for p in &mut self.parts {
+            p.on_fault_activated(now, victims);
+        }
+    }
+
+    fn on_epoch_phase(&mut self, epoch: u32, phase: mdx_sim::EpochPhase, now: u64) {
+        for p in &mut self.parts {
+            p.on_epoch_phase(epoch, phase, now);
         }
     }
 }

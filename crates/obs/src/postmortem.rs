@@ -437,6 +437,8 @@ mod tests {
             channel: ChannelId(ch),
             vc: 0,
             since,
+            epoch: 0,
+            holder_epoch: holder.map(|_| 0),
         }
     }
 

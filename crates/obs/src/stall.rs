@@ -224,6 +224,8 @@ mod tests {
             channel: ChannelId(0),
             vc: 0,
             since,
+            epoch: 0,
+            holder_epoch: holder.map(|_| 0),
         }
     }
 

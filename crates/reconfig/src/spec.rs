@@ -1,0 +1,137 @@
+//! What a reconfiguration run is parameterized by: the fault timeline,
+//! the recovery policy, and the modeled service-processor costs.
+
+use mdx_fault::FaultTimeline;
+use serde::{Deserialize, Serialize};
+
+/// What happens to packets wounded by a mid-run fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecoveryPolicy {
+    /// Evacuate victims and notify the source; nothing is replayed. The
+    /// cheapest policy, and the only one that can lose traffic the new
+    /// configuration could still deliver.
+    Drop,
+    /// Evacuate victims, then replay each from its source PE after the
+    /// epoch completes (bounded by [`ReconfigSpec::max_reinjects`] per
+    /// packet across the whole run).
+    Reinject,
+    /// Freeze wounded packets in place where the flits have not yet
+    /// entered the dead region, re-decide them under the new routing
+    /// function at resume, and fall back to source reinjection for the
+    /// rest.
+    Reroute,
+}
+
+impl RecoveryPolicy {
+    /// Stable CLI / report name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RecoveryPolicy::Drop => "drop",
+            RecoveryPolicy::Reinject => "reinject",
+            RecoveryPolicy::Reroute => "reroute",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<RecoveryPolicy> {
+        match s {
+            "drop" => Some(RecoveryPolicy::Drop),
+            "reinject" => Some(RecoveryPolicy::Reinject),
+            "reroute" => Some(RecoveryPolicy::Reroute),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for RecoveryPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Full specification of a live-reconfiguration run: *when* components
+/// fail or return ([`FaultTimeline`]), *how* victims recover
+/// ([`RecoveryPolicy`]), and the modeled service-processor timings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReconfigSpec {
+    /// The fault events, by activation cycle.
+    pub timeline: FaultTimeline,
+    /// Victim handling.
+    pub policy: RecoveryPolicy,
+    /// Cycles between a fault activating and the service processor
+    /// starting the epoch protocol (traffic keeps running blind).
+    pub detect_latency: u64,
+    /// Idle cycles the reprogram step costs (register rewrites while the
+    /// machine sits drained).
+    pub reprogram_cost: u64,
+    /// How long after resume the wait graph is sampled for mixed-epoch
+    /// cycles, in cycles.
+    pub watch_window: u64,
+    /// Sampling stride inside the watch window, in cycles.
+    pub sample_every: u64,
+    /// Per-packet cap on source reinjections across the whole run (a
+    /// packet re-wounded by a later event counts against the same budget).
+    pub max_reinjects: u32,
+}
+
+impl ReconfigSpec {
+    /// A spec with the default policy (reinject) and timings.
+    pub fn new(timeline: FaultTimeline) -> ReconfigSpec {
+        ReconfigSpec {
+            timeline,
+            ..ReconfigSpec::default()
+        }
+    }
+
+    /// Sets the recovery policy (builder style).
+    #[must_use]
+    pub fn with_policy(mut self, policy: RecoveryPolicy) -> ReconfigSpec {
+        self.policy = policy;
+        self
+    }
+}
+
+impl Default for ReconfigSpec {
+    fn default() -> ReconfigSpec {
+        ReconfigSpec {
+            timeline: FaultTimeline::new(),
+            policy: RecoveryPolicy::Reinject,
+            detect_latency: 8,
+            reprogram_cost: 32,
+            watch_window: 256,
+            sample_every: 4,
+            max_reinjects: 3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdx_fault::FaultSite;
+
+    #[test]
+    fn policy_names_roundtrip() {
+        for p in [
+            RecoveryPolicy::Drop,
+            RecoveryPolicy::Reinject,
+            RecoveryPolicy::Reroute,
+        ] {
+            assert_eq!(RecoveryPolicy::parse(p.name()), Some(p));
+        }
+        assert_eq!(RecoveryPolicy::parse("retry"), None);
+    }
+
+    #[test]
+    fn spec_serde_roundtrip() {
+        let spec = ReconfigSpec::new(
+            FaultTimeline::new()
+                .inject(FaultSite::Router(5), 100)
+                .repair(FaultSite::Router(5), 900),
+        )
+        .with_policy(RecoveryPolicy::Reroute);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ReconfigSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+}

@@ -23,9 +23,52 @@ use crate::result::{
     SimResult, SimStats, WaitEdge,
 };
 use mdx_core::{Action, DropReason, Header, Scheme};
+use mdx_fault::FaultSet;
 use mdx_topology::{ChannelId, NetworkGraph, Node, NodeId};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
+
+/// Cycles without any flit movement before a drain phase (injection closed,
+/// [`Simulator::run_phase`] with `drain = true`) is declared settled. Small
+/// and fixed: with injection gated, the engine's event gaps (grant →
+/// first flit, gather → emission) span at most a few cycles, so a quiet
+/// window this long means the network has reached a fixed point.
+const DRAIN_QUIET: u64 = 16;
+
+/// How a phase of [`Simulator::run_phase`] ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PhaseEnd {
+    /// Every scheduled packet reached a terminal state.
+    Completed,
+    /// The hard cycle limit was hit.
+    CycleLimit,
+    /// The watchdog extracted a cyclic wait.
+    Deadlock(DeadlockInfo),
+    /// The watchdog fired but no cycle was found.
+    Stalled,
+    /// The requested `stop_at` cycle was reached (work remains).
+    ReachedCycle,
+    /// Drain mode only: in-flight traffic settled — nothing moves and no
+    /// wait cycle exists (remaining activity, if any, is paused victims
+    /// and the traffic backed up behind them).
+    Drained,
+}
+
+/// What the engine does to packets wounded by a mid-run fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VictimMode {
+    /// Evacuate: flush the packet's flits everywhere, settle it as
+    /// [`DropReason::FaultVictim`]. The recovery policy decides afterwards
+    /// whether the settled packet is re-injected.
+    #[default]
+    Abort,
+    /// Pause in place: a wounded visit that has not streamed any flit is
+    /// frozen at its switch (holding its input buffer, releasing its output
+    /// ports) to be re-decided under the post-reprogram routing function.
+    /// Visits already streaming through the dead component fall back to
+    /// [`VictimMode::Abort`].
+    Pause,
+}
 
 /// Mixes (seed, channel, packet) into an arbitration priority — a cheap
 /// splitmix-style hash, deterministic but uncorrelated across ports.
@@ -121,6 +164,8 @@ enum VKind {
 #[derive(Debug, Clone)]
 struct Visit {
     packet: u32,
+    /// The switch this visit sits at.
+    at: NodeId,
     /// Port (channel lane) whose buffer feeds this visit (`None` for
     /// injection and S-XB emission, which read from local memory).
     in_port: Option<u32>,
@@ -131,6 +176,12 @@ struct Visit {
     total: usize,
     kind: VKind,
     complete: bool,
+    /// Reconfiguration epoch of the routing decision behind this visit.
+    epoch: u32,
+    /// Frozen by a mid-run fault, awaiting [`Simulator::redecide_paused`].
+    /// A paused visit holds its input buffer but requests no ports and
+    /// never streams or completes.
+    paused: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -192,6 +243,24 @@ pub struct Simulator {
     /// Invariant violations recorded instead of panicking (see
     /// [`EngineDiagnostic`]); copied into [`SimResult::diagnostics`].
     diagnostics: Vec<EngineDiagnostic>,
+
+    // --- live-reconfiguration state (inert on a static run) ---
+    /// Injection gate; closed during an epoch's quiesce/drain/reprogram.
+    injection_open: bool,
+    /// Per graph node: currently disabled by an activated fault.
+    dead_nodes: Vec<bool>,
+    /// Per physical channel: an endpoint is a dead node.
+    dead_channels: Vec<bool>,
+    /// Fast path: skip all dead checks while no fault is active.
+    any_dead: bool,
+    /// Bumped by [`Simulator::begin_epoch`] at each reprogram; stamps every
+    /// routing decision (visit) made under the current routing function.
+    current_epoch: u32,
+    victim_mode: VictimMode,
+    /// Packets wounded since the last [`Simulator::take_new_victims`] —
+    /// activation-time victims plus drain-time victims (packets whose next
+    /// hop entered the dead region after activation).
+    victim_log: Vec<PacketId>,
 }
 
 impl Simulator {
@@ -229,6 +298,13 @@ impl Simulator {
             finished_packets: 0,
             observer: None,
             diagnostics: Vec::new(),
+            injection_open: true,
+            dead_nodes: Vec::new(),
+            dead_channels: Vec::new(),
+            any_dead: false,
+            current_epoch: 0,
+            victim_mode: VictimMode::default(),
+            victim_log: Vec::new(),
         }
     }
 
@@ -356,39 +432,10 @@ impl Simulator {
         }
     }
 
-    /// Creates a visit by asking the scheme for a decision.
-    fn create_visit(
-        &mut self,
-        packet: u32,
-        at: NodeId,
-        came_from: Option<NodeId>,
-        in_port: Option<u32>,
-        up_run: Option<(u32, u32)>,
-        header: Header,
-    ) {
+    /// Converts a scheme decision into a visit kind, validating branches.
+    fn action_to_kind(&mut self, at: NodeId, action: Action) -> VKind {
         let at_node = self.graph.node(at);
-        let from_node = came_from.map(|id| self.graph.node(id));
-        if self.cfg.record_routes {
-            self.packets[packet as usize].route.push((at.0, self.now));
-        }
-        let action = self.scheme.decide(at_node, from_node, &header);
-        if self.observer.is_some() {
-            let in_channel = in_port.map(|p| ChannelId(p / self.vcs as u32));
-            let rc_change = match &action {
-                Action::Forward(branches) => branches
-                    .iter()
-                    .map(|b| b.header.rc)
-                    .find(|&rc| rc != header.rc),
-                _ => None,
-            };
-            if let Some(obs) = self.observer.as_deref_mut() {
-                obs.on_hop(PacketId(packet), at_node, in_channel, self.now);
-                if let Some(to) = rc_change {
-                    obs.on_rc_change(PacketId(packet), at_node, header.rc, to, self.now);
-                }
-            }
-        }
-        let kind = match action {
+        match action {
             Action::Deliver => match at_node {
                 Node::Pe(p) => VKind::Sink {
                     consumed: 0,
@@ -441,35 +488,124 @@ impl Simulator {
                     }
                 }
             }
-        };
-        self.install_visit(packet, in_port, up_run, header, kind);
+        }
     }
 
+    /// Whether a forward kind routes into a currently-dead channel.
+    fn kind_hits_dead_channel(&self, kind: &VKind) -> bool {
+        match kind {
+            VKind::Forward { branches, .. } => {
+                branches.iter().any(|b| self.dead_channels[b.channel.idx()])
+            }
+            VKind::Sink { .. } => false,
+        }
+    }
+
+    fn log_victim(&mut self, packet: u32) {
+        let id = PacketId(packet);
+        if !self.victim_log.contains(&id) {
+            self.victim_log.push(id);
+        }
+    }
+
+    /// Creates a visit by asking the scheme for a decision.
+    fn create_visit(
+        &mut self,
+        packet: u32,
+        at: NodeId,
+        came_from: Option<NodeId>,
+        in_port: Option<u32>,
+        up_run: Option<(u32, u32)>,
+        header: Header,
+    ) {
+        // Headers arriving at a dead switch cannot be routed: the switch's
+        // decision logic is gone. The flits are flushed (evacuated) and the
+        // packet becomes a fault victim for the recovery policy to replay.
+        if self.any_dead && self.dead_nodes[at.0 as usize] {
+            self.log_victim(packet);
+            let kind = self.mk_drop(DropReason::FaultVictim);
+            self.install_visit(packet, at, in_port, up_run, header, kind, false);
+            return;
+        }
+        let at_node = self.graph.node(at);
+        let from_node = came_from.map(|id| self.graph.node(id));
+        if self.cfg.record_routes {
+            self.packets[packet as usize].route.push((at.0, self.now));
+        }
+        let action = self.scheme.decide(at_node, from_node, &header);
+        if self.observer.is_some() {
+            let in_channel = in_port.map(|p| ChannelId(p / self.vcs as u32));
+            let rc_change = match &action {
+                Action::Forward(branches) => branches
+                    .iter()
+                    .map(|b| b.header.rc)
+                    .find(|&rc| rc != header.rc),
+                _ => None,
+            };
+            if let Some(obs) = self.observer.as_deref_mut() {
+                obs.on_hop(PacketId(packet), at_node, in_channel, self.now);
+                if let Some(to) = rc_change {
+                    obs.on_rc_change(PacketId(packet), at_node, header.rc, to, self.now);
+                }
+            }
+        }
+        let kind = self.action_to_kind(at, action);
+        // The (pre-reprogram) scheme routed into a dead component: the
+        // packet's next hop is gone. Pause it at this live switch for a
+        // post-reprogram re-decision, or evacuate it, per the victim mode.
+        if self.any_dead && self.kind_hits_dead_channel(&kind) {
+            self.log_victim(packet);
+            match self.victim_mode {
+                VictimMode::Abort => {
+                    let kind = self.mk_drop(DropReason::FaultVictim);
+                    self.install_visit(packet, at, in_port, up_run, header, kind, false);
+                }
+                VictimMode::Pause => {
+                    let kind = VKind::Forward {
+                        branches: Vec::new(),
+                        streaming: false,
+                    };
+                    self.install_visit(packet, at, in_port, up_run, header, kind, true);
+                }
+            }
+            return;
+        }
+        self.install_visit(packet, at, in_port, up_run, header, kind, false);
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn install_visit(
         &mut self,
         packet: u32,
+        at: NodeId,
         in_port: Option<u32>,
         up_run: Option<(u32, u32)>,
         header: Header,
         kind: VKind,
+        paused: bool,
     ) -> u32 {
         let total = self.packets[packet as usize].spec.flits;
         let idx = self.visits.len() as u32;
-        if let VKind::Forward { branches, .. } = &kind {
-            for (bi, b) in branches.iter().enumerate() {
-                let port = self.port(b.channel, b.vc);
-                self.chan_requests[port].push_back((idx, bi as u32, self.now));
-                self.request_chans.insert(port as u32);
+        if !paused {
+            if let VKind::Forward { branches, .. } = &kind {
+                for (bi, b) in branches.iter().enumerate() {
+                    let port = self.port(b.channel, b.vc);
+                    self.chan_requests[port].push_back((idx, bi as u32, self.now));
+                    self.request_chans.insert(port as u32);
+                }
             }
         }
         self.visits.push(Visit {
             packet,
+            at,
             in_port,
             up_run,
             header,
             total,
             kind,
             complete: false,
+            epoch: self.current_epoch,
+            paused,
         });
         self.active.push(idx);
         if let Some(port) = in_port {
@@ -483,19 +619,35 @@ impl Simulator {
     fn step(&mut self) -> bool {
         let mut progress = false;
 
-        // 1. Injections due this cycle.
-        while self.next_inject < self.inject_order.len() {
+        // 1. Injections due this cycle (unless the epoch protocol has the
+        //    gate closed).
+        while self.injection_open && self.next_inject < self.inject_order.len() {
             let pidx = self.inject_order[self.next_inject];
             let spec = self.packets[pidx as usize].spec;
             if spec.inject_at > self.now {
                 break;
             }
             self.next_inject += 1;
+            let at = self.graph.expect_id(Node::Pe(spec.src_pe));
+            if self.any_dead && self.dead_nodes[at.0 as usize] {
+                // The source PE died before this packet could enter: it can
+                // never be injected. Settle it as a fault victim.
+                let p = &mut self.packets[pidx as usize];
+                p.started = true;
+                p.dropped = Some(DropReason::FaultVictim);
+                p.finished_at = Some(self.now);
+                self.finished_packets += 1;
+                self.log_victim(pidx);
+                if let Some(obs) = self.observer.as_deref_mut() {
+                    obs.on_packet_finished(PacketId(pidx), self.now);
+                }
+                progress = true;
+                continue;
+            }
             self.packets[pidx as usize].started = true;
             if let Some(obs) = self.observer.as_deref_mut() {
                 obs.on_inject(PacketId(pidx), &spec, self.now);
             }
-            let at = self.graph.expect_id(Node::Pe(spec.src_pe));
             self.create_visit(pidx, at, None, None, None, spec.header);
         }
 
@@ -576,8 +728,17 @@ impl Simulator {
                         streaming: false,
                     }
                 };
+                // An emission fan touching a dead component cannot be
+                // paused (re-emission is the S-XB's job, not a switch
+                // re-decision): flush it and let the policy replay it.
+                let kind = if self.any_dead && self.kind_hits_dead_channel(&kind) {
+                    self.log_victim(pidx);
+                    self.mk_drop(DropReason::FaultVictim)
+                } else {
+                    kind
+                };
                 let is_forward = matches!(kind, VKind::Forward { .. });
-                let vi = self.install_visit(pidx, None, None, header, kind);
+                let vi = self.install_visit(pidx, serial, None, None, header, kind, false);
                 if is_forward {
                     self.emission_active = Some(vi);
                 }
@@ -675,10 +836,14 @@ impl Simulator {
 
         // 5. Streaming: a forward visit streams once every port is held.
         for &vi in &self.active {
+            let v = &mut self.visits[vi as usize];
+            if v.paused {
+                continue;
+            }
             if let VKind::Forward {
                 branches,
                 streaming,
-            } = &mut self.visits[vi as usize].kind
+            } = &mut v.kind
             {
                 if !*streaming && branches.iter().all(|b| b.granted) {
                     *streaming = true;
@@ -691,7 +856,7 @@ impl Simulator {
         let mut sink_moves: Vec<u32> = Vec::new();
         for &vi in &self.active {
             let v = &self.visits[vi as usize];
-            if v.complete {
+            if v.complete || v.paused {
                 continue;
             }
             let avail = self.avail(v);
@@ -790,7 +955,7 @@ impl Simulator {
         let active_snapshot = self.active.clone();
         for &vi in &active_snapshot {
             let v = &self.visits[vi as usize];
-            if v.complete {
+            if v.complete || v.paused {
                 continue;
             }
             match &v.kind {
@@ -902,6 +1067,9 @@ impl Simulator {
         let mut adj: HashMap<u32, Vec<(u32, u32)>> = HashMap::new();
         for &vi in &self.active {
             let v = &self.visits[vi as usize];
+            if v.paused {
+                continue; // paused visits request nothing
+            }
             if let VKind::Forward { branches, .. } = &v.kind {
                 for b in branches {
                     if !b.granted {
@@ -976,24 +1144,34 @@ impl Simulator {
         None
     }
 
-    /// Snapshot of every ungranted port want, for [`SimObserver::on_probe`].
-    fn wait_snapshot(&self) -> Vec<WaitSnapshot> {
+    /// Snapshot of every ungranted port want — the same edges the
+    /// watchdog's deadlock analysis walks, each tagged with the
+    /// reconfiguration epochs of the waiting and holding routing
+    /// decisions. Public so a reconfiguration controller can feed the
+    /// transition-safety checker between phases; also delivered to
+    /// [`SimObserver::on_probe`] / [`SimObserver::on_final_waits`].
+    pub fn wait_snapshot(&self) -> Vec<WaitSnapshot> {
         let mut waits = Vec::new();
         for &vi in &self.active {
             let v = &self.visits[vi as usize];
+            if v.paused {
+                continue; // paused visits request nothing
+            }
             if let VKind::Forward { branches, .. } = &v.kind {
                 for b in branches {
                     if b.granted {
                         continue;
                     }
                     let port = self.port(b.channel, b.vc);
+                    let owner = self.chan_owner[port];
                     waits.push(WaitSnapshot {
                         waiter: PacketId(v.packet),
-                        holder: self.chan_owner[port]
-                            .map(|(ovi, _)| PacketId(self.visits[ovi as usize].packet)),
+                        holder: owner.map(|(ovi, _)| PacketId(self.visits[ovi as usize].packet)),
                         channel: b.channel,
                         vc: b.vc,
                         since: b.blocked_since.unwrap_or(self.now),
+                        epoch: v.epoch,
+                        holder_epoch: owner.map(|(ovi, _)| self.visits[ovi as usize].epoch),
                     });
                 }
             }
@@ -1001,24 +1179,62 @@ impl Simulator {
         waits
     }
 
-    /// Runs to completion, deadlock, stall, or the cycle limit.
-    pub fn run(&mut self) -> SimResult {
+    /// Sorts the schedule into injection order. Called by
+    /// [`Simulator::run`]; a reconfiguration controller driving the engine
+    /// through [`Simulator::run_phase`] must call it once before the first
+    /// phase.
+    pub fn prepare(&mut self) {
         let mut order: Vec<u32> = (0..self.packets.len() as u32).collect();
         order.sort_by_key(|&i| (self.packets[i as usize].spec.inject_at, i));
         self.inject_order = order;
         self.next_inject = 0;
+    }
+
+    /// Whether the network is empty of in-flight, non-paused work (packets
+    /// may still be waiting behind a closed injection gate).
+    pub fn idle(&self) -> bool {
+        self.serial_queue.is_empty()
+            && self.emission_active.is_none()
+            && self
+                .active
+                .iter()
+                .all(|&vi| self.visits[vi as usize].paused)
+    }
+
+    /// Advances the simulation until a stopping condition.
+    ///
+    /// * `stop_at` — pause (returning [`PhaseEnd::ReachedCycle`]) once
+    ///   `now` reaches this cycle, so a controller can regain control at a
+    ///   scheduled event.
+    /// * `drain` — stop once in-flight traffic settles: immediately when
+    ///   [`Simulator::idle`], or after [`DRAIN_QUIET`] motionless cycles
+    ///   with no wait cycle (paused victims and traffic backed up behind
+    ///   them legitimately cannot drain). A motionless network *with* a
+    ///   wait cycle ends the phase as [`PhaseEnd::Deadlock`].
+    ///
+    /// Completion, the cycle limit, and the watchdog end the phase
+    /// regardless of the stopping parameters.
+    pub fn run_phase(&mut self, stop_at: Option<u64>, drain: bool) -> PhaseEnd {
         let probe_every = self
             .observer
             .as_deref()
             .and_then(|o| o.probe_interval())
             .filter(|&iv| iv > 0);
 
-        let outcome = loop {
+        loop {
             if !self.work_remaining() {
-                break SimOutcome::Completed;
+                return PhaseEnd::Completed;
             }
             if self.now >= self.cfg.max_cycles {
-                break SimOutcome::CycleLimit;
+                return PhaseEnd::CycleLimit;
+            }
+            if let Some(t) = stop_at {
+                if self.now >= t {
+                    return PhaseEnd::ReachedCycle;
+                }
+            }
+            if drain && self.idle() {
+                return PhaseEnd::Drained;
             }
             let progress = self.step();
             if let Some(iv) = probe_every {
@@ -1031,15 +1247,33 @@ impl Simulator {
             }
             if progress {
                 self.last_progress = self.now;
-            } else if self.next_inject >= self.inject_order.len()
+            } else if drain && self.now - self.last_progress >= DRAIN_QUIET {
+                return match self.analyze_deadlock() {
+                    Some(info) => PhaseEnd::Deadlock(info),
+                    None => PhaseEnd::Drained,
+                };
+            } else if (!self.injection_open || self.next_inject >= self.inject_order.len())
                 && self.now - self.last_progress >= self.cfg.watchdog
             {
-                break match self.analyze_deadlock() {
-                    Some(info) => SimOutcome::Deadlock(info),
-                    None => SimOutcome::Stalled,
+                return match self.analyze_deadlock() {
+                    Some(info) => PhaseEnd::Deadlock(info),
+                    None => PhaseEnd::Stalled,
                 };
             }
             self.now += 1;
+        }
+    }
+
+    /// Fires the end-of-run observer hooks and collects the result.
+    /// [`PhaseEnd::ReachedCycle`] / [`PhaseEnd::Drained`] are not terminal
+    /// states; a controller finalizing on one (e.g. bailing out mid-epoch)
+    /// maps to [`SimOutcome::CycleLimit`] / [`SimOutcome::Stalled`].
+    pub fn finalize(&mut self, end: PhaseEnd) -> SimResult {
+        let outcome = match end {
+            PhaseEnd::Completed => SimOutcome::Completed,
+            PhaseEnd::CycleLimit | PhaseEnd::ReachedCycle => SimOutcome::CycleLimit,
+            PhaseEnd::Deadlock(info) => SimOutcome::Deadlock(info),
+            PhaseEnd::Stalled | PhaseEnd::Drained => SimOutcome::Stalled,
         };
         // Abnormal endings drain the terminal wait graph to the observer
         // (the flight-recorder/post-mortem hook), then — for deadlocks —
@@ -1057,6 +1291,428 @@ impl Simulator {
             }
         }
         self.collect_result(outcome)
+    }
+
+    /// Runs to completion, deadlock, stall, or the cycle limit.
+    pub fn run(&mut self) -> SimResult {
+        self.prepare();
+        let end = self.run_phase(None, false);
+        self.finalize(end)
+    }
+
+    // ------------------------------------------------------------------
+    // Live reconfiguration: mid-run fault activation, victim handling,
+    // and reprogramming. Driven by the `mdx-reconfig` epoch controller;
+    // inert (zero-cost fast paths) on a static run.
+    // ------------------------------------------------------------------
+
+    /// Advances the clock by `cycles` without stepping the network — the
+    /// modeled cost of service-processor work (register rewrites) while
+    /// the machine sits quiescent. The network need not be fully idle: a
+    /// drain can go *quiet* rather than empty when wounded (paused)
+    /// packets hold buffer space that healthy traffic is queued behind;
+    /// nothing moves during the dead time either way. Resets the
+    /// watchdog so the gap is not mistaken for a stall.
+    pub fn advance_idle(&mut self, cycles: u64) {
+        self.now += cycles;
+        self.last_progress = self.now;
+    }
+
+    /// Opens or closes the injection gate. While closed, due injections
+    /// wait (the quiesce step of the epoch protocol) and the watchdog
+    /// treats pending injections as ineligible.
+    pub fn set_injection_open(&mut self, open: bool) {
+        self.injection_open = open;
+    }
+
+    /// Whether the injection gate is open.
+    pub fn injection_open(&self) -> bool {
+        self.injection_open
+    }
+
+    /// Scheduled packets not yet injected (or settled pre-injection).
+    pub fn pending_injections(&self) -> usize {
+        self.inject_order.len() - self.next_inject
+    }
+
+    /// How wounded packets are handled; see [`VictimMode`].
+    pub fn set_victim_mode(&mut self, mode: VictimMode) {
+        self.victim_mode = mode;
+    }
+
+    /// Starts a new reconfiguration epoch: routing decisions made from now
+    /// on are stamped with the returned epoch number.
+    pub fn begin_epoch(&mut self) -> u32 {
+        self.current_epoch += 1;
+        self.current_epoch
+    }
+
+    /// The current reconfiguration epoch (0 before any reprogram).
+    pub fn current_epoch(&self) -> u32 {
+        self.current_epoch
+    }
+
+    /// Drains the log of packets wounded since the last call —
+    /// activation-time victims plus packets victimized afterwards (their
+    /// next hop entered the dead region while draining).
+    pub fn take_new_victims(&mut self) -> Vec<PacketId> {
+        std::mem::take(&mut self.victim_log)
+    }
+
+    /// The packet's schedule entry.
+    pub fn packet_spec(&self, id: PacketId) -> &InjectSpec {
+        &self.packets[id.0 as usize].spec
+    }
+
+    /// When the packet settled (finished or was evacuated), if it has.
+    pub fn packet_finished_at(&self, id: PacketId) -> Option<u64> {
+        self.packets[id.0 as usize].finished_at
+    }
+
+    /// The packet's recorded drop reason, if any.
+    pub fn packet_dropped(&self, id: PacketId) -> Option<DropReason> {
+        self.packets[id.0 as usize].dropped
+    }
+
+    /// Number of deliveries the packet has made so far.
+    pub fn packet_deliveries(&self, id: PacketId) -> usize {
+        self.packets[id.0 as usize].deliveries.len()
+    }
+
+    /// Forwards an epoch-phase transition to the attached observer (the
+    /// controller owns the protocol but the engine owns the observer).
+    pub fn notify_epoch_phase(&mut self, epoch: u32, phase: crate::observer::EpochPhase) {
+        let now = self.now;
+        if let Some(obs) = self.observer.as_deref_mut() {
+            obs.on_epoch_phase(epoch, phase, now);
+        }
+    }
+
+    /// Applies a fault set mid-run: recomputes the dead node/channel maps
+    /// (a repair event shrinks them) and victimizes in-flight packets
+    /// touching newly-dead components per the current [`VictimMode`].
+    /// Returns the wounded packets; fires
+    /// [`SimObserver::on_fault_activated`].
+    pub fn activate_faults(&mut self, faults: &FaultSet) -> Vec<PacketId> {
+        let mut dead_nodes = vec![false; self.graph.num_nodes()];
+        for id in self.graph.node_ids() {
+            dead_nodes[id.0 as usize] = faults.disables(self.graph.node(id));
+        }
+        let mut dead_channels = vec![false; self.graph.num_channels()];
+        for ch in self.graph.channel_ids() {
+            let info = self.graph.channel(ch);
+            dead_channels[ch.idx()] =
+                dead_nodes[info.src.0 as usize] || dead_nodes[info.dst.0 as usize];
+        }
+        self.any_dead = dead_nodes.iter().any(|&d| d);
+        self.dead_nodes = dead_nodes;
+        self.dead_channels = dead_channels;
+
+        // Wounded packets: a visit at a dead switch, a forward branch into
+        // a dead channel, or a slot in a dead S-XB's serialization queue.
+        let mut victims: BTreeSet<u32> = BTreeSet::new();
+        // Packets that cannot be paused (flits already inside the dead
+        // region, or wounded somewhere pause semantics cannot reach).
+        let mut must_abort: BTreeSet<u32> = BTreeSet::new();
+        let mut pausable_visits: Vec<u32> = Vec::new();
+        for &vi in &self.active {
+            let v = &self.visits[vi as usize];
+            if v.complete {
+                continue;
+            }
+            if self.dead_nodes[v.at.0 as usize] {
+                victims.insert(v.packet);
+                must_abort.insert(v.packet);
+                continue;
+            }
+            if v.paused {
+                continue; // still parked at a live switch; redecide later
+            }
+            if let VKind::Forward { branches, .. } = &v.kind {
+                if !branches.iter().any(|b| self.dead_channels[b.channel.idx()]) {
+                    continue;
+                }
+                victims.insert(v.packet);
+                if branches.iter().any(|b| b.crossed > 0) {
+                    must_abort.insert(v.packet);
+                } else {
+                    pausable_visits.push(vi);
+                }
+            }
+        }
+        if let Some(sn) = self.serial_node {
+            if self.dead_nodes[sn.0 as usize] {
+                for &(p, _) in &self.serial_queue {
+                    victims.insert(p);
+                    must_abort.insert(p);
+                }
+            }
+        }
+
+        match self.victim_mode {
+            VictimMode::Abort => {
+                for &p in &victims {
+                    self.abort_packet(p);
+                }
+            }
+            VictimMode::Pause => {
+                for vi in pausable_visits {
+                    let p = self.visits[vi as usize].packet;
+                    if !must_abort.contains(&p) {
+                        self.pause_visit(vi);
+                    }
+                }
+                for &p in &must_abort {
+                    self.abort_packet(p);
+                }
+            }
+        }
+
+        let out: Vec<PacketId> = victims.iter().map(|&p| PacketId(p)).collect();
+        for &p in &out {
+            if !self.victim_log.contains(&p) {
+                self.victim_log.push(p);
+            }
+        }
+        let now = self.now;
+        if let Some(obs) = self.observer.as_deref_mut() {
+            obs.on_fault_activated(now, &out);
+        }
+        out
+    }
+
+    /// Freezes a wounded forward visit in place: releases its output-port
+    /// claims (nothing has streamed, so no flits move) while it keeps its
+    /// input buffer — the transient old-epoch hold the transition-safety
+    /// checker watches. [`Simulator::redecide_paused`] revives it.
+    fn pause_visit(&mut self, vi: u32) {
+        let packet = self.visits[vi as usize].packet;
+        let branch_ports: Vec<(usize, u32)> = match &self.visits[vi as usize].kind {
+            VKind::Forward { branches, .. } => branches
+                .iter()
+                .enumerate()
+                .map(|(bi, b)| (self.port(b.channel, b.vc), bi as u32))
+                .collect(),
+            VKind::Sink { .. } => Vec::new(),
+        };
+        let mut released_runs = 0u32;
+        for &(port, bi) in &branch_ports {
+            self.chan_requests[port].retain(|&(v, b, _)| !(v == vi && b == bi));
+            if self.chan_requests[port].is_empty() {
+                self.request_chans.remove(&(port as u32));
+            }
+            if self.chan_owner[port] == Some((vi, bi)) {
+                self.chan_owner[port] = None;
+            }
+            let before = self.chan_resident[port].len();
+            self.chan_resident[port].retain(|&run| run != (vi, bi));
+            released_runs += (before - self.chan_resident[port].len()) as u32;
+            if self.chan_resident[port].is_empty() {
+                self.resident_chans.remove(&(port as u32));
+            }
+        }
+        self.packets[packet as usize].open -= released_runs;
+        let v = &mut self.visits[vi as usize];
+        v.kind = VKind::Forward {
+            branches: Vec::new(),
+            streaming: false,
+        };
+        v.paused = true;
+    }
+
+    /// Evacuates a wounded packet: flushes its flits from every buffer,
+    /// releases every port it holds or wants, and settles it as
+    /// [`DropReason::FaultVictim`]. The recovery policy may later replay
+    /// it via [`Simulator::reschedule_packet`].
+    fn abort_packet(&mut self, pid: u32) {
+        if self.packets[pid as usize].finished_at.is_some() {
+            return;
+        }
+        let before = self.serial_queue.len();
+        self.serial_queue.retain(|&(p, _)| p != pid);
+        let removed_slots = (before - self.serial_queue.len()) as u32;
+        if let Some(ea) = self.emission_active {
+            if self.visits[ea as usize].packet == pid {
+                self.emission_active = None;
+            }
+        }
+        let mut closed_visits = 0u32;
+        for vi in 0..self.visits.len() as u32 {
+            if self.visits[vi as usize].packet != pid || self.visits[vi as usize].complete {
+                continue;
+            }
+            if let Some(p) = self.visits[vi as usize].in_port {
+                if self.chan_downstream[p as usize] == Some(vi) {
+                    self.chan_downstream[p as usize] = None;
+                }
+            }
+            let branch_ports: Vec<(usize, u32)> = match &self.visits[vi as usize].kind {
+                VKind::Forward { branches, .. } => branches
+                    .iter()
+                    .enumerate()
+                    .map(|(bi, b)| (self.port(b.channel, b.vc), bi as u32))
+                    .collect(),
+                VKind::Sink { .. } => Vec::new(),
+            };
+            for (port, bi) in branch_ports {
+                self.chan_requests[port].retain(|&(v, b, _)| !(v == vi && b == bi));
+                if self.chan_requests[port].is_empty() {
+                    self.request_chans.remove(&(port as u32));
+                }
+                if self.chan_owner[port] == Some((vi, bi)) {
+                    self.chan_owner[port] = None;
+                }
+            }
+            let v = &mut self.visits[vi as usize];
+            v.complete = true;
+            v.paused = false;
+            closed_visits += 1;
+        }
+        // Flush resident runs (buffered flits) of the packet everywhere.
+        let mut flushed_runs = 0u32;
+        let resident_ports: Vec<u32> = self.resident_chans.iter().copied().collect();
+        for port in resident_ports {
+            let pu = port as usize;
+            let visits = &self.visits;
+            let before = self.chan_resident[pu].len();
+            self.chan_resident[pu].retain(|&(v, _)| visits[v as usize].packet != pid);
+            flushed_runs += (before - self.chan_resident[pu].len()) as u32;
+            if self.chan_resident[pu].is_empty() {
+                self.resident_chans.remove(&port);
+            }
+        }
+        let expected = closed_visits + flushed_runs + removed_slots;
+        if self.packets[pid as usize].open != expected {
+            let found = self.packets[pid as usize].open;
+            self.diagnostics.push(EngineDiagnostic {
+                at: self.now,
+                packet: PacketId(pid),
+                channel: String::new(),
+                note: format!("abort accounting mismatch: open {found}, released {expected}"),
+            });
+        }
+        let p = &mut self.packets[pid as usize];
+        p.open = 0;
+        if p.dropped.is_none() {
+            p.dropped = Some(DropReason::FaultVictim);
+        }
+        if p.started && p.finished_at.is_none() {
+            p.finished_at = Some(self.now);
+            self.finished_packets += 1;
+            if let Some(obs) = self.observer.as_deref_mut() {
+                obs.on_packet_finished(PacketId(pid), self.now);
+            }
+        }
+        let visits = &self.visits;
+        self.active.retain(|&vi| !visits[vi as usize].complete);
+    }
+
+    /// Replaces the routing function (the reprogram step). The engine must
+    /// be drained of S-XB state; the new scheme must keep the virtual-
+    /// channel layout (ports are sized at construction).
+    pub fn set_scheme(&mut self, scheme: Arc<dyn Scheme>) {
+        assert_eq!(
+            scheme.max_vcs().max(1) as usize,
+            self.vcs,
+            "reprogram must preserve the virtual-channel layout"
+        );
+        // A drain that went quiet (rather than empty) can leave queued or
+        // even mid-emission broadcasts behind a wounded packet. Those keep
+        // their old-function fan; only *new* emissions use the new scheme.
+        // The transition checker watches exactly this mixed-epoch overlap.
+        self.serial_node = scheme.serializing_node().and_then(|n| self.graph.id_of(n));
+        self.scheme = scheme;
+    }
+
+    /// Re-decides every paused visit under the current routing function
+    /// (stamping it with the current epoch) and re-enters port
+    /// arbitration. Returns how many visits were revived.
+    pub fn redecide_paused(&mut self) -> usize {
+        let paused: Vec<u32> = self
+            .active
+            .iter()
+            .copied()
+            .filter(|&vi| {
+                let v = &self.visits[vi as usize];
+                v.paused && !v.complete
+            })
+            .collect();
+        let mut revived = 0;
+        for vi in paused {
+            let (packet, at, in_port, header) = {
+                let v = &self.visits[vi as usize];
+                (v.packet, v.at, v.in_port, v.header)
+            };
+            let kind = if self.any_dead && self.dead_nodes[at.0 as usize] {
+                // The switch itself died while the visit was parked there:
+                // nothing to re-decide, evacuate.
+                self.log_victim(packet);
+                self.mk_drop(DropReason::FaultVictim)
+            } else {
+                let at_node = self.graph.node(at);
+                let from_node = in_port.map(|p| {
+                    let info = self.graph.channel(ChannelId(p / self.vcs as u32));
+                    self.graph.node(info.src)
+                });
+                let action = self.scheme.decide(at_node, from_node, &header);
+                if let Some(obs) = self.observer.as_deref_mut() {
+                    let in_channel = in_port.map(|p| ChannelId(p / self.vcs as u32));
+                    obs.on_hop(PacketId(packet), at_node, in_channel, self.now);
+                }
+                let kind = self.action_to_kind(at, action);
+                if self.any_dead && self.kind_hits_dead_channel(&kind) {
+                    // Still routed into the dead region under the new
+                    // function — the detour cannot help; evacuate.
+                    self.log_victim(packet);
+                    self.mk_drop(DropReason::FaultVictim)
+                } else {
+                    kind
+                }
+            };
+            if let VKind::Forward { branches, .. } = &kind {
+                for (bi, b) in branches.iter().enumerate() {
+                    let port = self.port(b.channel, b.vc);
+                    self.chan_requests[port].push_back((vi, bi as u32, self.now));
+                    self.request_chans.insert(port as u32);
+                }
+            }
+            let epoch = self.current_epoch;
+            let v = &mut self.visits[vi as usize];
+            v.kind = kind;
+            v.paused = false;
+            v.epoch = epoch;
+            revived += 1;
+        }
+        revived
+    }
+
+    /// Re-enters a settled (evacuated) packet into the schedule at cycle
+    /// `at` — the reinject recovery policy. The replay starts from
+    /// scratch: prior partial deliveries and the drop mark are cleared.
+    ///
+    /// # Panics
+    /// Panics if the packet has not settled or `at` is in the past.
+    pub fn reschedule_packet(&mut self, id: PacketId, at: u64) {
+        assert!(at >= self.now, "cannot reschedule into the past");
+        {
+            let p = &mut self.packets[id.0 as usize];
+            assert!(
+                p.finished_at.is_some(),
+                "only settled packets can be rescheduled"
+            );
+            p.started = false;
+            p.open = 0;
+            p.finished_at = None;
+            p.dropped = None;
+            p.deliveries.clear();
+            p.spec.inject_at = at;
+        }
+        self.finished_packets -= 1;
+        let key = (at, id.0);
+        let packets = &self.packets;
+        let pos = self.inject_order[self.next_inject..]
+            .partition_point(|&i| (packets[i as usize].spec.inject_at, i) <= key);
+        self.inject_order.insert(self.next_inject + pos, id.0);
     }
 
     fn collect_result(&self, outcome: SimOutcome) -> SimResult {

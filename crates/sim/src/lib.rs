@@ -61,8 +61,8 @@ pub mod engine;
 pub mod observer;
 pub mod result;
 
-pub use engine::{SimConfig, Simulator};
-pub use observer::{EventCounts, SimObserver, WaitSnapshot};
+pub use engine::{PhaseEnd, SimConfig, Simulator, VictimMode};
+pub use observer::{EpochPhase, EventCounts, SimObserver, WaitSnapshot};
 pub use result::{
     DeadlockInfo, EngineDiagnostic, InjectSpec, PacketId, PacketOutcome, PacketResult, SimOutcome,
     SimResult, SimStats, SortedLatencies, WaitEdge,

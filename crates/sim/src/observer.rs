@@ -65,6 +65,44 @@ pub struct WaitSnapshot {
     pub vc: u8,
     /// Cycle at which this want became blocked.
     pub since: u64,
+    /// Reconfiguration epoch of the routing decision that created this
+    /// want (0 until the first reprogram). A wait whose `epoch` differs
+    /// from its holder's was decided under a *different* routing function
+    /// — the raw material of transition-deadlock analysis.
+    pub epoch: u32,
+    /// Epoch of the routing decision that put the holder on the port.
+    pub holder_epoch: Option<u32>,
+}
+
+/// Phases of one reconfiguration epoch, in protocol order. Mirrors the
+/// SR2201 service processor's role: notice the fault, stop accepting new
+/// traffic, let in-flight traffic drain or evacuate, rewrite the fault
+/// registers and detour configuration, reopen the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EpochPhase {
+    /// The controller noticed the fault event (after its detect latency).
+    Detected,
+    /// Injection closed; no new packets enter.
+    Quiesced,
+    /// In-flight traffic drained or was evacuated.
+    Drained,
+    /// Fault registers re-derived, the routing function replaced.
+    Reprogrammed,
+    /// Injection reopened; victims re-enter per the recovery policy.
+    Resumed,
+}
+
+impl std::fmt::Display for EpochPhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            EpochPhase::Detected => "detected",
+            EpochPhase::Quiesced => "quiesced",
+            EpochPhase::Drained => "drained",
+            EpochPhase::Reprogrammed => "reprogrammed",
+            EpochPhase::Resumed => "resumed",
+        };
+        write!(f, "{s}")
+    }
 }
 
 /// Callbacks fired by [`crate::Simulator`] as packets move through their
@@ -163,6 +201,17 @@ pub trait SimObserver {
     /// The watchdog extracted a cyclic wait; the run is about to end as
     /// [`crate::SimOutcome::Deadlock`].
     fn on_deadlock(&mut self, _info: &DeadlockInfo) {}
+
+    /// A fault event took effect mid-run: components died (or were
+    /// repaired) and `victims` are the in-flight packets wounded by the
+    /// change. Fired by [`crate::Simulator::activate_faults`] at the event
+    /// cycle, before the reconfiguration controller reacts.
+    fn on_fault_activated(&mut self, _now: u64, _victims: &[PacketId]) {}
+
+    /// The reconfiguration controller crossed an epoch-phase boundary
+    /// (detect → quiesce → drain → reprogram → resume). `epoch` counts
+    /// reprogramming events from 0 (the pre-fault routing function).
+    fn on_epoch_phase(&mut self, _epoch: u32, _phase: EpochPhase, _now: u64) {}
 }
 
 /// An observer that counts lifecycle events — handy as a smoke-test of the
@@ -191,6 +240,12 @@ pub struct EventCounts {
     pub finished: usize,
     /// Deadlock reports (0 or 1 per run).
     pub deadlocks: usize,
+    /// Mid-run fault activations.
+    pub fault_activations: usize,
+    /// In-flight packets victimized by fault activations.
+    pub fault_victims: usize,
+    /// Epoch-phase transitions observed.
+    pub epoch_phases: usize,
 }
 
 impl SimObserver for EventCounts {
@@ -257,5 +312,14 @@ impl SimObserver for EventCounts {
 
     fn on_deadlock(&mut self, _info: &DeadlockInfo) {
         self.deadlocks += 1;
+    }
+
+    fn on_fault_activated(&mut self, _now: u64, victims: &[PacketId]) {
+        self.fault_activations += 1;
+        self.fault_victims += victims.len();
+    }
+
+    fn on_epoch_phase(&mut self, _epoch: u32, _phase: EpochPhase, _now: u64) {
+        self.epoch_phases += 1;
     }
 }

@@ -231,6 +231,55 @@ pub fn permutation_schedule(
     specs
 }
 
+/// The live-reconfiguration stress recipe: steady open-loop background
+/// traffic plus a synchronized burst of `burst` unicasts at each cycle in
+/// `burst_at` (the instants a fault timeline fires), so every epoch of a
+/// reconfiguration run has packets in flight to wound, drain, and replay.
+///
+/// Burst sources rotate deterministically through the usable PEs starting
+/// from a per-burst offset, so two bursts at different cycles stress
+/// different corners of the machine.
+pub fn fault_storm_schedule(
+    shape: &Shape,
+    cfg: OpenLoop,
+    burst_at: &[u64],
+    burst: usize,
+    faults: &FaultSet,
+) -> Vec<InjectSpec> {
+    let mut specs = unicast_schedule(shape, TrafficPattern::UniformRandom, cfg, faults);
+    let mut rng = ChaCha12Rng::seed_from_u64(cfg.seed ^ 0xFA17_5702);
+    let n = shape.num_pes();
+    for (bi, &at) in burst_at.iter().enumerate() {
+        let mut added = 0usize;
+        let start = (bi * 7) % n.max(1);
+        // One lap over the PEs per burst: a machine with fewer usable PEs
+        // than `burst` just sends a smaller burst.
+        for step in 0..n {
+            if added >= burst {
+                break;
+            }
+            let src = (start + step) % n;
+            if !faults.pe_usable(src) {
+                continue;
+            }
+            let Some(dst) = TrafficPattern::UniformRandom.destination(shape, src, &mut rng) else {
+                continue;
+            };
+            if !faults.pe_usable(dst) {
+                continue;
+            }
+            specs.push(InjectSpec {
+                src_pe: src,
+                header: Header::unicast(shape.coord_of(src), shape.coord_of(dst)),
+                flits: cfg.packet_flits,
+                inject_at: at,
+            });
+            added += 1;
+        }
+    }
+    specs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -346,6 +395,29 @@ mod tests {
             &FaultSet::none(),
         );
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fault_storm_bursts_land_on_event_cycles() {
+        let s = shape();
+        let cfg = OpenLoop {
+            rate: 0.05,
+            packet_flits: 8,
+            window: 100,
+            seed: 9,
+        };
+        let faults = FaultSet::single(FaultSite::Pe(3));
+        let specs = fault_storm_schedule(&s, cfg, &[40, 70], 6, &faults);
+        for at in [40u64, 70] {
+            let burst = specs.iter().filter(|sp| sp.inject_at == at).count();
+            // Background traffic can also land on the burst cycle.
+            assert!(burst >= 6, "burst at {at} has only {burst} packets");
+        }
+        for sp in &specs {
+            assert_ne!(sp.src_pe, 3);
+            assert_ne!(s.index_of(sp.header.dest), 3);
+        }
+        assert_eq!(specs, fault_storm_schedule(&s, cfg, &[40, 70], 6, &faults));
     }
 
     #[test]

@@ -87,6 +87,13 @@ pub mod baselines {
     pub use mdx_baselines::*;
 }
 
+/// Live reconfiguration: runtime fault events, the epoch-based
+/// drain/reprogram/resume protocol, and transition deadlock safety
+/// (re-export of `mdx-reconfig`).
+pub mod reconfig {
+    pub use mdx_reconfig::*;
+}
+
 /// Replayable experiment campaigns: scenario tokens, the parallel campaign
 /// runner, and the deadlock-witness shrinker (re-export of `mdx-campaign`).
 pub mod campaign {
@@ -100,7 +107,11 @@ pub mod prelude {
         trace_broadcast, trace_unicast, Header, NaiveBroadcast, Packet, RouteChange, RoutingConfig,
         Scheme, Sr2201Routing,
     };
-    pub use mdx_fault::{enumerate_single_faults, FaultRegisters, FaultSet, FaultSite};
+    pub use mdx_fault::{
+        enumerate_single_faults, FaultEvent, FaultEventKind, FaultRegisters, FaultSet, FaultSite,
+        FaultTimeline,
+    };
+    pub use mdx_reconfig::{run_reconfig, ReconfigReport, ReconfigSpec, RecoveryPolicy};
     pub use mdx_sim::{InjectSpec, PacketId, SimConfig, SimObserver, SimOutcome, Simulator};
     pub use mdx_topology::{Coord, MdCrossbar, Node, Shape, XbarRef};
 }
