@@ -1,6 +1,6 @@
 # Convenience targets for the SR2201 reproduction.
 
-.PHONY: test experiments trajectory bench examples doc clippy lint campaign campaign-smoke metrics-demo reconfig-demo reconfig-smoke all
+.PHONY: test experiments trajectory bench examples doc clippy lint campaign campaign-smoke metrics-demo reconfig-demo reconfig-smoke attribution-smoke all
 
 test:
 	cargo test --workspace
@@ -23,6 +23,7 @@ examples:
 	cargo run --release --example topology_explorer -- 8 8
 	cargo run --release --example reliability_loop
 	cargo run --release --example campaign_witness
+	cargo run --release --example attribution_report
 
 doc:
 	cargo doc --workspace --no-deps
@@ -62,5 +63,19 @@ reconfig-smoke:
 		--max-faults 1 --seeds 1 --workloads fault-storm \
 		--timeline 40 --recovery reinject --fail-on-deadlock --fail-on-loss \
 		--jsonl reconfig-smoke.jsonl
+
+# Deterministic attribution gate: the same faulted sweep attributed twice
+# must diff clean (zero flagged phase shifts) — the phase decomposition is
+# exact and replayable, not sampled. The runner also asserts per-packet
+# conservation (sum of phases == latency) on every attributed row.
+attribution-smoke:
+	cargo run --release -p mdx-campaign -- run --scheme sr2201 --shape 4x4x4 \
+		--max-faults 1 --seeds 2 --workloads detour --attribution \
+		--jsonl attribution-smoke-a.jsonl --quiet
+	cargo run --release -p mdx-campaign -- run --scheme sr2201 --shape 4x4x4 \
+		--max-faults 1 --seeds 2 --workloads detour --attribution \
+		--jsonl attribution-smoke-b.jsonl --quiet
+	cargo run --release -p mdx-campaign -- diff \
+		attribution-smoke-a.jsonl attribution-smoke-b.jsonl --fail-on-shift
 
 all: test experiments bench doc

@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use mdx_bench::run_schedule;
 use mdx_core::Sr2201Routing;
 use mdx_fault::FaultSet;
-use mdx_obs::{FlightRecorder, MetricsObserver, DEFAULT_FLIGHT_CAPACITY};
+use mdx_obs::{AttributionObserver, FlightRecorder, MetricsObserver, DEFAULT_FLIGHT_CAPACITY};
 use mdx_sim::{EventCounts, SimConfig, SimObserver, Simulator};
 use mdx_topology::{MdCrossbar, Shape};
 use mdx_workloads::{unicast_schedule, OpenLoop, TrafficPattern};
@@ -118,6 +118,18 @@ fn bench_engine(c: &mut Criterion) {
             let (obs, handle) = MetricsObserver::new(net.graph().clone());
             let r = run_with(Some(Box::new(obs)));
             (r.stats.cycles, handle.report(r.stats.cycles).total_flits)
+        })
+    });
+    // Full latency attribution: per-packet phase tracking during the run
+    // plus the decomposition sweep + blame/critical-path reduction after.
+    // The detached (`none`) row above is the zero-cost contract; this row
+    // pins what opting in actually costs.
+    g.bench_function("attribution", |b| {
+        b.iter(|| {
+            let (obs, handle) = AttributionObserver::new(net.graph().clone());
+            let r = run_with(Some(Box::new(obs)));
+            let att = handle.report(&r);
+            (r.stats.cycles, att.conserved, att.totals.latency)
         })
     });
     // The always-on flight recorder must stay close to `none`: it skips

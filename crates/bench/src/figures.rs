@@ -40,6 +40,37 @@ fn mean_util<'a>(
     }
 }
 
+/// Share of total delivered latency spent in the phases `cycles` selects,
+/// pooled over instrumented campaign rows; `-` when no row carried an
+/// attribution section or nothing was delivered.
+fn phase_share<'a>(
+    rows: impl Iterator<Item = &'a ScenarioReport>,
+    cycles: impl Fn(&mdx_campaign::RowAttribution) -> u64,
+) -> String {
+    let (mut num, mut den) = (0u64, 0u64);
+    for att in rows.filter_map(|r| r.attribution.as_ref()) {
+        num += cycles(att);
+        den += att.latency_total;
+    }
+    if den == 0 {
+        "-".to_string()
+    } else {
+        format!("{:.1}%", 100.0 * num as f64 / den as f64)
+    }
+}
+
+/// The wait-class cycles of one attribution row: every phase where the
+/// packet held resources without moving (queueing, S-XB serialization,
+/// blocked behind any holder class, epoch pauses).
+fn blocked_cycles(att: &mdx_campaign::RowAttribution) -> u64 {
+    att.inject_wait
+        + att.epoch_pause
+        + att.gather_wait
+        + att.blocked_normal
+        + att.blocked_gather
+        + att.blocked_detour
+}
+
 fn bc_request(shape: &Shape, src: usize, flits: usize, at: u64) -> InjectSpec {
     InjectSpec {
         src_pe: src,
@@ -440,6 +471,8 @@ pub fn fig9_combined_deadlock() -> Vec<Table> {
             "rate",
             "S-XB util",
             "D-XB util",
+            "blocked %",
+            "detour %",
         ],
     );
     let shape = Shape::fig2();
@@ -466,6 +499,7 @@ pub fn fig9_combined_deadlock() -> Vec<Table> {
             scenarios,
             &ObsOptions {
                 metrics: true,
+                attribution: true,
                 ..ObsOptions::default()
             },
         );
@@ -478,6 +512,8 @@ pub fn fig9_combined_deadlock() -> Vec<Table> {
             pct(deadlocks, runs),
             mean_util(result.reports.iter(), |t| t.sxb_util),
             mean_util(result.reports.iter(), |t| t.dxb_util),
+            phase_share(result.reports.iter(), blocked_cycles),
+            phase_share(result.reports.iter(), |a| a.detour_transfer),
         ]);
         // Exhibit one cycle, with its replay token.
         let witness = result.deadlocks().next();
@@ -494,6 +530,10 @@ pub fn fig9_combined_deadlock() -> Vec<Table> {
             t.note(format!("replay: campaign replay {}", r.token));
         }
     }
+    t.note(
+        "blocked % / detour % = attributed share of delivered-packet latency \
+         (wait phases incl. S-XB serialization / RC=3 detour transfer)",
+    );
     vec![t]
 }
 
@@ -509,6 +549,8 @@ pub fn fig10_deadlock_free() -> Vec<Table> {
             "undelivered packets",
             "S-XB util",
             "D-XB util",
+            "blocked %",
+            "detour %",
         ],
     );
     let net = fig2_net();
@@ -540,6 +582,7 @@ pub fn fig10_deadlock_free() -> Vec<Table> {
         scenarios,
         &ObsOptions {
             metrics: true,
+            attribution: true,
             ..ObsOptions::default()
         },
     );
@@ -559,10 +602,16 @@ pub fn fig10_deadlock_free() -> Vec<Table> {
             undelivered.to_string(),
             mean_util(rows.iter().copied(), |t| t.sxb_util),
             mean_util(rows.iter().copied(), |t| t.dxb_util),
+            phase_share(rows.iter().copied(), blocked_cycles),
+            phase_share(rows.iter().copied(), |a| a.detour_transfer),
         ]);
     }
     t.note("expected: zero deadlocks and zero undelivered everywhere");
     t.note("S-XB util = mean busy fraction of the serializing crossbar's output ports (D-XB = S-XB under this scheme)");
+    t.note(
+        "blocked % / detour % = attributed share of delivered-packet latency; \
+         detour % is non-zero only on rows whose fault forces RC=3 detours",
+    );
 
     let mut v = Table::new(
         "fig10-static",

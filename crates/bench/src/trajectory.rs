@@ -15,6 +15,7 @@
 
 use mdx_campaign::{run_campaign_with, CampaignResult, ObsOptions, Scenario, Workload};
 use mdx_fault::{enumerate_single_faults, FaultSite};
+use mdx_sim::SortedLatencies;
 use mdx_topology::{Coord, MdCrossbar, Shape};
 use mdx_workloads::TrafficPattern;
 use serde::{Deserialize, Serialize};
@@ -42,9 +43,15 @@ pub struct TrajectoryEntry {
     pub completed_rate: f64,
     /// Delivered packets per kilocycle, summed over the sweep.
     pub throughput: f64,
-    /// Mean of per-run median (p50) packet latencies, in cycles.
+    /// Mean delivered-packet latency pooled over the whole sweep, in
+    /// cycles (falls back to the mean of per-run medians when rows carry
+    /// no latency pool).
     pub mean_latency: f64,
-    /// Mean of per-run p95 packet latencies, in cycles.
+    /// True pooled 95th-percentile latency over every delivered packet of
+    /// the sweep, in cycles. Pooling matters: fig9-style runs deliver ~2
+    /// packets each, so *averaging per-run percentiles* collapses p95
+    /// into p50 (both hit index 0 of a 2-element list) and the file
+    /// records `p95 == mean` forever.
     pub p95_latency: f64,
     /// Mean S-XB output utilization over instrumented rows.
     pub sxb_util: f64,
@@ -88,6 +95,10 @@ pub struct TrajectoryDiff {
     pub deltas: Vec<MetricDelta>,
     /// Number of flagged regressions.
     pub regressions: usize,
+    /// True when the new snapshot was measurement-identical to the file's
+    /// last entry (timestamp excluded) and the append was skipped — the
+    /// file never accumulates byte-duplicate consecutive entries.
+    pub duplicate: bool,
 }
 
 impl TrajectoryDiff {
@@ -97,6 +108,13 @@ impl TrajectoryDiff {
         if self.first {
             out.push_str(&format!(
                 "{}: first snapshot recorded (no previous entry to diff)\n",
+                self.figure
+            ));
+            return out;
+        }
+        if self.duplicate {
+            out.push_str(&format!(
+                "{}: snapshot identical to the previous entry; append skipped\n",
                 self.figure
             ));
             return out;
@@ -186,6 +204,41 @@ fn summarize(figure: &str, result: &CampaignResult) -> TrajectoryEntry {
             vals.iter().sum::<f64>() / vals.len() as f64
         }
     };
+    // Pool every delivered latency of the sweep and take true pooled
+    // statistics. Averaging per-run percentiles is wrong for small runs:
+    // with ~2 delivered packets per run, `percentile(50)` and
+    // `percentile(95)` land on the same index, and the trajectory file
+    // records p95 == mean forever.
+    let pooled: Vec<u64> = result
+        .reports
+        .iter()
+        .filter_map(|r| r.latencies.as_ref())
+        .flatten()
+        .copied()
+        .collect();
+    let (mean_latency, p95_latency) = if pooled.is_empty() {
+        // Legacy fallback for sweeps run without the latency pool.
+        (
+            mean_of(
+                result
+                    .reports
+                    .iter()
+                    .filter_map(|r| r.latency_p50.map(|v| v as f64))
+                    .collect(),
+            ),
+            mean_of(
+                result
+                    .reports
+                    .iter()
+                    .filter_map(|r| r.latency_p95.map(|v| v as f64))
+                    .collect(),
+            ),
+        )
+    } else {
+        let mean = pooled.iter().sum::<u64>() as f64 / pooled.len() as f64;
+        let sorted = SortedLatencies::from_unsorted(pooled);
+        (mean, sorted.percentile(95).map_or(0.0, |v| v as f64))
+    };
     TrajectoryEntry {
         figure: figure.to_string(),
         recorded_at_epoch_s: SystemTime::now()
@@ -200,20 +253,8 @@ fn summarize(figure: &str, result: &CampaignResult) -> TrajectoryEntry {
         } else {
             delivered as f64 * 1000.0 / cycles as f64
         },
-        mean_latency: mean_of(
-            result
-                .reports
-                .iter()
-                .filter_map(|r| r.latency_p50.map(|v| v as f64))
-                .collect(),
-        ),
-        p95_latency: mean_of(
-            result
-                .reports
-                .iter()
-                .filter_map(|r| r.latency_p95.map(|v| v as f64))
-                .collect(),
-        ),
+        mean_latency,
+        p95_latency,
         sxb_util: mean_of(
             result
                 .reports
@@ -227,6 +268,9 @@ fn summarize(figure: &str, result: &CampaignResult) -> TrajectoryEntry {
 fn metrics_opts() -> ObsOptions {
     ObsOptions {
         metrics: true,
+        // Rows carry their delivered-latency pool so `summarize` can take
+        // true sweep-wide percentiles.
+        latencies: true,
         ..ObsOptions::default()
     }
 }
@@ -287,9 +331,28 @@ pub fn snapshot_fig10() -> TrajectoryEntry {
     summarize("fig10", &run_campaign_with(scenarios, &metrics_opts()))
 }
 
+/// True when two entries record the same measurement — every field except
+/// the wall-clock timestamp matches.
+fn same_measurement(a: &TrajectoryEntry, b: &TrajectoryEntry) -> bool {
+    a.figure == b.figure
+        && a.scenarios == b.scenarios
+        && a.deadlock_rate == b.deadlock_rate
+        && a.completed_rate == b.completed_rate
+        && a.throughput == b.throughput
+        && a.mean_latency == b.mean_latency
+        && a.p95_latency == b.p95_latency
+        && a.sxb_util == b.sxb_util
+}
+
 /// Appends `entry` to the trajectory file at `path` (creating it when
 /// absent), writes the file back, and returns the diff against the
 /// previously last entry.
+///
+/// An entry that is measurement-identical to the file's last one (only
+/// the timestamp differing) is **not** appended — deterministic sweeps
+/// re-run on the same commit would otherwise pile up byte-duplicate
+/// consecutive entries. The returned diff has
+/// [`TrajectoryDiff::duplicate`] set and zero regressions.
 pub fn append_snapshot(
     path: &Path,
     entry: TrajectoryEntry,
@@ -305,6 +368,15 @@ pub fn append_snapshot(
         Err(e) => return Err(e),
     };
     let diff = match file.entries.last() {
+        Some(prev) if same_measurement(prev, &entry) => {
+            return Ok(TrajectoryDiff {
+                figure: entry.figure.clone(),
+                first: false,
+                deltas: Vec::new(),
+                regressions: 0,
+                duplicate: true,
+            });
+        }
         Some(prev) => {
             let deltas = diff_entries(prev, &entry, threshold);
             let regressions = deltas.iter().filter(|d| d.regression).count();
@@ -313,6 +385,7 @@ pub fn append_snapshot(
                 first: false,
                 deltas,
                 regressions,
+                duplicate: false,
             }
         }
         None => TrajectoryDiff {
@@ -320,6 +393,7 @@ pub fn append_snapshot(
             first: true,
             deltas: Vec::new(),
             regressions: 0,
+            duplicate: false,
         },
     };
     file.entries.push(entry);
@@ -332,6 +406,84 @@ pub fn append_snapshot(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mdx_campaign::ScenarioReport;
+    use mdx_sim::SimStats;
+
+    /// A minimal completed row carrying the given delivered-latency pool
+    /// (and the per-run percentiles the legacy reduction would read).
+    fn row_with_latencies(latencies: Vec<u64>) -> ScenarioReport {
+        let scenario = Scenario::new(
+            vec![4, 3],
+            "sr2201",
+            Workload::BroadcastStorm {
+                sources: vec![0],
+                flits: 8,
+            },
+            0,
+        );
+        let sorted = SortedLatencies::from_unsorted(latencies.clone());
+        ScenarioReport {
+            token: scenario.token(),
+            scenario,
+            outcome: "completed".to_string(),
+            offered: latencies.len(),
+            stats: SimStats {
+                cycles: 1000,
+                flit_hops: 0,
+                delivered: latencies.len(),
+                dropped: 0,
+                unfinished: 0,
+                latency_sum: latencies.iter().sum(),
+                latency_max: latencies.iter().copied().max().unwrap_or(0),
+            },
+            latency_p50: sorted.percentile(50),
+            latency_p95: sorted.percentile(95),
+            latency_p99: sorted.percentile(99),
+            hot_channels: Vec::new(),
+            deadlock: None,
+            digest: String::new(),
+            telemetry: None,
+            postmortem: None,
+            reconfig: None,
+            attribution: None,
+            latencies: Some(latencies),
+        }
+    }
+
+    #[test]
+    fn p95_pools_across_runs_instead_of_averaging_per_run_percentiles() {
+        // Two tiny runs with a skewed pool: [10, 500] and [10, 1000]. The
+        // old reduction averaged per-run percentiles — with 2 delivered
+        // packets, p50 and p95 hit the same index (0), so it reported
+        // mean == p95 == 10 (exactly the `BENCH_fig9.json` 41.8/41.8
+        // artifact). The pooled reduction separates them.
+        let result = CampaignResult {
+            reports: vec![
+                row_with_latencies(vec![10, 500]),
+                row_with_latencies(vec![10, 1000]),
+            ],
+            skipped: Vec::new(),
+        };
+        let e = summarize("fig9", &result);
+        assert_eq!(e.mean_latency, 380.0); // (10+500+10+1000)/4
+        assert_eq!(e.p95_latency, 500.0); // pooled [10,10,500,1000] p95
+        assert_ne!(e.mean_latency, e.p95_latency);
+    }
+
+    #[test]
+    fn summarize_falls_back_without_latency_pools() {
+        let mut a = row_with_latencies(vec![10, 10]);
+        let mut b = row_with_latencies(vec![10, 1000]);
+        a.latencies = None;
+        b.latencies = None;
+        let result = CampaignResult {
+            reports: vec![a, b],
+            skipped: Vec::new(),
+        };
+        // Legacy behavior (and its collapse) preserved for pool-less rows.
+        let e = summarize("fig9", &result);
+        assert_eq!(e.mean_latency, e.p95_latency);
+    }
 
     fn entry(figure: &str, throughput: f64, deadlock_rate: f64) -> TrajectoryEntry {
         TrajectoryEntry {
@@ -382,6 +534,40 @@ mod tests {
             serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
         assert_eq!(file.entries.len(), 3);
         assert_eq!(file.figure, "fig9");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn duplicate_consecutive_snapshot_is_skipped() {
+        let path = std::env::temp_dir().join(format!(
+            "mdx-trajectory-dup-test-{}-{:?}.json",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        let first = append_snapshot(&path, entry("fig9", 2.0, 0.5), 0.10).unwrap();
+        assert!(first.first && !first.duplicate);
+
+        // Same measurement, different wall clock: skipped, not appended.
+        let mut again = entry("fig9", 2.0, 0.5);
+        again.recorded_at_epoch_s = 12345;
+        let dup = append_snapshot(&path, again, 0.10).unwrap();
+        assert!(dup.duplicate);
+        assert_eq!(dup.regressions, 0);
+        assert!(dup.deltas.is_empty());
+        assert!(dup.render().contains("append skipped"));
+
+        let file: TrajectoryFile =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(file.entries.len(), 1);
+
+        // A genuinely new measurement still appends and diffs.
+        let moved = append_snapshot(&path, entry("fig9", 3.0, 0.5), 0.10).unwrap();
+        assert!(!moved.duplicate && !moved.first);
+        let file: TrajectoryFile =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(file.entries.len(), 2);
         let _ = std::fs::remove_file(&path);
     }
 

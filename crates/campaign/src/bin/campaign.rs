@@ -9,8 +9,9 @@
 //!              [--fail-on-deadlock] [--fail-on-loss]
 //!              [--flight-recorder] [--postmortem-dir DIR]
 //! campaign replay <token> [--metrics] [--trace-out PATH] [--stall-probe N]
-//!                 [--flight-recorder] [--postmortem-dir DIR]
+//!                 [--flight-recorder] [--postmortem-dir DIR] [--attribution]
 //! campaign shrink <token>
+//! campaign diff <a.jsonl> <b.jsonl> [--threshold PP] [--fail-on-shift] [--json]
 //! ```
 //!
 //! `--timeline CYCLE` turns the fault dimension *live*: instead of wearing
@@ -41,10 +42,21 @@
 //! printed (and dumped too when `--postmortem-dir` is given). `shrink`
 //! always attaches the recorder to the minimized witness and prints its
 //! report.
+//!
+//! `--attribution` attaches the cycle-exact latency profiler (`mdx-obs`
+//! `AttributionObserver`): every delivered packet's latency is decomposed
+//! into disjoint conserving phases, and each JSONL row gains an
+//! `attribution` section (phase totals, top blame channels, critical-path
+//! shape). Under `replay` the full report — phase table, blame profile,
+//! critical path — is printed. `campaign diff` then compares two such
+//! JSONL files phase-by-phase as shares of total latency, flagging shifts
+//! beyond `--threshold` percentage points (default 1.0); `--fail-on-shift`
+//! exits nonzero when anything is flagged, `--json` prints the machine
+//! form instead of the table.
 
 use mdx_campaign::{
-    enumerate_scenarios, run_campaign_with, run_scenario_instrumented, shrink, CampaignConfig,
-    ObsOptions, Scenario, WorkloadKind, CAMPAIGN_SCHEMES,
+    diff_attribution, enumerate_scenarios, run_campaign_with, run_scenario_instrumented, shrink,
+    CampaignConfig, ObsOptions, Scenario, WorkloadKind, CAMPAIGN_SCHEMES, DEFAULT_DIFF_THRESHOLD,
 };
 use mdx_obs::{PostmortemReport, DEFAULT_FLIGHT_CAPACITY};
 use std::path::Path;
@@ -57,11 +69,12 @@ fn usage() -> ! {
          [--fault-samples N] [--seeds N] [--workloads mixed,storm,detour,fault-storm]\n    \
          [--timeline CYCLE] [--recovery drop|reinject|reroute]\n    \
          [--max-cycles N] [--jsonl PATH] [--quiet] [--fail-on-deadlock] [--fail-on-loss]\n    \
-         [--metrics]\n    \
+         [--metrics] [--attribution]\n    \
          [--flight-recorder] [--postmortem-dir DIR]\n  \
          campaign replay <token> [--metrics] [--trace-out PATH] [--stall-probe N]\n    \
-         [--flight-recorder] [--postmortem-dir DIR]\n  \
-         campaign shrink <token>"
+         [--flight-recorder] [--postmortem-dir DIR] [--attribution]\n  \
+         campaign shrink <token>\n  \
+         campaign diff <a.jsonl> <b.jsonl> [--threshold PP] [--fail-on-shift] [--json]"
     );
     std::process::exit(2);
 }
@@ -165,6 +178,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
             "--fail-on-deadlock" => fail_on_deadlock = true,
             "--fail-on-loss" => fail_on_loss = true,
             "--metrics" => obs.metrics = true,
+            "--attribution" => obs.attribution = true,
             "--flight-recorder" => obs.flight = Some(DEFAULT_FLIGHT_CAPACITY),
             "--postmortem-dir" => postmortem_dir = it.next().unwrap_or_else(|| usage()),
             _ => usage(),
@@ -286,6 +300,7 @@ fn cmd_replay(token: &str, args: &[String]) -> ExitCode {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--metrics" => obs.metrics = true,
+            "--attribution" => obs.attribution = true,
             "--stall-probe" => obs.stall_probe = Some(parse_num("--stall-probe", it.next())),
             "--trace-out" => {
                 trace_out = Some(it.next().unwrap_or_else(|| usage()));
@@ -313,6 +328,10 @@ fn cmd_replay(token: &str, args: &[String]) -> ExitCode {
             if let Some(s) = &telemetry.stall {
                 println!();
                 print!("{}", s.timeline());
+            }
+            if let Some(att) = &telemetry.attribution {
+                println!();
+                print!("{}", att.render());
             }
             if let Some(pm) = &telemetry.postmortem {
                 println!();
@@ -386,6 +405,56 @@ fn cmd_shrink(token: &str) -> ExitCode {
     }
 }
 
+fn cmd_diff(args: &[String]) -> ExitCode {
+    let mut paths: Vec<String> = Vec::new();
+    let mut threshold = DEFAULT_DIFF_THRESHOLD;
+    let mut fail_on_shift = false;
+    let mut json = false;
+    let mut it = args.iter().cloned();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                // The flag speaks percentage points (like the table).
+                let pp: f64 = parse_num("--threshold", it.next());
+                threshold = pp / 100.0;
+            }
+            "--fail-on-shift" => fail_on_shift = true,
+            "--json" => json = true,
+            _ if !arg.starts_with("--") => paths.push(arg),
+            _ => usage(),
+        }
+    }
+    if paths.len() != 2 {
+        usage();
+    }
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let (a, b) = (read(&paths[0]), read(&paths[1]));
+    match diff_attribution(&a, &b, threshold) {
+        Ok(d) => {
+            if json {
+                println!("{}", d.to_json());
+            } else {
+                print!("{}", d.render());
+            }
+            if fail_on_shift && !d.is_clean() {
+                eprintln!("error: {} phase shift(s) beyond threshold", d.flagged);
+                return ExitCode::from(1);
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -398,6 +467,7 @@ fn main() -> ExitCode {
             Some(t) => cmd_shrink(t),
             None => usage(),
         },
+        Some("diff") => cmd_diff(&args[1..]),
         _ => usage(),
     }
 }

@@ -37,15 +37,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diff;
 pub mod runner;
 pub mod scenario;
 pub mod shrink;
 pub mod token;
 
+pub use diff::{
+    diff_attribution, AttributionDiff, DiffError, DiffSide, PhaseShift, DEFAULT_DIFF_THRESHOLD,
+};
 pub use runner::{
     enumerate_fault_sets, enumerate_scenarios, run_campaign, run_campaign_with, run_scenario,
     run_scenario_instrumented, CampaignConfig, CampaignError, CampaignResult, ObsOptions,
-    RowTelemetry, ScenarioReport, Telemetry, WorkloadKind, CAMPAIGN_SCHEMES,
+    RowAttribution, RowTelemetry, ScenarioReport, Telemetry, WorkloadKind, CAMPAIGN_SCHEMES,
 };
 pub use scenario::{detour_stress_for, Scenario, ScenarioError, Workload};
 pub use shrink::{shrink, ShrinkError, ShrinkReport};

@@ -9,8 +9,8 @@ use crate::scenario::{detour_stress_for, Scenario, ScenarioError, Workload};
 use mdx_core::registry::{build_scheme, RegistryError};
 use mdx_fault::{enumerate_single_faults, sample_fault_sets, FaultSet, FaultTimeline};
 use mdx_obs::{
-    FanoutObserver, FlightRecorder, MetricsObserver, MetricsReport, PostmortemReport, StallProbe,
-    StallReport, TraceRecorder,
+    AttributionObserver, AttributionReport, FanoutObserver, FlightRecorder, MetricsObserver,
+    MetricsReport, PostmortemReport, StallProbe, StallReport, TraceRecorder,
 };
 use mdx_reconfig::{drive_reconfig, ReconfigError, ReconfigReport, ReconfigSpec, RecoveryPolicy};
 use mdx_sim::{DeadlockInfo, SimConfig, SimOutcome, SimStats, Simulator};
@@ -263,12 +263,25 @@ pub struct ObsOptions {
     /// ([`mdx_obs::DEFAULT_FLIGHT_CAPACITY`] is the usual choice). Failed
     /// runs then carry a [`PostmortemReport`] in their row and telemetry.
     pub flight: Option<usize>,
+    /// Attach an [`AttributionObserver`] (per-packet latency phase
+    /// decomposition, blame profiles, critical path). The row gains a
+    /// [`RowAttribution`] summary and the conservation invariant
+    /// `sum(phases) == latency` is asserted for every delivered packet.
+    pub attribution: bool,
+    /// Embed the raw delivered-latency pool in the row
+    /// ([`ScenarioReport::latencies`]), so sweep-level reducers can take
+    /// true pooled percentiles instead of averaging per-run ones.
+    pub latencies: bool,
 }
 
 impl ObsOptions {
     /// True when no instrument is requested.
     pub fn is_none(&self) -> bool {
-        !self.metrics && self.stall_probe.is_none() && !self.trace && self.flight.is_none()
+        !self.metrics
+            && self.stall_probe.is_none()
+            && !self.trace
+            && self.flight.is_none()
+            && !self.attribution
     }
 }
 
@@ -293,6 +306,92 @@ pub struct RowTelemetry {
     pub peak_blocked_wait: u64,
 }
 
+/// The compact latency-attribution summary embedded in a
+/// [`ScenarioReport`] row when the scenario ran with
+/// [`ObsOptions::attribution`]: the run's phase totals, the heaviest
+/// blame rows, and the critical-path shape. The full per-packet records
+/// stay in [`Telemetry::attribution`].
+///
+/// `Deserialize` is implemented by hand in [`crate::diff`]: the diff tool
+/// reads attribution sections leniently (older or wider schemas still
+/// parse), unlike the derive's strict missing-field behavior.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RowAttribution {
+    /// Delivered packets decomposed.
+    pub delivered: usize,
+    /// Whether `sum(phases) == latency` held for every delivered packet.
+    pub conserved: bool,
+    /// Total end-to-end latency over delivered packets (cycles).
+    pub latency_total: u64,
+    /// Total source injection queueing.
+    pub inject_wait: u64,
+    /// Total reconfiguration epoch-pause cycles.
+    pub epoch_pause: u64,
+    /// Total S-XB gather serialization wait.
+    pub gather_wait: u64,
+    /// Total blocked-behind-normal cycles.
+    pub blocked_normal: u64,
+    /// Total blocked-behind-S-XB (holder RC 1/2) cycles.
+    pub blocked_gather: u64,
+    /// Total blocked-behind-detour (holder RC 3) cycles.
+    pub blocked_detour: u64,
+    /// Total RC=3 in-flight cycles.
+    pub detour_transfer: u64,
+    /// Total ordinary transfer cycles.
+    pub base_transfer: u64,
+    /// Total detour hop overhead vs. fault-free dimension-order paths.
+    pub detour_overhead_hops: u64,
+    /// Heaviest blame rows as `(channel description, blocked cycles)`.
+    pub top_blame: Vec<(String, u64)>,
+    /// Wait-for chain length of the critical path.
+    pub critical_len: usize,
+    /// Total cycles across the critical path's waits.
+    pub critical_wait: u64,
+}
+
+impl RowAttribution {
+    /// Reduces a full [`AttributionReport`] to the row summary.
+    pub fn from_report(rep: &AttributionReport) -> RowAttribution {
+        RowAttribution {
+            delivered: rep.delivered,
+            conserved: rep.conserved,
+            latency_total: rep.totals.latency,
+            inject_wait: rep.totals.inject_wait,
+            epoch_pause: rep.totals.epoch_pause,
+            gather_wait: rep.totals.gather_wait,
+            blocked_normal: rep.totals.blocked_normal,
+            blocked_gather: rep.totals.blocked_gather,
+            blocked_detour: rep.totals.blocked_detour,
+            detour_transfer: rep.totals.detour_transfer,
+            base_transfer: rep.totals.base_transfer,
+            detour_overhead_hops: rep.totals.detour_overhead_hops,
+            top_blame: rep
+                .channel_blame
+                .iter()
+                .take(3)
+                .map(|c| (c.desc.clone(), c.blocked_cycles))
+                .collect(),
+            critical_len: rep.critical.steps.len(),
+            critical_wait: rep.critical.waited_total,
+        }
+    }
+
+    /// `(name, cycles)` pairs of the cycle phases, in render order — the
+    /// schema [`crate::diff`] compares run-to-run.
+    pub fn phases(&self) -> [(&'static str, u64); 8] {
+        [
+            ("inject_wait", self.inject_wait),
+            ("epoch_pause", self.epoch_pause),
+            ("gather_wait", self.gather_wait),
+            ("blocked_normal", self.blocked_normal),
+            ("blocked_gather", self.blocked_gather),
+            ("blocked_detour", self.blocked_detour),
+            ("detour_transfer", self.detour_transfer),
+            ("base_transfer", self.base_transfer),
+        ]
+    }
+}
+
 /// The full (non-embedded) telemetry of one instrumented run.
 #[derive(Debug, Clone, Default)]
 pub struct Telemetry {
@@ -306,6 +405,9 @@ pub struct Telemetry {
     /// Deadlock post-mortem, when [`ObsOptions::flight`] was set and the
     /// run failed.
     pub postmortem: Option<PostmortemReport>,
+    /// Full latency attribution (per-packet phases, blame profiles,
+    /// critical path), when [`ObsOptions::attribution`] was set.
+    pub attribution: Option<AttributionReport>,
     /// S-XB name under the scenario's scheme (e.g. `X0-XB`), for labeling.
     pub sxb_name: Option<String>,
     /// D-XB name under the scenario's scheme.
@@ -352,6 +454,13 @@ pub struct ScenarioReport {
     /// Deterministic per token, but excluded from the digest, which hashes
     /// only the engine's result.
     pub reconfig: Option<ReconfigReport>,
+    /// Latency-attribution summary, when the row ran with
+    /// [`ObsOptions::attribution`]. Deterministic per token; excluded
+    /// from the digest, which hashes only the engine's result.
+    pub attribution: Option<RowAttribution>,
+    /// Raw delivered-latency pool (sorted), when the row ran with
+    /// [`ObsOptions::latencies`] — feeds sweep-level pooled percentiles.
+    pub latencies: Option<Vec<u64>>,
 }
 
 impl ScenarioReport {
@@ -405,6 +514,7 @@ pub fn run_scenario_instrumented(
     let mut stall_handle = None;
     let mut trace_handle = None;
     let mut flight_handle = None;
+    let mut attribution_handle = None;
     if !opts.is_none() {
         let mut fan = FanoutObserver::new();
         if opts.metrics {
@@ -426,6 +536,11 @@ pub fn run_scenario_instrumented(
             let (rec, handle) = FlightRecorder::new(net.graph().clone(), vcs, capacity);
             fan.push(Box::new(rec));
             flight_handle = Some(handle);
+        }
+        if opts.attribution {
+            let (obs, handle) = AttributionObserver::new(net.graph().clone());
+            fan.push(Box::new(obs));
+            attribution_handle = Some(handle);
         }
         sim.set_observer(Box::new(fan));
     }
@@ -464,11 +579,26 @@ pub fn run_scenario_instrumented(
         _ => None,
     };
 
+    let attribution_report = attribution_handle.map(|h| h.report(&result));
+    if let Some(rep) = &attribution_report {
+        // The hard invariant behind `--attribution`: the phase
+        // decomposition must conserve every delivered packet's latency
+        // against the engine's own accounting. A violation is a bug in
+        // either the observer stream or the sweep — never row data.
+        assert!(
+            rep.conserved,
+            "attribution conservation violated for packet(s) {:?} (token {})",
+            rep.violations,
+            scenario.token()
+        );
+    }
+
     let telemetry = Telemetry {
         metrics: metrics_handle.map(|h| h.report(result.stats.cycles)),
         stall: stall_handle.map(|h| h.report()),
         trace: trace_handle.map(|h| h.render(result.stats.cycles)),
         postmortem: flight_handle.and_then(|h| h.postmortem(&result.outcome, &result.diagnostics)),
+        attribution: attribution_report,
         sxb_name: sxb_name.clone(),
         dxb_name: dxb_name.clone(),
     };
@@ -517,6 +647,11 @@ pub fn run_scenario_instrumented(
         telemetry: row_telemetry,
         postmortem: telemetry.postmortem.clone(),
         reconfig,
+        attribution: telemetry
+            .attribution
+            .as_ref()
+            .map(RowAttribution::from_report),
+        latencies: opts.latencies.then(|| lats.as_slice().to_vec()),
     };
     Ok((report, telemetry))
 }

@@ -8,10 +8,13 @@
 //! wrapper so the totals are readable after the run) and checking its
 //! counters against [`SimResult`]'s independently-derived statistics.
 
-use mdx_campaign::{detour_stress_for, Scenario, Workload, CAMPAIGN_SCHEMES};
+use mdx_campaign::{
+    detour_stress_for, run_scenario_instrumented, ObsOptions, Scenario, Workload, CAMPAIGN_SCHEMES,
+};
 use mdx_core::registry::build_scheme;
 use mdx_core::RouteChange;
-use mdx_fault::enumerate_single_faults;
+use mdx_fault::{enumerate_single_faults, FaultTimeline};
+use mdx_reconfig::{ReconfigSpec, RecoveryPolicy};
 use mdx_sim::{
     DeadlockInfo, EventCounts, InjectSpec, PacketId, SimObserver, Simulator, WaitSnapshot,
 };
@@ -193,5 +196,63 @@ proptest! {
         // The watchdog reports a deadlock to the observer iff the run's
         // outcome is a deadlock.
         prop_assert_eq!(c.deadlocks, usize::from(result.outcome.is_deadlock()));
+    }
+
+    /// Attribution conservation vs. the engine's accounting, randomized
+    /// over the same scenario space — and, for `policy_pick > 0`, over
+    /// *live* fault timelines (quiesce/drain/reprogram/resume under each
+    /// of the three recovery policies). Phase sums must equal the
+    /// engine's per-packet latency exactly; in particular epoch-pause
+    /// cycles are counted exactly once even when a pause window overlaps
+    /// blocked episodes, and never appear without a timeline.
+    #[test]
+    fn attribution_conserves_with_and_without_fault_timelines(
+        shape_pick in 0usize..3, scheme_pick in 0usize..3, wl_pick in 0u8..3,
+        fault_pick in any::<u64>(), seed in any::<u64>(), policy_pick in 0u8..4,
+    ) {
+        let mut scenario = make_scenario(shape_pick, scheme_pick, wl_pick, fault_pick, seed);
+        let live = policy_pick > 0;
+        if live {
+            // Turn the static fault set (possibly empty) into a mid-run
+            // injection script through the epoch protocol.
+            let policy = [
+                RecoveryPolicy::Drop,
+                RecoveryPolicy::Reinject,
+                RecoveryPolicy::Reroute,
+            ][(policy_pick - 1) as usize];
+            let mut tl = FaultTimeline::new();
+            for site in std::mem::take(&mut scenario.faults) {
+                tl = tl.inject(site, 40);
+            }
+            scenario = scenario.with_reconfig(ReconfigSpec::new(tl).with_policy(policy));
+        }
+
+        let opts = ObsOptions { attribution: true, ..ObsOptions::default() };
+        let (report, telemetry) = match run_scenario_instrumented(&scenario, &opts) {
+            Ok(out) => out,
+            // Unbuildable scheme/fault combinations and unreprogrammable
+            // timelines are legitimate skips, not failures.
+            Err(_) => return Ok(()),
+        };
+
+        let att = telemetry.attribution.expect("attribution report");
+        prop_assert!(att.conserved, "violations: {:?}", att.violations);
+        for p in &att.packets {
+            prop_assert_eq!(p.phase_sum(), p.latency);
+        }
+        prop_assert_eq!(att.delivered, report.stats.delivered);
+
+        // Pause cycles only exist on live rows that actually paused.
+        if !live {
+            prop_assert_eq!(att.totals.epoch_pause, 0);
+        }
+        // The row summary is a faithful reduction of the full report.
+        let row = report.attribution.expect("row attribution");
+        prop_assert_eq!(row.latency_total, att.totals.latency);
+        prop_assert_eq!(row.epoch_pause, att.totals.epoch_pause);
+        prop_assert_eq!(
+            row.phases().iter().map(|(_, c)| c).sum::<u64>(),
+            row.latency_total
+        );
     }
 }

@@ -1,0 +1,262 @@
+//! Critical-path extraction from blocked/unblocked wait-for edges.
+//!
+//! Every closed blocked episode is a timed wait-for edge: *waiter* wanted
+//! a channel held by *holder* over `[start, end)`. The **critical path**
+//! of a run is the longest chain of such edges ending at the last
+//! delivery — the sequence of waits that, had any of them been shorter,
+//! would have moved the run's makespan. [`critical_path`] reconstructs it
+//! greedily backwards: from the last-finished packet, repeatedly follow
+//! the latest episode that ended before the current point in time into
+//! the packet that was holding the port, until the chain bottoms out in a
+//! packet that never waited.
+//!
+//! The walk is deterministic (ties broken by episode end, then start,
+//! then channel id) and cycle-safe (each packet is visited at most once;
+//! genuine cyclic waits belong to the deadlock post-mortem, not here).
+
+use mdx_topology::{ChannelId, NetworkGraph};
+use serde::{Deserialize, Serialize};
+
+/// Upper bound on critical-path chain length — a backstop against
+/// pathological inputs, far above any chain a real run produces.
+pub const MAX_CRITICAL_STEPS: usize = 256;
+
+/// One closed blocked episode, as a timed wait-for edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WaitEpisode {
+    /// The packet that waited.
+    pub waiter: u32,
+    /// The packet holding the port when the episode opened (`None` when
+    /// the port was free but the grant had not happened yet that cycle).
+    pub holder: Option<u32>,
+    /// The contended channel (dense id into the run's graph).
+    pub channel: u32,
+    /// First blocked cycle.
+    pub start: u64,
+    /// Grant cycle (exclusive; the episode spans `[start, end)`).
+    pub end: u64,
+}
+
+/// One hop of the critical path: a wait the makespan went through.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CriticalStep {
+    /// The waiting packet.
+    pub waiter: u32,
+    /// The packet it waited behind, if the port had an owner.
+    pub holder: Option<u32>,
+    /// Dense channel id of the contended port.
+    pub channel: u32,
+    /// Human-readable channel description (e.g. `R3 -> Y1-XB`).
+    pub desc: String,
+    /// First blocked cycle.
+    pub start: u64,
+    /// Grant cycle.
+    pub end: u64,
+}
+
+impl CriticalStep {
+    /// Cycles this step contributed to the chain.
+    pub fn waited(&self) -> u64 {
+        self.end - self.start
+    }
+}
+
+/// The longest chain of wait-for edges ending at the last delivery.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CriticalPath {
+    /// The packet the chain ends at (the run's last delivery), when the
+    /// run delivered anything.
+    pub last_delivery: Option<u32>,
+    /// Cycle the last delivery finished.
+    pub finished_at: u64,
+    /// The chain, walked backwards from the last delivery (first element
+    /// is the last delivery's own latest wait).
+    pub steps: Vec<CriticalStep>,
+    /// Total cycles spent across the chain's waits.
+    pub waited_total: u64,
+}
+
+impl CriticalPath {
+    /// An empty path (run delivered nothing, or nothing ever blocked).
+    pub fn empty() -> CriticalPath {
+        CriticalPath {
+            last_delivery: None,
+            finished_at: 0,
+            steps: Vec::new(),
+            waited_total: 0,
+        }
+    }
+
+    /// Renders the chain hop-by-hop, newest wait first.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        match self.last_delivery {
+            None => {
+                out.push_str("critical path: (no delivered packet)\n");
+                return out;
+            }
+            Some(id) => out.push_str(&format!(
+                "critical path (ending at pkt{id}, finished cycle {}): {} wait(s), {} cycle(s)\n",
+                self.finished_at,
+                self.steps.len(),
+                self.waited_total
+            )),
+        }
+        for s in &self.steps {
+            let holder = match s.holder {
+                Some(h) => format!("pkt{h}"),
+                None => "(free port)".to_string(),
+            };
+            out.push_str(&format!(
+                "  pkt{} waited {} cyc [{}, {}) for {} held by {}\n",
+                s.waiter,
+                s.waited(),
+                s.start,
+                s.end,
+                s.desc,
+                holder
+            ));
+        }
+        if self.steps.is_empty() {
+            out.push_str("  (the last delivery never blocked)\n");
+        }
+        out
+    }
+}
+
+/// Walks the wait-for edges backwards from `(last_delivery, finished_at)`.
+///
+/// At each packet, the latest episode ending at or before the current
+/// time is the wait the makespan went through; the walk then jumps to the
+/// packet that held the port when that wait began. Holderless episodes
+/// (free-port arbitration losses) terminate the chain, as do packets with
+/// no earlier episode and packets already on the chain.
+pub fn critical_path(
+    episodes: &[WaitEpisode],
+    last_delivery: u32,
+    finished_at: u64,
+    graph: &NetworkGraph,
+) -> CriticalPath {
+    let mut steps = Vec::new();
+    let mut waited_total = 0u64;
+    let mut visited = vec![last_delivery];
+    let mut current = last_delivery;
+    let mut horizon = finished_at;
+
+    while steps.len() < MAX_CRITICAL_STEPS {
+        // The latest episode of `current` ending by `horizon`; ties broken
+        // deterministically toward the longer (earlier-starting) episode,
+        // then the smaller channel id.
+        let next = episodes
+            .iter()
+            .filter(|e| e.waiter == current && e.end <= horizon)
+            .max_by(|a, b| {
+                a.end
+                    .cmp(&b.end)
+                    .then(b.start.cmp(&a.start))
+                    .then(b.channel.cmp(&a.channel))
+            });
+        let Some(e) = next else { break };
+        steps.push(CriticalStep {
+            waiter: e.waiter,
+            holder: e.holder,
+            channel: e.channel,
+            desc: graph.describe_channel(ChannelId(e.channel)),
+            start: e.start,
+            end: e.end,
+        });
+        waited_total += e.end - e.start;
+        let Some(holder) = e.holder else { break };
+        if visited.contains(&holder) {
+            break;
+        }
+        visited.push(holder);
+        current = holder;
+        horizon = e.start;
+    }
+
+    CriticalPath {
+        last_delivery: Some(last_delivery),
+        finished_at,
+        steps,
+        waited_total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdx_topology::graph::GraphBuilder;
+    use mdx_topology::{Node, XbarRef};
+
+    fn tiny_graph() -> NetworkGraph {
+        let mut b = GraphBuilder::new();
+        let pe = b.add_node(Node::Pe(0), None);
+        let r = b.add_node(Node::Router(0), None);
+        let x = b.add_node(Node::Xbar(XbarRef { dim: 0, line: 0 }), None);
+        b.add_link(pe, r);
+        b.add_link(r, x);
+        b.build()
+    }
+
+    fn ep(waiter: u32, holder: Option<u32>, channel: u32, start: u64, end: u64) -> WaitEpisode {
+        WaitEpisode {
+            waiter,
+            holder,
+            channel,
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn chains_through_holders() {
+        let g = tiny_graph();
+        // pkt2 waited behind pkt1, which earlier waited behind pkt0.
+        let eps = vec![
+            ep(1, Some(0), 0, 5, 12),
+            ep(2, Some(1), 1, 14, 30),
+            // A decoy later than the horizon once the walk reaches pkt1.
+            ep(1, Some(0), 1, 20, 25),
+        ];
+        let p = critical_path(&eps, 2, 40, &g);
+        assert_eq!(p.last_delivery, Some(2));
+        assert_eq!(p.steps.len(), 2);
+        assert_eq!(p.steps[0].waiter, 2);
+        assert_eq!(p.steps[0].holder, Some(1));
+        assert_eq!(p.steps[1].waiter, 1);
+        assert_eq!(p.steps[1].holder, Some(0));
+        assert_eq!(p.waited_total, (30 - 14) + (12 - 5));
+        assert!(p.render().contains("pkt2 waited 16 cyc"));
+    }
+
+    #[test]
+    fn holderless_wait_ends_chain() {
+        let g = tiny_graph();
+        let eps = vec![ep(3, None, 0, 2, 9), ep(3, Some(1), 1, 0, 1)];
+        let p = critical_path(&eps, 3, 20, &g);
+        // The latest episode is the holderless one; the chain stops there.
+        assert_eq!(p.steps.len(), 1);
+        assert_eq!(p.steps[0].holder, None);
+        assert_eq!(p.waited_total, 7);
+    }
+
+    #[test]
+    fn wait_cycles_do_not_loop() {
+        let g = tiny_graph();
+        // Mutual historical waits must not spin the walk forever.
+        let eps = vec![ep(0, Some(1), 0, 10, 20), ep(1, Some(0), 1, 2, 8)];
+        let p = critical_path(&eps, 0, 30, &g);
+        assert_eq!(p.steps.len(), 2);
+        assert_eq!(p.waited_total, 16);
+    }
+
+    #[test]
+    fn no_waits_renders_cleanly() {
+        let g = tiny_graph();
+        let p = critical_path(&[], 5, 17, &g);
+        assert_eq!(p.steps.len(), 0);
+        assert!(p.render().contains("never blocked"));
+        assert!(CriticalPath::empty().render().contains("no delivered"));
+    }
+}

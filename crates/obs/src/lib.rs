@@ -26,6 +26,13 @@
 //!   snapshot and deadlock witness into a [`PostmortemReport`]: the cyclic
 //!   wait with each packet's RC state, recent hops, S-XB gather depth, and
 //!   a classification against the paper's Fig. 5 / Fig. 9 signatures.
+//! - [`AttributionObserver`] — *why was each packet slow?* Decomposes every
+//!   delivered packet's end-to-end latency into disjoint, conserving phases
+//!   (injection queueing, S-XB serialization, blocked time split by holder
+//!   class, epoch pauses, detour vs. base transfer) with the hard invariant
+//!   `sum(phases) == latency`, plus per-channel/per-crossbar *blame
+//!   profiles* and the run's *critical path* of wait-for edges
+//!   ([`crate::critical`]).
 //!
 //! [`TraceDoc`] is the strict schema for the trace recorder's Chrome-trace
 //! JSON (deny-unknown-fields, per-phase shape checks).
@@ -65,6 +72,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod attribution;
+pub mod critical;
 mod flight;
 mod metrics;
 mod postmortem;
@@ -72,6 +81,11 @@ mod schema;
 mod stall;
 mod trace;
 
+pub use attribution::{
+    AttributionHandle, AttributionObserver, AttributionReport, ChannelBlame, PacketPhases,
+    PhaseTotals, XbarBlame,
+};
+pub use critical::{critical_path, CriticalPath, CriticalStep, WaitEpisode, MAX_CRITICAL_STEPS};
 pub use flight::{
     FlightEvent, FlightEventKind, FlightHandle, FlightRecorder, DEFAULT_FLIGHT_CAPACITY,
     FLIGHT_NO_PACKET,

@@ -45,6 +45,95 @@
 //! drain point for post-mortem instruments such as a flight recorder —
 //! then, for deadlocks only, [`SimObserver::on_deadlock`] with the
 //! extracted cyclic wait; `on_deadlock` is the last hook of such a run.
+//!
+//! ## Blocked/unblocked pairing contract
+//!
+//! Instruments that *integrate* blocked time (latency attribution, blame
+//! profiles) rely on a stricter shape than "blocked happened":
+//!
+//! 1. **One open episode per key.** For a given `(packet, channel, vc)`
+//!    key, [`SimObserver::on_blocked`] opens at most one episode at a
+//!    time: it fires once when the port request loses arbitration, *not*
+//!    once per blocked cycle. A broadcast packet may hold several episodes
+//!    open simultaneously — one per branch — but always on distinct
+//!    `(channel, vc)` keys.
+//! 2. **Matched close, exact span.** Every episode that ends in a grant
+//!    fires exactly one [`SimObserver::on_unblocked`] with the *same*
+//!    `(packet, channel, vc)` key, at the grant cycle `now`, with
+//!    `waited == now - blocked_now`. The blocked interval is therefore
+//!    `[now - waited, now)`, half-open, and never overlaps the next
+//!    episode on the same key.
+//! 3. **Holder is pre-arbitration.** The `holder` passed to `on_blocked`
+//!    is the packet owning the port *when the episode opened*; it may
+//!    release the port (and a different packet may take it) before the
+//!    waiter's grant. Classifiers should sample holder state at open time
+//!    and treat it as the cause of the episode.
+//! 4. **Abnormal ends leave episodes open.** Deadlocked, stalled, or
+//!    cycle-limited runs end with episodes that never see `on_unblocked`
+//!    (they surface in [`SimObserver::on_final_waits`] instead). A packet
+//!    that reaches [`SimObserver::on_packet_finished`] has no open
+//!    episodes: all of its grants happened before it finished.
+//! 5. **Re-injection resets the key space.** When live reconfiguration
+//!    reschedules a victim (`reinject`/`reroute` recovery), the packet's
+//!    second [`SimObserver::on_inject`] starts a fresh lifecycle; episodes
+//!    from its aborted first flight were already closed (or the packet was
+//!    reset while *holding*, never waiting) and must not be carried over.
+//!
+//! The contract is checkable per run — this observer asserts it on a live
+//! simulation:
+//!
+//! ```
+//! use std::collections::HashMap;
+//! use std::sync::Arc;
+//! use mdx_core::{Header, NaiveBroadcast};
+//! use mdx_sim::{InjectSpec, PacketId, SimConfig, SimObserver, Simulator};
+//! use mdx_topology::{ChannelId, MdCrossbar, Shape};
+//!
+//! #[derive(Default)]
+//! struct PairingCheck {
+//!     open: HashMap<(PacketId, ChannelId, u8), u64>,
+//!     episodes: usize,
+//! }
+//!
+//! impl SimObserver for PairingCheck {
+//!     fn on_blocked(
+//!         &mut self,
+//!         id: PacketId,
+//!         channel: ChannelId,
+//!         vc: u8,
+//!         _holder: Option<PacketId>,
+//!         now: u64,
+//!     ) {
+//!         // (1) at most one open episode per (packet, channel, vc) key.
+//!         assert!(self.open.insert((id, channel, vc), now).is_none());
+//!     }
+//!     fn on_unblocked(&mut self, id: PacketId, channel: ChannelId, vc: u8, waited: u64, now: u64) {
+//!         // (2) every grant closes a matching open episode, exactly.
+//!         let since = self.open.remove(&(id, channel, vc)).expect("episode was open");
+//!         assert_eq!(waited, now - since);
+//!         self.episodes += 1;
+//!     }
+//! }
+//!
+//! // Two simultaneous broadcasts contend hard enough to block.
+//! let net = Arc::new(MdCrossbar::build(Shape::fig2()));
+//! let shape = net.shape().clone();
+//! let scheme = Arc::new(NaiveBroadcast::new(net.clone()));
+//! let mut sim = Simulator::new(net.graph().clone(), scheme, SimConfig::default());
+//! sim.set_observer(Box::new(PairingCheck::default()));
+//! for src in [0usize, 7] {
+//!     sim.schedule(InjectSpec {
+//!         src_pe: src,
+//!         header: Header::broadcast_request(shape.coord_of(src)),
+//!         flits: 8,
+//!         inject_at: 0,
+//!     });
+//! }
+//! let result = sim.run();
+//! // (4) a completed run leaves nothing open — asserted inside the hooks
+//! // above for every episode along the way.
+//! assert!(matches!(result.outcome, mdx_sim::SimOutcome::Completed));
+//! ```
 
 use crate::result::{DeadlockInfo, InjectSpec, PacketId};
 use mdx_core::RouteChange;

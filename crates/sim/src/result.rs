@@ -1,6 +1,6 @@
 //! Injection specifications, per-packet outcomes and run-level statistics.
 
-use mdx_core::{DropReason, Header};
+use mdx_core::{DropReason, Header, RouteChange};
 use serde::{Deserialize, Serialize};
 
 /// Dense id of a packet within one simulation run.
@@ -33,6 +33,25 @@ pub struct InjectSpec {
     pub flits: usize,
     /// Cycle at which the NIA presents the packet.
     pub inject_at: u64,
+}
+
+impl InjectSpec {
+    /// Channels a fault-free dimension-order route would traverse for this
+    /// packet, or `None` for broadcasts (whose cost is a tree, not a path).
+    ///
+    /// Dimension-order unicast on the multi-dimensional crossbar crosses
+    /// `PE -> router` (1), then `router -> XB -> router` (2) per dimension
+    /// in which source and destination differ, then `router -> PE` (1):
+    /// `2 + 2 * hamming(src, dest)` channels in total. This is the
+    /// yardstick the attribution layer measures RC=3 detour overhead
+    /// against — a detoured packet's extra hops are
+    /// `hops - fault_free_channel_hops`.
+    pub fn fault_free_channel_hops(&self) -> Option<u64> {
+        match self.header.rc {
+            RouteChange::Normal => Some(2 + 2 * self.header.src.hamming(&self.header.dest) as u64),
+            _ => None,
+        }
+    }
 }
 
 /// How a packet's life ended.
@@ -234,6 +253,16 @@ pub struct SimResult {
 pub struct SortedLatencies(Vec<u64>);
 
 impl SortedLatencies {
+    /// Builds the collection from an unsorted pool of latencies (sorted
+    /// once here). Lets sweep-level reducers pool delivered latencies
+    /// across many runs and take true pooled percentiles, instead of
+    /// averaging tiny per-run percentiles (which collapses p95 into p50
+    /// when individual runs deliver only a handful of packets).
+    pub fn from_unsorted(mut latencies: Vec<u64>) -> SortedLatencies {
+        latencies.sort_unstable();
+        SortedLatencies(latencies)
+    }
+
     /// The p-th percentile (p in 0..=100), `None` when nothing was
     /// delivered.
     pub fn percentile(&self, p: usize) -> Option<u64> {
@@ -363,6 +392,40 @@ mod tests {
         assert_eq!(lats.percentile(95), Some(20));
         assert_eq!(lats.percentile(100), Some(30));
         let _ = Header::unicast(Coord::ORIGIN, Coord::ORIGIN); // keep import honest
+    }
+
+    #[test]
+    fn from_unsorted_pools_and_sorts() {
+        let lats = SortedLatencies::from_unsorted(vec![30, 10, 20, 10]);
+        assert_eq!(lats.as_slice(), &[10, 10, 20, 30]);
+        assert_eq!(lats.percentile(0), Some(10));
+        assert_eq!(lats.percentile(100), Some(30));
+        assert!(SortedLatencies::from_unsorted(Vec::new())
+            .percentile(50)
+            .is_none());
+    }
+
+    #[test]
+    fn fault_free_channel_hops_counts_dimension_order_path() {
+        let spec = |header| InjectSpec {
+            src_pe: 0,
+            header,
+            flits: 4,
+            inject_at: 0,
+        };
+        // Fig. 2's PE0 -> PE11: two differing dimensions, six channels
+        // (PE0 -> R0 -> X0-XB -> R3 -> Y3-XB -> R11 -> PE11).
+        let u = spec(Header::unicast(Coord::new(&[0, 0]), Coord::new(&[3, 2])));
+        assert_eq!(u.fault_free_channel_hops(), Some(6));
+        // One differing dimension: four channels.
+        let u = spec(Header::unicast(Coord::new(&[0, 0]), Coord::new(&[2, 0])));
+        assert_eq!(u.fault_free_channel_hops(), Some(4));
+        // Self-send: PE -> router -> PE.
+        let u = spec(Header::unicast(Coord::ORIGIN, Coord::ORIGIN));
+        assert_eq!(u.fault_free_channel_hops(), Some(2));
+        // Broadcasts have no single fault-free path length.
+        let b = spec(Header::broadcast_request(Coord::ORIGIN));
+        assert_eq!(b.fault_free_channel_hops(), None);
     }
 
     #[test]
