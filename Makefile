@@ -1,6 +1,6 @@
 # Convenience targets for the SR2201 reproduction.
 
-.PHONY: test experiments trajectory bench examples doc clippy lint campaign campaign-smoke metrics-demo reconfig-demo reconfig-smoke attribution-smoke all
+.PHONY: test experiments trajectory bench examples doc clippy lint campaign campaign-smoke metrics-demo reconfig-demo reconfig-smoke attribution-smoke serve-smoke bench-serve all
 
 test:
 	cargo test --workspace
@@ -38,12 +38,12 @@ lint:
 # The full acceptance sweep: the paper scheme must be deadlock-free, the
 # broken variants must not be.
 campaign:
-	cargo run --release -p mdx-campaign -- run --scheme all --max-faults 1 --seeds 32
+	cargo run --release -p mdx-serve -- run --scheme all --max-faults 1 --seeds 32
 
 # Small deterministic campaign gating the paper scheme on zero deadlocks.
 # The flight recorder rides along: any failure auto-dumps a post-mortem.
 campaign-smoke:
-	cargo run --release -p mdx-campaign -- run --scheme sr2201 --max-faults 1 \
+	cargo run --release -p mdx-serve -- run --scheme sr2201 --max-faults 1 \
 		--seeds 4 --fail-on-deadlock --flight-recorder --postmortem-dir postmortems
 
 # Telemetry dashboard: heatmap + stall timeline on the fig10/fig5 scenarios.
@@ -59,7 +59,7 @@ reconfig-demo:
 # activates at cycle 40; reinject must lose nothing and every transition
 # must be free of mixed-epoch wait cycles.
 reconfig-smoke:
-	cargo run --release -p mdx-campaign -- run --scheme sr2201 --shape 4x4x4 \
+	cargo run --release -p mdx-serve -- run --scheme sr2201 --shape 4x4x4 \
 		--max-faults 1 --seeds 1 --workloads fault-storm \
 		--timeline 40 --recovery reinject --fail-on-deadlock --fail-on-loss \
 		--jsonl reconfig-smoke.jsonl
@@ -69,13 +69,25 @@ reconfig-smoke:
 # exact and replayable, not sampled. The runner also asserts per-packet
 # conservation (sum of phases == latency) on every attributed row.
 attribution-smoke:
-	cargo run --release -p mdx-campaign -- run --scheme sr2201 --shape 4x4x4 \
+	cargo run --release -p mdx-serve -- run --scheme sr2201 --shape 4x4x4 \
 		--max-faults 1 --seeds 2 --workloads detour --attribution \
 		--jsonl attribution-smoke-a.jsonl --quiet
-	cargo run --release -p mdx-campaign -- run --scheme sr2201 --shape 4x4x4 \
+	cargo run --release -p mdx-serve -- run --scheme sr2201 --shape 4x4x4 \
 		--max-faults 1 --seeds 2 --workloads detour --attribution \
 		--jsonl attribution-smoke-b.jsonl --quiet
-	cargo run --release -p mdx-campaign -- diff \
+	cargo run --release -p mdx-serve -- diff \
 		attribution-smoke-a.jsonl attribution-smoke-b.jsonl --fail-on-shift
+
+# Resident-service gate: pipe a session (two tokens, one duplicate, stats,
+# shutdown) through `campaign serve` on stdio and require every line to be
+# a valid response with the duplicate answered from the cache.
+serve-smoke:
+	cargo build --release -p mdx-serve
+	./scripts/serve_smoke.sh
+
+# In-process service throughput: tokens/sec cold, cache-hit latency hot.
+# Exits nonzero when a duplicate token misses the cache.
+bench-serve:
+	cargo run --release -p mdx-serve -- bench-serve --tokens 100
 
 all: test experiments bench doc

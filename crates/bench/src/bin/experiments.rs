@@ -13,9 +13,11 @@ use mdx_bench::{experiment_ids, run_experiment};
 use std::io::Write;
 
 /// `experiments trajectory [--dir DIR] [--threshold FRAC] [--fail-on-regression]`:
-/// runs the scaled-down fig9/fig10 sweeps, appends one snapshot each to
-/// `BENCH_fig9.json` / `BENCH_fig10.json` under DIR, and prints the diff
-/// against the previous snapshot.
+/// runs the scaled-down fig9/fig10 sweeps plus the serve-mode session,
+/// appends one snapshot each to `BENCH_fig9.json` / `BENCH_fig10.json` /
+/// `BENCH_serve.json` under DIR, and prints the diff against the previous
+/// snapshot. Every snapshot records the sweep's wall-clock seconds
+/// (reported here, never diffed).
 fn cmd_trajectory(args: &[String]) -> ! {
     let mut dir = ".".to_string();
     let mut threshold = mdx_bench::DEFAULT_THRESHOLD;
@@ -49,11 +51,13 @@ fn cmd_trajectory(args: &[String]) -> ! {
     for (file, entry) in [
         ("BENCH_fig9.json", mdx_bench::snapshot_fig9()),
         ("BENCH_fig10.json", mdx_bench::snapshot_fig10()),
+        ("BENCH_serve.json", mdx_bench::snapshot_serve()),
     ] {
         let path = std::path::Path::new(&dir).join(file);
+        let wall = entry.wall_clock_s;
         let diff = mdx_bench::append_snapshot(&path, entry, threshold).expect("append snapshot");
         print!("{}", diff.render());
-        println!("  -> {}", path.display());
+        println!("  -> {} (sweep took {wall:.1}s)", path.display());
         regressions += diff.regressions;
     }
     if fail_on_regression && regressions > 0 {

@@ -21,20 +21,25 @@ use mdx_workloads::TrafficPattern;
 use serde::{Deserialize, Serialize};
 use std::io;
 use std::path::Path;
-use std::time::{SystemTime, UNIX_EPOCH};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 /// Default regression threshold: a metric moving more than this fraction
 /// in its bad direction flags the diff.
 pub const DEFAULT_THRESHOLD: f64 = 0.10;
 
 /// One metric snapshot of a figure-level sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct TrajectoryEntry {
-    /// Which sweep this snapshot measures (`fig9`, `fig10`).
+    /// Which sweep this snapshot measures (`fig9`, `fig10`, `serve`).
     pub figure: String,
     /// Wall-clock seconds since the epoch when the snapshot ran. For
     /// humans reading the file; **never** compared by the diff.
     pub recorded_at_epoch_s: u64,
+    /// Wall-clock seconds the sweep itself took. Timing is machine- and
+    /// load-dependent, so like the timestamp it is recorded for humans and
+    /// excluded from both the regression diff and duplicate detection —
+    /// back-to-back runs of one commit must still compare clean.
+    pub wall_clock_s: f64,
     /// Scenarios executed.
     pub scenarios: usize,
     /// Fraction of runs that deadlocked.
@@ -55,6 +60,36 @@ pub struct TrajectoryEntry {
     pub p95_latency: f64,
     /// Mean S-XB output utilization over instrumented rows.
     pub sxb_util: f64,
+}
+
+// Hand-written so trajectory files from before `wall_clock_s` existed
+// still parse: the derived impl treats a missing field as an error, which
+// would brick every committed BENCH_*.json on upgrade.
+impl Deserialize for TrajectoryEntry {
+    fn from_value(v: &serde::value::Value) -> Result<TrajectoryEntry, serde::de::Error> {
+        let entries = v
+            .as_map()
+            .ok_or_else(|| serde::de::Error::expected("a trajectory entry object"))?;
+        let wall_clock_s = match entries.iter().find(|(k, _)| k == "wall_clock_s") {
+            Some((_, v)) => Deserialize::from_value(v)?,
+            None => 0.0,
+        };
+        Ok(TrajectoryEntry {
+            figure: Deserialize::from_value(serde::de::field(entries, "figure")?)?,
+            recorded_at_epoch_s: Deserialize::from_value(serde::de::field(
+                entries,
+                "recorded_at_epoch_s",
+            )?)?,
+            wall_clock_s,
+            scenarios: Deserialize::from_value(serde::de::field(entries, "scenarios")?)?,
+            deadlock_rate: Deserialize::from_value(serde::de::field(entries, "deadlock_rate")?)?,
+            completed_rate: Deserialize::from_value(serde::de::field(entries, "completed_rate")?)?,
+            throughput: Deserialize::from_value(serde::de::field(entries, "throughput")?)?,
+            mean_latency: Deserialize::from_value(serde::de::field(entries, "mean_latency")?)?,
+            p95_latency: Deserialize::from_value(serde::de::field(entries, "p95_latency")?)?,
+            sxb_util: Deserialize::from_value(serde::de::field(entries, "sxb_util")?)?,
+        })
+    }
 }
 
 /// A trajectory file: every snapshot ever appended for one figure.
@@ -245,6 +280,8 @@ fn summarize(figure: &str, result: &CampaignResult) -> TrajectoryEntry {
             .duration_since(UNIX_EPOCH)
             .map(|d| d.as_secs())
             .unwrap_or(0),
+        // Stamped by the snapshot functions, which own the sweep timer.
+        wall_clock_s: 0.0,
         scenarios: result.reports.len(),
         deadlock_rate: deadlocks as f64 / n as f64,
         completed_rate: completed as f64 / n as f64,
@@ -299,7 +336,10 @@ pub fn snapshot_fig9() -> TrajectoryEntry {
             })
         })
         .collect();
-    summarize("fig9", &run_campaign_with(scenarios, &metrics_opts()))
+    let start = Instant::now();
+    let mut e = summarize("fig9", &run_campaign_with(scenarios, &metrics_opts()));
+    e.wall_clock_s = start.elapsed().as_secs_f64();
+    e
 }
 
 /// A scaled-down Fig. 10 sweep (the paper's scheme under every single
@@ -328,11 +368,74 @@ pub fn snapshot_fig10() -> TrajectoryEntry {
             })
         })
         .collect();
-    summarize("fig10", &run_campaign_with(scenarios, &metrics_opts()))
+    let start = Instant::now();
+    let mut e = summarize("fig10", &run_campaign_with(scenarios, &metrics_opts()));
+    e.wall_clock_s = start.elapsed().as_secs_f64();
+    e
+}
+
+/// A serve-mode sweep: the fig10-style token set pushed through one
+/// resident [`mdx_serve::Service`] — every token cold, then every token
+/// again as a duplicate that must come back from the result cache. The
+/// diffed metrics are row metrics (deterministic per token set); the
+/// session's timing lands in `wall_clock_s`.
+///
+/// # Panics
+/// Panics when a request errors or a duplicate misses the cache — either
+/// means the service layer itself regressed, which is exactly what this
+/// snapshot exists to catch.
+pub fn snapshot_serve() -> TrajectoryEntry {
+    use mdx_serve::{Request, ServeConfig, Service};
+    let net = MdCrossbar::build(Shape::fig2());
+    let mut sites: Vec<Option<FaultSite>> = vec![None];
+    sites.extend(enumerate_single_faults(&net).into_iter().map(Some));
+    let tokens: Vec<String> = sites
+        .iter()
+        .map(|site| {
+            Scenario::new(
+                vec![4, 3],
+                "sr2201",
+                Workload::Mixed {
+                    pattern: TrafficPattern::UniformRandom,
+                    rate: 0.02,
+                    packet_flits: 12,
+                    window: 200,
+                    broadcast_rate: 0.002,
+                },
+                1,
+            )
+            .with_faults(*site)
+            .token()
+        })
+        .collect();
+
+    let start = Instant::now();
+    let service = Service::new(&ServeConfig::default());
+    let reports: Vec<_> = tokens
+        .iter()
+        .map(|t| {
+            let resp = service.handle(&Request::run(t));
+            assert!(!resp.is_error(), "serve snapshot: {:?}", resp.error);
+            resp.row.expect("row body")
+        })
+        .collect();
+    for t in &tokens {
+        let resp = service.handle(&Request::run(t));
+        assert_eq!(resp.cached, Some(true), "duplicate token missed the cache");
+    }
+    let mut e = summarize(
+        "serve",
+        &CampaignResult {
+            reports,
+            skipped: Vec::new(),
+        },
+    );
+    e.wall_clock_s = start.elapsed().as_secs_f64();
+    e
 }
 
 /// True when two entries record the same measurement — every field except
-/// the wall-clock timestamp matches.
+/// the wall-clock timestamp and the sweep's wall-clock duration matches.
 fn same_measurement(a: &TrajectoryEntry, b: &TrajectoryEntry) -> bool {
     a.figure == b.figure
         && a.scenarios == b.scenarios
@@ -447,6 +550,7 @@ mod tests {
             reconfig: None,
             attribution: None,
             latencies: Some(latencies),
+            stream: None,
         }
     }
 
@@ -489,6 +593,7 @@ mod tests {
         TrajectoryEntry {
             figure: figure.to_string(),
             recorded_at_epoch_s: 0,
+            wall_clock_s: 0.0,
             scenarios: 10,
             deadlock_rate,
             completed_rate: 1.0 - deadlock_rate,
@@ -569,6 +674,33 @@ mod tests {
             serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
         assert_eq!(file.entries.len(), 2);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn wall_clock_is_lenient_on_parse_and_excluded_from_duplicates() {
+        // Entries written before `wall_clock_s` existed still parse.
+        let legacy = r#"{"figure":"fig9","recorded_at_epoch_s":5,"scenarios":10,
+            "deadlock_rate":0.5,"completed_rate":0.5,"throughput":2.0,
+            "mean_latency":40.0,"p95_latency":90.0,"sxb_util":0.2}"#;
+        let e: TrajectoryEntry = serde_json::from_str(legacy).unwrap();
+        assert_eq!(e.wall_clock_s, 0.0);
+        assert_eq!(e.scenarios, 10);
+
+        // The new field round-trips...
+        let mut stamped = entry("fig9", 2.0, 0.5);
+        stamped.wall_clock_s = 3.25;
+        let back: TrajectoryEntry =
+            serde_json::from_str(&serde_json::to_string(&stamped).unwrap()).unwrap();
+        assert_eq!(back.wall_clock_s, 3.25);
+
+        // ...but, like the timestamp, never blocks duplicate detection:
+        // the same measurement at a different speed is still a duplicate.
+        let mut slower = stamped.clone();
+        slower.wall_clock_s = 9.75;
+        assert!(same_measurement(&stamped, &slower));
+        // And it is not a diffed metric: no delta mentions it.
+        let deltas = diff_entries(&stamped, &slower, 0.10);
+        assert!(deltas.iter().all(|d| d.metric != "wall_clock_s"));
     }
 
     #[test]

@@ -49,7 +49,8 @@ pub use diff::{
 pub use runner::{
     enumerate_fault_sets, enumerate_scenarios, run_campaign, run_campaign_with, run_scenario,
     run_scenario_instrumented, CampaignConfig, CampaignError, CampaignResult, ObsOptions,
-    RowAttribution, RowTelemetry, ScenarioReport, Telemetry, WorkloadKind, CAMPAIGN_SCHEMES,
+    RowAttribution, RowStream, RowTelemetry, ScenarioReport, Telemetry, WorkloadKind,
+    CAMPAIGN_SCHEMES,
 };
 pub use scenario::{detour_stress_for, Scenario, ScenarioError, Workload};
 pub use shrink::{shrink, ShrinkError, ShrinkReport};

@@ -10,7 +10,8 @@ use mdx_core::registry::{build_scheme, RegistryError};
 use mdx_fault::{enumerate_single_faults, sample_fault_sets, FaultSet, FaultTimeline};
 use mdx_obs::{
     AttributionObserver, AttributionReport, FanoutObserver, FlightRecorder, MetricsObserver,
-    MetricsReport, PostmortemReport, StallProbe, StallReport, TraceRecorder,
+    MetricsReport, PostmortemReport, StallProbe, StallReport, TraceRecorder, WindowObserver,
+    WindowReport,
 };
 use mdx_reconfig::{drive_reconfig, ReconfigError, ReconfigReport, ReconfigSpec, RecoveryPolicy};
 use mdx_sim::{DeadlockInfo, SimConfig, SimOutcome, SimStats, Simulator};
@@ -272,6 +273,11 @@ pub struct ObsOptions {
     /// ([`ScenarioReport::latencies`]), so sweep-level reducers can take
     /// true pooled percentiles instead of averaging per-run ones.
     pub latencies: bool,
+    /// Attach a [`WindowObserver`] with this window width in cycles:
+    /// fixed-width telemetry intervals in a bounded ring, plus open-loop
+    /// saturation detection. The row gains a [`RowStream`] summary; the
+    /// full per-window table stays in [`Telemetry::windows`].
+    pub windows: Option<u64>,
 }
 
 impl ObsOptions {
@@ -282,6 +288,7 @@ impl ObsOptions {
             && !self.trace
             && self.flight.is_none()
             && !self.attribution
+            && self.windows.is_none()
     }
 }
 
@@ -392,6 +399,45 @@ impl RowAttribution {
     }
 }
 
+/// The compact open-loop summary embedded in a [`ScenarioReport`] row
+/// when the scenario ran with [`ObsOptions::windows`]: whole-run
+/// delivered-vs-offered accounting plus the saturation verdict. The full
+/// per-window table stays in [`Telemetry::windows`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RowStream {
+    /// Window width in cycles.
+    pub window: u64,
+    /// Windows retained in the ring.
+    pub windows: usize,
+    /// Windows evicted from the ring (the run outlived the cap).
+    pub dropped_windows: u64,
+    /// Delivered-rate / offered-rate over the whole run (1.0 = keeping up).
+    pub delivery_ratio: f64,
+    /// Start cycle of the first sustained saturated stretch, if any.
+    pub saturated_at: Option<u64>,
+    /// Largest end-of-window in-flight backlog among retained windows.
+    pub peak_backlog: u64,
+    /// Mean delivered latency over the whole run, in cycles (0 when
+    /// nothing finished).
+    pub mean_latency: f64,
+}
+
+impl RowStream {
+    /// Reduces a full [`WindowReport`] to the row summary.
+    pub fn from_report(rep: &WindowReport) -> RowStream {
+        let mean = rep.totals.mean_latency();
+        RowStream {
+            window: rep.window,
+            windows: rep.windows.len(),
+            dropped_windows: rep.dropped_windows,
+            delivery_ratio: rep.delivery_ratio(),
+            saturated_at: rep.saturated_at,
+            peak_backlog: rep.windows.iter().map(|w| w.backlog).max().unwrap_or(0),
+            mean_latency: if mean.is_nan() { 0.0 } else { mean },
+        }
+    }
+}
+
 /// The full (non-embedded) telemetry of one instrumented run.
 #[derive(Debug, Clone, Default)]
 pub struct Telemetry {
@@ -408,6 +454,9 @@ pub struct Telemetry {
     /// Full latency attribution (per-packet phases, blame profiles,
     /// critical path), when [`ObsOptions::attribution`] was set.
     pub attribution: Option<AttributionReport>,
+    /// Per-window open-loop telemetry, when [`ObsOptions::windows`] was
+    /// set.
+    pub windows: Option<WindowReport>,
     /// S-XB name under the scenario's scheme (e.g. `X0-XB`), for labeling.
     pub sxb_name: Option<String>,
     /// D-XB name under the scenario's scheme.
@@ -461,6 +510,9 @@ pub struct ScenarioReport {
     /// Raw delivered-latency pool (sorted), when the row ran with
     /// [`ObsOptions::latencies`] — feeds sweep-level pooled percentiles.
     pub latencies: Option<Vec<u64>>,
+    /// Open-loop streaming summary, when the row ran with
+    /// [`ObsOptions::windows`]. Like telemetry, excluded from the digest.
+    pub stream: Option<RowStream>,
 }
 
 impl ScenarioReport {
@@ -507,6 +559,7 @@ pub fn run_scenario_instrumented(
     // engine's deadlock witness.
     let vcs = scheme.max_vcs().max(1) as usize;
     let specs = scenario.specs(&shape, &faults);
+    let stream_source = scenario.stream_source(&shape, &faults)?;
 
     let mut sim = Simulator::new(net.graph().clone(), scheme, scenario.sim_config());
 
@@ -515,6 +568,7 @@ pub fn run_scenario_instrumented(
     let mut trace_handle = None;
     let mut flight_handle = None;
     let mut attribution_handle = None;
+    let mut window_handle = None;
     if !opts.is_none() {
         let mut fan = FanoutObserver::new();
         if opts.metrics {
@@ -542,18 +596,35 @@ pub fn run_scenario_instrumented(
             fan.push(Box::new(obs));
             attribution_handle = Some(handle);
         }
+        if let Some(width) = opts.windows {
+            let (obs, handle) = WindowObserver::new(width);
+            fan.push(Box::new(obs));
+            window_handle = Some(handle);
+        }
         sim.set_observer(Box::new(fan));
     }
 
     for &spec in &specs {
         sim.schedule(spec);
     }
-    let (result, reconfig) = match &scenario.reconfig {
+    let streaming = stream_source.is_some();
+    if let Some(source) = stream_source {
+        sim.set_traffic_source(Box::new(source));
+    }
+    // Streaming scenarios with storm lines run the epoch protocol even
+    // without an explicit reconfig segment — the spec is the timeline.
+    let effective_reconfig = scenario.effective_reconfig();
+    let (result, reconfig) = match &effective_reconfig {
         Some(rspec) => {
             let out = drive_reconfig(&mut sim, &net, &scenario.scheme, &faults, rspec)?;
             (out.result, Some(out.report))
         }
         None => (sim.run(), None),
+    };
+    let offered = if streaming {
+        sim.source_offered()
+    } else {
+        specs.len()
     };
 
     let mut hot: Vec<(String, u64)> = sim
@@ -599,6 +670,7 @@ pub fn run_scenario_instrumented(
         trace: trace_handle.map(|h| h.render(result.stats.cycles)),
         postmortem: flight_handle.and_then(|h| h.postmortem(&result.outcome, &result.diagnostics)),
         attribution: attribution_report,
+        windows: window_handle.map(|h| h.report(result.stats.cycles)),
         sxb_name: sxb_name.clone(),
         dxb_name: dxb_name.clone(),
     };
@@ -636,7 +708,7 @@ pub fn run_scenario_instrumented(
         token: scenario.token(),
         scenario: scenario.clone(),
         outcome: outcome_label(&result.outcome).to_string(),
-        offered: specs.len(),
+        offered,
         stats: result.stats.clone(),
         latency_p50: lats.percentile(50),
         latency_p95: lats.percentile(95),
@@ -652,6 +724,7 @@ pub fn run_scenario_instrumented(
             .as_ref()
             .map(RowAttribution::from_report),
         latencies: opts.latencies.then(|| lats.as_slice().to_vec()),
+        stream: telemetry.windows.as_ref().map(RowStream::from_report),
     };
     Ok((report, telemetry))
 }

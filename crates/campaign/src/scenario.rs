@@ -11,7 +11,9 @@ use mdx_fault::{FaultEventKind, FaultSet, FaultSite};
 use mdx_reconfig::ReconfigSpec;
 use mdx_sim::{InjectSpec, SimConfig};
 use mdx_topology::{Coord, Shape, TopologyError, MAX_DIMS};
-use mdx_workloads::{fault_storm_schedule, mixed_schedule, OpenLoop, TrafficPattern};
+use mdx_workloads::{
+    fault_storm_schedule, mixed_schedule, OpenLoop, StreamSource, StreamSpec, TrafficPattern,
+};
 use serde::{Deserialize, Serialize};
 
 /// The traffic a scenario offers to the network.
@@ -76,6 +78,16 @@ pub enum Workload {
         /// Unicasts per burst (one burst per timeline event cycle).
         burst: usize,
     },
+    /// An open-loop streaming workload compiled from a declarative
+    /// [`StreamSpec`] (phases, bursts, fault storms). Unlike the batch
+    /// workloads above it is *not* materialized into a schedule up front:
+    /// the runner feeds the engine incrementally through
+    /// [`mdx_sim::TrafficSource`], so arbitrarily long horizons cost
+    /// memory proportional to in-flight traffic, not offered traffic.
+    Stream {
+        /// The parsed workload specification.
+        spec: StreamSpec,
+    },
 }
 
 impl Workload {
@@ -87,6 +99,7 @@ impl Workload {
             Workload::DetourStress { .. } => "detour",
             Workload::Explicit { .. } => "explicit",
             Workload::FaultStorm { .. } => "fault-storm",
+            Workload::Stream { .. } => "stream",
         }
     }
 }
@@ -98,6 +111,8 @@ pub enum ScenarioError {
     BadShape(String),
     /// A fault site references a component outside the shape.
     BadFault(String),
+    /// A streaming workload spec fails validation against the shape.
+    BadSpec(String),
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -105,6 +120,7 @@ impl std::fmt::Display for ScenarioError {
         match self {
             ScenarioError::BadShape(e) => write!(f, "bad shape: {e}"),
             ScenarioError::BadFault(e) => write!(f, "bad fault: {e}"),
+            ScenarioError::BadSpec(e) => write!(f, "bad workload spec: {e}"),
         }
     }
 }
@@ -366,6 +382,9 @@ impl Scenario {
                     faults,
                 )
             }
+            // Streaming workloads are never materialized up front; the
+            // runner attaches them through `stream_source`.
+            Workload::Stream { .. } => Vec::new(),
         };
         match self.scheme.as_str() {
             "naive-broadcast" => {
@@ -383,6 +402,67 @@ impl Scenario {
             _ => {}
         }
         specs
+    }
+
+    /// The streaming workload spec, when this scenario carries one.
+    pub fn stream_spec(&self) -> Option<&StreamSpec> {
+        match &self.workload {
+            Workload::Stream { spec } => Some(spec),
+            _ => None,
+        }
+    }
+
+    /// Compiles a [`Workload::Stream`] scenario into its incremental
+    /// traffic source, seeded so that the scenario seed alone replays the
+    /// run. Returns `Ok(None)` for batch workloads.
+    ///
+    /// Like [`Scenario::specs`], the generator avoids sourcing or sinking
+    /// traffic at components scheduled to die — both the spec's own storm
+    /// sites and any explicit reconfig timeline.
+    pub fn stream_source(
+        &self,
+        shape: &Shape,
+        faults: &FaultSet,
+    ) -> Result<Option<StreamSource>, ScenarioError> {
+        let Some(spec) = self.stream_spec() else {
+            return Ok(None);
+        };
+        let mut wl_faults = faults.clone();
+        for storm in &spec.storms {
+            if !storm.repair {
+                for &site in &storm.sites {
+                    wl_faults.insert(site);
+                }
+            }
+        }
+        if let Some(rc) = &self.reconfig {
+            for e in rc.timeline.events() {
+                if e.kind == FaultEventKind::Inject {
+                    wl_faults.insert(e.site);
+                }
+            }
+        }
+        spec.source(shape, &wl_faults, self.seed)
+            .map(Some)
+            .map_err(|e| ScenarioError::BadSpec(e.to_string()))
+    }
+
+    /// The reconfiguration script this scenario actually runs under: the
+    /// explicit `reconfig` segment when present, otherwise one derived
+    /// from the stream spec's storm lines (default recovery policy). The
+    /// spec is the single source of truth for mid-stream fault storms, so
+    /// a plain `campaign stream` run exercises the epoch protocol without
+    /// a hand-built timeline.
+    pub fn effective_reconfig(&self) -> Option<ReconfigSpec> {
+        if self.reconfig.is_some() {
+            return self.reconfig.clone();
+        }
+        match &self.workload {
+            Workload::Stream { spec } if !spec.storms.is_empty() => {
+                Some(ReconfigSpec::new(spec.timeline()))
+            }
+            _ => None,
+        }
     }
 
     /// Encodes the scenario as a printable `MDX1.` token.
@@ -505,6 +585,45 @@ mod tests {
             let s = Scenario::new(vec![4, 3], "separate-dxb", w, 3);
             assert_eq!(Scenario::from_token(&s.token()).unwrap(), s);
         }
+    }
+
+    #[test]
+    fn stream_token_roundtrip_and_derived_reconfig() {
+        let spec = StreamSpec::parse(
+            "seed 9\nphase 0..200 uniform rate=0.05\nstorm 100 router:5\nhorizon 400\n",
+        )
+        .unwrap();
+        let s = Scenario::new(vec![4, 3], "sr2201", Workload::Stream { spec }, 11);
+        assert_eq!(s.workload.kind(), "stream");
+        assert_eq!(Scenario::from_token(&s.token()).unwrap(), s);
+
+        // specs() materializes nothing; the storm line alone yields a
+        // reconfig script.
+        let shape = Shape::fig2();
+        assert!(s.specs(&shape, &FaultSet::none()).is_empty());
+        let rc = s.effective_reconfig().expect("storm implies reconfig");
+        assert_eq!(rc.timeline.len(), 1);
+
+        // The generator treats the doomed router as unusable: PE5 never
+        // sources or sinks traffic.
+        let src = s
+            .stream_source(&shape, &FaultSet::none())
+            .unwrap()
+            .expect("stream workload has a source");
+        for p in src.into_schedule() {
+            assert_ne!(p.src_pe, 5);
+            assert_ne!(shape.index_of(p.header.dest), 5);
+        }
+    }
+
+    #[test]
+    fn stream_spec_validation_surfaces_as_bad_spec() {
+        let spec = StreamSpec::parse("phase 0..10 hotspot:99 rate=0.5").unwrap();
+        let s = Scenario::new(vec![4, 3], "sr2201", Workload::Stream { spec }, 0);
+        let err = s
+            .stream_source(&Shape::fig2(), &FaultSet::none())
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::BadSpec(_)), "{err}");
     }
 
     #[test]

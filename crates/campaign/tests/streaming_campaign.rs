@@ -1,0 +1,155 @@
+//! Acceptance tests for streaming (open-loop) campaign rows: a
+//! time-varying workload spec runs to its horizon with windowed
+//! telemetry, replays byte-identically from its token, and a mid-stream
+//! fault storm drives the epoch protocol with a valid report — all
+//! without materializing the schedule up front.
+
+use mdx_campaign::{run_scenario, run_scenario_instrumented, ObsOptions, Scenario, Workload};
+use mdx_workloads::StreamSpec;
+
+const SPEC: &str = "\
+seed 17
+flits 6
+phase 0..400 uniform rate=0.04
+phase 400..900 hotspot:5 rate=0.01 flits=4
+burst 500..520 incast:5:6 rate=0.3
+horizon 1500
+";
+
+const STORM_SPEC: &str = "\
+seed 17
+flits 6
+phase 0..600 uniform rate=0.04
+storm 200 xbar:0:1
+storm 420 repair xbar:0:1
+horizon 1200
+";
+
+fn stream_scenario(text: &str) -> Scenario {
+    let spec = StreamSpec::parse(text).expect("spec parses");
+    let mut s = Scenario::new(vec![4, 4], "sr2201", Workload::Stream { spec }, 23);
+    // The horizon is the run's cycle budget: a saturated stream hits
+    // CycleLimit there instead of draining forever.
+    s.max_cycles = s.stream_spec().unwrap().horizon;
+    s
+}
+
+#[test]
+fn stream_row_runs_open_loop_with_windowed_telemetry() {
+    let scenario = stream_scenario(SPEC);
+    let opts = ObsOptions {
+        windows: Some(100),
+        ..ObsOptions::default()
+    };
+    let (row, telemetry) = run_scenario_instrumented(&scenario, &opts).expect("stream row runs");
+
+    assert_eq!(row.outcome, "completed", "{}", row.token);
+    assert!(row.offered > 0, "the source must offer traffic");
+    assert_eq!(
+        row.stats.delivered, row.offered,
+        "open-loop run must deliver everything it offered"
+    );
+
+    let stream = row.stream.expect("windows option yields a stream summary");
+    assert_eq!(stream.window, 100);
+    assert!(stream.windows >= 9, "expected ~10+ windows: {stream:?}");
+    assert!(
+        (stream.delivery_ratio - 1.0).abs() < 1e-9,
+        "completed run delivers at ratio 1.0: {stream:?}"
+    );
+    assert_eq!(stream.saturated_at, None, "light load must not saturate");
+    assert!(stream.mean_latency > 0.0);
+
+    let windows = telemetry.windows.expect("full window table");
+    assert_eq!(windows.dropped_windows, 0);
+    let injected: u64 = windows.windows.iter().map(|w| w.injected).sum();
+    assert_eq!(injected as usize, row.offered);
+    // The burst phase (cycles 500..520) lands in the 500-window.
+    let burst_window = windows
+        .windows
+        .iter()
+        .find(|w| w.start == 500)
+        .expect("window covering the burst");
+    assert!(burst_window.injected > 0);
+}
+
+#[test]
+fn saturating_hotspot_stream_is_detected() {
+    // 16 PEs offering 0.15 packets/cycle each into one sink: far over the
+    // sink's drain rate, so the backlog climbs until the horizon cuts the
+    // run off and the window telemetry must call it saturated.
+    let scenario =
+        stream_scenario("seed 3\nflits 4\nphase 0..1000 hotspot:5 rate=0.15\nhorizon 1000\n");
+    let (row, _) = run_scenario_instrumented(
+        &scenario,
+        &ObsOptions {
+            windows: Some(100),
+            ..ObsOptions::default()
+        },
+    )
+    .expect("saturated stream still runs");
+
+    assert_eq!(row.outcome, "cycle-limit", "{}", row.token);
+    let stream = row.stream.expect("stream summary");
+    assert!(
+        stream.delivery_ratio < 0.95,
+        "deliveries must lag offers: {stream:?}"
+    );
+    assert!(
+        stream.saturated_at.is_some(),
+        "saturation must be detected: {stream:?}"
+    );
+    assert!(stream.peak_backlog > 0);
+}
+
+#[test]
+fn stream_rows_replay_byte_identically_from_their_token() {
+    let scenario = stream_scenario(SPEC);
+    let token = scenario.token();
+    let a = run_scenario(&scenario).expect("stream row runs");
+    let b = run_scenario(&Scenario::from_token(&token).expect("token decodes"))
+        .expect("stream row replays");
+    assert_eq!(a.digest, b.digest, "engine result must replay: {token}");
+    assert_eq!(a.offered, b.offered);
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap(),
+        "whole row must replay byte-identically: {token}"
+    );
+}
+
+#[test]
+fn mid_stream_storm_drives_the_epoch_protocol() {
+    let scenario = stream_scenario(STORM_SPEC);
+    let (row, _) = run_scenario_instrumented(
+        &scenario,
+        &ObsOptions {
+            windows: Some(100),
+            ..ObsOptions::default()
+        },
+    )
+    .expect("storm stream runs");
+
+    assert_eq!(row.outcome, "completed", "{}", row.token);
+    let report = row
+        .reconfig
+        .as_ref()
+        .expect("storm lines imply a reconfig report");
+    // Inject at 200 and repair at 420: two epochs, both safe, no loss.
+    assert_eq!(report.epochs.len(), 2, "{report:?}");
+    assert!(
+        report.transition_safe(),
+        "mixed-epoch wait cycle: {:?}",
+        report.transition
+    );
+    assert_eq!(report.lost, 0, "reinject must lose no packets");
+    assert_eq!(report.victims_total, report.recovered);
+
+    // The storm replays too.
+    let again = run_scenario(&Scenario::from_token(&row.token).unwrap()).unwrap();
+    assert_eq!(again.digest, row.digest);
+    assert_eq!(
+        serde_json::to_string(&again.reconfig).unwrap(),
+        serde_json::to_string(&row.reconfig).unwrap()
+    );
+}

@@ -26,6 +26,11 @@
 //!   snapshot and deadlock witness into a [`PostmortemReport`]: the cyclic
 //!   wait with each packet's RC state, recent hops, S-XB gather depth, and
 //!   a classification against the paper's Fig. 5 / Fig. 9 signatures.
+//! - [`WindowObserver`] — *is the network keeping up?* Fixed-width
+//!   telemetry intervals in a capped ring (bounded memory for unbounded
+//!   streaming runs): per-window injected/finished counts, mean latency,
+//!   in-flight backlog, and open-loop saturation detection
+//!   (delivered-rate lagging offered-rate with a rising backlog).
 //! - [`AttributionObserver`] — *why was each packet slow?* Decomposes every
 //!   delivered packet's end-to-end latency into disjoint, conserving phases
 //!   (injection queueing, S-XB serialization, blocked time split by holder
@@ -80,6 +85,7 @@ mod postmortem;
 mod schema;
 mod stall;
 mod trace;
+mod windows;
 
 pub use attribution::{
     AttributionHandle, AttributionObserver, AttributionReport, ChannelBlame, PacketPhases,
@@ -97,6 +103,10 @@ pub use postmortem::{CycleEdge, HopTrace, PacketForensics, PostmortemReport, LAS
 pub use schema::{TraceArgs, TraceDoc, TraceEvent};
 pub use stall::{StallHandle, StallProbe, StallReport, StallSample};
 pub use trace::{TraceHandle, TraceRecorder};
+pub use windows::{
+    WindowHandle, WindowObserver, WindowReport, WindowRow, WindowTotals, DEFAULT_MAX_WINDOWS,
+    SATURATION_DELIVERY_FRACTION, SATURATION_WINDOWS,
+};
 
 use mdx_sim::{DeadlockInfo, InjectSpec, PacketId, SimObserver, WaitSnapshot};
 use mdx_topology::{ChannelId, Node};

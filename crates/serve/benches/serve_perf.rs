@@ -1,0 +1,67 @@
+//! Service throughput: cold tokens/sec (full simulation per request) and
+//! hot cache-hit latency (repeat token answered from the result cache).
+//!
+//! Both benches drive [`mdx_serve::Service::handle`] directly — no worker
+//! threads — so the numbers isolate the per-request dispatch + simulate +
+//! cache path from pool scheduling noise.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mdx_campaign::{Scenario, Workload};
+use mdx_serve::{Request, ServeConfig, Service};
+
+fn token(seed: u64) -> String {
+    Scenario::new(
+        vec![4, 3],
+        "sr2201",
+        Workload::BroadcastStorm {
+            sources: vec![(seed as usize) % 12],
+            flits: 4,
+        },
+        seed,
+    )
+    .token()
+}
+
+/// Cold path: every request carries `force`, so each one re-simulates even
+/// though the cache fills up — steady-state tokens/sec of the simulate +
+/// store pipeline.
+fn bench_cold_tokens(c: &mut Criterion) {
+    let service = Service::new(&ServeConfig::default());
+    let mut group = c.benchmark_group("serve");
+    group.throughput(Throughput::Elements(1));
+    let mut seed = 0u64;
+    group.bench_function("cold_token", |b| {
+        b.iter(|| {
+            seed += 1;
+            let mut req = Request::run(&token(seed));
+            req.force = true;
+            let resp = service.handle(&req);
+            assert!(!resp.is_error());
+            resp
+        })
+    });
+    group.finish();
+}
+
+/// Hot path: the same token over and over — after the first request every
+/// answer is a cache hit, so this is the hit latency a duplicate-token
+/// client sees.
+fn bench_cache_hit(c: &mut Criterion) {
+    let service = Service::new(&ServeConfig::default());
+    let req = Request::run(&token(1));
+    // Prime the cache so the timed loop is hits only.
+    assert!(!service.handle(&req).is_error());
+    let mut group = c.benchmark_group("serve");
+    group.throughput(Throughput::Elements(1));
+    group.bench_with_input(BenchmarkId::new("cache_hit", "warm"), &req, |b, req| {
+        b.iter(|| {
+            let resp = service.handle(req);
+            assert_eq!(resp.cached, Some(true));
+            resp
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cold_tokens, bench_cache_hit);
+criterion_main!(benches);

@@ -10,8 +10,14 @@
 //!              [--flight-recorder] [--postmortem-dir DIR]
 //! campaign replay <token> [--metrics] [--trace-out PATH] [--stall-probe N]
 //!                 [--flight-recorder] [--postmortem-dir DIR] [--attribution]
+//!                 [--cache-dir DIR] [--no-cache] [--force]
 //! campaign shrink <token>
 //! campaign diff <a.jsonl> <b.jsonl> [--threshold PP] [--fail-on-shift] [--json]
+//! campaign stream <spec-file> [--shape 4x4] [--scheme ID] [--seed N]
+//!                 [--windows W] [--max-cycles N] [--jsonl PATH] [--quiet]
+//! campaign serve [--tcp ADDR] [--workers N] [--windows W]
+//!                [--cache-dir DIR] [--cache-cap N]
+//! campaign bench-serve [--tokens N] [--workers N] [--hits N]
 //! ```
 //!
 //! `--timeline CYCLE` turns the fault dimension *live*: instead of wearing
@@ -53,14 +59,34 @@
 //! beyond `--threshold` percentage points (default 1.0); `--fail-on-shift`
 //! exits nonzero when anything is flagged, `--json` prints the machine
 //! form instead of the table.
+//!
+//! `campaign stream` runs a declarative open-loop workload spec (phases,
+//! bursts, mid-stream fault storms — see `mdx-workloads`' spec grammar)
+//! once, with windowed telemetry, and prints the row plus the per-window
+//! table and saturation verdict. `campaign serve` turns the process into
+//! a resident service speaking the line-oriented JSON protocol
+//! (`mdx-serve`) over stdio or TCP: tokens and specs in, JSONL rows out,
+//! with a digest-keyed result cache answering repeat tokens without
+//! re-simulating. `campaign bench-serve` measures that service in-process
+//! (tokens/sec cold, cache-hit latency hot). Plain `campaign replay`
+//! consults the same disk cache (default `.mdx-cache`; `--force`
+//! re-simulates, `--no-cache` opts out entirely).
 
 use mdx_campaign::{
     diff_attribution, enumerate_scenarios, run_campaign_with, run_scenario_instrumented, shrink,
-    CampaignConfig, ObsOptions, Scenario, WorkloadKind, CAMPAIGN_SCHEMES, DEFAULT_DIFF_THRESHOLD,
+    CampaignConfig, ObsOptions, Scenario, Workload, WorkloadKind, CAMPAIGN_SCHEMES,
+    DEFAULT_DIFF_THRESHOLD,
 };
 use mdx_obs::{PostmortemReport, DEFAULT_FLIGHT_CAPACITY};
+use mdx_serve::{
+    row_key, serve_on, serve_stdio, Request, ResultCache, ServeConfig, Server, Service,
+    SharedWriter,
+};
+use mdx_workloads::StreamSpec;
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
@@ -72,9 +98,15 @@ fn usage() -> ! {
          [--metrics] [--attribution]\n    \
          [--flight-recorder] [--postmortem-dir DIR]\n  \
          campaign replay <token> [--metrics] [--trace-out PATH] [--stall-probe N]\n    \
-         [--flight-recorder] [--postmortem-dir DIR] [--attribution]\n  \
+         [--flight-recorder] [--postmortem-dir DIR] [--attribution]\n    \
+         [--cache-dir DIR] [--no-cache] [--force]\n  \
          campaign shrink <token>\n  \
-         campaign diff <a.jsonl> <b.jsonl> [--threshold PP] [--fail-on-shift] [--json]"
+         campaign diff <a.jsonl> <b.jsonl> [--threshold PP] [--fail-on-shift] [--json]\n  \
+         campaign stream <spec-file> [--shape WxH[xD..]] [--scheme ID] [--seed N]\n    \
+         [--windows W] [--max-cycles N] [--jsonl PATH] [--quiet]\n  \
+         campaign serve [--tcp ADDR] [--workers N] [--windows W]\n    \
+         [--cache-dir DIR] [--cache-cap N]\n  \
+         campaign bench-serve [--tokens N] [--workers N] [--hits N]"
     );
     std::process::exit(2);
 }
@@ -296,6 +328,9 @@ fn cmd_replay(token: &str, args: &[String]) -> ExitCode {
     let mut obs = ObsOptions::default();
     let mut trace_out: Option<String> = None;
     let mut postmortem_dir: Option<String> = None;
+    let mut cache_dir = ".mdx-cache".to_string();
+    let mut no_cache = false;
+    let mut force = false;
     let mut it = args.iter().cloned();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -311,11 +346,31 @@ fn cmd_replay(token: &str, args: &[String]) -> ExitCode {
                 postmortem_dir = Some(it.next().unwrap_or_else(|| usage()));
                 obs.flight.get_or_insert(DEFAULT_FLIGHT_CAPACITY);
             }
+            "--cache-dir" => cache_dir = it.next().unwrap_or_else(|| usage()),
+            "--no-cache" => no_cache = true,
+            "--force" => force = true,
             _ => usage(),
+        }
+    }
+    // Plain replays go through the disk result cache: rows are
+    // deterministic per token, so a hit is byte-identical to a re-run.
+    // Instrumented replays (any observer flag) always re-simulate — the
+    // cache stores only the row, not the full telemetry.
+    let cache = (obs.is_none() && !no_cache).then(|| ResultCache::new(1).with_dir(&cache_dir));
+    let key = row_key(token, None);
+    if let (Some(cache), false) = (&cache, force) {
+        if let Some(row) = cache.get(key) {
+            let json = serde_json::to_string_pretty(&row).expect("row serializes");
+            println!("{json}");
+            eprintln!("(cached row from {cache_dir}; --force re-simulates)");
+            return ExitCode::SUCCESS;
         }
     }
     match run_scenario_instrumented(&scenario, &obs) {
         Ok((report, telemetry)) => {
+            if let Some(cache) = &cache {
+                cache.put(key, &report);
+            }
             let json = serde_json::to_string_pretty(&report).expect("report serializes");
             println!("{json}");
             if let Some(m) = &telemetry.metrics {
@@ -455,6 +510,246 @@ fn cmd_diff(args: &[String]) -> ExitCode {
     }
 }
 
+fn cmd_stream(path: &str, args: &[String]) -> ExitCode {
+    let mut shape = vec![4u16, 4];
+    let mut scheme = "sr2201".to_string();
+    let mut seed = 0u64;
+    let mut windows = 100u64;
+    let mut max_cycles: Option<u64> = None;
+    let mut jsonl: Option<String> = None;
+    let mut quiet = false;
+    let mut it = args.iter().cloned();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--shape" => shape = parse_shape(&it.next().unwrap_or_else(|| usage())),
+            "--scheme" => scheme = it.next().unwrap_or_else(|| usage()),
+            "--seed" => seed = parse_num("--seed", it.next()),
+            "--windows" => windows = parse_num("--windows", it.next()),
+            "--max-cycles" => max_cycles = Some(parse_num("--max-cycles", it.next())),
+            "--jsonl" => jsonl = Some(it.next().unwrap_or_else(|| usage())),
+            "--quiet" => quiet = true,
+            _ => usage(),
+        }
+    }
+    if !mdx_core::registry::SCHEME_IDS.contains(&scheme.as_str()) {
+        eprintln!(
+            "error: unknown scheme `{scheme}` (known: {})",
+            mdx_core::registry::SCHEME_IDS.join(", ")
+        );
+        return ExitCode::from(2);
+    }
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let spec = match StreamSpec::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let horizon = spec.horizon;
+    let mut scenario = Scenario::new(shape, &scheme, Workload::Stream { spec }, seed);
+    // The horizon is the stream's cycle budget: a saturated run ends there
+    // as `cycle-limit` instead of draining without bound.
+    scenario.max_cycles = max_cycles.unwrap_or(horizon);
+    let obs = ObsOptions {
+        windows: Some(windows.max(1)),
+        ..ObsOptions::default()
+    };
+    match run_scenario_instrumented(&scenario, &obs) {
+        Ok((report, telemetry)) => {
+            if let Some(p) = &jsonl {
+                let line = serde_json::to_string(&report).expect("report serializes");
+                if let Err(e) = std::fs::write(p, format!("{line}\n")) {
+                    eprintln!("error: cannot write {p}: {e}");
+                    return ExitCode::from(1);
+                }
+            }
+            if quiet {
+                println!("{}", report.token);
+                return ExitCode::SUCCESS;
+            }
+            println!("token: {}", report.token);
+            println!(
+                "outcome: {} ({} offered, {} delivered, {} cycles, mean latency {:.1})",
+                report.outcome,
+                report.offered,
+                report.stats.delivered,
+                report.stats.cycles,
+                report.stats.mean_latency()
+            );
+            if let Some(rc) = &report.reconfig {
+                println!(
+                    "reconfig: {} epoch(s), victims {} (recovered {}, lost {}), transition {}",
+                    rc.epochs.len(),
+                    rc.victims_total,
+                    rc.recovered,
+                    rc.lost,
+                    if rc.transition_safe() {
+                        "safe"
+                    } else {
+                        "VIOLATED"
+                    }
+                );
+            }
+            if let Some(w) = &telemetry.windows {
+                println!();
+                print!("{}", w.render());
+            }
+            if let Some(s) = &report.stream {
+                match s.saturated_at {
+                    Some(at) => println!(
+                        "saturation: onset at cycle {at} (delivery ratio {:.3}, peak backlog {})",
+                        s.delivery_ratio, s.peak_backlog
+                    ),
+                    None => println!("saturation: none (delivery ratio {:.3})", s.delivery_ratio),
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut cfg = ServeConfig::default();
+    let mut tcp: Option<String> = None;
+    let mut it = args.iter().cloned();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tcp" => tcp = Some(it.next().unwrap_or_else(|| usage())),
+            "--workers" => cfg.workers = parse_num("--workers", it.next()),
+            "--windows" => cfg.windows = Some(parse_num("--windows", it.next())),
+            "--cache-dir" => {
+                cfg.cache_dir = Some(it.next().unwrap_or_else(|| usage()).into());
+            }
+            "--cache-cap" => cfg.cache_capacity = parse_num("--cache-cap", it.next()),
+            _ => usage(),
+        }
+    }
+    match tcp {
+        Some(addr) => {
+            let listener = match std::net::TcpListener::bind(&addr) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("error: cannot bind {addr}: {e}");
+                    return ExitCode::from(1);
+                }
+            };
+            let workers = cfg.workers;
+            match serve_on(&cfg, listener, |a| {
+                eprintln!("campaign serve: listening on {a} ({workers} workers)");
+            }) {
+                Ok(conns) => {
+                    eprintln!("campaign serve: stopped after {conns} connection(s)");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::from(1)
+                }
+            }
+        }
+        None => {
+            eprintln!("campaign serve: reading stdin ({} workers)", cfg.workers);
+            let n = serve_stdio(&cfg);
+            eprintln!("campaign serve: answered {n} request(s)");
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn cmd_bench_serve(args: &[String]) -> ExitCode {
+    let mut tokens = 100usize;
+    let mut hits: Option<usize> = None;
+    let mut cfg = ServeConfig::default();
+    let mut it = args.iter().cloned();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tokens" => tokens = parse_num("--tokens", it.next()),
+            "--hits" => hits = Some(parse_num("--hits", it.next())),
+            "--workers" => cfg.workers = parse_num("--workers", it.next()),
+            _ => usage(),
+        }
+    }
+    let tokens = tokens.max(1);
+    let hits = hits.unwrap_or(tokens);
+
+    let service = Arc::new(Service::new(&cfg));
+    let server = Server::new(service.clone(), cfg.workers);
+    let sink: SharedWriter = Arc::new(Mutex::new(Box::new(std::io::sink())));
+    // Distinct small scenarios: same workload family, distinct seeds, so
+    // every token is a genuine simulation on the cold pass.
+    let lines: Vec<String> = (0..tokens)
+        .map(|i| {
+            let s = Scenario::new(
+                vec![4, 3],
+                "sr2201",
+                Workload::BroadcastStorm {
+                    sources: vec![i % 12],
+                    flits: 4,
+                },
+                i as u64,
+            );
+            serde_json::to_string(&Request::run(&s.token()).with_id(i as u64))
+                .expect("request serializes")
+        })
+        .collect();
+
+    let cold_start = Instant::now();
+    for line in &lines {
+        server.submit(line.clone(), sink.clone());
+    }
+    server.drain();
+    let cold = cold_start.elapsed();
+
+    let hot_start = Instant::now();
+    for line in lines.iter().cycle().take(hits) {
+        server.submit(line.clone(), sink.clone());
+    }
+    server.drain();
+    let hot = hot_start.elapsed();
+
+    let stats = service.stats();
+    server.shutdown();
+
+    println!(
+        "bench-serve: {tokens} token(s), {} worker(s)",
+        stats.workers
+    );
+    println!(
+        "cold: {:.3}s total, {:.1} tokens/s",
+        cold.as_secs_f64(),
+        tokens as f64 / cold.as_secs_f64().max(1e-9)
+    );
+    println!(
+        "hot:  {:.3}s total, {:.1} us/hit ({} cache hit(s))",
+        hot.as_secs_f64(),
+        hot.as_secs_f64() * 1e6 / hits.max(1) as f64,
+        stats.cache_hits
+    );
+    if stats.cache_hits < hits {
+        eprintln!(
+            "error: expected >= {hits} cache hit(s), saw {} (served {}, errors {})",
+            stats.cache_hits, stats.served, stats.errors
+        );
+        return ExitCode::from(1);
+    }
+    if stats.errors > 0 {
+        eprintln!("error: {} request(s) failed", stats.errors);
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -468,6 +763,12 @@ fn main() -> ExitCode {
             None => usage(),
         },
         Some("diff") => cmd_diff(&args[1..]),
+        Some("stream") => match args.get(1) {
+            Some(p) if !p.starts_with("--") => cmd_stream(p, &args[2..]),
+            _ => usage(),
+        },
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("bench-serve") => cmd_bench_serve(&args[1..]),
         _ => usage(),
     }
 }

@@ -1,0 +1,53 @@
+//! # mdx-serve — the resident campaign service and `campaign` CLI
+//!
+//! Continuous-service mode for the SR2201 experiment stack: a
+//! long-running process that accepts `MDX1.` scenario tokens and
+//! streaming workload specs over a line-oriented JSON protocol
+//! ([`protocol`]), simulates them on a worker pool ([`server`]), streams
+//! result rows back as JSON lines, and answers repeat tokens from a
+//! digest-keyed result cache ([`cache`]) — replays are free because every
+//! row is deterministic per token.
+//!
+//! The protocol runs over stdio (`campaign serve`) or TCP
+//! (`campaign serve --tcp ADDR`). Abnormal rows keep their
+//! flight-recorder post-mortems fetchable by digest; `stats` exposes the
+//! service counters; `shutdown` stops the server after draining.
+//!
+//! The crate also owns the `campaign` binary (run / replay / shrink /
+//! diff / stream / serve / bench-serve), which sits above `mdx-campaign`
+//! and this service layer.
+//!
+//! ```
+//! use mdx_serve::{Request, Response, ServeConfig, Service};
+//! use mdx_campaign::{Scenario, Workload};
+//!
+//! let service = Service::new(&ServeConfig::default());
+//! let scenario = Scenario::new(
+//!     vec![4, 3],
+//!     "sr2201",
+//!     Workload::BroadcastStorm { sources: vec![0], flits: 4 },
+//!     1,
+//! );
+//! let first = service.handle(&Request::run(&scenario.token()).with_id(1));
+//! let again = service.handle(&Request::run(&scenario.token()).with_id(2));
+//! assert_eq!(first.cached, Some(false));
+//! assert_eq!(again.cached, Some(true));
+//! assert_eq!(
+//!     first.row.unwrap().digest,
+//!     again.row.unwrap().digest,
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{fnv1a64, row_key, ResultCache, DEFAULT_CACHE_CAPACITY};
+pub use protocol::{Request, Response, ServeStats};
+pub use server::{
+    serve_on, serve_stdio, serve_stream, serve_tcp, ServeConfig, Server, Service, SharedWriter,
+    MAX_POSTMORTEMS,
+};

@@ -1,0 +1,287 @@
+//! The line-oriented JSON protocol a resident `campaign serve` process
+//! speaks, over stdio or TCP.
+//!
+//! One request per line, one response per line. Every request may carry a
+//! client-chosen `id`, echoed verbatim on its response so a client
+//! pipelining requests across the worker pool can match answers arriving
+//! out of order.
+//!
+//! Requests (`cmd` selects the verb; unused fields are omitted):
+//!
+//! ```text
+//! {"cmd":"run","token":"MDX1...","id":1}            run or fetch a scenario
+//! {"cmd":"run","token":"MDX1...","force":true}      bypass the result cache
+//! {"cmd":"spec","spec":"phase 0..100 ...","shape":[4,4],"scheme":"sr2201","seed":7}
+//! {"cmd":"postmortem","digest":"<row digest>"}      fetch forensics
+//! {"cmd":"stats"}                                   service counters
+//! {"cmd":"shutdown"}                                stop the server
+//! ```
+//!
+//! Responses carry `kind`: `row` (with the full campaign row JSON and a
+//! `cached` flag), `error` (with a message), `stats`, `postmortem`, or
+//! `ok` (shutdown acknowledgment).
+//!
+//! Serialization is hand-written so absent optional fields are *omitted*
+//! rather than `null`-padded: request lines stay human-writable and
+//! response lines stay schema-stable as fields are added.
+
+use mdx_campaign::ScenarioReport;
+use mdx_obs::PostmortemReport;
+use serde::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// One protocol request line.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Request {
+    /// The verb: `run`, `spec`, `postmortem`, `stats`, or `shutdown`.
+    pub cmd: String,
+    /// Client correlation tag, echoed on the response.
+    pub id: Option<u64>,
+    /// `MDX1.` scenario token (`run`).
+    pub token: Option<String>,
+    /// Workload-spec text (`spec`); see [`mdx_workloads::StreamSpec`].
+    pub spec: Option<String>,
+    /// Topology extents for `spec` requests (default `[4, 4]`).
+    pub shape: Option<Vec<u16>>,
+    /// Routing scheme id for `spec` requests (default `sr2201`).
+    pub scheme: Option<String>,
+    /// Scenario seed for `spec` requests (default 0).
+    pub seed: Option<u64>,
+    /// Window width in cycles for this row's open-loop telemetry,
+    /// overriding the server default.
+    pub windows: Option<u64>,
+    /// Skip the cache lookup and re-simulate (the fresh row still
+    /// refreshes the cache).
+    pub force: bool,
+    /// Row digest (`postmortem`).
+    pub digest: Option<String>,
+}
+
+impl Request {
+    /// A `run` request for one token.
+    pub fn run(token: &str) -> Request {
+        Request {
+            cmd: "run".to_string(),
+            token: Some(token.to_string()),
+            ..Request::default()
+        }
+    }
+
+    /// Tags the request with a client correlation id (builder style).
+    #[must_use]
+    pub fn with_id(mut self, id: u64) -> Request {
+        self.id = Some(id);
+        self
+    }
+}
+
+fn push_opt<T: Serialize>(m: &mut Vec<(String, Value)>, name: &str, v: &Option<T>) {
+    if let Some(v) = v {
+        m.push((name.to_string(), v.to_value()));
+    }
+}
+
+fn opt_field<T: Deserialize>(
+    entries: &[(String, Value)],
+    name: &str,
+) -> Result<Option<T>, serde::de::Error> {
+    match entries.iter().find(|(k, _)| k == name) {
+        Some((_, Value::Null)) | None => Ok(None),
+        Some((_, v)) => T::from_value(v).map(Some),
+    }
+}
+
+impl Serialize for Request {
+    fn to_value(&self) -> Value {
+        let mut m = vec![("cmd".to_string(), self.cmd.to_value())];
+        push_opt(&mut m, "id", &self.id);
+        push_opt(&mut m, "token", &self.token);
+        push_opt(&mut m, "spec", &self.spec);
+        push_opt(&mut m, "shape", &self.shape);
+        push_opt(&mut m, "scheme", &self.scheme);
+        push_opt(&mut m, "seed", &self.seed);
+        push_opt(&mut m, "windows", &self.windows);
+        if self.force {
+            m.push(("force".to_string(), true.to_value()));
+        }
+        push_opt(&mut m, "digest", &self.digest);
+        Value::Map(m)
+    }
+}
+
+impl Deserialize for Request {
+    fn from_value(v: &Value) -> Result<Request, serde::de::Error> {
+        let entries = v
+            .as_map()
+            .ok_or_else(|| serde::de::Error::expected("a request object"))?;
+        Ok(Request {
+            cmd: Deserialize::from_value(serde::de::field(entries, "cmd")?)?,
+            id: opt_field(entries, "id")?,
+            token: opt_field(entries, "token")?,
+            spec: opt_field(entries, "spec")?,
+            shape: opt_field(entries, "shape")?,
+            scheme: opt_field(entries, "scheme")?,
+            seed: opt_field(entries, "seed")?,
+            windows: opt_field(entries, "windows")?,
+            force: opt_field(entries, "force")?.unwrap_or(false),
+            digest: opt_field(entries, "digest")?,
+        })
+    }
+}
+
+/// Service counters, returned by the `stats` verb.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Rows served (cache hits included).
+    pub served: usize,
+    /// Rows answered straight from the result cache.
+    pub cache_hits: usize,
+    /// Requests that returned an error.
+    pub errors: usize,
+    /// Rows currently resident in the in-memory cache.
+    pub cached_rows: usize,
+    /// Post-mortem artifacts held for `postmortem` requests.
+    pub postmortems: usize,
+    /// Worker threads in the pool.
+    pub workers: usize,
+}
+
+/// One protocol response line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The response kind: `row`, `error`, `stats`, `postmortem`, or `ok`.
+    pub kind: String,
+    /// The request's correlation id, echoed back.
+    pub id: Option<u64>,
+    /// Whether a `row` came from the result cache.
+    pub cached: Option<bool>,
+    /// The campaign row (`row`).
+    pub row: Option<ScenarioReport>,
+    /// What went wrong (`error`).
+    pub error: Option<String>,
+    /// Service counters (`stats`).
+    pub stats: Option<ServeStats>,
+    /// Forensic report (`postmortem`).
+    pub postmortem: Option<PostmortemReport>,
+}
+
+impl Response {
+    fn empty(kind: &str, id: Option<u64>) -> Response {
+        Response {
+            kind: kind.to_string(),
+            id,
+            cached: None,
+            row: None,
+            error: None,
+            stats: None,
+            postmortem: None,
+        }
+    }
+
+    /// A `row` response.
+    pub fn row(id: Option<u64>, cached: bool, row: ScenarioReport) -> Response {
+        Response {
+            cached: Some(cached),
+            row: Some(row),
+            ..Response::empty("row", id)
+        }
+    }
+
+    /// An `error` response.
+    pub fn error(id: Option<u64>, msg: impl Into<String>) -> Response {
+        Response {
+            error: Some(msg.into()),
+            ..Response::empty("error", id)
+        }
+    }
+
+    /// A `stats` response.
+    pub fn stats(id: Option<u64>, stats: ServeStats) -> Response {
+        Response {
+            stats: Some(stats),
+            ..Response::empty("stats", id)
+        }
+    }
+
+    /// A `postmortem` response.
+    pub fn postmortem(id: Option<u64>, pm: PostmortemReport) -> Response {
+        Response {
+            postmortem: Some(pm),
+            ..Response::empty("postmortem", id)
+        }
+    }
+
+    /// An `ok` acknowledgment (shutdown).
+    pub fn ok(id: Option<u64>) -> Response {
+        Response::empty("ok", id)
+    }
+
+    /// Whether this is an error response.
+    pub fn is_error(&self) -> bool {
+        self.kind == "error"
+    }
+}
+
+impl Serialize for Response {
+    fn to_value(&self) -> Value {
+        let mut m = vec![("kind".to_string(), self.kind.to_value())];
+        push_opt(&mut m, "id", &self.id);
+        push_opt(&mut m, "cached", &self.cached);
+        push_opt(&mut m, "row", &self.row);
+        push_opt(&mut m, "error", &self.error);
+        push_opt(&mut m, "stats", &self.stats);
+        push_opt(&mut m, "postmortem", &self.postmortem);
+        Value::Map(m)
+    }
+}
+
+impl Deserialize for Response {
+    fn from_value(v: &Value) -> Result<Response, serde::de::Error> {
+        let entries = v
+            .as_map()
+            .ok_or_else(|| serde::de::Error::expected("a response object"))?;
+        Ok(Response {
+            kind: Deserialize::from_value(serde::de::field(entries, "kind")?)?,
+            id: opt_field(entries, "id")?,
+            cached: opt_field(entries, "cached")?,
+            row: opt_field(entries, "row")?,
+            error: opt_field(entries, "error")?,
+            stats: opt_field(entries, "stats")?,
+            postmortem: opt_field(entries, "postmortem")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip_omits_absent_fields() {
+        let req = Request::run("MDX1.abc").with_id(7);
+        let json = serde_json::to_string(&req).unwrap();
+        assert!(json.contains("\"cmd\":\"run\""));
+        assert!(!json.contains("spec"), "{json}");
+        assert!(!json.contains("force"), "{json}");
+        let back: Request = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn hand_written_requests_parse_with_defaults() {
+        let req: Request = serde_json::from_str(r#"{"cmd":"stats"}"#).unwrap();
+        assert_eq!(req.cmd, "stats");
+        assert_eq!(req.id, None);
+        assert!(!req.force);
+    }
+
+    #[test]
+    fn error_response_roundtrip() {
+        let resp = Response::error(Some(3), "bad token");
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: Response = serde_json::from_str(&json).unwrap();
+        assert!(back.is_error());
+        assert_eq!(back.id, Some(3));
+        assert_eq!(back.error.as_deref(), Some("bad token"));
+    }
+}

@@ -1,0 +1,420 @@
+//! The resident campaign service: request dispatch, worker pool, and the
+//! stdio / TCP serving loops behind `campaign serve`.
+//!
+//! [`Service`] is the protocol brain — stateless per request apart from
+//! the result cache and the post-mortem store, so it is shared freely
+//! across worker threads. [`Server`] owns a fixed pool of OS threads
+//! feeding off one queue: each request line is simulated (or answered
+//! from cache) on a worker and its response line is written, under a
+//! per-connection lock, as soon as it is ready — a client pipelining N
+//! tokens gets rows streamed back as they finish, not batched at the end.
+//!
+//! Memory stays bounded for arbitrarily long sessions: the row cache is
+//! capped (FIFO), post-mortems are capped, and streaming rows use the
+//! engine's incremental [`mdx_sim::TrafficSource`] seam plus windowed
+//! telemetry rather than materialized schedules.
+
+use crate::cache::{row_key, ResultCache, DEFAULT_CACHE_CAPACITY};
+use crate::protocol::{Request, Response, ServeStats};
+use mdx_campaign::{run_scenario_instrumented, ObsOptions, Scenario, Workload};
+use mdx_obs::{PostmortemReport, DEFAULT_FLIGHT_CAPACITY};
+use mdx_workloads::StreamSpec;
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::net::{TcpListener, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Post-mortems retained for `postmortem` requests (FIFO eviction).
+pub const MAX_POSTMORTEMS: usize = 64;
+
+/// Configuration for a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads simulating requests concurrently.
+    pub workers: usize,
+    /// Default window width (cycles) for per-row open-loop telemetry;
+    /// requests may override per row. `None` disables window telemetry.
+    pub windows: Option<u64>,
+    /// Disk tier for the result cache (shared with `campaign replay`).
+    pub cache_dir: Option<PathBuf>,
+    /// In-memory result-cache capacity, in rows.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+                .min(8),
+            windows: None,
+            cache_dir: None,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+        }
+    }
+}
+
+/// The request dispatcher: runs scenarios (through the cache) and answers
+/// protocol verbs. Shared across workers via `Arc`.
+pub struct Service {
+    windows: Option<u64>,
+    workers: usize,
+    cache: ResultCache,
+    postmortems: Mutex<(HashMap<String, PostmortemReport>, Vec<String>)>,
+    served: AtomicUsize,
+    cache_hits: AtomicUsize,
+    errors: AtomicUsize,
+}
+
+impl Service {
+    /// Builds a service from its configuration.
+    pub fn new(cfg: &ServeConfig) -> Service {
+        let mut cache = ResultCache::new(cfg.cache_capacity);
+        if let Some(dir) = &cfg.cache_dir {
+            cache = cache.with_dir(dir);
+        }
+        Service {
+            windows: cfg.windows,
+            workers: cfg.workers,
+            cache,
+            postmortems: Mutex::new((HashMap::new(), Vec::new())),
+            served: AtomicUsize::new(0),
+            cache_hits: AtomicUsize::new(0),
+            errors: AtomicUsize::new(0),
+        }
+    }
+
+    /// Parses one request line and dispatches it. Malformed JSON becomes
+    /// an `error` response, never a crash.
+    pub fn handle_line(&self, line: &str) -> Response {
+        match serde_json::from_str::<Request>(line) {
+            Ok(req) => self.handle(&req),
+            Err(e) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                Response::error(None, format!("bad request: {e}"))
+            }
+        }
+    }
+
+    /// Dispatches one parsed request.
+    pub fn handle(&self, req: &Request) -> Response {
+        let resp = match req.cmd.as_str() {
+            "run" => self.cmd_run(req),
+            "spec" => self.cmd_spec(req),
+            "postmortem" => self.cmd_postmortem(req),
+            "stats" => Response::stats(req.id, self.stats()),
+            "shutdown" => Response::ok(req.id),
+            other => Response::error(req.id, format!("unknown cmd `{other}`")),
+        };
+        if resp.is_error() {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        resp
+    }
+
+    fn cmd_run(&self, req: &Request) -> Response {
+        let Some(token) = &req.token else {
+            return Response::error(req.id, "run needs a `token`");
+        };
+        let scenario = match Scenario::from_token(token) {
+            Ok(s) => s,
+            Err(e) => return Response::error(req.id, e.to_string()),
+        };
+        self.run_row(req, token, &scenario)
+    }
+
+    fn cmd_spec(&self, req: &Request) -> Response {
+        let Some(text) = &req.spec else {
+            return Response::error(req.id, "spec needs a `spec` body");
+        };
+        let spec = match StreamSpec::parse(text) {
+            Ok(s) => s,
+            Err(e) => return Response::error(req.id, e.to_string()),
+        };
+        let shape = req.shape.clone().unwrap_or_else(|| vec![4, 4]);
+        let scheme = req.scheme.as_deref().unwrap_or("sr2201");
+        let horizon = spec.horizon;
+        let mut scenario = Scenario::new(
+            shape,
+            scheme,
+            Workload::Stream { spec },
+            req.seed.unwrap_or(0),
+        );
+        // The horizon is the stream's cycle budget: a saturated run ends
+        // there as `cycle-limit` instead of draining without bound.
+        scenario.max_cycles = horizon;
+        let token = scenario.token();
+        self.run_row(req, &token, &scenario)
+    }
+
+    /// Runs (or fetches) one row. The cache key covers the token and the
+    /// effective window width, so the same token with different telemetry
+    /// shapes is two distinct rows.
+    fn run_row(&self, req: &Request, token: &str, scenario: &Scenario) -> Response {
+        let windows = req.windows.or(self.windows);
+        let key = row_key(token, windows);
+        if !req.force {
+            if let Some(row) = self.cache.get(key) {
+                self.served.fetch_add(1, Ordering::Relaxed);
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Response::row(req.id, true, row);
+            }
+        }
+        let opts = ObsOptions {
+            windows,
+            // Always-on forensics: abnormal rows carry a post-mortem and
+            // the artifact stays fetchable by digest.
+            flight: Some(DEFAULT_FLIGHT_CAPACITY),
+            ..ObsOptions::default()
+        };
+        match run_scenario_instrumented(scenario, &opts) {
+            Ok((row, telemetry)) => {
+                if let Some(pm) = telemetry.postmortem {
+                    self.remember_postmortem(&row.digest, pm);
+                }
+                self.cache.put(key, &row);
+                self.served.fetch_add(1, Ordering::Relaxed);
+                Response::row(req.id, false, row)
+            }
+            Err(e) => Response::error(req.id, e.to_string()),
+        }
+    }
+
+    fn remember_postmortem(&self, digest: &str, pm: PostmortemReport) {
+        let mut store = self.postmortems.lock().expect("postmortem lock");
+        let (map, order) = &mut *store;
+        if map.insert(digest.to_string(), pm).is_none() {
+            order.push(digest.to_string());
+        }
+        while order.len() > MAX_POSTMORTEMS {
+            let old = order.remove(0);
+            map.remove(&old);
+        }
+    }
+
+    fn cmd_postmortem(&self, req: &Request) -> Response {
+        let Some(digest) = &req.digest else {
+            return Response::error(req.id, "postmortem needs a `digest`");
+        };
+        let store = self.postmortems.lock().expect("postmortem lock");
+        match store.0.get(digest) {
+            Some(pm) => Response::postmortem(req.id, pm.clone()),
+            None => Response::error(req.id, format!("no post-mortem for digest {digest}")),
+        }
+    }
+
+    /// Current service counters.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            served: self.served.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            cached_rows: self.cache.len(),
+            postmortems: self.postmortems.lock().expect("postmortem lock").1.len(),
+            workers: self.workers,
+        }
+    }
+}
+
+/// A writer a worker can stream a response line to (one lock per
+/// connection keeps lines atomic under concurrency).
+pub type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
+
+type Job = (String, SharedWriter);
+
+/// A fixed pool of worker threads draining request lines from one queue.
+pub struct Server {
+    service: Arc<Service>,
+    tx: Option<mpsc::Sender<Job>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    pending: Arc<(Mutex<usize>, Condvar)>,
+}
+
+impl Server {
+    /// Spawns `workers` threads over a shared service.
+    pub fn new(service: Arc<Service>, workers: usize) -> Server {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let pending = Arc::new((Mutex::new(0usize), Condvar::new()));
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let rx = rx.clone();
+                let service = service.clone();
+                let pending = pending.clone();
+                std::thread::spawn(move || loop {
+                    let job = rx.lock().expect("job queue lock").recv();
+                    let Ok((line, out)) = job else { break };
+                    let resp = service.handle_line(&line);
+                    let body = serde_json::to_string(&resp).expect("response serializes");
+                    {
+                        let mut w = out.lock().expect("writer lock");
+                        let _ = writeln!(w, "{body}");
+                        let _ = w.flush();
+                    }
+                    let (count, cv) = &*pending;
+                    *count.lock().expect("pending lock") -= 1;
+                    cv.notify_all();
+                })
+            })
+            .collect();
+        Server {
+            service,
+            tx: Some(tx),
+            workers,
+            pending,
+        }
+    }
+
+    /// The shared service (for inline verbs like shutdown).
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// Queues one request line; its response will be written to `out` by
+    /// whichever worker picks it up.
+    pub fn submit(&self, line: String, out: SharedWriter) {
+        let (count, _) = &*self.pending;
+        *count.lock().expect("pending lock") += 1;
+        self.tx
+            .as_ref()
+            .expect("server accepting")
+            .send((line, out))
+            .expect("workers alive");
+    }
+
+    /// Blocks until every queued request has been answered.
+    pub fn drain(&self) {
+        let (count, cv) = &*self.pending;
+        let mut n = count.lock().expect("pending lock");
+        while *n > 0 {
+            n = cv.wait(n).expect("pending lock");
+        }
+    }
+
+    /// Drains, then joins the pool.
+    pub fn shutdown(mut self) {
+        self.drain();
+        drop(self.tx.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// True when the line is a `shutdown` request (handled inline so the
+/// serving loop can stop accepting).
+fn is_shutdown(line: &str) -> bool {
+    serde_json::from_str::<Request>(line)
+        .map(|r| r.cmd == "shutdown")
+        .unwrap_or(false)
+}
+
+/// Serves one request stream to completion: lines are dispatched to the
+/// pool and responses stream to `out` as they finish. Returns on EOF or
+/// after acknowledging a `shutdown` request; either way every submitted
+/// request has been answered when this returns.
+pub fn serve_stream<R: BufRead>(server: &Server, input: R, out: SharedWriter) -> usize {
+    let mut submitted = 0usize;
+    for line in input.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        if is_shutdown(&line) {
+            server.drain();
+            let resp = server.service().handle_line(&line);
+            let body = serde_json::to_string(&resp).expect("response serializes");
+            let mut w = out.lock().expect("writer lock");
+            let _ = writeln!(w, "{body}");
+            let _ = w.flush();
+            break;
+        }
+        server.submit(line, out.clone());
+        submitted += 1;
+    }
+    server.drain();
+    submitted
+}
+
+/// Serves stdin to stdout until EOF or `shutdown`.
+pub fn serve_stdio(cfg: &ServeConfig) -> usize {
+    let server = Server::new(Arc::new(Service::new(cfg)), cfg.workers);
+    let out: SharedWriter = Arc::new(Mutex::new(Box::new(std::io::stdout())));
+    let n = serve_stream(&server, std::io::stdin().lock(), out);
+    server.shutdown();
+    n
+}
+
+/// Binds `addr` and serves TCP connections (one reader thread each; all
+/// connections share the worker pool) until some connection sends
+/// `shutdown`. Returns the number of connections served.
+pub fn serve_tcp(cfg: &ServeConfig, addr: impl ToSocketAddrs) -> std::io::Result<usize> {
+    let listener = TcpListener::bind(addr)?;
+    serve_on(cfg, listener, |_| {})
+}
+
+/// [`serve_tcp`] with a hook observing the bound address before the
+/// accept loop starts — lets a test (or an operator script) learn an
+/// ephemeral port.
+pub fn serve_on(
+    cfg: &ServeConfig,
+    listener: TcpListener,
+    on_ready: impl FnOnce(std::net::SocketAddr),
+) -> std::io::Result<usize> {
+    listener.set_nonblocking(true)?;
+    on_ready(listener.local_addr()?);
+    let server = Arc::new(Server::new(Arc::new(Service::new(cfg)), cfg.workers));
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut conns = 0usize;
+    let mut readers = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((sock, _)) => {
+                conns += 1;
+                sock.set_nonblocking(false)?;
+                let reader = std::io::BufReader::new(sock.try_clone()?);
+                let out: SharedWriter = Arc::new(Mutex::new(Box::new(sock)));
+                let server = server.clone();
+                let stop = stop.clone();
+                readers.push(std::thread::spawn(move || {
+                    let mut saw_shutdown = false;
+                    for line in reader.lines() {
+                        let Ok(line) = line else { break };
+                        if line.trim().is_empty() {
+                            continue;
+                        }
+                        if is_shutdown(&line) {
+                            saw_shutdown = true;
+                            break;
+                        }
+                        server.submit(line, out.clone());
+                    }
+                    server.drain();
+                    if saw_shutdown {
+                        let resp = Response::ok(None);
+                        let body = serde_json::to_string(&resp).expect("response serializes");
+                        let mut w = out.lock().expect("writer lock");
+                        let _ = writeln!(w, "{body}");
+                        let _ = w.flush();
+                        stop.store(true, Ordering::SeqCst);
+                    }
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    for r in readers {
+        let _ = r.join();
+    }
+    if let Ok(s) = Arc::try_unwrap(server) {
+        s.shutdown();
+    }
+    Ok(conns)
+}

@@ -1,0 +1,237 @@
+//! End-to-end service sessions: a long pipelined run over the worker pool,
+//! duplicate-token cache hits, a mid-stream fault storm submitted as a
+//! workload spec, and a full TCP round-trip with shutdown.
+
+use mdx_campaign::{Scenario, Workload};
+use mdx_serve::{Request, Response, ServeConfig, Server, Service, SharedWriter};
+use std::io::{BufRead, BufReader, Write};
+use std::sync::{mpsc, Arc, Mutex};
+
+/// A writer whose bytes stay readable after the workers are done with it.
+#[derive(Clone, Default)]
+struct CaptureWriter(Arc<Mutex<Vec<u8>>>);
+
+impl Write for CaptureWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl CaptureWriter {
+    fn shared(&self) -> SharedWriter {
+        Arc::new(Mutex::new(Box::new(self.clone())))
+    }
+
+    fn responses(&self) -> Vec<Response> {
+        let bytes = self.0.lock().unwrap().clone();
+        String::from_utf8(bytes)
+            .expect("utf8 output")
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("response line parses"))
+            .collect()
+    }
+}
+
+fn storm_token(seed: u64) -> String {
+    Scenario::new(
+        vec![4, 3],
+        "sr2201",
+        Workload::BroadcastStorm {
+            sources: vec![(seed as usize) % 12],
+            flits: 4,
+        },
+        seed,
+    )
+    .token()
+}
+
+#[test]
+fn a_hundred_tokens_stream_through_one_bounded_process() {
+    const TOKENS: u64 = 110;
+    const CACHE_CAP: usize = 32;
+    let cfg = ServeConfig {
+        workers: 4,
+        cache_capacity: CACHE_CAP,
+        ..ServeConfig::default()
+    };
+    let service = Arc::new(Service::new(&cfg));
+    let server = Server::new(service.clone(), cfg.workers);
+    let out = CaptureWriter::default();
+
+    for seed in 0..TOKENS {
+        let req = Request::run(&storm_token(seed)).with_id(seed);
+        server.submit(serde_json::to_string(&req).unwrap(), out.shared());
+    }
+    server.drain();
+
+    let responses = out.responses();
+    assert_eq!(responses.len(), TOKENS as usize);
+    let mut ids: Vec<u64> = Vec::new();
+    for resp in &responses {
+        assert_eq!(resp.kind, "row", "error: {:?}", resp.error);
+        let row = resp.row.as_ref().expect("row body");
+        assert_eq!(row.outcome, "completed");
+        ids.push(resp.id.expect("echoed id"));
+    }
+    // Out-of-order completion is fine; every id must be answered once.
+    ids.sort_unstable();
+    assert_eq!(ids, (0..TOKENS).collect::<Vec<_>>());
+
+    // Memory stays bounded: the in-memory cache never exceeds its cap even
+    // though 110 distinct rows flowed through.
+    let stats = service.stats();
+    assert_eq!(stats.served, TOKENS as usize);
+    assert!(
+        stats.cached_rows <= CACHE_CAP,
+        "cache grew to {}",
+        stats.cached_rows
+    );
+    server.shutdown();
+}
+
+#[test]
+fn duplicate_tokens_short_circuit_through_the_cache() {
+    let service = Service::new(&ServeConfig::default());
+    let token = storm_token(7);
+
+    let first = service.handle(&Request::run(&token).with_id(1));
+    assert_eq!(first.cached, Some(false));
+    let second = service.handle(&Request::run(&token).with_id(2));
+    assert_eq!(second.cached, Some(true));
+    // The cached row is the identical row, not a re-simulation.
+    assert_eq!(
+        serde_json::to_string(&first.row.unwrap()).unwrap(),
+        serde_json::to_string(&second.row.unwrap()).unwrap()
+    );
+
+    // `force` bypasses the lookup but still refreshes the cache.
+    let mut forced = Request::run(&token).with_id(3);
+    forced.force = true;
+    assert_eq!(service.handle(&forced).cached, Some(false));
+
+    let stats = service.stats();
+    assert_eq!(stats.served, 3);
+    assert_eq!(stats.cache_hits, 1);
+}
+
+#[test]
+fn a_spec_with_a_mid_stream_storm_reports_the_epoch_protocol() {
+    let spec = "\
+        seed 5\n\
+        flits 2\n\
+        phase 0..600 uniform rate=0.04\n\
+        storm 200 xbar:0:1\n\
+        storm 420 repair xbar:0:1\n\
+        horizon 1200\n";
+    let service = Service::new(&ServeConfig {
+        windows: Some(100),
+        ..ServeConfig::default()
+    });
+    let req = Request {
+        cmd: "spec".to_string(),
+        spec: Some(spec.to_string()),
+        shape: Some(vec![4, 4]),
+        seed: Some(3),
+        ..Request::default()
+    };
+
+    let resp = service.handle(&req);
+    assert_eq!(resp.kind, "row", "error: {:?}", resp.error);
+    let row = resp.row.expect("row body");
+    assert_eq!(row.outcome, "completed");
+
+    // The storm lines drive the live epoch protocol: one epoch per fault
+    // event, transition-safe, nothing lost.
+    let rc = row.reconfig.expect("storm spec implies a reconfig report");
+    assert_eq!(rc.epochs.len(), 2);
+    assert!(rc.transition_safe());
+    assert_eq!(rc.lost, 0);
+    assert_eq!(rc.victims_total, rc.recovered);
+
+    // Windowed telemetry rode along under the service's default width.
+    let stream = row.stream.expect("windowed stream summary");
+    assert_eq!(stream.window, 100);
+    assert!(stream.windows > 0);
+
+    // The spec's row replays byte-identically from its token.
+    let again = service.handle(&Request::run(&row.token));
+    assert_eq!(again.cached, Some(true));
+    assert_eq!(again.row.unwrap().digest, row.digest);
+
+    // Malformed specs surface the line-numbered parse error.
+    let bad = service.handle(&Request {
+        cmd: "spec".to_string(),
+        spec: Some("phase 0..10 uniform rate=nope".to_string()),
+        ..Request::default()
+    });
+    assert!(bad.is_error());
+    assert!(bad.error.unwrap().contains("line 1"));
+}
+
+#[test]
+fn tcp_round_trip_serves_pipelined_clients_and_honors_shutdown() {
+    let cfg = ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+    let (addr_tx, addr_rx) = mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        mdx_serve::serve_on(&cfg, listener, move |addr| {
+            addr_tx.send(addr).expect("report addr");
+        })
+        .expect("serve loop")
+    });
+    let addr = addr_rx.recv().expect("bound addr");
+
+    let mut sock = std::net::TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(sock.try_clone().expect("clone sock"));
+    let token = storm_token(11);
+
+    // First request alone, and wait for its row, so the duplicate below is
+    // deterministically a cache hit rather than a concurrent re-simulation.
+    let first = serde_json::to_string(&Request::run(&token).with_id(1)).unwrap();
+    sock.write_all((first + "\n").as_bytes()).expect("send");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("first row");
+    let mut responses: Vec<Response> = vec![serde_json::from_str(&line).expect("response parses")];
+
+    // Then a pipelined burst: a fresh token, the duplicate, stats, shutdown.
+    let lines = vec![
+        serde_json::to_string(&Request::run(&storm_token(12)).with_id(2)).unwrap(),
+        serde_json::to_string(&Request::run(&token).with_id(3)).unwrap(),
+        r#"{"cmd":"stats","id":4}"#.to_string(),
+        r#"{"cmd":"shutdown"}"#.to_string(),
+    ];
+    sock.write_all((lines.join("\n") + "\n").as_bytes())
+        .expect("send requests");
+
+    for line in reader.lines() {
+        let line = line.expect("read response");
+        responses.push(serde_json::from_str(&line).expect("response parses"));
+    }
+    // 4 answers plus the shutdown ack, then the server closes the socket.
+    assert_eq!(responses.len(), 5);
+    let by_id = |id: u64| {
+        responses
+            .iter()
+            .find(|r| r.id == Some(id))
+            .unwrap_or_else(|| panic!("response {id}"))
+    };
+    assert_eq!(by_id(1).kind, "row");
+    assert_eq!(by_id(2).kind, "row");
+    assert_eq!(by_id(3).cached, Some(true));
+    assert_eq!(
+        by_id(1).row.as_ref().unwrap().digest,
+        by_id(3).row.as_ref().unwrap().digest
+    );
+    let stats = by_id(4).stats.as_ref().expect("stats body");
+    assert_eq!(stats.workers, 2);
+    assert!(responses.iter().any(|r| r.kind == "ok"));
+
+    assert_eq!(handle.join().expect("server thread"), 1);
+}

@@ -22,6 +22,7 @@ use crate::result::{
     DeadlockInfo, EngineDiagnostic, InjectSpec, PacketId, PacketOutcome, PacketResult, SimOutcome,
     SimResult, SimStats, WaitEdge,
 };
+use crate::source::TrafficSource;
 use mdx_core::{Action, DropReason, Header, Scheme};
 use mdx_fault::FaultSet;
 use mdx_topology::{ChannelId, NetworkGraph, Node, NodeId};
@@ -209,6 +210,13 @@ pub struct Simulator {
     packets: Vec<PacketRt>,
     inject_order: Vec<u32>,
     next_inject: usize,
+    /// Incremental packet source for open-loop (streaming) runs; pulled at
+    /// the top of every [`Simulator::run_phase`] iteration.
+    source: Option<Box<dyn TrafficSource>>,
+    /// Cached [`TrafficSource::next_arrival`] so `work_remaining` (which
+    /// takes `&self`) can see pending arrivals without consulting the
+    /// source.
+    source_next: Option<u64>,
 
     visits: Vec<Visit>,
     active: Vec<u32>,
@@ -279,6 +287,8 @@ impl Simulator {
             packets: Vec::new(),
             inject_order: Vec::new(),
             next_inject: 0,
+            source: None,
+            source_next: None,
             visits: Vec::new(),
             active: Vec::new(),
             vcs,
@@ -356,6 +366,64 @@ impl Simulator {
             route: Vec::new(),
         });
         id
+    }
+
+    /// Attaches an incremental packet source for an open-loop (streaming)
+    /// run, replacing any previous one. [`Simulator::run_phase`] pulls due
+    /// packets from it each cycle and merges them into the same injection
+    /// path an up-front schedule uses, so determinism and arbitration
+    /// order are unaffected. A run keeps going (and fast-forwards across
+    /// idle gaps) until both the schedule and the source are exhausted.
+    pub fn set_traffic_source(&mut self, mut source: Box<dyn TrafficSource>) {
+        self.source_next = source.next_arrival();
+        self.source = Some(source);
+    }
+
+    /// Packets the attached traffic source has handed over so far
+    /// (offered-load accounting); 0 without a source.
+    pub fn source_offered(&self) -> usize {
+        self.source.as_ref().map_or(0, |s| s.offered())
+    }
+
+    /// Moves due packets from the traffic source into the schedule,
+    /// keeping `inject_order` sorted by `(inject_at, id)` — the same
+    /// sorted insert [`Simulator::reschedule_packet`] uses.
+    fn pull_source(&mut self) {
+        match self.source_next {
+            Some(t) if t <= self.now => {}
+            _ => return,
+        }
+        let source = self.source.as_mut().expect("source_next implies a source");
+        let specs = source.pull(self.now);
+        self.source_next = source.next_arrival();
+        debug_assert!(
+            self.source_next.is_none_or(|t| t > self.now),
+            "source must advance past the pulled cycle"
+        );
+        for spec in specs {
+            let id = self.schedule(spec);
+            let key = (spec.inject_at, id.0);
+            let packets = &self.packets;
+            let pos = self.inject_order[self.next_inject..]
+                .partition_point(|&i| (packets[i as usize].spec.inject_at, i) <= key);
+            self.inject_order.insert(self.next_inject + pos, id.0);
+        }
+    }
+
+    /// If the network is empty and the only remaining work is a future
+    /// source arrival, the cycle the clock can jump straight to (the
+    /// arrival, clamped to this phase's stopping points). `None` while any
+    /// packet is in flight or the injection gate is closed.
+    fn idle_jump(&self, stop_at: Option<u64>) -> Option<u64> {
+        if !self.injection_open || self.finished_packets < self.packets.len() {
+            return None;
+        }
+        let mut target = self.source_next?;
+        if let Some(t) = stop_at {
+            target = target.min(t);
+        }
+        target = target.min(self.cfg.max_cycles);
+        (target > self.now).then_some(target)
     }
 
     /// Current simulation cycle.
@@ -1058,7 +1126,7 @@ impl Simulator {
     }
 
     fn work_remaining(&self) -> bool {
-        self.finished_packets < self.packets.len()
+        self.finished_packets < self.packets.len() || self.source_next.is_some()
     }
 
     /// Builds the packet wait-for graph over ungranted port wants and
@@ -1222,6 +1290,7 @@ impl Simulator {
             .filter(|&iv| iv > 0);
 
         loop {
+            self.pull_source();
             if !self.work_remaining() {
                 return PhaseEnd::Completed;
             }
@@ -1247,6 +1316,13 @@ impl Simulator {
             }
             if progress {
                 self.last_progress = self.now;
+            } else if let Some(target) = self.idle_jump(stop_at) {
+                // Open-loop fast-forward: the network is empty and the
+                // next source arrival is known, so hop the clock straight
+                // to it instead of idling cycle by cycle.
+                self.now = target;
+                self.last_progress = target;
+                continue;
             } else if drain && self.now - self.last_progress >= DRAIN_QUIET {
                 return match self.analyze_deadlock() {
                     Some(info) => PhaseEnd::Deadlock(info),

@@ -60,6 +60,7 @@
 pub mod engine;
 pub mod observer;
 pub mod result;
+pub mod source;
 
 pub use engine::{PhaseEnd, SimConfig, Simulator, VictimMode};
 pub use observer::{EpochPhase, EventCounts, SimObserver, WaitSnapshot};
@@ -67,3 +68,4 @@ pub use result::{
     DeadlockInfo, EngineDiagnostic, InjectSpec, PacketId, PacketOutcome, PacketResult, SimOutcome,
     SimResult, SimStats, SortedLatencies, WaitEdge,
 };
+pub use source::{ScheduleSource, TrafficSource};

@@ -1,0 +1,120 @@
+//! Incremental traffic sources: the open-loop injection seam.
+//!
+//! A batch run hands the engine its whole schedule up front
+//! ([`crate::Simulator::schedule`] + [`crate::Simulator::run`]). A
+//! *streaming* run instead attaches a [`TrafficSource`] — the engine pulls
+//! packets from it cycle by cycle as their injection instants arrive, so an
+//! unbounded offered-load curve never has to be materialized as one giant
+//! packet list. Sources are plain deterministic iterators over
+//! [`InjectSpec`]s in nondecreasing `inject_at` order; all engine
+//! guarantees (FIFO arbitration, seeded tie-breaks, bit-identical replay)
+//! hold unchanged, because a pulled packet enters the very same scheduling
+//! path an up-front packet does.
+//!
+//! [`ScheduleSource`] adapts the existing fixed packet lists to the trait,
+//! and is bit-for-bit equivalent to scheduling the same (time-sorted) list
+//! up front — pinned by a test in this module.
+
+use crate::result::InjectSpec;
+
+/// A pull-based packet generator the engine consumes incrementally (attach
+/// with [`crate::Simulator::set_traffic_source`]).
+///
+/// ## Contract
+///
+/// * [`TrafficSource::pull`] returns every remaining packet whose
+///   `inject_at` is `<= now`, in nondecreasing `inject_at` order; packets
+///   already handed out are never handed out again.
+/// * After `pull(now)`, [`TrafficSource::next_arrival`] is either `None`
+///   (exhausted — it must stay `None` forever) or `Some(t)` with
+///   `t > now`, and the next `pull(t)` yields at least one packet.
+/// * Everything is deterministic: a source rebuilt from the same
+///   parameters replays the same packets at the same cycles.
+pub trait TrafficSource {
+    /// Removes and returns every packet due at or before `now`.
+    fn pull(&mut self, now: u64) -> Vec<InjectSpec>;
+
+    /// The exact cycle of the next pending packet, or `None` when the
+    /// source is exhausted.
+    fn next_arrival(&mut self) -> Option<u64>;
+
+    /// Packets handed out so far (offered-load accounting).
+    fn offered(&self) -> usize;
+}
+
+/// A fixed packet list as a [`TrafficSource`] — the batch schedule becomes
+/// one impl of the streaming interface. The list is sorted by
+/// `(inject_at, original position)`, exactly the order
+/// [`crate::Simulator::prepare`] sorts an up-front schedule into.
+#[derive(Debug, Clone)]
+pub struct ScheduleSource {
+    specs: Vec<InjectSpec>,
+    cursor: usize,
+}
+
+impl ScheduleSource {
+    /// Wraps a packet list (any order; sorted internally).
+    pub fn new(mut specs: Vec<InjectSpec>) -> ScheduleSource {
+        specs.sort_by_key(|s| s.inject_at);
+        ScheduleSource { specs, cursor: 0 }
+    }
+
+    /// Packets not yet pulled.
+    pub fn remaining(&self) -> usize {
+        self.specs.len() - self.cursor
+    }
+}
+
+impl TrafficSource for ScheduleSource {
+    fn pull(&mut self, now: u64) -> Vec<InjectSpec> {
+        let start = self.cursor;
+        while self.cursor < self.specs.len() && self.specs[self.cursor].inject_at <= now {
+            self.cursor += 1;
+        }
+        self.specs[start..self.cursor].to_vec()
+    }
+
+    fn next_arrival(&mut self) -> Option<u64> {
+        self.specs.get(self.cursor).map(|s| s.inject_at)
+    }
+
+    fn offered(&self) -> usize {
+        self.cursor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(src: usize, at: u64) -> InjectSpec {
+        use mdx_core::Header;
+        use mdx_topology::Coord;
+        InjectSpec {
+            src_pe: src,
+            header: Header::unicast(Coord::ORIGIN, Coord::ORIGIN.with(0, 1)),
+            flits: 4,
+            inject_at: at,
+        }
+    }
+
+    #[test]
+    fn schedule_source_pulls_in_time_order() {
+        let mut s = ScheduleSource::new(vec![spec(0, 5), spec(1, 0), spec(2, 5), spec(3, 9)]);
+        assert_eq!(s.next_arrival(), Some(0));
+        let batch = s.pull(0);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].src_pe, 1);
+        assert_eq!(s.next_arrival(), Some(5));
+        // Nothing due between arrivals.
+        assert!(s.pull(4).is_empty());
+        // Same-cycle packets keep their original relative order.
+        let batch = s.pull(5);
+        assert_eq!(batch.iter().map(|p| p.src_pe).collect::<Vec<_>>(), [0, 2]);
+        assert_eq!(s.offered(), 3);
+        let batch = s.pull(100);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(s.next_arrival(), None);
+        assert_eq!(s.remaining(), 0);
+    }
+}

@@ -12,6 +12,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod stream;
+
+pub use stream::{PhaseSpec, SpecError, StormSpec, StreamSource, StreamSpec};
+
 use mdx_core::Header;
 use mdx_fault::FaultSet;
 use mdx_sim::InjectSpec;
@@ -47,6 +51,16 @@ pub enum TrafficPattern {
     /// Tornado: halfway around dimension 0 (wrapping) — the classic
     /// worst case for minimal routing on rings/tori.
     Tornado,
+    /// Incast: the `fan` PEs following `sink` in index order (wrapping)
+    /// all send to `sink`; every other PE stays silent. Unlike
+    /// [`TrafficPattern::HotSpot`] (all-to-one), this models the bounded
+    /// many-to-one convergence of a reduction or storage burst.
+    Incast {
+        /// The convergence point.
+        sink: usize,
+        /// How many PEs send (clamped to the machine size).
+        fan: usize,
+    },
 }
 
 impl TrafficPattern {
@@ -102,6 +116,16 @@ impl TrafficPattern {
                 let e = shape.extent(0);
                 shape.index_of(c.with(0, (c.get(0) + e / 2) % e))
             }
+            TrafficPattern::Incast { sink, fan } => {
+                let sink = sink % n;
+                let fan = fan.min(n - 1);
+                // Senders are the `fan` PEs after the sink, wrapping.
+                let offset = (src + n - sink) % n;
+                if offset == 0 || offset > fan {
+                    return None;
+                }
+                sink
+            }
         };
         (dst != src).then_some(dst)
     }
@@ -117,6 +141,7 @@ impl TrafficPattern {
             TrafficPattern::HotSpot { .. } => "hotspot",
             TrafficPattern::NearestNeighbor => "nearest-neighbor",
             TrafficPattern::Tornado => "tornado",
+            TrafficPattern::Incast { .. } => "incast",
         }
     }
 }

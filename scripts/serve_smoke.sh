@@ -1,0 +1,61 @@
+#!/usr/bin/env sh
+# Serve-mode smoke gate: drive one `campaign serve` process over stdio with
+# three token requests (the third a duplicate that must be answered from
+# the result cache), plus stats and shutdown, then validate every streamed
+# JSONL response line against the protocol schema.
+#
+# Artifacts: serve-smoke-session.jsonl (the raw response stream).
+set -eu
+
+BIN=${CAMPAIGN_BIN:-target/release/campaign}
+OUT=${SERVE_SMOKE_OUT:-serve-smoke-session.jsonl}
+
+# The `spec` verb mints the scenario token server-side, so the session is
+# fully self-contained: requests 1 and 3 are the same spec (and therefore
+# the same token) — the duplicate must come back as a cache hit.
+{
+  printf '%s\n' '{"cmd":"spec","id":1,"spec":"seed 1\nflits 2\nphase 0..200 uniform rate=0.03\nhorizon 600","shape":[4,3],"seed":1}'
+  printf '%s\n' '{"cmd":"spec","id":2,"spec":"seed 2\nflits 2\nphase 0..200 transpose rate=0.03\nhorizon 600","shape":[4,4],"seed":2}'
+  printf '%s\n' '{"cmd":"spec","id":3,"spec":"seed 1\nflits 2\nphase 0..200 uniform rate=0.03\nhorizon 600","shape":[4,3],"seed":1}'
+  printf '%s\n' '{"cmd":"stats","id":4}'
+  printf '%s\n' '{"cmd":"shutdown","id":5}'
+} | "$BIN" serve --windows 100 > "$OUT"
+
+python3 - "$OUT" <<'EOF'
+import json, sys
+
+path = sys.argv[1]
+lines = [l for l in open(path) if l.strip()]
+assert len(lines) == 5, f"expected 5 response lines, got {len(lines)}"
+
+by_id = {}
+for line in lines:
+    resp = json.loads(line)
+    assert resp["kind"] in {"row", "stats", "ok", "error", "postmortem"}, resp
+    assert resp["kind"] != "error", f"server error: {resp}"
+    by_id[resp.get("id")] = resp
+
+for rid in (1, 2, 3):
+    resp = by_id[rid]
+    assert resp["kind"] == "row", resp
+    row = resp["row"]
+    # Row schema: token, outcome, and the windowed stream summary.
+    assert row["token"].startswith("MDX1."), row["token"]
+    assert row["outcome"] == "completed", (rid, row["outcome"])
+    assert row["stream"]["window"] == 100, row["stream"]
+    assert row["stream"]["windows"] > 0
+
+# Request 3 duplicates request 1: same token, same digest, served from the
+# result cache.
+assert by_id[1]["cached"] is False
+assert by_id[3]["cached"] is True, "duplicate token was re-simulated"
+assert by_id[1]["row"]["token"] == by_id[3]["row"]["token"]
+assert by_id[1]["row"]["digest"] == by_id[3]["row"]["digest"]
+assert by_id[2]["row"]["token"] != by_id[1]["row"]["token"]
+
+stats = by_id[4]["stats"]
+assert stats["served"] == 3 and stats["cache_hits"] == 1, stats
+assert by_id[5]["kind"] == "ok"
+
+print(f"serve smoke OK: 3 rows (1 cache hit), session in {path}")
+EOF
