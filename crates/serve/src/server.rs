@@ -21,7 +21,7 @@ use mdx_obs::{PostmortemReport, DEFAULT_FLIGHT_CAPACITY};
 use mdx_workloads::StreamSpec;
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
-use std::net::{TcpListener, ToSocketAddrs};
+use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
@@ -78,7 +78,9 @@ impl Service {
             cache = cache.with_dir(dir);
         }
         Service {
-            windows: cfg.windows,
+            // A zero width would panic the window observer; treat it as
+            // "no window telemetry" rather than arming a trap.
+            windows: cfg.windows.filter(|&w| w > 0),
             workers: cfg.workers,
             cache,
             postmortems: Mutex::new((HashMap::new(), Vec::new())),
@@ -155,6 +157,11 @@ impl Service {
     /// effective window width, so the same token with different telemetry
     /// shapes is two distinct rows.
     fn run_row(&self, req: &Request, token: &str, scenario: &Scenario) -> Response {
+        // `windows: 0` is valid JSON but would assert inside the window
+        // observer; reject it here so no request can panic a worker.
+        if req.windows == Some(0) {
+            return Response::error(req.id, "`windows` must be at least 1 cycle");
+        }
         let windows = req.windows.or(self.windows);
         let key = row_key(token, windows);
         if !req.force {
@@ -226,6 +233,21 @@ pub type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
 
 type Job = (String, SharedWriter);
 
+/// Releases one pending slot (and wakes [`Server::drain`]) on drop, so a
+/// request that panics its worker can never leave the counter stuck and
+/// wedge `drain()`/`shutdown()`.
+struct PendingGuard<'a>(&'a (Mutex<usize>, Condvar));
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        let (count, cv) = self.0;
+        let mut n = count.lock().unwrap_or_else(|e| e.into_inner());
+        *n = n.saturating_sub(1);
+        drop(n);
+        cv.notify_all();
+    }
+}
+
 /// A fixed pool of worker threads draining request lines from one queue.
 pub struct Server {
     service: Arc<Service>,
@@ -248,16 +270,24 @@ impl Server {
                 std::thread::spawn(move || loop {
                     let job = rx.lock().expect("job queue lock").recv();
                     let Ok((line, out)) = job else { break };
-                    let resp = service.handle_line(&line);
+                    // Released on every exit path, including a panic below.
+                    let _guard = PendingGuard(&pending);
+                    // A handler panic must not kill the worker or drop the
+                    // response: the client still gets an error line with
+                    // its correlation id, and the pool keeps its size.
+                    let resp = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        service.handle_line(&line)
+                    }))
+                    .unwrap_or_else(|_| {
+                        let id = serde_json::from_str::<Request>(&line)
+                            .ok()
+                            .and_then(|r| r.id);
+                        Response::error(id, "internal error: request handler panicked")
+                    });
                     let body = serde_json::to_string(&resp).expect("response serializes");
-                    {
-                        let mut w = out.lock().expect("writer lock");
-                        let _ = writeln!(w, "{body}");
-                        let _ = w.flush();
-                    }
-                    let (count, cv) = &*pending;
-                    *count.lock().expect("pending lock") -= 1;
-                    cv.notify_all();
+                    let mut w = out.lock().unwrap_or_else(|e| e.into_inner());
+                    let _ = writeln!(w, "{body}");
+                    let _ = w.flush();
                 })
             })
             .collect();
@@ -371,33 +401,47 @@ pub fn serve_on(
     let stop = Arc::new(AtomicBool::new(false));
     let mut conns = 0usize;
     let mut readers = Vec::new();
+    // Live connections' sockets, so the stop path can unblock readers
+    // parked in `lines()` on connections that stay open but idle. Each
+    // reader prunes its own entry on exit — a departed client doesn't
+    // leak a descriptor for the server's lifetime.
+    let socks: Arc<Mutex<HashMap<usize, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((sock, _)) => {
+                let conn_id = conns;
                 conns += 1;
                 sock.set_nonblocking(false)?;
                 let reader = std::io::BufReader::new(sock.try_clone()?);
+                socks
+                    .lock()
+                    .expect("socket table")
+                    .insert(conn_id, sock.try_clone()?);
                 let out: SharedWriter = Arc::new(Mutex::new(Box::new(sock)));
                 let server = server.clone();
                 let stop = stop.clone();
+                let socks = socks.clone();
                 readers.push(std::thread::spawn(move || {
-                    let mut saw_shutdown = false;
+                    let mut shutdown_line = None;
                     for line in reader.lines() {
                         let Ok(line) = line else { break };
                         if line.trim().is_empty() {
                             continue;
                         }
                         if is_shutdown(&line) {
-                            saw_shutdown = true;
+                            shutdown_line = Some(line);
                             break;
                         }
                         server.submit(line, out.clone());
                     }
+                    socks.lock().expect("socket table").remove(&conn_id);
                     server.drain();
-                    if saw_shutdown {
-                        let resp = Response::ok(None);
+                    if let Some(line) = shutdown_line {
+                        // Acknowledge through the service so the client's
+                        // correlation id is echoed, as the stdio path does.
+                        let resp = server.service().handle_line(&line);
                         let body = serde_json::to_string(&resp).expect("response serializes");
-                        let mut w = out.lock().expect("writer lock");
+                        let mut w = out.lock().unwrap_or_else(|e| e.into_inner());
                         let _ = writeln!(w, "{body}");
                         let _ = w.flush();
                         stop.store(true, Ordering::SeqCst);
@@ -409,6 +453,11 @@ pub fn serve_on(
             }
             Err(e) => return Err(e),
         }
+    }
+    // Close only the read halves: blocked readers see EOF and exit, while
+    // responses still in flight can finish writing.
+    for s in socks.lock().expect("socket table").values() {
+        let _ = s.shutdown(Shutdown::Read);
     }
     for r in readers {
         let _ = r.join();

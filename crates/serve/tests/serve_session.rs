@@ -172,6 +172,38 @@ fn a_spec_with_a_mid_stream_storm_reports_the_epoch_protocol() {
     assert!(bad.error.unwrap().contains("line 1"));
 }
 
+/// `"windows":0` is valid JSON but an invalid width; it must come back as
+/// an error response — not panic a worker and wedge `drain()` forever.
+#[test]
+fn zero_window_width_errors_instead_of_wedging_the_pool() {
+    let cfg = ServeConfig {
+        workers: 1,
+        // A zero server default is normalized away rather than trapping
+        // every windowless request.
+        windows: Some(0),
+        ..ServeConfig::default()
+    };
+    let service = Arc::new(Service::new(&cfg));
+    let server = Server::new(service.clone(), cfg.workers);
+    let out = CaptureWriter::default();
+
+    let mut bad = Request::run(&storm_token(21)).with_id(1);
+    bad.windows = Some(0);
+    server.submit(serde_json::to_string(&bad).unwrap(), out.shared());
+    // The same (sole) worker must survive to serve the next request.
+    let good = Request::run(&storm_token(22)).with_id(2);
+    server.submit(serde_json::to_string(&good).unwrap(), out.shared());
+    server.drain();
+
+    let responses = out.responses();
+    assert_eq!(responses.len(), 2);
+    let by_id = |id: u64| responses.iter().find(|r| r.id == Some(id)).unwrap();
+    assert!(by_id(1).is_error());
+    assert!(by_id(1).error.as_ref().unwrap().contains("windows"));
+    assert_eq!(by_id(2).kind, "row");
+    server.shutdown();
+}
+
 #[test]
 fn tcp_round_trip_serves_pipelined_clients_and_honors_shutdown() {
     let cfg = ServeConfig {
@@ -187,6 +219,17 @@ fn tcp_round_trip_serves_pipelined_clients_and_honors_shutdown() {
         .expect("serve loop")
     });
     let addr = addr_rx.recv().expect("bound addr");
+
+    // A second connection that goes idle after one request: shutdown from
+    // the other connection must still unblock its reader and let the
+    // server exit instead of hanging until this client disconnects.
+    let idle = std::net::TcpStream::connect(addr).expect("connect idle");
+    let mut idle_reader = BufReader::new(idle.try_clone().expect("clone idle"));
+    (&idle)
+        .write_all(b"{\"cmd\":\"stats\",\"id\":99}\n")
+        .expect("idle request");
+    let mut idle_line = String::new();
+    idle_reader.read_line(&mut idle_line).expect("idle stats");
 
     let mut sock = std::net::TcpStream::connect(addr).expect("connect");
     let mut reader = BufReader::new(sock.try_clone().expect("clone sock"));
@@ -205,7 +248,7 @@ fn tcp_round_trip_serves_pipelined_clients_and_honors_shutdown() {
         serde_json::to_string(&Request::run(&storm_token(12)).with_id(2)).unwrap(),
         serde_json::to_string(&Request::run(&token).with_id(3)).unwrap(),
         r#"{"cmd":"stats","id":4}"#.to_string(),
-        r#"{"cmd":"shutdown"}"#.to_string(),
+        r#"{"cmd":"shutdown","id":5}"#.to_string(),
     ];
     sock.write_all((lines.join("\n") + "\n").as_bytes())
         .expect("send requests");
@@ -231,7 +274,11 @@ fn tcp_round_trip_serves_pipelined_clients_and_honors_shutdown() {
     );
     let stats = by_id(4).stats.as_ref().expect("stats body");
     assert_eq!(stats.workers, 2);
-    assert!(responses.iter().any(|r| r.kind == "ok"));
+    // The shutdown ack echoes its correlation id like every other verb.
+    assert_eq!(by_id(5).kind, "ok");
 
-    assert_eq!(handle.join().expect("server thread"), 1);
+    // The idle connection's reader was unblocked (EOF), not left hanging.
+    let mut eof = String::new();
+    assert_eq!(idle_reader.read_line(&mut eof).expect("idle eof"), 0);
+    assert_eq!(handle.join().expect("server thread"), 2);
 }

@@ -14,7 +14,9 @@
 
 pub mod stream;
 
-pub use stream::{PhaseSpec, SpecError, StormSpec, StreamSource, StreamSpec};
+pub use stream::{
+    default_horizon, PhaseSpec, SpecError, StormSpec, StreamSource, StreamSpec, DEFAULT_DRAIN_SLACK,
+};
 
 use mdx_core::Header;
 use mdx_fault::FaultSet;

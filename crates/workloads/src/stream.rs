@@ -22,6 +22,10 @@
 //! horizon 6000                             # run/drain out to this cycle
 //! ```
 //!
+//! When the `horizon` line is omitted it defaults to the last phase end
+//! plus drain headroom ([`default_horizon`]) so in-flight packets can
+//! still finish; declare it explicitly to cap a saturated run.
+//!
 //! Patterns: `uniform`, `transpose`, `bitrev`, `bitcomp`, `shuffle`,
 //! `neighbor`, `tornado`, `hotspot:PE`, `incast:SINK[:FAN]` (FAN defaults
 //! to 4). Fault sites: `xbar:DIM:LINE`, `router:IDX`, `pe:IDX`.
@@ -83,6 +87,21 @@ impl std::fmt::Display for SpecError {
 }
 
 impl std::error::Error for SpecError {}
+
+/// Flat drain headroom (cycles) granted past the last phase end when a
+/// spec omits its `horizon` line; 25% of the traffic window is added on
+/// top. Without headroom an implicit horizon coincides with the final
+/// injection cycle, so any packet still in flight would end the run as
+/// `cycle-limit` instead of letting it complete.
+pub const DEFAULT_DRAIN_SLACK: u64 = 256;
+
+/// The horizon a spec gets when it declares none: the last phase end
+/// plus 25% of the traffic window plus [`DEFAULT_DRAIN_SLACK`].
+pub fn default_horizon(traffic_end: u64) -> u64 {
+    traffic_end
+        .saturating_add(traffic_end / 4)
+        .saturating_add(DEFAULT_DRAIN_SLACK)
+}
 
 /// One injection window: open-loop Bernoulli traffic under a pattern.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -384,7 +403,7 @@ impl StreamSpec {
             return Err(SpecError::new(0, "", "spec declares no phase or burst"));
         }
         let traffic_end = phases.iter().map(|p| p.end).max().unwrap_or(0);
-        let horizon = horizon.unwrap_or(traffic_end);
+        let horizon = horizon.unwrap_or_else(|| default_horizon(traffic_end));
         if horizon < traffic_end {
             return Err(SpecError::new(
                 0,

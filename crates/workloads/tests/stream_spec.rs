@@ -6,7 +6,7 @@
 use mdx_fault::{FaultEventKind, FaultSet};
 use mdx_sim::TrafficSource;
 use mdx_topology::Shape;
-use mdx_workloads::{SpecError, StreamSpec, TrafficPattern};
+use mdx_workloads::{StreamSpec, TrafficPattern};
 use proptest::prelude::*;
 
 const GOOD: &str = "\
@@ -88,6 +88,24 @@ fn whole_spec_errors_use_line_zero() {
         .unwrap_err();
     // Storm at the horizon is rejected at parse time with its own line.
     assert_eq!(err.line, 2);
+}
+
+/// Omitting `horizon` must leave drain headroom past the last phase end,
+/// or every implicit-horizon run with packets still in flight ends as
+/// `cycle-limit` instead of completing.
+#[test]
+fn omitted_horizon_gets_drain_headroom() {
+    let spec = StreamSpec::parse("phase 0..100 uniform rate=0.1").unwrap();
+    assert_eq!(spec.traffic_end(), 100);
+    assert_eq!(spec.horizon, mdx_workloads::default_horizon(100));
+    assert!(
+        spec.horizon >= 100 + mdx_workloads::DEFAULT_DRAIN_SLACK,
+        "horizon {} leaves no drain window",
+        spec.horizon
+    );
+    // An explicit horizon is taken verbatim, even with zero headroom.
+    let spec = StreamSpec::parse("phase 0..100 uniform rate=0.1\nhorizon 100").unwrap();
+    assert_eq!(spec.horizon, 100);
 }
 
 #[test]
