@@ -1,6 +1,6 @@
 # Convenience targets for the SR2201 reproduction.
 
-.PHONY: test experiments trajectory bench examples doc clippy lint campaign campaign-smoke metrics-demo reconfig-demo reconfig-smoke attribution-smoke serve-smoke bench-serve all
+.PHONY: test experiments trajectory bench examples doc clippy lint campaign campaign-smoke metrics-demo metrics-serve-demo reconfig-demo reconfig-smoke attribution-smoke serve-smoke bench-serve all
 
 test:
 	cargo test --workspace
@@ -50,6 +50,13 @@ campaign-smoke:
 metrics-demo:
 	cargo run --release --example telemetry_dashboard
 
+# Production telemetry walkthrough: boots `campaign serve --tcp` with a live
+# Prometheus endpoint, drives a session, scrapes the exposition, and prints
+# the series the session produced.
+metrics-serve-demo:
+	cargo build --release -p mdx-serve
+	cargo run --release --example metrics_scrape
+
 # Live reconfiguration walkthrough: a crossbar dies mid-run, the epoch
 # protocol drains/reprograms/resumes, under all three recovery policies.
 reconfig-demo:
@@ -78,9 +85,11 @@ attribution-smoke:
 	cargo run --release -p mdx-serve -- diff \
 		attribution-smoke-a.jsonl attribution-smoke-b.jsonl --fail-on-shift
 
-# Resident-service gate: pipe a session (two tokens, one duplicate, stats,
-# shutdown) through `campaign serve` on stdio and require every line to be
-# a valid response with the duplicate answered from the cache.
+# Resident-service gate, two phases: (1) pipe a session (two tokens, one
+# duplicate, stats, metrics, shutdown) through `campaign serve` on stdio and
+# require every line to be a valid response with the duplicate answered from
+# the cache; (2) run a TCP session with --metrics-addr and scrape the live
+# Prometheus endpoint mid-session. Artifacts land under target/.
 serve-smoke:
 	cargo build --release -p mdx-serve
 	./scripts/serve_smoke.sh

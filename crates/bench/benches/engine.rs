@@ -113,7 +113,46 @@ fn bench_engine(c: &mut Criterion) {
     g.bench_function("event_counts", |b| {
         b.iter(|| run_with(Some(Box::new(EventCounts::default()))))
     });
+    // The detached-registry contract: the engine self-profiles on every
+    // run, but with no `EngineMeter` attached the profile is dropped on
+    // the floor — this row must stay flat against `none`.
     g.bench_function("metrics", |b| {
+        let meter: Option<mdx_campaign::EngineMeter> = None;
+        b.iter(|| {
+            let r = run_with(None);
+            if let (Some(m), Some(p)) = (&meter, &r.profile) {
+                m.observe(&mdx_campaign::RowProfile::from_engine(p));
+            }
+            r.stats.cycles
+        })
+    });
+    // ...and what folding the profile into live registry atomics costs.
+    g.bench_function("metrics_attached", |b| {
+        let reg = mdx_metrics::Registry::new();
+        let meter = mdx_campaign::EngineMeter::register(&reg);
+        b.iter(|| {
+            let r = run_with(None);
+            if let Some(p) = &r.profile {
+                meter.observe(&mdx_campaign::RowProfile::from_engine(p));
+            }
+            r.stats.cycles
+        })
+    });
+    // Per-phase wall-clock splitting adds two `Instant::now()` pairs per
+    // step; it's opt-in, and this row pins its price.
+    g.bench_function("profile", |b| {
+        b.iter(|| {
+            let scheme = Arc::new(Sr2201Routing::new(net.clone(), &FaultSet::none()).unwrap());
+            let mut sim = Simulator::new(net.graph().clone(), scheme, SimConfig::default());
+            sim.set_phase_timing(true);
+            for &spec in &specs {
+                sim.schedule(spec);
+            }
+            let r = sim.run();
+            r.stats.cycles
+        })
+    });
+    g.bench_function("metrics_observer", |b| {
         b.iter(|| {
             let (obs, handle) = MetricsObserver::new(net.graph().clone());
             let r = run_with(Some(Box::new(obs)));

@@ -60,20 +60,34 @@ pub struct TrajectoryEntry {
     pub p95_latency: f64,
     /// Mean S-XB output utilization over instrumented rows.
     pub sxb_util: f64,
+    /// Sweep-wide engine idle-tick fraction (idle ticks / ticks, summed
+    /// over every row's self-profile). Deterministic per token set, so it
+    /// participates in duplicate detection — but it has no inherent bad
+    /// direction, so it is tracked, not regression-diffed.
+    pub idle_tick_fraction: f64,
+    /// Simulated cycles per wall-clock second across the sweep (total
+    /// cycles / total engine run-loop seconds). Machine-dependent: like
+    /// `wall_clock_s`, recorded for humans and excluded from both the
+    /// regression diff and duplicate detection.
+    pub cycles_per_sec: f64,
 }
 
-// Hand-written so trajectory files from before `wall_clock_s` existed
-// still parse: the derived impl treats a missing field as an error, which
-// would brick every committed BENCH_*.json on upgrade.
+// Hand-written so trajectory files from before `wall_clock_s` (or the
+// engine-profile columns) existed still parse: the derived impl treats a
+// missing field as an error, which would brick every committed
+// BENCH_*.json on upgrade.
 impl Deserialize for TrajectoryEntry {
     fn from_value(v: &serde::value::Value) -> Result<TrajectoryEntry, serde::de::Error> {
         let entries = v
             .as_map()
             .ok_or_else(|| serde::de::Error::expected("a trajectory entry object"))?;
-        let wall_clock_s = match entries.iter().find(|(k, _)| k == "wall_clock_s") {
-            Some((_, v)) => Deserialize::from_value(v)?,
-            None => 0.0,
+        let lenient = |name: &str| match entries.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => Deserialize::from_value(v),
+            None => Ok(0.0),
         };
+        let wall_clock_s = lenient("wall_clock_s")?;
+        let idle_tick_fraction = lenient("idle_tick_fraction")?;
+        let cycles_per_sec = lenient("cycles_per_sec")?;
         Ok(TrajectoryEntry {
             figure: Deserialize::from_value(serde::de::field(entries, "figure")?)?,
             recorded_at_epoch_s: Deserialize::from_value(serde::de::field(
@@ -88,6 +102,8 @@ impl Deserialize for TrajectoryEntry {
             mean_latency: Deserialize::from_value(serde::de::field(entries, "mean_latency")?)?,
             p95_latency: Deserialize::from_value(serde::de::field(entries, "p95_latency")?)?,
             sxb_util: Deserialize::from_value(serde::de::field(entries, "sxb_util")?)?,
+            idle_tick_fraction,
+            cycles_per_sec,
         })
     }
 }
@@ -274,6 +290,20 @@ fn summarize(figure: &str, result: &CampaignResult) -> TrajectoryEntry {
         let sorted = SortedLatencies::from_unsorted(pooled);
         (mean, sorted.percentile(95).map_or(0.0, |v| v as f64))
     };
+    // Engine self-profiles: the deterministic idle-tick fraction, plus the
+    // machine-dependent simulation speed (fresh rows carry run-loop wall
+    // clocks; replayed/cached rows deserialize them as 0 and drop out of
+    // the speed denominator).
+    let (mut ticks, mut idle_ticks, mut prof_cycles) = (0u64, 0u64, 0u64);
+    let mut prof_wall = 0.0f64;
+    for p in result.reports.iter().filter_map(|r| r.profile.as_ref()) {
+        ticks += p.ticks;
+        idle_ticks += p.idle_ticks;
+        if p.wall_s > 0.0 {
+            prof_cycles += p.cycles;
+            prof_wall += p.wall_s;
+        }
+    }
     TrajectoryEntry {
         figure: figure.to_string(),
         recorded_at_epoch_s: SystemTime::now()
@@ -299,6 +329,16 @@ fn summarize(figure: &str, result: &CampaignResult) -> TrajectoryEntry {
                 .filter_map(|r| r.telemetry.as_ref().and_then(|t| t.sxb_util))
                 .collect(),
         ),
+        idle_tick_fraction: if ticks == 0 {
+            0.0
+        } else {
+            idle_ticks as f64 / ticks as f64
+        },
+        cycles_per_sec: if prof_wall > 0.0 {
+            prof_cycles as f64 / prof_wall
+        } else {
+            0.0
+        },
     }
 }
 
@@ -435,7 +475,8 @@ pub fn snapshot_serve() -> TrajectoryEntry {
 }
 
 /// True when two entries record the same measurement — every field except
-/// the wall-clock timestamp and the sweep's wall-clock duration matches.
+/// the wall-clock timestamp, the sweep's wall-clock duration, and the
+/// (machine-dependent) simulation speed matches.
 fn same_measurement(a: &TrajectoryEntry, b: &TrajectoryEntry) -> bool {
     a.figure == b.figure
         && a.scenarios == b.scenarios
@@ -445,6 +486,7 @@ fn same_measurement(a: &TrajectoryEntry, b: &TrajectoryEntry) -> bool {
         && a.mean_latency == b.mean_latency
         && a.p95_latency == b.p95_latency
         && a.sxb_util == b.sxb_util
+        && a.idle_tick_fraction == b.idle_tick_fraction
 }
 
 /// Appends `entry` to the trajectory file at `path` (creating it when
@@ -551,6 +593,7 @@ mod tests {
             attribution: None,
             latencies: Some(latencies),
             stream: None,
+            profile: None,
         }
     }
 
@@ -601,6 +644,8 @@ mod tests {
             mean_latency: 40.0,
             p95_latency: 90.0,
             sxb_util: 0.2,
+            idle_tick_fraction: 0.3,
+            cycles_per_sec: 0.0,
         }
     }
 
@@ -701,6 +746,58 @@ mod tests {
         // And it is not a diffed metric: no delta mentions it.
         let deltas = diff_entries(&stamped, &slower, 0.10);
         assert!(deltas.iter().all(|d| d.metric != "wall_clock_s"));
+    }
+
+    #[test]
+    fn profile_columns_aggregate_and_respect_machine_dependence() {
+        use mdx_campaign::RowProfile;
+        let profile = |wall_s: f64, cycles: u64, ticks: u64, idle_ticks: u64| RowProfile {
+            wall_s,
+            cycles,
+            cycles_per_sec: 0.0,
+            ticks,
+            idle_ticks,
+            idle_tick_fraction: idle_ticks as f64 / ticks as f64,
+            events_per_cycle: 1.0,
+            occupancy: vec![0; 10],
+        };
+        let mut a = row_with_latencies(vec![10, 20]);
+        let mut b = row_with_latencies(vec![30, 40]);
+        a.profile = Some(profile(0.5, 1000, 1000, 600));
+        // A replayed/cached row: deterministic ticks, zeroed wall clock —
+        // it contributes to the idle fraction but not the speed.
+        b.profile = Some(profile(0.0, 500, 500, 150));
+        let e = summarize(
+            "fig9",
+            &CampaignResult {
+                reports: vec![a, b],
+                skipped: Vec::new(),
+            },
+        );
+        assert_eq!(e.idle_tick_fraction, 750.0 / 1500.0);
+        assert_eq!(e.cycles_per_sec, 1000.0 / 0.5);
+
+        // Simulation speed is machine-dependent: two snapshots differing
+        // only there are still duplicates...
+        let mut x = entry("fig9", 2.0, 0.5);
+        x.cycles_per_sec = 1.0e6;
+        let mut y = x.clone();
+        y.cycles_per_sec = 9.0e6;
+        assert!(same_measurement(&x, &y));
+        let deltas = diff_entries(&x, &y, 0.10);
+        assert!(deltas.iter().all(|d| d.metric != "cycles_per_sec"));
+        // ...while the idle-tick fraction is a real measurement.
+        let mut z = x.clone();
+        z.idle_tick_fraction = 0.9;
+        assert!(!same_measurement(&x, &z));
+
+        // Entries from before the profile columns existed still parse.
+        let legacy = r#"{"figure":"fig9","recorded_at_epoch_s":5,"scenarios":10,
+            "deadlock_rate":0.5,"completed_rate":0.5,"throughput":2.0,
+            "mean_latency":40.0,"p95_latency":90.0,"sxb_util":0.2}"#;
+        let e: TrajectoryEntry = serde_json::from_str(legacy).unwrap();
+        assert_eq!(e.idle_tick_fraction, 0.0);
+        assert_eq!(e.cycles_per_sec, 0.0);
     }
 
     #[test]

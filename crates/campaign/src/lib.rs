@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod diff;
+pub mod meter;
 pub mod runner;
 pub mod scenario;
 pub mod shrink;
@@ -46,11 +47,12 @@ pub mod token;
 pub use diff::{
     diff_attribution, AttributionDiff, DiffError, DiffSide, PhaseShift, DEFAULT_DIFF_THRESHOLD,
 };
+pub use meter::{CampaignMeter, EngineMeter, RowProfile};
 pub use runner::{
-    enumerate_fault_sets, enumerate_scenarios, run_campaign, run_campaign_with, run_scenario,
-    run_scenario_instrumented, CampaignConfig, CampaignError, CampaignResult, ObsOptions,
-    RowAttribution, RowStream, RowTelemetry, ScenarioReport, Telemetry, WorkloadKind,
-    CAMPAIGN_SCHEMES,
+    enumerate_fault_sets, enumerate_scenarios, run_campaign, run_campaign_metered,
+    run_campaign_with, run_scenario, run_scenario_instrumented, CampaignConfig, CampaignError,
+    CampaignResult, ObsOptions, RowAttribution, RowStream, RowTelemetry, ScenarioReport, Telemetry,
+    WorkloadKind, CAMPAIGN_SCHEMES,
 };
 pub use scenario::{detour_stress_for, Scenario, ScenarioError, Workload};
 pub use shrink::{shrink, ShrinkError, ShrinkReport};

@@ -5,6 +5,7 @@
 //! Every row carries its scenario token, so any interesting outcome can be
 //! replayed or shrunk later from the report alone.
 
+use crate::meter::{CampaignMeter, RowProfile};
 use crate::scenario::{detour_stress_for, Scenario, ScenarioError, Workload};
 use mdx_core::registry::{build_scheme, RegistryError};
 use mdx_fault::{enumerate_single_faults, sample_fault_sets, FaultSet, FaultTimeline};
@@ -513,6 +514,11 @@ pub struct ScenarioReport {
     /// Open-loop streaming summary, when the row ran with
     /// [`ObsOptions::windows`]. Like telemetry, excluded from the digest.
     pub stream: Option<RowStream>,
+    /// Engine self-profile (wall-clock, idle-tick fraction, occupancy).
+    /// Always populated on fresh runs; its wall-clock fields are
+    /// machine-dependent, so — like telemetry — it is excluded from the
+    /// digest, which hashes only the engine's canonical result.
+    pub profile: Option<RowProfile>,
 }
 
 impl ScenarioReport {
@@ -725,6 +731,7 @@ pub fn run_scenario_instrumented(
             .map(RowAttribution::from_report),
         latencies: opts.latencies.then(|| lats.as_slice().to_vec()),
         stream: telemetry.windows.as_ref().map(RowStream::from_report),
+        profile: result.profile.as_ref().map(RowProfile::from_engine),
     };
     Ok((report, telemetry))
 }
@@ -828,10 +835,49 @@ pub fn run_campaign(scenarios: Vec<Scenario>) -> CampaignResult {
 /// [`Telemetry`] payloads (trace documents, raw series) are dropped — use
 /// [`run_scenario_instrumented`] for a single run when those are needed.
 pub fn run_campaign_with(scenarios: Vec<Scenario>, opts: &ObsOptions) -> CampaignResult {
+    run_campaign_metered(scenarios, opts, None)
+}
+
+/// [`run_campaign_with`] with sweep-level telemetry fed into a
+/// [`CampaignMeter`]: per-row run and serialize latency histograms, a
+/// busy-worker gauge sampled at each row start (rayon saturation), rows/s
+/// of the sweep, and every row's engine self-profile folded into the
+/// `mdx_engine_*` lifetime instruments. With `meter: None` this is
+/// byte-identical to [`run_campaign_with`] — the disabled path costs one
+/// branch per row.
+pub fn run_campaign_metered(
+    scenarios: Vec<Scenario>,
+    opts: &ObsOptions,
+    meter: Option<&CampaignMeter>,
+) -> CampaignResult {
+    let sweep_start = std::time::Instant::now();
     let outcomes: Vec<(Scenario, Result<ScenarioReport, CampaignError>)> = scenarios
         .into_par_iter()
         .map(|s| {
-            let r = run_scenario_instrumented(&s, opts).map(|(report, _)| report);
+            let r = match meter {
+                Some(m) => {
+                    m.workers_busy.inc();
+                    m.worker_saturation.observe(m.workers_busy.get());
+                    let row_start = std::time::Instant::now();
+                    let r = run_scenario_instrumented(&s, opts).map(|(report, _)| report);
+                    m.row_run_seconds.observe_duration(row_start.elapsed());
+                    m.workers_busy.dec();
+                    if let Ok(report) = &r {
+                        let ser_start = std::time::Instant::now();
+                        let _ = serde_json::to_string(report).expect("report serializes");
+                        m.row_serialize_seconds
+                            .observe_duration(ser_start.elapsed());
+                        m.rows.inc();
+                        if let Some(p) = &report.profile {
+                            m.engine.observe(p);
+                        }
+                    } else {
+                        m.rows_failed.inc();
+                    }
+                    r
+                }
+                None => run_scenario_instrumented(&s, opts).map(|(report, _)| report),
+            };
             (s, r)
         })
         .collect();
@@ -843,6 +889,12 @@ pub fn run_campaign_with(scenarios: Vec<Scenario>, opts: &ObsOptions) -> Campaig
             Err(CampaignError::Registry(e)) => skipped.push((scenario, e.to_string())),
             Err(CampaignError::Scenario(e)) => skipped.push((scenario, e.to_string())),
             Err(CampaignError::Reconfig(e)) => skipped.push((scenario, e)),
+        }
+    }
+    if let Some(m) = meter {
+        let elapsed = sweep_start.elapsed().as_secs_f64();
+        if elapsed > 0.0 {
+            m.rows_per_sec.set(reports.len() as f64 / elapsed);
         }
     }
     CampaignResult { reports, skipped }

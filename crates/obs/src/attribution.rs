@@ -889,6 +889,7 @@ mod tests {
             packets,
             route_names: Vec::new(),
             diagnostics: Vec::new(),
+            profile: None,
         }
     }
 

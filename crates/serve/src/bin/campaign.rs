@@ -7,7 +7,7 @@
 //!              [--timeline CYCLE] [--recovery drop|reinject|reroute]
 //!              [--max-cycles N] [--jsonl PATH] [--quiet] [--metrics]
 //!              [--fail-on-deadlock] [--fail-on-loss]
-//!              [--flight-recorder] [--postmortem-dir DIR]
+//!              [--flight-recorder] [--postmortem-dir DIR] [--prom PATH]
 //! campaign replay <token> [--metrics] [--trace-out PATH] [--stall-probe N]
 //!                 [--flight-recorder] [--postmortem-dir DIR] [--attribution]
 //!                 [--cache-dir DIR] [--no-cache] [--force]
@@ -17,6 +17,8 @@
 //!                 [--windows W] [--max-cycles N] [--jsonl PATH] [--quiet]
 //! campaign serve [--tcp ADDR] [--workers N] [--windows W]
 //!                [--cache-dir DIR] [--cache-cap N]
+//!                [--metrics-addr ADDR] [--metrics-file PATH]
+//!                [--metrics-every SECS]
 //! campaign bench-serve [--tokens N] [--workers N] [--hits N]
 //! ```
 //!
@@ -71,10 +73,21 @@
 //! (tokens/sec cold, cache-hit latency hot). Plain `campaign replay`
 //! consults the same disk cache (default `.mdx-cache`; `--force`
 //! re-simulates, `--no-cache` opts out entirely).
+//!
+//! Production telemetry: `campaign serve --metrics-addr ADDR` exposes the
+//! server's metric registry as Prometheus text over HTTP (per-verb
+//! request latency, queue wait, cache hit/miss/eviction counters, and the
+//! engine self-profile — idle-tick fraction, cycles/sec, occupancy);
+//! `--metrics-file PATH` additionally snapshots the same exposition to a
+//! file every `--metrics-every SECS` (default 10) and once at shutdown.
+//! The `metrics` protocol verb returns the snapshot as JSON in-band.
+//! `campaign run --prom PATH` writes a one-shot exposition of the sweep's
+//! campaign/engine instruments (rows/sec, per-row run and serialize
+//! latency, worker saturation) when the sweep completes.
 
 use mdx_campaign::{
-    diff_attribution, enumerate_scenarios, run_campaign_with, run_scenario_instrumented, shrink,
-    CampaignConfig, ObsOptions, Scenario, Workload, WorkloadKind, CAMPAIGN_SCHEMES,
+    diff_attribution, enumerate_scenarios, run_campaign_metered, run_scenario_instrumented, shrink,
+    CampaignConfig, CampaignMeter, ObsOptions, Scenario, Workload, WorkloadKind, CAMPAIGN_SCHEMES,
     DEFAULT_DIFF_THRESHOLD,
 };
 use mdx_obs::{PostmortemReport, DEFAULT_FLIGHT_CAPACITY};
@@ -96,7 +109,7 @@ fn usage() -> ! {
          [--timeline CYCLE] [--recovery drop|reinject|reroute]\n    \
          [--max-cycles N] [--jsonl PATH] [--quiet] [--fail-on-deadlock] [--fail-on-loss]\n    \
          [--metrics] [--attribution]\n    \
-         [--flight-recorder] [--postmortem-dir DIR]\n  \
+         [--flight-recorder] [--postmortem-dir DIR] [--prom PATH]\n  \
          campaign replay <token> [--metrics] [--trace-out PATH] [--stall-probe N]\n    \
          [--flight-recorder] [--postmortem-dir DIR] [--attribution]\n    \
          [--cache-dir DIR] [--no-cache] [--force]\n  \
@@ -105,7 +118,8 @@ fn usage() -> ! {
          campaign stream <spec-file> [--shape WxH[xD..]] [--scheme ID] [--seed N]\n    \
          [--windows W] [--max-cycles N] [--jsonl PATH] [--quiet]\n  \
          campaign serve [--tcp ADDR] [--workers N] [--windows W]\n    \
-         [--cache-dir DIR] [--cache-cap N]\n  \
+         [--cache-dir DIR] [--cache-cap N]\n    \
+         [--metrics-addr ADDR] [--metrics-file PATH] [--metrics-every SECS]\n  \
          campaign bench-serve [--tokens N] [--workers N] [--hits N]"
     );
     std::process::exit(2);
@@ -154,6 +168,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let mut fail_on_loss = false;
     let mut obs = ObsOptions::default();
     let mut postmortem_dir = ".".to_string();
+    let mut prom: Option<String> = None;
 
     let mut it = args.iter().cloned();
     while let Some(arg) = it.next() {
@@ -213,6 +228,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
             "--attribution" => obs.attribution = true,
             "--flight-recorder" => obs.flight = Some(DEFAULT_FLIGHT_CAPACITY),
             "--postmortem-dir" => postmortem_dir = it.next().unwrap_or_else(|| usage()),
+            "--prom" => prom = Some(it.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
@@ -234,7 +250,22 @@ fn cmd_run(args: &[String]) -> ExitCode {
             cfg.seeds
         );
     }
-    let result = run_campaign_with(scenarios, &obs);
+    // With `--prom` the sweep runs metered: rows/sec, per-row run and
+    // serialize latency, and worker saturation land in a registry whose
+    // exposition is written once at the end.
+    let registry = prom.as_ref().map(|_| mdx_metrics::Registry::new());
+    let meter = registry.as_ref().map(CampaignMeter::register);
+    let result = run_campaign_metered(scenarios, &obs, meter.as_ref());
+
+    if let (Some(path), Some(registry)) = (&prom, &registry) {
+        if let Err(e) = std::fs::write(path, registry.snapshot().render_prometheus()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::from(1);
+        }
+        if !quiet {
+            println!("wrote campaign metrics to {path}");
+        }
+    }
 
     if let Some(path) = jsonl {
         if let Err(e) = std::fs::write(&path, result.to_jsonl()) {
@@ -632,6 +663,15 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                 cfg.cache_dir = Some(it.next().unwrap_or_else(|| usage()).into());
             }
             "--cache-cap" => cfg.cache_capacity = parse_num("--cache-cap", it.next()),
+            "--metrics-addr" => {
+                cfg.metrics_addr = Some(it.next().unwrap_or_else(|| usage()));
+            }
+            "--metrics-file" => {
+                cfg.metrics_file = Some(it.next().unwrap_or_else(|| usage()).into());
+            }
+            "--metrics-every" => {
+                cfg.metrics_every_secs = parse_num("--metrics-every", it.next());
+            }
             _ => usage(),
         }
     }

@@ -11,6 +11,7 @@
 //! is only bounded by the directory the operator points it at.
 
 use mdx_campaign::ScenarioReport;
+use mdx_metrics::{Counter, Registry};
 use std::collections::{HashMap, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -41,6 +42,43 @@ pub fn row_key(token: &str, windows: Option<u64>) -> u64 {
 /// Default in-memory capacity, in rows.
 pub const DEFAULT_CACHE_CAPACITY: usize = 256;
 
+/// Registry handles a [`ResultCache`] feeds alongside its own atomic
+/// counters, so a resident server's cache behaviour shows up on the
+/// Prometheus endpoint without the cache depending on where it's embedded.
+#[derive(Debug, Clone)]
+pub struct CacheMetrics {
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    disk_hits: Counter,
+    disk_writes: Counter,
+}
+
+impl CacheMetrics {
+    /// Registers the cache metric family (`mdx_serve_cache_*`) on `reg`.
+    pub fn register(reg: &Registry) -> CacheMetrics {
+        CacheMetrics {
+            hits: reg.counter(
+                "mdx_serve_cache_hits_total",
+                "Result-cache hits (memory or disk)",
+            ),
+            misses: reg.counter("mdx_serve_cache_misses_total", "Result-cache misses"),
+            evictions: reg.counter(
+                "mdx_serve_cache_evictions_total",
+                "Rows evicted from the in-memory tier (FIFO cap)",
+            ),
+            disk_hits: reg.counter(
+                "mdx_serve_cache_disk_hits_total",
+                "Hits served from the disk tier (promoted into memory)",
+            ),
+            disk_writes: reg.counter(
+                "mdx_serve_cache_disk_writes_total",
+                "Rows written to the disk tier",
+            ),
+        }
+    }
+}
+
 struct Mem {
     rows: HashMap<u64, ScenarioReport>,
     order: VecDeque<u64>,
@@ -53,6 +91,8 @@ pub struct ResultCache {
     dir: Option<PathBuf>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    evictions: AtomicUsize,
+    metrics: Option<CacheMetrics>,
 }
 
 impl ResultCache {
@@ -67,6 +107,8 @@ impl ResultCache {
             dir: None,
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
+            metrics: None,
         }
     }
 
@@ -75,6 +117,15 @@ impl ResultCache {
     #[must_use]
     pub fn with_dir(mut self, dir: impl Into<PathBuf>) -> ResultCache {
         self.dir = Some(dir.into());
+        self
+    }
+
+    /// Mirrors the cache's counters into registry instruments (see
+    /// [`CacheMetrics::register`]). Without this the cache costs nothing
+    /// beyond its own atomics.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: CacheMetrics) -> ResultCache {
+        self.metrics = Some(metrics);
         self
     }
 
@@ -89,18 +140,28 @@ impl ResultCache {
     pub fn get(&self, key: u64) -> Option<ScenarioReport> {
         if let Some(row) = self.mem.lock().expect("cache lock").rows.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = &self.metrics {
+                m.hits.inc();
+            }
             return Some(row.clone());
         }
         if let Some(path) = self.disk_path(key) {
             if let Ok(body) = std::fs::read_to_string(&path) {
                 if let Ok(row) = serde_json::from_str::<ScenarioReport>(&body) {
                     self.hits.fetch_add(1, Ordering::Relaxed);
+                    if let Some(m) = &self.metrics {
+                        m.hits.inc();
+                        m.disk_hits.inc();
+                    }
                     self.insert_mem(key, row.clone());
                     return Some(row);
                 }
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.misses.inc();
+        }
         None
     }
 
@@ -112,6 +173,10 @@ impl ResultCache {
         while mem.order.len() > mem.capacity {
             if let Some(old) = mem.order.pop_front() {
                 mem.rows.remove(&old);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = &self.metrics {
+                    m.evictions.inc();
+                }
             }
         }
     }
@@ -121,13 +186,18 @@ impl ResultCache {
         if let Some(path) = self.disk_path(key) {
             // Disk failures degrade to memory-only caching; the row itself
             // is already computed and correct.
-            let _ = path
+            let wrote = path
                 .parent()
                 .map(std::fs::create_dir_all)
                 .transpose()
                 .and_then(|_| {
                     std::fs::write(&path, serde_json::to_string(row).expect("row serializes"))
                 });
+            if wrote.is_ok() {
+                if let Some(m) = &self.metrics {
+                    m.disk_writes.inc();
+                }
+            }
         }
         self.insert_mem(key, row.clone());
     }
@@ -148,6 +218,11 @@ impl ResultCache {
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// Rows evicted from the in-memory tier over the cache's lifetime.
+    pub fn eviction_count(&self) -> usize {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// The disk tier's directory, when one is configured.

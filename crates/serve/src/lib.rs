@@ -11,7 +11,12 @@
 //! The protocol runs over stdio (`campaign serve`) or TCP
 //! (`campaign serve --tcp ADDR`). Abnormal rows keep their
 //! flight-recorder post-mortems fetchable by digest; `stats` exposes the
-//! service counters; `shutdown` stops the server after draining.
+//! service counters; `metrics` returns the full registry snapshot as
+//! JSON; `shutdown` stops the server after draining. With
+//! `--metrics-addr` the same registry is scrapeable as Prometheus text
+//! over HTTP ([`metrics`]): per-verb request latency, queue wait, cache
+//! hit/miss/eviction counters, and the engine's self-profile (idle-tick
+//! fraction, cycles/sec, occupancy).
 //!
 //! The crate also owns the `campaign` binary (run / replay / shrink /
 //! diff / stream / serve / bench-serve), which sits above `mdx-campaign`
@@ -42,12 +47,14 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod metrics;
 pub mod protocol;
 pub mod server;
 
-pub use cache::{fnv1a64, row_key, ResultCache, DEFAULT_CACHE_CAPACITY};
+pub use cache::{fnv1a64, row_key, CacheMetrics, ResultCache, DEFAULT_CACHE_CAPACITY};
+pub use metrics::{spawn_metrics_listener, spawn_snapshot_writer, ServeMetrics, VerbMeter};
 pub use protocol::{Request, Response, ServeStats};
 pub use server::{
     serve_on, serve_stdio, serve_stream, serve_tcp, ServeConfig, Server, Service, SharedWriter,
-    MAX_POSTMORTEMS,
+    DEFAULT_METRICS_EVERY_SECS, MAX_POSTMORTEMS,
 };

@@ -14,12 +14,15 @@
 //! {"cmd":"spec","spec":"phase 0..100 ...","shape":[4,4],"scheme":"sr2201","seed":7}
 //! {"cmd":"postmortem","digest":"<row digest>"}      fetch forensics
 //! {"cmd":"stats"}                                   service counters
+//! {"cmd":"metrics"}                                 full registry snapshot
 //! {"cmd":"shutdown"}                                stop the server
 //! ```
 //!
 //! Responses carry `kind`: `row` (with the full campaign row JSON and a
-//! `cached` flag), `error` (with a message), `stats`, `postmortem`, or
-//! `ok` (shutdown acknowledgment).
+//! `cached` flag), `error` (with a message), `stats`, `metrics` (a JSON
+//! rendering of the server's metric registry — the same data the
+//! `--metrics-addr` Prometheus endpoint exposes as text), `postmortem`,
+//! or `ok` (shutdown acknowledgment).
 //!
 //! Serialization is hand-written so absent optional fields are *omitted*
 //! rather than `null`-padded: request lines stay human-writable and
@@ -33,7 +36,8 @@ use serde::{Deserialize, Serialize};
 /// One protocol request line.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Request {
-    /// The verb: `run`, `spec`, `postmortem`, `stats`, or `shutdown`.
+    /// The verb: `run`, `spec`, `postmortem`, `stats`, `metrics`, or
+    /// `shutdown`.
     pub cmd: String,
     /// Client correlation tag, echoed on the response.
     pub id: Option<u64>,
@@ -136,6 +140,10 @@ pub struct ServeStats {
     pub served: usize,
     /// Rows answered straight from the result cache.
     pub cache_hits: usize,
+    /// Cache lookups that missed and fell through to simulation.
+    pub cache_misses: usize,
+    /// Rows evicted from the in-memory cache tier (FIFO cap).
+    pub cache_evictions: usize,
     /// Requests that returned an error.
     pub errors: usize,
     /// Rows currently resident in the in-memory cache.
@@ -149,7 +157,8 @@ pub struct ServeStats {
 /// One protocol response line.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Response {
-    /// The response kind: `row`, `error`, `stats`, `postmortem`, or `ok`.
+    /// The response kind: `row`, `error`, `stats`, `metrics`,
+    /// `postmortem`, or `ok`.
     pub kind: String,
     /// The request's correlation id, echoed back.
     pub id: Option<u64>,
@@ -161,6 +170,8 @@ pub struct Response {
     pub error: Option<String>,
     /// Service counters (`stats`).
     pub stats: Option<ServeStats>,
+    /// Metric-registry snapshot as JSON (`metrics`).
+    pub metrics: Option<Value>,
     /// Forensic report (`postmortem`).
     pub postmortem: Option<PostmortemReport>,
 }
@@ -174,6 +185,7 @@ impl Response {
             row: None,
             error: None,
             stats: None,
+            metrics: None,
             postmortem: None,
         }
     }
@@ -200,6 +212,14 @@ impl Response {
         Response {
             stats: Some(stats),
             ..Response::empty("stats", id)
+        }
+    }
+
+    /// A `metrics` response carrying a registry snapshot as JSON.
+    pub fn metrics(id: Option<u64>, snapshot: Value) -> Response {
+        Response {
+            metrics: Some(snapshot),
+            ..Response::empty("metrics", id)
         }
     }
 
@@ -230,6 +250,7 @@ impl Serialize for Response {
         push_opt(&mut m, "row", &self.row);
         push_opt(&mut m, "error", &self.error);
         push_opt(&mut m, "stats", &self.stats);
+        push_opt(&mut m, "metrics", &self.metrics);
         push_opt(&mut m, "postmortem", &self.postmortem);
         Value::Map(m)
     }
@@ -247,6 +268,7 @@ impl Deserialize for Response {
             row: opt_field(entries, "row")?,
             error: opt_field(entries, "error")?,
             stats: opt_field(entries, "stats")?,
+            metrics: opt_field(entries, "metrics")?,
             postmortem: opt_field(entries, "postmortem")?,
         })
     }

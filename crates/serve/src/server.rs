@@ -14,9 +14,11 @@
 //! engine's incremental [`mdx_sim::TrafficSource`] seam plus windowed
 //! telemetry rather than materialized schedules.
 
-use crate::cache::{row_key, ResultCache, DEFAULT_CACHE_CAPACITY};
+use crate::cache::{row_key, CacheMetrics, ResultCache, DEFAULT_CACHE_CAPACITY};
+use crate::metrics::{spawn_metrics_listener, spawn_snapshot_writer, ServeMetrics};
 use crate::protocol::{Request, Response, ServeStats};
 use mdx_campaign::{run_scenario_instrumented, ObsOptions, Scenario, Workload};
+use mdx_metrics::Registry;
 use mdx_obs::{PostmortemReport, DEFAULT_FLIGHT_CAPACITY};
 use mdx_workloads::StreamSpec;
 use std::collections::HashMap;
@@ -25,10 +27,13 @@ use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Post-mortems retained for `postmortem` requests (FIFO eviction).
 pub const MAX_POSTMORTEMS: usize = 64;
+
+/// Default interval, in seconds, between `--metrics-file` snapshots.
+pub const DEFAULT_METRICS_EVERY_SECS: u64 = 10;
 
 /// Configuration for a [`Service`].
 #[derive(Debug, Clone)]
@@ -42,6 +47,14 @@ pub struct ServeConfig {
     pub cache_dir: Option<PathBuf>,
     /// In-memory result-cache capacity, in rows.
     pub cache_capacity: usize,
+    /// Bind address for the Prometheus text endpoint (`--metrics-addr`);
+    /// `None` disables the HTTP exporter.
+    pub metrics_addr: Option<String>,
+    /// Path for periodic Prometheus-text snapshots (`--metrics-file`);
+    /// `None` disables the file writer.
+    pub metrics_file: Option<PathBuf>,
+    /// Seconds between `metrics_file` snapshots.
+    pub metrics_every_secs: u64,
 }
 
 impl Default for ServeConfig {
@@ -54,6 +67,9 @@ impl Default for ServeConfig {
             windows: None,
             cache_dir: None,
             cache_capacity: DEFAULT_CACHE_CAPACITY,
+            metrics_addr: None,
+            metrics_file: None,
+            metrics_every_secs: DEFAULT_METRICS_EVERY_SECS,
         }
     }
 }
@@ -68,12 +84,17 @@ pub struct Service {
     served: AtomicUsize,
     cache_hits: AtomicUsize,
     errors: AtomicUsize,
+    registry: Registry,
+    metrics: ServeMetrics,
 }
 
 impl Service {
     /// Builds a service from its configuration.
     pub fn new(cfg: &ServeConfig) -> Service {
-        let mut cache = ResultCache::new(cfg.cache_capacity);
+        let registry = Registry::new();
+        let metrics = ServeMetrics::register(&registry);
+        let mut cache =
+            ResultCache::new(cfg.cache_capacity).with_metrics(CacheMetrics::register(&registry));
         if let Some(dir) = &cfg.cache_dir {
             cache = cache.with_dir(dir);
         }
@@ -87,7 +108,20 @@ impl Service {
             served: AtomicUsize::new(0),
             cache_hits: AtomicUsize::new(0),
             errors: AtomicUsize::new(0),
+            registry,
+            metrics,
         }
+    }
+
+    /// The metric registry every exporter view (the `metrics` verb, the
+    /// Prometheus endpoint, the snapshot file) reads from.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The serve-layer instruments (shared with the worker pool).
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
     }
 
     /// Parses one request line and dispatches it. Malformed JSON becomes
@@ -97,6 +131,7 @@ impl Service {
             Ok(req) => self.handle(&req),
             Err(e) => {
                 self.errors.fetch_add(1, Ordering::Relaxed);
+                self.metrics.error("parse");
                 Response::error(None, format!("bad request: {e}"))
             }
         }
@@ -104,16 +139,28 @@ impl Service {
 
     /// Dispatches one parsed request.
     pub fn handle(&self, req: &Request) -> Response {
+        let verb = self.metrics.verb(&req.cmd);
+        verb.requests.inc();
+        self.metrics.inflight.inc();
+        let t0 = Instant::now();
         let resp = match req.cmd.as_str() {
             "run" => self.cmd_run(req),
             "spec" => self.cmd_spec(req),
             "postmortem" => self.cmd_postmortem(req),
             "stats" => Response::stats(req.id, self.stats()),
+            "metrics" => Response::metrics(req.id, self.registry.snapshot().to_value()),
             "shutdown" => Response::ok(req.id),
             other => Response::error(req.id, format!("unknown cmd `{other}`")),
         };
+        verb.latency.observe(t0.elapsed().as_secs_f64());
+        self.metrics.inflight.dec();
         if resp.is_error() {
             self.errors.fetch_add(1, Ordering::Relaxed);
+            let class = match req.cmd.as_str() {
+                "run" | "spec" | "postmortem" | "stats" | "metrics" | "shutdown" => "request",
+                _ => "unknown_verb",
+            };
+            self.metrics.error(class);
         }
         resp
     }
@@ -183,6 +230,9 @@ impl Service {
                 if let Some(pm) = telemetry.postmortem {
                     self.remember_postmortem(&row.digest, pm);
                 }
+                if let Some(profile) = &row.profile {
+                    self.metrics.engine.observe(profile);
+                }
                 self.cache.put(key, &row);
                 self.served.fetch_add(1, Ordering::Relaxed);
                 Response::row(req.id, false, row)
@@ -216,9 +266,12 @@ impl Service {
 
     /// Current service counters.
     pub fn stats(&self) -> ServeStats {
+        let (_, cache_misses) = self.cache.counters();
         ServeStats {
             served: self.served.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses,
+            cache_evictions: self.cache.eviction_count(),
             errors: self.errors.load(Ordering::Relaxed),
             cached_rows: self.cache.len(),
             postmortems: self.postmortems.lock().expect("postmortem lock").1.len(),
@@ -231,7 +284,7 @@ impl Service {
 /// connection keeps lines atomic under concurrency).
 pub type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
 
-type Job = (String, SharedWriter);
+type Job = (String, SharedWriter, Instant);
 
 /// Releases one pending slot (and wakes [`Server::drain`]) on drop, so a
 /// request that panics its worker can never leave the counter stuck and
@@ -269,9 +322,16 @@ impl Server {
                 let pending = pending.clone();
                 std::thread::spawn(move || loop {
                     let job = rx.lock().expect("job queue lock").recv();
-                    let Ok((line, out)) = job else { break };
+                    let Ok((line, out, queued_at)) = job else {
+                        break;
+                    };
                     // Released on every exit path, including a panic below.
                     let _guard = PendingGuard(&pending);
+                    let metrics = service.metrics();
+                    metrics
+                        .queue_wait
+                        .observe(queued_at.elapsed().as_secs_f64());
+                    metrics.workers_busy.inc();
                     // A handler panic must not kill the worker or drop the
                     // response: the client still gets an error line with
                     // its correlation id, and the pool keeps its size.
@@ -279,6 +339,7 @@ impl Server {
                         service.handle_line(&line)
                     }))
                     .unwrap_or_else(|_| {
+                        metrics.error("panic");
                         let id = serde_json::from_str::<Request>(&line)
                             .ok()
                             .and_then(|r| r.id);
@@ -288,6 +349,8 @@ impl Server {
                     let mut w = out.lock().unwrap_or_else(|e| e.into_inner());
                     let _ = writeln!(w, "{body}");
                     let _ = w.flush();
+                    drop(w);
+                    metrics.workers_busy.dec();
                 })
             })
             .collect();
@@ -312,7 +375,7 @@ impl Server {
         self.tx
             .as_ref()
             .expect("server accepting")
-            .send((line, out))
+            .send((line, out, Instant::now()))
             .expect("workers alive");
     }
 
@@ -331,6 +394,46 @@ impl Server {
         drop(self.tx.take());
         for w in self.workers.drain(..) {
             let _ = w.join();
+        }
+    }
+}
+
+/// The optional metrics exporters a serving loop runs alongside itself:
+/// the Prometheus HTTP endpoint and/or the periodic snapshot file, both
+/// stopped (with a final file snapshot) when the loop ends.
+struct MetricsExporter {
+    stop: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsExporter {
+    /// Starts whichever exporters `cfg` asks for, reading from `registry`.
+    /// The bound endpoint address is announced on stderr so an operator
+    /// (or a smoke script) using port 0 learns the real port.
+    fn start(cfg: &ServeConfig, registry: &Registry) -> std::io::Result<MetricsExporter> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::new();
+        if let Some(addr) = &cfg.metrics_addr {
+            let listener = TcpListener::bind(addr)?;
+            let (bound, handle) = spawn_metrics_listener(registry.clone(), listener, stop.clone())?;
+            eprintln!("campaign serve: metrics on {bound}");
+            threads.push(handle);
+        }
+        if let Some(path) = &cfg.metrics_file {
+            threads.push(spawn_snapshot_writer(
+                registry.clone(),
+                path.clone(),
+                Duration::from_secs(cfg.metrics_every_secs.max(1)),
+                stop.clone(),
+            ));
+        }
+        Ok(MetricsExporter { stop, threads })
+    }
+
+    fn stop(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for t in self.threads {
+            let _ = t.join();
         }
     }
 }
@@ -370,12 +473,25 @@ pub fn serve_stream<R: BufRead>(server: &Server, input: R, out: SharedWriter) ->
     submitted
 }
 
-/// Serves stdin to stdout until EOF or `shutdown`.
+/// Serves stdin to stdout until EOF or `shutdown`. A metrics exporter
+/// that fails to bind degrades to serving without one (announced on
+/// stderr) — observability must not take the service down.
 pub fn serve_stdio(cfg: &ServeConfig) -> usize {
-    let server = Server::new(Arc::new(Service::new(cfg)), cfg.workers);
+    let service = Arc::new(Service::new(cfg));
+    let exporter = match MetricsExporter::start(cfg, service.registry()) {
+        Ok(e) => Some(e),
+        Err(e) => {
+            eprintln!("campaign serve: metrics exporter disabled: {e}");
+            None
+        }
+    };
+    let server = Server::new(service, cfg.workers);
     let out: SharedWriter = Arc::new(Mutex::new(Box::new(std::io::stdout())));
     let n = serve_stream(&server, std::io::stdin().lock(), out);
     server.shutdown();
+    if let Some(exporter) = exporter {
+        exporter.stop();
+    }
     n
 }
 
@@ -397,7 +513,9 @@ pub fn serve_on(
 ) -> std::io::Result<usize> {
     listener.set_nonblocking(true)?;
     on_ready(listener.local_addr()?);
-    let server = Arc::new(Server::new(Arc::new(Service::new(cfg)), cfg.workers));
+    let service = Arc::new(Service::new(cfg));
+    let exporter = MetricsExporter::start(cfg, service.registry())?;
+    let server = Arc::new(Server::new(service, cfg.workers));
     let stop = Arc::new(AtomicBool::new(false));
     let mut conns = 0usize;
     let mut readers = Vec::new();
@@ -465,5 +583,6 @@ pub fn serve_on(
     if let Ok(s) = Arc::try_unwrap(server) {
         s.shutdown();
     }
+    exporter.stop();
     Ok(conns)
 }

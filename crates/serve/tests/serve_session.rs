@@ -204,6 +204,157 @@ fn zero_window_width_errors_instead_of_wedging_the_pool() {
     server.shutdown();
 }
 
+/// The cache's full counter story through the `stats` verb: misses on
+/// first sight, hits on duplicates, FIFO eviction at the cap (an evicted
+/// token re-simulates as a miss), and `--force` bypassing the lookup
+/// entirely (neither hit nor miss).
+#[test]
+fn stats_verb_tracks_cache_hits_misses_and_evictions() {
+    let cfg = ServeConfig {
+        workers: 1,
+        cache_capacity: 2,
+        ..ServeConfig::default()
+    };
+    let service = Service::new(&cfg);
+
+    // Three distinct tokens through a 2-row cache: three misses, and the
+    // third insert evicts the first token.
+    for seed in 0..3 {
+        let resp = service.handle(&Request::run(&storm_token(seed)));
+        assert_eq!(resp.kind, "row", "error: {:?}", resp.error);
+        assert_eq!(resp.cached, Some(false));
+    }
+    // The newest token is resident: a hit.
+    assert_eq!(
+        service.handle(&Request::run(&storm_token(2))).cached,
+        Some(true)
+    );
+    // The evicted token is gone: a miss, a re-simulation, and a second
+    // eviction as it reenters the full cache.
+    assert_eq!(
+        service.handle(&Request::run(&storm_token(0))).cached,
+        Some(false)
+    );
+    // `force` skips the lookup: no hit, no miss, and re-inserting a
+    // resident key evicts nothing.
+    let mut forced = Request::run(&storm_token(2));
+    forced.force = true;
+    assert_eq!(service.handle(&forced).cached, Some(false));
+
+    let stats = service.stats();
+    assert_eq!(stats.served, 6);
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.cache_misses, 4);
+    assert_eq!(stats.cache_evictions, 2);
+    assert_eq!(stats.cached_rows, 2);
+    assert_eq!(stats.errors, 0);
+
+    // The stats verb itself round-trips the same numbers over the wire.
+    let resp = service.handle(&Request {
+        cmd: "stats".to_string(),
+        id: Some(40),
+        ..Request::default()
+    });
+    assert_eq!(resp.kind, "stats");
+    let wire = resp.stats.expect("stats body");
+    assert_eq!(wire.cache_misses, 4);
+    assert_eq!(wire.cache_evictions, 2);
+}
+
+/// The `metrics` verb returns the registry snapshot as JSON, and the same
+/// registry renders Prometheus text with the per-verb and cache series
+/// the scrape gate requires.
+#[test]
+fn metrics_verb_snapshots_the_registry() {
+    let service = Service::new(&ServeConfig::default());
+    let token = storm_token(31);
+    assert_eq!(service.handle(&Request::run(&token)).kind, "row");
+    assert_eq!(service.handle(&Request::run(&token)).cached, Some(true));
+    assert!(service
+        .handle(&Request {
+            cmd: "no-such-verb".to_string(),
+            ..Request::default()
+        })
+        .is_error());
+
+    let resp = service.handle(&Request {
+        cmd: "metrics".to_string(),
+        id: Some(50),
+        ..Request::default()
+    });
+    assert_eq!(resp.kind, "metrics");
+    assert_eq!(resp.id, Some(50));
+    let snapshot = resp.metrics.expect("metrics body");
+    let json = serde_json::to_string(&snapshot).unwrap();
+    for family in [
+        "mdx_serve_requests_total",
+        "mdx_serve_request_seconds",
+        "mdx_serve_cache_hits_total",
+        "mdx_serve_errors_total",
+        "mdx_engine_idle_tick_fraction",
+    ] {
+        assert!(json.contains(family), "missing {family} in {json}");
+    }
+
+    // The Prometheus rendering of the same registry carries the counts
+    // the protocol verbs just produced.
+    let text = service.registry().snapshot().render_prometheus();
+    assert!(
+        text.contains("mdx_serve_requests_total{verb=\"run\"} 2"),
+        "{text}"
+    );
+    assert!(
+        text.contains("mdx_serve_requests_total{verb=\"other\"} 1"),
+        "{text}"
+    );
+    assert!(
+        text.contains("mdx_serve_errors_total{class=\"unknown_verb\"} 1"),
+        "{text}"
+    );
+    assert!(text.contains("mdx_serve_cache_hits_total 1"), "{text}");
+    assert!(text.contains("mdx_serve_cache_misses_total 1"), "{text}");
+    // One simulated row fed the engine family.
+    assert!(text.contains("mdx_engine_cycles_total"), "{text}");
+    assert!(text.contains("mdx_engine_active_packets_bucket"), "{text}");
+}
+
+/// End-to-end scrape: a service's registry served over the HTTP endpoint
+/// is the same live registry the verbs feed — a second scrape after more
+/// traffic moves.
+#[test]
+fn http_endpoint_scrapes_the_live_service_registry() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let service = Service::new(&ServeConfig::default());
+    let stop = Arc::new(AtomicBool::new(false));
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+    let (addr, handle) =
+        mdx_serve::spawn_metrics_listener(service.registry().clone(), listener, stop.clone())
+            .expect("listener");
+
+    let scrape = || {
+        let mut sock = std::net::TcpStream::connect(addr).expect("connect");
+        sock.write_all(b"GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n")
+            .expect("request");
+        let mut body = String::new();
+        use std::io::Read;
+        sock.read_to_string(&mut body).expect("response");
+        body
+    };
+
+    assert!(scrape().contains("mdx_serve_requests_total{verb=\"run\"} 0"));
+    assert_eq!(service.handle(&Request::run(&storm_token(33))).kind, "row");
+    let after = scrape();
+    assert!(
+        after.contains("mdx_serve_requests_total{verb=\"run\"} 1"),
+        "{after}"
+    );
+    assert!(after.contains("mdx_engine_idle_tick_fraction"), "{after}");
+
+    stop.store(true, Ordering::SeqCst);
+    handle.join().expect("listener thread");
+}
+
 #[test]
 fn tcp_round_trip_serves_pipelined_clients_and_honors_shutdown() {
     let cfg = ServeConfig {

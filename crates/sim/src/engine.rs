@@ -19,8 +19,8 @@
 
 use crate::observer::{SimObserver, WaitSnapshot};
 use crate::result::{
-    DeadlockInfo, EngineDiagnostic, InjectSpec, PacketId, PacketOutcome, PacketResult, SimOutcome,
-    SimResult, SimStats, WaitEdge,
+    DeadlockInfo, EngineDiagnostic, EngineProfile, InjectSpec, PacketId, PacketOutcome,
+    PacketResult, PhaseSplit, SimOutcome, SimResult, SimStats, WaitEdge, OCCUPANCY_BUCKETS,
 };
 use crate::source::TrafficSource;
 use mdx_core::{Action, DropReason, Header, Scheme};
@@ -28,6 +28,7 @@ use mdx_fault::FaultSet;
 use mdx_topology::{ChannelId, NetworkGraph, Node, NodeId};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Cycles without any flit movement before a drain phase (injection closed,
 /// [`Simulator::run_phase`] with `drain = true`) is declared settled. Small
@@ -185,6 +186,33 @@ struct Visit {
     paused: bool,
 }
 
+/// The engine's always-on self-profiling counters (see [`EngineProfile`]).
+///
+/// The unconditional part is a handful of integer adds per executed step —
+/// noise next to the step itself. The per-phase `Instant` reads are gated
+/// behind `timing` ([`Simulator::set_phase_timing`]) because three clock
+/// reads per cycle are measurable on short runs.
+#[derive(Debug, Default)]
+struct Profiler {
+    /// Wall clock accumulated across `run_phase` calls.
+    wall: Duration,
+    /// Engine loop iterations executed.
+    steps: u64,
+    /// Executed steps that made no progress.
+    idle_steps: u64,
+    /// Cycles skipped by the idle fast-forward plus quiescent
+    /// `advance_idle` dead time.
+    jumped_cycles: u64,
+    /// In-flight packet count per tick, bucketed by
+    /// [`crate::result::OCCUPANCY_BOUNDS`].
+    occupancy: [u64; OCCUPANCY_BUCKETS],
+    /// Phase timing enabled?
+    timing: bool,
+    source: Duration,
+    step: Duration,
+    probe: Duration,
+}
+
 #[derive(Debug, Clone)]
 struct PacketRt {
     spec: InjectSpec,
@@ -247,6 +275,11 @@ pub struct Simulator {
     /// Flits crossed per channel (utilization statistics).
     chan_flits: Vec<u64>,
     finished_packets: usize,
+    /// Packets injected so far (counter twin of the per-packet `started`
+    /// flags): `started_packets - finished_packets` is the in-flight count
+    /// the profiler buckets each tick.
+    started_packets: usize,
+    prof: Profiler,
     observer: Option<Box<dyn SimObserver>>,
     /// Invariant violations recorded instead of panicking (see
     /// [`EngineDiagnostic`]); copied into [`SimResult::diagnostics`].
@@ -306,6 +339,8 @@ impl Simulator {
             flit_hops: 0,
             chan_flits: vec![0; channels],
             finished_packets: 0,
+            started_packets: 0,
+            prof: Profiler::default(),
             observer: None,
             diagnostics: Vec::new(),
             injection_open: true,
@@ -329,6 +364,16 @@ impl Simulator {
     /// [`Simulator::run`], to read back what it accumulated.
     pub fn take_observer(&mut self) -> Option<Box<dyn SimObserver>> {
         self.observer.take()
+    }
+
+    /// Enables per-phase wall-clock timing in the self-profile
+    /// ([`EngineProfile::phases`]). Off by default: the split needs three
+    /// monotonic-clock reads per engine cycle, which is measurable on
+    /// short runs (the aggregate counters are always on and cost a few
+    /// integer adds). A runtime setter rather than a [`SimConfig`] field
+    /// so replayable scenario tokens never encode it.
+    pub fn set_phase_timing(&mut self, on: bool) {
+        self.prof.timing = on;
     }
 
     /// Port (lane) index of a channel + virtual channel pair.
@@ -704,6 +749,7 @@ impl Simulator {
                 p.started = true;
                 p.dropped = Some(DropReason::FaultVictim);
                 p.finished_at = Some(self.now);
+                self.started_packets += 1;
                 self.finished_packets += 1;
                 self.log_victim(pidx);
                 if let Some(obs) = self.observer.as_deref_mut() {
@@ -713,6 +759,7 @@ impl Simulator {
                 continue;
             }
             self.packets[pidx as usize].started = true;
+            self.started_packets += 1;
             if let Some(obs) = self.observer.as_deref_mut() {
                 obs.on_inject(PacketId(pidx), &spec, self.now);
             }
@@ -1283,14 +1330,31 @@ impl Simulator {
     /// Completion, the cycle limit, and the watchdog end the phase
     /// regardless of the stopping parameters.
     pub fn run_phase(&mut self, stop_at: Option<u64>, drain: bool) -> PhaseEnd {
+        // The self-profiler's wall clock wraps the whole loop (one Instant
+        // pair per phase, not per cycle); the per-cycle counters inside the
+        // loop are integer adds. See [`EngineProfile`].
+        let t0 = Instant::now();
+        let end = self.run_phase_inner(stop_at, drain);
+        self.prof.wall += t0.elapsed();
+        end
+    }
+
+    fn run_phase_inner(&mut self, stop_at: Option<u64>, drain: bool) -> PhaseEnd {
         let probe_every = self
             .observer
             .as_deref()
             .and_then(|o| o.probe_interval())
             .filter(|&iv| iv > 0);
+        let timing = self.prof.timing;
 
         loop {
-            self.pull_source();
+            if timing {
+                let t = Instant::now();
+                self.pull_source();
+                self.prof.source += t.elapsed();
+            } else {
+                self.pull_source();
+            }
             if !self.work_remaining() {
                 return PhaseEnd::Completed;
             }
@@ -1305,12 +1369,30 @@ impl Simulator {
             if drain && self.idle() {
                 return PhaseEnd::Drained;
             }
-            let progress = self.step();
+            let progress = if timing {
+                let t = Instant::now();
+                let p = self.step();
+                self.prof.step += t.elapsed();
+                p
+            } else {
+                self.step()
+            };
+            self.prof.steps += 1;
+            if !progress {
+                self.prof.idle_steps += 1;
+            }
+            self.prof.occupancy[EngineProfile::occupancy_bucket(
+                self.started_packets.saturating_sub(self.finished_packets),
+            )] += 1;
             if let Some(iv) = probe_every {
                 if self.now.is_multiple_of(iv) {
+                    let t = timing.then(Instant::now);
                     let waits = self.wait_snapshot();
                     if let Some(obs) = self.observer.as_deref_mut() {
                         obs.on_probe(self.now, &waits);
+                    }
+                    if let Some(t) = t {
+                        self.prof.probe += t.elapsed();
                     }
                 }
             }
@@ -1319,7 +1401,13 @@ impl Simulator {
             } else if let Some(target) = self.idle_jump(stop_at) {
                 // Open-loop fast-forward: the network is empty and the
                 // next source arrival is known, so hop the clock straight
-                // to it instead of idling cycle by cycle.
+                // to it instead of idling cycle by cycle. The skipped span
+                // still counts as idle ticks in the self-profile — the
+                // cycle-driven loop only avoids burning it thanks to this
+                // special case, and an event-driven core would get it for
+                // free.
+                self.prof.jumped_cycles += target - self.now;
+                self.prof.occupancy[0] += target - self.now;
                 self.now = target;
                 self.last_progress = target;
                 continue;
@@ -1392,6 +1480,14 @@ impl Simulator {
     pub fn advance_idle(&mut self, cycles: u64) {
         self.now += cycles;
         self.last_progress = self.now;
+        // Dead time is idle time: nothing moves while the service
+        // processor rewrites registers. Bucket the span at the frozen
+        // in-flight level (a quiet — not empty — drain can hold wounded
+        // packets in place).
+        self.prof.jumped_cycles += cycles;
+        self.prof.occupancy[EngineProfile::occupancy_bucket(
+            self.started_packets.saturating_sub(self.finished_packets),
+        )] += cycles;
     }
 
     /// Opens or closes the injection gate. While closed, due injections
@@ -1784,6 +1880,7 @@ impl Simulator {
             p.spec.inject_at = at;
         }
         self.finished_packets -= 1;
+        self.started_packets -= 1;
         let key = (at, id.0);
         let packets = &self.packets;
         let pos = self.inject_order[self.next_inject..]
@@ -1813,7 +1910,9 @@ impl Simulator {
             latency_sum: 0,
             latency_max: 0,
         };
+        let mut deliveries: u64 = 0;
         for (i, p) in self.packets.iter().enumerate() {
+            deliveries += p.deliveries.len() as u64;
             // A broadcast that skipped a faulty leaf records a drop but
             // still counts as delivered when anyone received it.
             let outcome_p = match (p.finished_at, &p.dropped) {
@@ -1841,12 +1940,28 @@ impl Simulator {
                 route: p.route.iter().map(|&(n, t)| (intern(n), t)).collect(),
             });
         }
+        let retired = (stats.delivered + stats.dropped) as u64;
+        let profile = EngineProfile {
+            wall_s: self.prof.wall.as_secs_f64(),
+            cycles: self.now,
+            steps: self.prof.steps,
+            idle_steps: self.prof.idle_steps,
+            jumped_cycles: self.prof.jumped_cycles,
+            events: self.flit_hops + self.started_packets as u64 + deliveries + retired,
+            occupancy: self.prof.occupancy,
+            phases: self.prof.timing.then_some(PhaseSplit {
+                source_s: self.prof.source.as_secs_f64(),
+                step_s: self.prof.step.as_secs_f64(),
+                probe_s: self.prof.probe.as_secs_f64(),
+            }),
+        };
         SimResult {
             outcome,
             stats,
             packets,
             route_names,
             diagnostics: self.diagnostics.clone(),
+            profile: Some(profile),
         }
     }
 }

@@ -65,7 +65,8 @@ pub mod source;
 pub use engine::{PhaseEnd, SimConfig, Simulator, VictimMode};
 pub use observer::{EpochPhase, EventCounts, SimObserver, WaitSnapshot};
 pub use result::{
-    DeadlockInfo, EngineDiagnostic, InjectSpec, PacketId, PacketOutcome, PacketResult, SimOutcome,
-    SimResult, SimStats, SortedLatencies, WaitEdge,
+    DeadlockInfo, EngineDiagnostic, EngineProfile, InjectSpec, PacketId, PacketOutcome,
+    PacketResult, PhaseSplit, SimOutcome, SimResult, SimStats, SortedLatencies, WaitEdge,
+    OCCUPANCY_BOUNDS, OCCUPANCY_BUCKETS,
 };
 pub use source::{ScheduleSource, TrafficSource};

@@ -1,7 +1,8 @@
 //! Injection specifications, per-packet outcomes and run-level statistics.
 
 use mdx_core::{DropReason, Header, RouteChange};
-use serde::{Deserialize, Serialize};
+use serde::value::Value;
+use serde::{de, Deserialize, Serialize};
 
 /// Dense id of a packet within one simulation run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -229,8 +230,127 @@ impl SimStats {
     }
 }
 
+/// Number of active-packet occupancy buckets in an [`EngineProfile`]
+/// (the last bucket is the `> 128` overflow).
+pub const OCCUPANCY_BUCKETS: usize = 10;
+
+/// Upper bounds of the first `OCCUPANCY_BUCKETS - 1` occupancy buckets
+/// (inclusive); counts above the last bound land in the overflow bucket.
+pub const OCCUPANCY_BOUNDS: [u64; OCCUPANCY_BUCKETS - 1] = [0, 1, 2, 4, 8, 16, 32, 64, 128];
+
+/// Wall-clock split of the engine loop by phase, in seconds. Populated
+/// only when phase timing is enabled via
+/// [`crate::Simulator::set_phase_timing`] — the per-section `Instant`
+/// reads are cheap but not free, so they are off by default.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PhaseSplit {
+    /// Pulling scheduled injections from the traffic source into the NIA.
+    pub source_s: f64,
+    /// The per-cycle packet step loop (arbitration, flit movement).
+    pub step_s: f64,
+    /// Watchdog / stall-probe / progress checks after each step.
+    pub probe_s: f64,
+}
+
+/// The engine's self-profile of one run: where wall-clock time went and
+/// how busy the simulated cycles actually were.
+///
+/// This is a **measurement, not a result**: it varies run-to-run with
+/// machine load, so it is deliberately *excluded* from the canonical
+/// [`SimResult`] serialization that campaign replay digests are computed
+/// over (a replayed token must hash identically regardless of how fast
+/// the replaying host is). Deserialized results therefore always carry
+/// `profile: None`.
+///
+/// The idle-tick numbers are the sizing instrument for the event-driven
+/// engine refactor (ROADMAP item 1): `idle_tick_fraction()` is exactly
+/// the share of engine work an event queue would skip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineProfile {
+    /// Wall-clock seconds spent inside the engine's run loop (excludes
+    /// result collection).
+    pub wall_s: f64,
+    /// Simulated cycles (same as `SimStats::cycles`, duplicated so the
+    /// profile is self-contained for metric export).
+    pub cycles: u64,
+    /// Engine loop iterations actually executed (each one touches every
+    /// in-flight packet).
+    pub steps: u64,
+    /// Executed steps in which no flit moved and no packet was injected
+    /// or retired — pure overhead a calendar queue would skip.
+    pub idle_steps: u64,
+    /// Cycles skipped wholesale by the idle fast-forward (quiet gaps
+    /// before the next scheduled injection). Counted as idle ticks: the
+    /// cycle-driven loop only avoids them thanks to a special case.
+    pub jumped_cycles: u64,
+    /// Discrete events processed: injections + flit-hops + deliveries +
+    /// retirements.
+    pub events: u64,
+    /// Histogram of in-flight packet count per executed step, bucketed by
+    /// [`OCCUPANCY_BOUNDS`] (jumped cycles count into bucket 0 — nothing
+    /// was in flight).
+    pub occupancy: [u64; OCCUPANCY_BUCKETS],
+    /// Optional per-phase wall-clock split (see
+    /// [`crate::Simulator::set_phase_timing`]).
+    pub phases: Option<PhaseSplit>,
+}
+
+impl EngineProfile {
+    /// Total engine ticks: executed steps plus fast-forwarded cycles.
+    pub fn ticks(&self) -> u64 {
+        self.steps + self.jumped_cycles
+    }
+
+    /// Ticks in which nothing moved: idle executed steps plus
+    /// fast-forwarded cycles.
+    pub fn idle_ticks(&self) -> u64 {
+        self.idle_steps + self.jumped_cycles
+    }
+
+    /// Fraction of ticks in which nothing moved — the headroom an
+    /// event-driven engine core would reclaim. 0.0 for an empty run.
+    pub fn idle_tick_fraction(&self) -> f64 {
+        let t = self.ticks();
+        if t == 0 {
+            0.0
+        } else {
+            self.idle_ticks() as f64 / t as f64
+        }
+    }
+
+    /// Simulated cycles per wall-clock second. 0.0 when no time elapsed.
+    pub fn cycles_per_sec(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.cycles as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Discrete events processed per simulated cycle.
+    pub fn events_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.events as f64 / self.cycles as f64
+        }
+    }
+
+    /// The occupancy bucket index a given in-flight packet count falls in.
+    pub fn occupancy_bucket(active: usize) -> usize {
+        OCCUPANCY_BOUNDS
+            .iter()
+            .position(|&b| active as u64 <= b)
+            .unwrap_or(OCCUPANCY_BUCKETS - 1)
+    }
+}
+
 /// The full result of one run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Equality (like serialization) covers only the five deterministic
+/// fields — two runs of the same token compare equal even though their
+/// wall-clock [`SimResult::profile`]s differ.
+#[derive(Debug, Clone)]
 pub struct SimResult {
     /// Terminal condition.
     pub outcome: SimOutcome,
@@ -244,6 +364,57 @@ pub struct SimResult {
     /// Engine bookkeeping anomalies recorded during the run (empty on a
     /// healthy run — any entry is a simulator bug worth a report).
     pub diagnostics: Vec<EngineDiagnostic>,
+    /// The engine's self-profile (wall-clock, idle ticks, occupancy).
+    /// Always populated by [`crate::Simulator`] runs; **excluded from
+    /// serialization** so replay digests stay machine-independent, hence
+    /// `None` after a deserialization round-trip. See [`EngineProfile`].
+    pub profile: Option<EngineProfile>,
+}
+
+// Equality deliberately ignores the machine-dependent `profile`: it exists
+// so determinism tests can assert two runs of the same scenario are
+// bit-identical *as simulations* regardless of how fast each ran.
+impl PartialEq for SimResult {
+    fn eq(&self, other: &SimResult) -> bool {
+        self.outcome == other.outcome
+            && self.stats == other.stats
+            && self.packets == other.packets
+            && self.route_names == other.route_names
+            && self.diagnostics == other.diagnostics
+    }
+}
+
+// Serialization is hand-written (not derived) to pin the canonical wire
+// shape to exactly the five deterministic fields: campaign replay digests
+// are FNV hashes of this serialization, and the machine-dependent
+// `profile` must never perturb them. The field order and shapes below are
+// byte-identical to what the pre-profile derive emitted.
+impl Serialize for SimResult {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            (String::from("outcome"), self.outcome.to_value()),
+            (String::from("stats"), self.stats.to_value()),
+            (String::from("packets"), self.packets.to_value()),
+            (String::from("route_names"), self.route_names.to_value()),
+            (String::from("diagnostics"), self.diagnostics.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for SimResult {
+    fn from_value(v: &Value) -> Result<SimResult, de::Error> {
+        let entries = v
+            .as_map()
+            .ok_or_else(|| de::Error::expected("SimResult map"))?;
+        Ok(SimResult {
+            outcome: Deserialize::from_value(de::field(entries, "outcome")?)?,
+            stats: Deserialize::from_value(de::field(entries, "stats")?)?,
+            packets: Deserialize::from_value(de::field(entries, "packets")?)?,
+            route_names: Deserialize::from_value(de::field(entries, "route_names")?)?,
+            diagnostics: Deserialize::from_value(de::field(entries, "diagnostics")?)?,
+            profile: None,
+        })
+    }
 }
 
 /// Latencies of a run's delivered packets, collected and sorted **once** —
@@ -381,6 +552,7 @@ mod tests {
             packets: vec![mk(0, 30), mk(1, 10), mk(2, 20)],
             route_names: Vec::new(),
             diagnostics: Vec::new(),
+            profile: None,
         };
         assert_eq!(r.latency_percentile(0), Some(10));
         assert_eq!(r.latency_percentile(50), Some(20));
@@ -403,6 +575,91 @@ mod tests {
         assert!(SortedLatencies::from_unsorted(Vec::new())
             .percentile(50)
             .is_none());
+    }
+
+    #[test]
+    fn profile_is_excluded_from_canonical_serialization() {
+        let mut r = SimResult {
+            outcome: SimOutcome::Completed,
+            stats: SimStats {
+                cycles: 7,
+                flit_hops: 3,
+                delivered: 1,
+                dropped: 0,
+                unfinished: 0,
+                latency_sum: 4,
+                latency_max: 4,
+            },
+            packets: Vec::new(),
+            route_names: Vec::new(),
+            diagnostics: Vec::new(),
+            profile: None,
+        };
+        let without = r.to_value();
+        r.profile = Some(EngineProfile {
+            wall_s: 1.25,
+            cycles: 7,
+            steps: 7,
+            idle_steps: 2,
+            jumped_cycles: 3,
+            events: 5,
+            occupancy: [0; OCCUPANCY_BUCKETS],
+            phases: Some(PhaseSplit::default()),
+        });
+        // The machine-dependent profile must not perturb replay digests.
+        assert_eq!(r.to_value(), without);
+        let keys: Vec<&str> = without
+            .as_map()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(
+            keys,
+            ["outcome", "stats", "packets", "route_names", "diagnostics"]
+        );
+        // Round-trip: the profile does not survive, everything else does.
+        let back = SimResult::from_value(&r.to_value()).unwrap();
+        assert!(back.profile.is_none());
+        assert_eq!(back.stats, r.stats);
+        assert_eq!(back.outcome, r.outcome);
+    }
+
+    #[test]
+    fn engine_profile_derived_rates() {
+        let p = EngineProfile {
+            wall_s: 2.0,
+            cycles: 1000,
+            steps: 400,
+            idle_steps: 100,
+            jumped_cycles: 600,
+            events: 1500,
+            occupancy: [0; OCCUPANCY_BUCKETS],
+            phases: None,
+        };
+        assert_eq!(p.ticks(), 1000);
+        assert_eq!(p.idle_ticks(), 700);
+        assert!((p.idle_tick_fraction() - 0.7).abs() < 1e-12);
+        assert!((p.cycles_per_sec() - 500.0).abs() < 1e-9);
+        assert!((p.events_per_cycle() - 1.5).abs() < 1e-12);
+        assert_eq!(EngineProfile::occupancy_bucket(0), 0);
+        assert_eq!(EngineProfile::occupancy_bucket(1), 1);
+        assert_eq!(EngineProfile::occupancy_bucket(3), 3);
+        assert_eq!(EngineProfile::occupancy_bucket(128), 8);
+        assert_eq!(EngineProfile::occupancy_bucket(129), 9);
+        let empty = EngineProfile {
+            wall_s: 0.0,
+            cycles: 0,
+            steps: 0,
+            idle_steps: 0,
+            jumped_cycles: 0,
+            events: 0,
+            occupancy: [0; OCCUPANCY_BUCKETS],
+            phases: None,
+        };
+        assert_eq!(empty.idle_tick_fraction(), 0.0);
+        assert_eq!(empty.cycles_per_sec(), 0.0);
+        assert_eq!(empty.events_per_cycle(), 0.0);
     }
 
     #[test]
@@ -451,6 +708,7 @@ mod tests {
             }],
             route_names: vec!["PE0".to_string(), "R0".to_string()],
             diagnostics: Vec::new(),
+            profile: None,
         };
         assert_eq!(
             r.route_of(PacketId(0)),

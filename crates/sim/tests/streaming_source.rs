@@ -81,6 +81,45 @@ fn idle_gaps_fast_forward_to_the_next_arrival() {
     assert!(r.stats.cycles >= 50_000, "cycles {}", r.stats.cycles);
     // ...and the second packet kept its scheduled injection instant.
     assert_eq!(r.packets[1].injected_at, 50_000);
+    // The self-profile sees the gap for what it is: almost all of this
+    // run's ticks were idle (fast-forwarded), which is exactly the
+    // headroom an event-driven engine core would reclaim.
+    let prof = r.profile.expect("engine runs always carry a profile");
+    assert!(
+        prof.jumped_cycles >= 45_000,
+        "jumped {}",
+        prof.jumped_cycles
+    );
+    assert!(
+        prof.idle_tick_fraction() > 0.9,
+        "idle fraction {}",
+        prof.idle_tick_fraction()
+    );
+    assert!(prof.ticks() >= prof.steps);
+    // Occupancy histogram covers every tick.
+    assert_eq!(prof.occupancy.iter().sum::<u64>(), prof.ticks());
+    assert!(prof.events > 0);
+    // Phase timing was not requested.
+    assert!(prof.phases.is_none());
+}
+
+#[test]
+fn phase_timing_splits_the_run_loop_wall_clock() {
+    let net = fig2_net();
+    let mut s = sim(&net, SimConfig::default());
+    for &spec in &staggered_schedule(&net) {
+        s.schedule(spec);
+    }
+    s.set_phase_timing(true);
+    let r = s.run();
+    assert_eq!(r.outcome, SimOutcome::Completed);
+    let prof = r.profile.expect("profile is always populated");
+    let phases = prof.phases.expect("phase timing was enabled");
+    // The step loop dominates; every component is non-negative and the
+    // split stays within the total run-loop wall clock.
+    assert!(phases.step_s > 0.0);
+    assert!(phases.source_s >= 0.0 && phases.probe_s >= 0.0);
+    assert!(phases.source_s + phases.step_s + phases.probe_s <= prof.wall_s + 1e-3);
 }
 
 #[test]

@@ -1,0 +1,149 @@
+//! Production telemetry, live: boots the real `campaign serve --tcp`
+//! binary with a Prometheus endpoint (`--metrics-addr`), drives a short
+//! session over TCP (a run, a duplicate that must hit the cache, and a
+//! `metrics` snapshot), scrapes the endpoint over raw HTTP mid-session,
+//! and prints the series the session just produced.
+//!
+//! ```text
+//! make metrics-serve-demo        # builds the binary, then runs this
+//! ```
+//!
+//! Set `CAMPAIGN_BIN` to point at a different `campaign` binary.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Command, Stdio};
+
+const SPEC: &str = r#"{"cmd":"spec","id":ID,"spec":"seed 1\nflits 2\nphase 0..200 uniform rate=0.03\nhorizon 600","shape":[4,3],"seed":1}"#;
+
+fn campaign_bin() -> std::path::PathBuf {
+    if let Ok(p) = std::env::var("CAMPAIGN_BIN") {
+        return p.into();
+    }
+    // target/<profile>/examples/metrics_scrape -> target/<profile>/campaign
+    let me = std::env::current_exe().expect("current_exe");
+    let dir = me
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("examples dir has a parent");
+    dir.join("campaign")
+}
+
+fn main() -> std::io::Result<()> {
+    let bin = campaign_bin();
+    if !bin.exists() {
+        eprintln!(
+            "error: {} not built — run `make metrics-serve-demo` (or `cargo build --release -p mdx-serve`) first",
+            bin.display()
+        );
+        std::process::exit(1);
+    }
+
+    // 1. The resident service, exactly as an operator would start it:
+    //    ephemeral ports for both the protocol socket and the endpoint.
+    let mut child = Command::new(&bin)
+        .args([
+            "serve",
+            "--tcp",
+            "127.0.0.1:0",
+            "--windows",
+            "100",
+            "--metrics-addr",
+            "127.0.0.1:0",
+        ])
+        .stderr(Stdio::piped())
+        .stdout(Stdio::null())
+        .spawn()?;
+
+    // Both banners carry the ephemeral ports.
+    let mut stderr = BufReader::new(child.stderr.take().expect("piped stderr"));
+    let (mut addr, mut maddr) = (None, None);
+    let mut banner = String::new();
+    while addr.is_none() || maddr.is_none() {
+        banner.clear();
+        if stderr.read_line(&mut banner)? == 0 {
+            let _ = child.kill();
+            panic!("campaign serve exited before announcing its ports");
+        }
+        print!("  {banner}");
+        if let Some(rest) = banner.strip_prefix("campaign serve: listening on ") {
+            addr = rest.split_whitespace().next().map(str::to_owned);
+        }
+        if let Some(rest) = banner.strip_prefix("campaign serve: metrics on ") {
+            maddr = rest.split_whitespace().next().map(str::to_owned);
+        }
+    }
+    let (addr, maddr) = (addr.unwrap(), maddr.unwrap());
+
+    // 2. A session: one fresh run, one duplicate (cache hit), one
+    //    registry snapshot via the `metrics` verb.
+    let sock = TcpStream::connect(&addr)?;
+    let mut reader = BufReader::new(sock.try_clone()?);
+    let mut sock = sock;
+    let mut line = String::new();
+    println!("\n-- session on {addr} --");
+    for id in ["1", "2"] {
+        writeln!(sock, "{}", SPEC.replace("ID", id))?;
+        line.clear();
+        reader.read_line(&mut line)?;
+        println!("  row {id}: {}", excerpt(&line, 120));
+    }
+    writeln!(sock, r#"{{"cmd":"metrics","id":3}}"#)?;
+    line.clear();
+    reader.read_line(&mut line)?;
+    println!(
+        "  metrics verb: {} bytes of JSON snapshot",
+        line.trim().len()
+    );
+
+    // 3. The live scrape: one HTTP GET against the endpoint while the
+    //    service is still up — what Prometheus would do on its interval.
+    let mut http = TcpStream::connect(&maddr)?;
+    http.write_all(b"GET /metrics HTTP/1.1\r\nHost: demo\r\nConnection: close\r\n\r\n")?;
+    let mut response = String::new();
+    http.read_to_string(&mut response)?;
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .unwrap_or(&response);
+    println!(
+        "\n-- scrape of http://{maddr}/metrics ({} bytes) --",
+        body.len()
+    );
+    let interesting = [
+        "mdx_serve_requests_total",
+        "mdx_serve_request_seconds_sum",
+        "mdx_serve_request_seconds_count",
+        "mdx_serve_cache_hits_total",
+        "mdx_serve_cache_misses_total",
+        "mdx_engine_cycles_total",
+        "mdx_engine_idle_tick_fraction",
+        "mdx_engine_cycles_per_sec",
+    ];
+    for l in body.lines() {
+        if interesting.iter().any(|p| l.starts_with(p)) {
+            println!("  {l}");
+        }
+    }
+    assert!(
+        body.contains("mdx_serve_cache_hits_total 1"),
+        "the duplicate run's cache hit should be visible on the endpoint"
+    );
+
+    // 4. Clean shutdown through the protocol.
+    writeln!(sock, r#"{{"cmd":"shutdown","id":4}}"#)?;
+    line.clear();
+    reader.read_line(&mut line)?;
+    let status = child.wait()?;
+    println!("\nserver exited: {status}");
+    Ok(())
+}
+
+/// First `n` characters of a response line, for display.
+fn excerpt(line: &str, n: usize) -> String {
+    let line = line.trim();
+    match line.char_indices().nth(n) {
+        Some((i, _)) => format!("{}…", &line[..i]),
+        None => line.to_string(),
+    }
+}

@@ -90,6 +90,7 @@ fn main() {
             packets: result.packets[..specs.len()].to_vec(),
             route_names: result.route_names.clone(),
             diagnostics: result.diagnostics.clone(),
+            profile: None,
         },
         &map,
     ) {

@@ -1,15 +1,31 @@
 #!/usr/bin/env sh
-# Serve-mode smoke gate: drive one `campaign serve` process over stdio with
-# three token requests (the third a duplicate that must be answered from
-# the result cache), plus stats and shutdown, then validate every streamed
+# Serve-mode smoke gate, two phases.
+#
+# Phase 1 (stdio): drive one `campaign serve` process with three token
+# requests (the third a duplicate that must be answered from the result
+# cache), plus stats, metrics, and shutdown, then validate every streamed
 # JSONL response line against the protocol schema.
 #
-# Artifacts: serve-smoke-session.jsonl (the raw response stream).
+# Phase 2 (TCP): start `campaign serve --tcp` with a live Prometheus
+# endpoint (`--metrics-addr 127.0.0.1:0`), run a session over a socket,
+# scrape the endpoint mid-session, and validate the exposition format and
+# the required series (per-verb request latency, cache hits, engine
+# idle-tick fraction).
+#
+# Artifacts (under target/ so the work tree stays clean):
+#   target/serve-smoke-session.jsonl   the stdio response stream
+#   target/serve-smoke-metrics.prom    the scraped Prometheus exposition
+#   target/serve-smoke-tcp.stderr      the TCP server's banners
 set -eu
 
 BIN=${CAMPAIGN_BIN:-target/release/campaign}
-OUT=${SERVE_SMOKE_OUT:-serve-smoke-session.jsonl}
+OUTDIR=${SERVE_SMOKE_DIR:-target}
+OUT=${SERVE_SMOKE_OUT:-$OUTDIR/serve-smoke-session.jsonl}
+PROM=${SERVE_SMOKE_PROM:-$OUTDIR/serve-smoke-metrics.prom}
+ERR=$OUTDIR/serve-smoke-tcp.stderr
+mkdir -p "$OUTDIR"
 
+# ---- Phase 1: stdio session ------------------------------------------------
 # The `spec` verb mints the scenario token server-side, so the session is
 # fully self-contained: requests 1 and 3 are the same spec (and therefore
 # the same token) — the duplicate must come back as a cache hit.
@@ -18,7 +34,8 @@ OUT=${SERVE_SMOKE_OUT:-serve-smoke-session.jsonl}
   printf '%s\n' '{"cmd":"spec","id":2,"spec":"seed 2\nflits 2\nphase 0..200 transpose rate=0.03\nhorizon 600","shape":[4,4],"seed":2}'
   printf '%s\n' '{"cmd":"spec","id":3,"spec":"seed 1\nflits 2\nphase 0..200 uniform rate=0.03\nhorizon 600","shape":[4,3],"seed":1}'
   printf '%s\n' '{"cmd":"stats","id":4}'
-  printf '%s\n' '{"cmd":"shutdown","id":5}'
+  printf '%s\n' '{"cmd":"metrics","id":5}'
+  printf '%s\n' '{"cmd":"shutdown","id":6}'
 } | "$BIN" serve --windows 100 > "$OUT"
 
 python3 - "$OUT" <<'EOF'
@@ -26,12 +43,12 @@ import json, sys
 
 path = sys.argv[1]
 lines = [l for l in open(path) if l.strip()]
-assert len(lines) == 5, f"expected 5 response lines, got {len(lines)}"
+assert len(lines) == 6, f"expected 6 response lines, got {len(lines)}"
 
 by_id = {}
 for line in lines:
     resp = json.loads(line)
-    assert resp["kind"] in {"row", "stats", "ok", "error", "postmortem"}, resp
+    assert resp["kind"] in {"row", "stats", "metrics", "ok", "error", "postmortem"}, resp
     assert resp["kind"] != "error", f"server error: {resp}"
     by_id[resp.get("id")] = resp
 
@@ -55,7 +72,93 @@ assert by_id[2]["row"]["token"] != by_id[1]["row"]["token"]
 
 stats = by_id[4]["stats"]
 assert stats["served"] == 3 and stats["cache_hits"] == 1, stats
-assert by_id[5]["kind"] == "ok"
+assert stats["cache_misses"] == 2, stats
+assert stats["cache_evictions"] == 0, stats
 
-print(f"serve smoke OK: 3 rows (1 cache hit), session in {path}")
+# The metrics verb returns the registry snapshot as JSON.
+snapshot = by_id[5]["metrics"]
+families = {f["name"] for f in snapshot["families"]}
+for name in ("mdx_serve_requests_total", "mdx_serve_request_seconds",
+             "mdx_serve_cache_hits_total", "mdx_engine_idle_tick_fraction"):
+    assert name in families, f"metrics snapshot missing {name}: {sorted(families)}"
+assert by_id[6]["kind"] == "ok"
+
+print(f"serve stdio smoke OK: 3 rows (1 cache hit), session in {path}")
 EOF
+
+# ---- Phase 2: TCP session with a live Prometheus scrape --------------------
+: > "$ERR"
+"$BIN" serve --tcp 127.0.0.1:0 --windows 100 --metrics-addr 127.0.0.1:0 2> "$ERR" &
+SRV=$!
+
+# Both banners carry ephemeral ports; wait for them.
+i=0
+while ! grep -q "listening on" "$ERR" || ! grep -q "metrics on" "$ERR"; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "error: serve --tcp did not come up" >&2
+    cat "$ERR" >&2
+    kill "$SRV" 2>/dev/null || true
+    exit 1
+  fi
+  sleep 0.1
+done
+ADDR=$(sed -n 's/^campaign serve: listening on \([^ ]*\).*/\1/p' "$ERR" | head -1)
+MADDR=$(sed -n 's/^campaign serve: metrics on \([^ ]*\).*/\1/p' "$ERR" | head -1)
+
+python3 - "$ADDR" "$MADDR" "$PROM" <<'EOF'
+import json, re, socket, sys
+
+addr, maddr, prom = sys.argv[1], sys.argv[2], sys.argv[3]
+host, port = addr.rsplit(":", 1)
+sock = socket.create_connection((host, int(port)), timeout=30)
+f = sock.makefile("rw")
+spec = "seed 1\nflits 2\nphase 0..200 uniform rate=0.03\nhorizon 600"
+for i in (1, 2):
+    f.write(json.dumps({"cmd": "spec", "id": i, "spec": spec,
+                        "shape": [4, 3], "seed": 1}) + "\n")
+f.flush()
+rows = [json.loads(f.readline()) for _ in (1, 2)]
+assert all(r["kind"] == "row" for r in rows), rows
+assert sorted(r["cached"] for r in rows) == [False, True], rows
+
+# Scrape the endpoint mid-session (the server is still up).
+mh, mp = maddr.rsplit(":", 1)
+m = socket.create_connection((mh, int(mp)), timeout=30)
+m.sendall(b"GET /metrics HTTP/1.1\r\nHost: smoke\r\n\r\n")
+data = b""
+while True:
+    chunk = m.recv(65536)
+    if not chunk:
+        break
+    data += chunk
+text = data.decode()
+head, _, body = text.partition("\r\n\r\n")
+assert "200 OK" in head, head
+assert "text/plain; version=0.0.4" in head, head
+open(prom, "w").write(body)
+
+# Exposition format: every non-comment line is `name[{labels}] value`.
+sample = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$')
+for line in body.splitlines():
+    if not line or line.startswith("#"):
+        continue
+    assert sample.match(line), f"malformed exposition line: {line!r}"
+
+for series in ("mdx_serve_requests_total", "mdx_serve_request_seconds_bucket",
+               "mdx_serve_cache_hits_total", "mdx_serve_cache_misses_total",
+               "mdx_engine_idle_tick_fraction", "mdx_engine_cycles_total"):
+    assert series in body, f"scrape missing {series}"
+# The session's cache hit is visible on the endpoint.
+assert "mdx_serve_cache_hits_total 1" in body, "cache hit not on the endpoint"
+
+f.write(json.dumps({"cmd": "shutdown", "id": 9}) + "\n")
+f.flush()
+ack = json.loads(f.readline())
+assert ack["kind"] == "ok", ack
+print(f"serve TCP smoke OK: live scrape in {prom}")
+EOF
+
+wait "$SRV"
+echo "serve smoke OK"
