@@ -1,6 +1,6 @@
 # Convenience targets for the SR2201 reproduction.
 
-.PHONY: test experiments trajectory bench examples doc clippy lint campaign campaign-smoke metrics-demo metrics-serve-demo reconfig-demo reconfig-smoke attribution-smoke serve-smoke bench-serve all
+.PHONY: test experiments trajectory bench examples doc clippy lint campaign campaign-smoke metrics-demo metrics-serve-demo reconfig-demo reconfig-smoke attribution-smoke serve-smoke spans-demo bench-serve all
 
 test:
 	cargo test --workspace
@@ -85,14 +85,30 @@ attribution-smoke:
 	cargo run --release -p mdx-serve -- diff \
 		attribution-smoke-a.jsonl attribution-smoke-b.jsonl --fail-on-shift
 
-# Resident-service gate, two phases: (1) pipe a session (two tokens, one
+# Resident-service gate, three phases: (1) pipe a session (two tokens, one
 # duplicate, stats, metrics, shutdown) through `campaign serve` on stdio and
 # require every line to be a valid response with the duplicate answered from
 # the cache; (2) run a TCP session with --metrics-addr and scrape the live
-# Prometheus endpoint mid-session. Artifacts land under target/.
+# Prometheus endpoint mid-session; (3) run a traced session with --span-log,
+# validate the span-log schema, and require every root span's trace id to be
+# echoed on a response line. Artifacts land under target/.
 serve-smoke:
 	cargo build --release -p mdx-serve
 	./scripts/serve_smoke.sh
+
+# Request-tracing walkthrough: capture a span log from a traced `campaign
+# serve` session, then summarize it (critical-path breakdown + slowest
+# exemplar traces) and export a Perfetto trace to open at ui.perfetto.dev.
+spans-demo:
+	cargo build --release -p mdx-serve
+	printf '%s\n' \
+		'{"cmd":"spec","id":1,"trace":"demo-1","spec":"seed 1\nflits 2\nphase 0..600 uniform rate=0.04\nstorm 200 xbar:0:1\nstorm 420 repair xbar:0:1\nhorizon 1200","shape":[4,4],"seed":5}' \
+		'{"cmd":"spec","id":2,"trace":"demo-2","spec":"seed 1\nflits 2\nphase 0..600 uniform rate=0.04\nstorm 200 xbar:0:1\nstorm 420 repair xbar:0:1\nhorizon 1200","shape":[4,4],"seed":5}' \
+		'{"cmd":"shutdown","id":3}' \
+		| target/release/campaign serve --windows 100 \
+			--span-log target/spans-demo.jsonl --span-sample 1
+	target/release/campaign spans target/spans-demo.jsonl \
+		--perfetto target/spans-demo-perfetto.json
 
 # In-process service throughput: tokens/sec cold, cache-hit latency hot.
 # Exits nonzero when a duplicate token misses the cache.

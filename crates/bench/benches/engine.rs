@@ -138,6 +138,28 @@ fn bench_engine(c: &mut Criterion) {
             r.stats.cycles
         })
     });
+    // The span pipeline's detached contract, mirroring `metrics`: with no
+    // collector attached a run builds no spans at all — the trace-id
+    // sampling decision, the builder, and the offer are skipped wholesale
+    // — so this row must stay flat against `none`.
+    g.bench_function("spans_detached", |b| {
+        let spans: Option<std::sync::Arc<mdx_obs::SpanCollector>> = None;
+        b.iter(|| {
+            let tracing = spans.as_ref().map(|c| (c, c.head_sample()));
+            let r = run_with(None);
+            if let Some((c, sampled)) = tracing {
+                let mut t = mdx_obs::TraceBuilder::new(c.next_trace_id());
+                let root = t.add(None, "row", 0, r.stats.cycles, mdx_obs::SpanUnit::Cycles);
+                t.attr(root, "outcome", "completed");
+                if sampled {
+                    c.offer(t.finish());
+                } else {
+                    c.drop_unsampled();
+                }
+            }
+            r.stats.cycles
+        })
+    });
     // Per-phase wall-clock splitting adds two `Instant::now()` pairs per
     // step; it's opt-in, and this row pins its price.
     g.bench_function("profile", |b| {

@@ -70,6 +70,16 @@ pub struct TrajectoryEntry {
     /// `wall_clock_s`, recorded for humans and excluded from both the
     /// regression diff and duplicate detection.
     pub cycles_per_sec: f64,
+    /// 99th-percentile `queue` span duration over the serve session's
+    /// kept traces, in seconds. Span-derived wall-clock timing is
+    /// machine- and load-dependent, so like `wall_clock_s` it is recorded
+    /// for humans and excluded from both the regression diff and
+    /// duplicate detection. Zero for non-serve figures.
+    pub p99_queue_wait_s: f64,
+    /// 99th-percentile `run` span duration (engine execution, wall clock)
+    /// over the serve session's kept traces, in seconds. Machine-
+    /// dependent like `p99_queue_wait_s`; zero for non-serve figures.
+    pub p99_engine_run_s: f64,
 }
 
 // Hand-written so trajectory files from before `wall_clock_s` (or the
@@ -88,6 +98,8 @@ impl Deserialize for TrajectoryEntry {
         let wall_clock_s = lenient("wall_clock_s")?;
         let idle_tick_fraction = lenient("idle_tick_fraction")?;
         let cycles_per_sec = lenient("cycles_per_sec")?;
+        let p99_queue_wait_s = lenient("p99_queue_wait_s")?;
+        let p99_engine_run_s = lenient("p99_engine_run_s")?;
         Ok(TrajectoryEntry {
             figure: Deserialize::from_value(serde::de::field(entries, "figure")?)?,
             recorded_at_epoch_s: Deserialize::from_value(serde::de::field(
@@ -104,6 +116,8 @@ impl Deserialize for TrajectoryEntry {
             sxb_util: Deserialize::from_value(serde::de::field(entries, "sxb_util")?)?,
             idle_tick_fraction,
             cycles_per_sec,
+            p99_queue_wait_s,
+            p99_engine_run_s,
         })
     }
 }
@@ -339,6 +353,9 @@ fn summarize(figure: &str, result: &CampaignResult) -> TrajectoryEntry {
         } else {
             0.0
         },
+        // Stamped by `snapshot_serve`, which owns the span collector.
+        p99_queue_wait_s: 0.0,
+        p99_engine_run_s: 0.0,
     }
 }
 
@@ -414,18 +431,30 @@ pub fn snapshot_fig10() -> TrajectoryEntry {
     e
 }
 
+/// 99th-percentile of a set of span durations (nearest-rank on the
+/// sorted set, matching [`SortedLatencies`]' index convention).
+fn p99_of(mut vals: Vec<f64>) -> f64 {
+    if vals.is_empty() {
+        return 0.0;
+    }
+    vals.sort_by(|a, b| a.partial_cmp(b).expect("finite span durations"));
+    vals[(vals.len() - 1) * 99 / 100]
+}
+
 /// A serve-mode sweep: the fig10-style token set pushed through one
 /// resident [`mdx_serve::Service`] — every token cold, then every token
 /// again as a duplicate that must come back from the result cache. The
 /// diffed metrics are row metrics (deterministic per token set); the
-/// session's timing lands in `wall_clock_s`.
+/// session's timing lands in `wall_clock_s`, and the session runs fully
+/// traced (sample rate 1.0) so the span-derived tail columns
+/// `p99_queue_wait_s` / `p99_engine_run_s` come from real request spans.
 ///
 /// # Panics
 /// Panics when a request errors or a duplicate misses the cache — either
 /// means the service layer itself regressed, which is exactly what this
 /// snapshot exists to catch.
 pub fn snapshot_serve() -> TrajectoryEntry {
-    use mdx_serve::{Request, ServeConfig, Service};
+    use mdx_serve::{Request, Response, ServeConfig, Service};
     let net = MdCrossbar::build(Shape::fig2());
     let mut sites: Vec<Option<FaultSite>> = vec![None];
     sites.extend(enumerate_single_faults(&net).into_iter().map(Some));
@@ -450,18 +479,46 @@ pub fn snapshot_serve() -> TrajectoryEntry {
         .collect();
 
     let start = Instant::now();
-    let service = Service::new(&ServeConfig::default());
+    let service = Service::new(&ServeConfig {
+        span_sample: Some(1.0),
+        ..ServeConfig::default()
+    });
+    // Drive the full line protocol (not `handle` directly) so each request
+    // opens a root span with the queue/cache/run/serialize children the
+    // tail columns are computed from.
+    let run_line = |token: &str, trace: String| -> Response {
+        let line = serde_json::to_string(&Request::run(token).with_trace(trace)).expect("request");
+        let body = service.process_line(&line, Instant::now());
+        serde_json::from_str(&body).expect("response parses")
+    };
     let reports: Vec<_> = tokens
         .iter()
-        .map(|t| {
-            let resp = service.handle(&Request::run(t));
+        .enumerate()
+        .map(|(i, t)| {
+            let resp = run_line(t, format!("traj-cold-{i}"));
             assert!(!resp.is_error(), "serve snapshot: {:?}", resp.error);
             resp.row.expect("row body")
         })
         .collect();
-    for t in &tokens {
-        let resp = service.handle(&Request::run(t));
+    for (i, t) in tokens.iter().enumerate() {
+        let resp = run_line(t, format!("traj-dup-{i}"));
         assert_eq!(resp.cached, Some(true), "duplicate token missed the cache");
+    }
+    // Tail timings over every kept trace (rate 1.0 keeps them all): the
+    // `queue` child is scheduler wait, the `run` child is wall-clock
+    // engine execution. Durations are in microseconds.
+    let (mut queue_s, mut run_s) = (Vec::new(), Vec::new());
+    for trace in service.spans().expect("span collector").kept_traces() {
+        for s in &trace {
+            if s.unit == mdx_obs::SpanUnit::Micros {
+                let secs = s.duration() as f64 / 1e6;
+                match s.name.as_str() {
+                    "queue" => queue_s.push(secs),
+                    "run" => run_s.push(secs),
+                    _ => {}
+                }
+            }
+        }
     }
     let mut e = summarize(
         "serve",
@@ -471,12 +528,15 @@ pub fn snapshot_serve() -> TrajectoryEntry {
         },
     );
     e.wall_clock_s = start.elapsed().as_secs_f64();
+    e.p99_queue_wait_s = p99_of(queue_s);
+    e.p99_engine_run_s = p99_of(run_s);
     e
 }
 
 /// True when two entries record the same measurement — every field except
 /// the wall-clock timestamp, the sweep's wall-clock duration, and the
-/// (machine-dependent) simulation speed matches.
+/// (machine-dependent) simulation speed and span-derived tail timings
+/// matches.
 fn same_measurement(a: &TrajectoryEntry, b: &TrajectoryEntry) -> bool {
     a.figure == b.figure
         && a.scenarios == b.scenarios
@@ -646,6 +706,8 @@ mod tests {
             sxb_util: 0.2,
             idle_tick_fraction: 0.3,
             cycles_per_sec: 0.0,
+            p99_queue_wait_s: 0.0,
+            p99_engine_run_s: 0.0,
         }
     }
 
@@ -746,6 +808,24 @@ mod tests {
         // And it is not a diffed metric: no delta mentions it.
         let deltas = diff_entries(&stamped, &slower, 0.10);
         assert!(deltas.iter().all(|d| d.metric != "wall_clock_s"));
+
+        // The span-derived tail columns behave the same way: lenient on
+        // legacy files (parsed as 0.0 above), excluded from duplicate
+        // detection, and never diffed.
+        assert_eq!(e.p99_queue_wait_s, 0.0);
+        assert_eq!(e.p99_engine_run_s, 0.0);
+        let mut tails = stamped.clone();
+        tails.p99_queue_wait_s = 0.125;
+        tails.p99_engine_run_s = 0.5;
+        assert!(same_measurement(&stamped, &tails));
+        let back: TrajectoryEntry =
+            serde_json::from_str(&serde_json::to_string(&tails).unwrap()).unwrap();
+        assert_eq!(back.p99_queue_wait_s, 0.125);
+        assert_eq!(back.p99_engine_run_s, 0.5);
+        let deltas = diff_entries(&stamped, &tails, 0.10);
+        assert!(deltas
+            .iter()
+            .all(|d| d.metric != "p99_queue_wait_s" && d.metric != "p99_engine_run_s"));
     }
 
     #[test]
@@ -760,6 +840,7 @@ mod tests {
             idle_tick_fraction: idle_ticks as f64 / ticks as f64,
             events_per_cycle: 1.0,
             occupancy: vec![0; 10],
+            phases: None,
         };
         let mut a = row_with_latencies(vec![10, 20]);
         let mut b = row_with_latencies(vec![30, 40]);

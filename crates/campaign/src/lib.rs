@@ -49,10 +49,11 @@ pub use diff::{
 };
 pub use meter::{CampaignMeter, EngineMeter, RowProfile};
 pub use runner::{
-    enumerate_fault_sets, enumerate_scenarios, run_campaign, run_campaign_metered,
-    run_campaign_with, run_scenario, run_scenario_instrumented, CampaignConfig, CampaignError,
-    CampaignResult, ObsOptions, RowAttribution, RowStream, RowTelemetry, ScenarioReport, Telemetry,
-    WorkloadKind, CAMPAIGN_SCHEMES,
+    enumerate_fault_sets, enumerate_scenarios, push_engine_spans, run_campaign,
+    run_campaign_metered, run_campaign_traced, run_campaign_with, run_scenario,
+    run_scenario_instrumented, CampaignConfig, CampaignError, CampaignResult, ObsOptions,
+    RowAttribution, RowStream, RowTelemetry, ScenarioReport, Telemetry, WorkloadKind,
+    CAMPAIGN_SCHEMES,
 };
 pub use scenario::{detour_stress_for, Scenario, ScenarioError, Workload};
 pub use shrink::{shrink, ShrinkError, ShrinkReport};

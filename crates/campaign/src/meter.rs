@@ -9,7 +9,7 @@
 //! Prometheus.
 
 use mdx_metrics::{Counter, Gauge, Histogram, Registry, DEFAULT_LATENCY_BUCKETS_S};
-use mdx_sim::{EngineProfile, OCCUPANCY_BOUNDS};
+use mdx_sim::{EngineProfile, PhaseSplit, OCCUPANCY_BOUNDS};
 use serde::value::Value;
 use serde::{de, Deserialize, Serialize};
 
@@ -41,6 +41,10 @@ pub struct RowProfile {
     /// In-flight packets per tick, bucketed by
     /// [`mdx_sim::OCCUPANCY_BOUNDS`] (last entry = overflow).
     pub occupancy: Vec<u64>,
+    /// Per-phase wall-clock split, when the run had phase timing enabled
+    /// ([`crate::ObsOptions::profile_phases`]). Machine-dependent like
+    /// `wall_s` — not serialized, lost on a round-trip.
+    pub phases: Option<PhaseSplit>,
 }
 
 // Hand-written so the machine-dependent wall-clock fields stay off the
@@ -79,6 +83,7 @@ impl Deserialize for RowProfile {
             idle_tick_fraction: Deserialize::from_value(de::field(entries, "idle_tick_fraction")?)?,
             events_per_cycle: Deserialize::from_value(de::field(entries, "events_per_cycle")?)?,
             occupancy: Deserialize::from_value(de::field(entries, "occupancy")?)?,
+            phases: None,
         })
     }
 }
@@ -95,6 +100,7 @@ impl RowProfile {
             idle_tick_fraction: p.idle_tick_fraction(),
             events_per_cycle: p.events_per_cycle(),
             occupancy: p.occupancy.to_vec(),
+            phases: p.phases,
         }
     }
 }

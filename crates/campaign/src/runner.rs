@@ -279,10 +279,18 @@ pub struct ObsOptions {
     /// saturation detection. The row gains a [`RowStream`] summary; the
     /// full per-window table stays in [`Telemetry::windows`].
     pub windows: Option<u64>,
+    /// Enable the engine's per-phase wall-clock split
+    /// ([`mdx_sim::Simulator::set_phase_timing`]), so the row's
+    /// [`RowProfile::phases`] is populated — the source of the
+    /// source/step/probe child spans under an engine-run span.
+    pub profile_phases: bool,
 }
 
 impl ObsOptions {
-    /// True when no instrument is requested.
+    /// True when no *observer* instrument is requested. Phase timing is
+    /// deliberately not counted: it is engine self-measurement, never
+    /// serialized onto the row, so a phase-timed row is still cacheable
+    /// and byte-identical to an untimed one.
     pub fn is_none(&self) -> bool {
         !self.metrics
             && self.stall_probe.is_none()
@@ -568,6 +576,9 @@ pub fn run_scenario_instrumented(
     let stream_source = scenario.stream_source(&shape, &faults)?;
 
     let mut sim = Simulator::new(net.graph().clone(), scheme, scenario.sim_config());
+    if opts.profile_phases {
+        sim.set_phase_timing(true);
+    }
 
     let mut metrics_handle = None;
     let mut stall_handle = None;
@@ -850,34 +861,154 @@ pub fn run_campaign_metered(
     opts: &ObsOptions,
     meter: Option<&CampaignMeter>,
 ) -> CampaignResult {
+    run_campaign_traced(scenarios, opts, meter, None)
+}
+
+/// Nests the engine-side children under a finished `run` span in `t`:
+///
+/// - With a phase-timed profile ([`RowProfile::phases`]), wall-µs
+///   source/step/probe children laid end to end from the run span's start
+///   (clamped to its end — the split excludes result collection, so the
+///   phases cover a prefix of the run).
+/// - With a [`ReconfigReport`] (the scenario carried a
+///   [`mdx_fault::FaultTimeline`]), a cycle-domain subtree: an `engine`
+///   span covering `[0, cycles]`, one `epoch N` span per reconfiguration
+///   epoch, and its five controller phases (detect/quiesce/drain/
+///   reprogram/resume) tiling the epoch from
+///   [`mdx_reconfig::EpochReport::phase_windows`].
+///
+/// Shared by the serve layer's per-request traces and the campaign
+/// runner's per-row traces so both emit identical engine subtrees.
+pub fn push_engine_spans(
+    t: &mut mdx_obs::TraceBuilder,
+    run_span: u64,
+    run_start_us: u64,
+    run_end_us: u64,
+    phases: Option<&mdx_sim::PhaseSplit>,
+    cycles: u64,
+    reconfig: Option<&ReconfigReport>,
+) {
+    use mdx_obs::SpanUnit;
+    if let Some(split) = phases {
+        let mut at = run_start_us;
+        for (name, secs) in split.named() {
+            let end = (at + (secs * 1e6) as u64).min(run_end_us);
+            t.add(Some(run_span), name, at, end, SpanUnit::Micros);
+            at = end;
+        }
+    }
+    if let Some(rc) = reconfig {
+        let engine = t.add(Some(run_span), "engine", 0, cycles, SpanUnit::Cycles);
+        for e in &rc.epochs {
+            let windows = e.phase_windows();
+            let epoch_end = windows[windows.len() - 1].2;
+            let epoch_span = t.add(
+                Some(engine),
+                &format!("epoch {}", e.epoch),
+                e.event_at,
+                epoch_end,
+                SpanUnit::Cycles,
+            );
+            for (name, start, end) in windows {
+                t.add(Some(epoch_span), name, start, end, SpanUnit::Cycles);
+            }
+        }
+    }
+}
+
+/// [`run_campaign_metered`] with a [`mdx_obs::SpanCollector`] attached:
+/// every row is offered as a trace — a `row` root span tagged with the
+/// scenario's `MDX1.` token, replay digest, and outcome (so a slow span
+/// replays deterministically from the log alone), `run` and `serialize`
+/// children tiling the root, and the engine subtree from
+/// [`push_engine_spans`]. Head sampling is the collector's; abnormal
+/// outcomes (deadlock, cycle-limit, stalled) are always kept. With
+/// `spans: None` this is [`run_campaign_metered`].
+pub fn run_campaign_traced(
+    scenarios: Vec<Scenario>,
+    opts: &ObsOptions,
+    meter: Option<&CampaignMeter>,
+    spans: Option<&mdx_obs::SpanCollector>,
+) -> CampaignResult {
     let sweep_start = std::time::Instant::now();
     let outcomes: Vec<(Scenario, Result<ScenarioReport, CampaignError>)> = scenarios
         .into_par_iter()
         .map(|s| {
-            let r = match meter {
-                Some(m) => {
-                    m.workers_busy.inc();
-                    m.worker_saturation.observe(m.workers_busy.get());
-                    let row_start = std::time::Instant::now();
-                    let r = run_scenario_instrumented(&s, opts).map(|(report, _)| report);
-                    m.row_run_seconds.observe_duration(row_start.elapsed());
-                    m.workers_busy.dec();
-                    if let Ok(report) = &r {
+            // Head-sample at row start; the keep decision is revisited at
+            // the end only to force-keep abnormal outcomes.
+            let tracing = spans.map(|c| (c, c.head_sample()));
+            if let Some(m) = meter {
+                m.workers_busy.inc();
+                m.worker_saturation.observe(m.workers_busy.get());
+            }
+            let row_start = std::time::Instant::now();
+            let row_start_us = sweep_start.elapsed().as_micros() as u64;
+            let r = run_scenario_instrumented(&s, opts).map(|(report, _)| report);
+            let run_end_us = sweep_start.elapsed().as_micros() as u64;
+            if let Some(m) = meter {
+                m.row_run_seconds.observe_duration(row_start.elapsed());
+                m.workers_busy.dec();
+            }
+            match &r {
+                Ok(report) => {
+                    if meter.is_some() || tracing.is_some() {
                         let ser_start = std::time::Instant::now();
                         let _ = serde_json::to_string(report).expect("report serializes");
-                        m.row_serialize_seconds
-                            .observe_duration(ser_start.elapsed());
+                        if let Some(m) = meter {
+                            m.row_serialize_seconds
+                                .observe_duration(ser_start.elapsed());
+                        }
+                    }
+                    if let Some(m) = meter {
                         m.rows.inc();
                         if let Some(p) = &report.profile {
                             m.engine.observe(p);
                         }
-                    } else {
+                    }
+                    if let Some((c, sampled)) = tracing {
+                        if sampled || report.outcome != "completed" {
+                            let end_us = sweep_start.elapsed().as_micros() as u64;
+                            let mut t = mdx_obs::TraceBuilder::new(c.next_trace_id());
+                            let root =
+                                t.add(None, "row", row_start_us, end_us, mdx_obs::SpanUnit::Micros);
+                            t.attr(root, "token", report.token.clone());
+                            t.attr(root, "digest", report.digest.clone());
+                            t.attr(root, "outcome", report.outcome.clone());
+                            let run_span = t.add(
+                                Some(root),
+                                "run",
+                                row_start_us,
+                                run_end_us,
+                                mdx_obs::SpanUnit::Micros,
+                            );
+                            t.add(
+                                Some(root),
+                                "serialize",
+                                run_end_us,
+                                end_us,
+                                mdx_obs::SpanUnit::Micros,
+                            );
+                            push_engine_spans(
+                                &mut t,
+                                run_span,
+                                row_start_us,
+                                run_end_us,
+                                report.profile.as_ref().and_then(|p| p.phases.as_ref()),
+                                report.stats.cycles,
+                                report.reconfig.as_ref(),
+                            );
+                            c.offer(t.finish());
+                        } else {
+                            c.drop_unsampled();
+                        }
+                    }
+                }
+                Err(_) => {
+                    if let Some(m) = meter {
                         m.rows_failed.inc();
                     }
-                    r
                 }
-                None => run_scenario_instrumented(&s, opts).map(|(report, _)| report),
-            };
+            }
             (s, r)
         })
         .collect();

@@ -167,6 +167,16 @@ struct HistogramCell {
     count: AtomicU64,
     /// Sum of observed values, `f64` bits, CAS-accumulated.
     sum: AtomicU64,
+    /// Exemplar floor, `f64` bits: observations below it never take the
+    /// exemplar slot.
+    exemplar_min: AtomicU64,
+    /// Worst exemplar value seen so far, `f64` bits (`-Inf` until one is
+    /// recorded).
+    exemplar_value: AtomicU64,
+    /// Label of the worst exemplar (a trace id). Mutex is fine: the lock
+    /// is only taken when a new worst is being recorded, never on the
+    /// plain observe path.
+    exemplar_label: Mutex<Option<String>>,
 }
 
 /// A fixed-bucket histogram handle.
@@ -220,6 +230,51 @@ impl Histogram {
     #[inline]
     pub fn observe_duration(&self, d: Duration) {
         self.observe(d.as_secs_f64());
+    }
+
+    /// Record one observation and offer it as the series' exemplar — the
+    /// caller's `label` (typically a trace id) is kept when `v` is at or
+    /// above the exemplar threshold *and* beats the current worst.
+    ///
+    /// Cost above [`Histogram::observe`]: one relaxed load (the threshold
+    /// compare) on the common path; the label `Mutex` is only taken for a
+    /// new worst. Plain `observe` never touches the exemplar slot, so
+    /// series that record no exemplars pay nothing.
+    pub fn observe_exemplar(&self, v: f64, label: &str) {
+        self.observe(v);
+        let cell = &*self.cell;
+        if v < f64::from_bits(cell.exemplar_min.load(Ordering::Relaxed)) {
+            return;
+        }
+        if v > f64::from_bits(cell.exemplar_value.load(Ordering::Relaxed)) {
+            // Label and value race benignly under concurrent writers: each
+            // field ends up from *some* recent worst observation, and the
+            // exemplar is diagnostic, not an accounting value.
+            *cell.exemplar_label.lock().expect("exemplar label lock") = Some(label.to_string());
+            cell.exemplar_value.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Sets the exemplar floor: observations below `min` never take the
+    /// exemplar slot (default `0.0` — any non-negative observation may).
+    pub fn set_exemplar_threshold(&self, min: f64) {
+        self.cell
+            .exemplar_min
+            .store(min.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current exemplar, when one has been recorded.
+    pub fn exemplar(&self) -> Option<Exemplar> {
+        let label = self
+            .cell
+            .exemplar_label
+            .lock()
+            .expect("exemplar label lock")
+            .clone()?;
+        Some(Exemplar {
+            label,
+            value: f64::from_bits(self.cell.exemplar_value.load(Ordering::Relaxed)),
+        })
     }
 
     /// Total number of observations.
@@ -395,6 +450,9 @@ impl Registry {
                 buckets,
                 count: AtomicU64::new(0),
                 sum: AtomicU64::new(0f64.to_bits()),
+                exemplar_min: AtomicU64::new(0f64.to_bits()),
+                exemplar_value: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+                exemplar_label: Mutex::new(None),
             }))
         }) {
             CellRef::Histogram(cell) => Histogram { cell },
@@ -433,6 +491,17 @@ impl Registry {
                                         .collect(),
                                     count: h.count.load(Ordering::Relaxed),
                                     sum: f64::from_bits(h.sum.load(Ordering::Relaxed)),
+                                    exemplar: h
+                                        .exemplar_label
+                                        .lock()
+                                        .expect("exemplar label lock")
+                                        .clone()
+                                        .map(|label| Exemplar {
+                                            label,
+                                            value: f64::from_bits(
+                                                h.exemplar_value.load(Ordering::Relaxed),
+                                            ),
+                                        }),
                                 },
                             },
                         })
@@ -458,6 +527,17 @@ fn clone_cell(cell: &CellRef) -> CellRef {
     }
 }
 
+/// A histogram series' exemplar: the label (a trace id) attached to the
+/// worst qualifying observation so far. Links an aggregate latency series
+/// back to one concrete, replayable request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Exemplar {
+    /// Caller-supplied label — by convention a trace id.
+    pub label: String,
+    /// The exemplar observation's value.
+    pub value: f64,
+}
+
 /// One sampled value in a [`Snapshot`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum SampleValue {
@@ -476,6 +556,9 @@ pub enum SampleValue {
         count: u64,
         /// Sum of observations.
         sum: f64,
+        /// Worst-qualifying-observation exemplar, when one was recorded
+        /// via [`Histogram::observe_exemplar`].
+        exemplar: Option<Exemplar>,
     },
 }
 
@@ -600,6 +683,7 @@ impl Snapshot {
                         buckets,
                         count,
                         sum,
+                        exemplar,
                     } => {
                         let mut cum = 0u64;
                         for (i, b) in buckets.iter().enumerate() {
@@ -624,6 +708,18 @@ impl Snapshot {
                             label_block(&s.labels, None),
                             count
                         ));
+                        // The classic text format has no exemplar syntax
+                        // (that's OpenMetrics), so render it as a comment a
+                        // human or a lenient scraper can still read.
+                        if let Some(ex) = exemplar {
+                            out.push_str(&format!(
+                                "# exemplar {}{} trace_id=\"{}\" value={}\n",
+                                fam.name,
+                                label_block(&s.labels, None),
+                                escape_label(&ex.label),
+                                fmt_f64(ex.value)
+                            ));
+                        }
                     }
                 }
             }
@@ -663,6 +759,7 @@ impl Snapshot {
                                 buckets,
                                 count,
                                 sum,
+                                exemplar,
                             } => {
                                 m.push((
                                     "bounds".to_string(),
@@ -674,6 +771,15 @@ impl Snapshot {
                                 ));
                                 m.push(("count".to_string(), Value::U64(*count)));
                                 m.push(("sum".to_string(), Value::F64(*sum)));
+                                if let Some(ex) = exemplar {
+                                    m.push((
+                                        "exemplar".to_string(),
+                                        Value::Map(vec![
+                                            ("label".to_string(), Value::Str(ex.label.clone())),
+                                            ("value".to_string(), Value::F64(ex.value)),
+                                        ]),
+                                    ));
+                                }
                             }
                         }
                         Value::Map(m)
@@ -837,6 +943,39 @@ mod tests {
         }
         assert_eq!(c.get(), 4000);
         assert_eq!(h.count(), 4000);
+    }
+
+    #[test]
+    fn exemplar_keeps_worst_qualifying_observation() {
+        let reg = Registry::new();
+        let h = reg.histogram("mdx_ex_seconds", "latency", &[0.01, 0.1]);
+        assert!(h.exemplar().is_none());
+        h.observe(5.0); // plain observe never records an exemplar
+        assert!(h.exemplar().is_none());
+        h.observe_exemplar(0.02, "trace-a");
+        h.observe_exemplar(0.08, "trace-b"); // new worst
+        h.observe_exemplar(0.03, "trace-c"); // not worst — ignored
+        let ex = h.exemplar().expect("exemplar recorded");
+        assert_eq!(ex.label, "trace-b");
+        assert!((ex.value - 0.08).abs() < 1e-12);
+        // Below the floor: never takes the slot.
+        h.set_exemplar_threshold(0.5);
+        h.observe_exemplar(0.4, "trace-d");
+        assert_eq!(h.exemplar().unwrap().label, "trace-b");
+        assert_eq!(h.count(), 5);
+
+        let snap = reg.snapshot();
+        let text = snap.render_prometheus();
+        assert!(
+            text.contains("# exemplar mdx_ex_seconds trace_id=\"trace-b\" value=0.08"),
+            "{text}"
+        );
+        // The comment must not break sample-line parsers: the _count line
+        // is still present and uncommented.
+        assert!(text.contains("mdx_ex_seconds_count 5"));
+        let json = serde_json::to_string(&snap.to_value()).unwrap();
+        assert!(json.contains("\"exemplar\""), "{json}");
+        assert!(json.contains("\"trace-b\""), "{json}");
     }
 
     #[test]

@@ -42,6 +42,13 @@
 //! [`TraceDoc`] is the strict schema for the trace recorder's Chrome-trace
 //! JSON (deny-unknown-fields, per-phase shape checks).
 //!
+//! The [`span`] module is a different kind of instrument: request-scoped
+//! tracing for the serving stack — a dependency-light [`Span`] model with
+//! a head-sampling [`SpanCollector`], a JSONL span log, and a Perfetto
+//! exporter validated by the same [`TraceDoc`] schema. It watches the
+//! *service around* the engine (queue wait, cache tier, serialize) as
+//! well as the engine itself (profile phases, reconfig epochs).
+//!
 //! Each observer follows the same *handle* pattern: the observer itself is
 //! attached to the simulator (which takes ownership of the `Box<dyn
 //! SimObserver>`), while a cheap [`std::rc::Rc`]-backed handle stays with
@@ -83,6 +90,7 @@ mod flight;
 mod metrics;
 mod postmortem;
 mod schema;
+pub mod span;
 mod stall;
 mod trace;
 mod windows;
@@ -101,6 +109,10 @@ pub use metrics::{
 };
 pub use postmortem::{CycleEdge, HopTrace, PacketForensics, PostmortemReport, LAST_HOPS};
 pub use schema::{TraceArgs, TraceDoc, TraceEvent};
+pub use span::{
+    group_traces, parse_span_log, spans_to_perfetto, summarize_spans, Span, SpanCollector,
+    SpanStats, SpanSummary, SpanUnit, TraceBuilder, DEFAULT_TRACE_CAPACITY,
+};
 pub use stall::{StallHandle, StallProbe, StallReport, StallSample};
 pub use trace::{TraceHandle, TraceRecorder};
 pub use windows::{

@@ -40,8 +40,10 @@ fn deny_unknown(entries: &[(String, Value)], what: &str, allowed: &[&str]) -> Re
     Ok(())
 }
 
-/// The `args` object of a trace event. Exactly the four keys the renderer
-/// ever writes; anything else is a schema break.
+/// The `args` object of a trace event. Exactly the keys the two renderers
+/// (the hop-level [`crate::TraceRecorder`] and the span exporter
+/// [`crate::spans_to_perfetto`]) ever write; anything else is a schema
+/// break.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct TraceArgs {
     /// Metadata name (`process_name` / `thread_name` events).
@@ -52,17 +54,27 @@ pub struct TraceArgs {
     pub flits: Option<u64>,
     /// Gather-queue depth counter value.
     pub depth: Option<u64>,
+    /// Trace id on root request/row span slices.
+    pub trace: Option<String>,
+    /// `MDX1.` scenario token on engine-run span slices.
+    pub token: Option<String>,
 }
 
 impl Deserialize for TraceArgs {
     fn from_value(v: &Value) -> Result<TraceArgs, Error> {
         let entries = v.as_map().ok_or_else(|| Error::expected("args map"))?;
-        deny_unknown(entries, "args", &["name", "holder", "flits", "depth"])?;
+        deny_unknown(
+            entries,
+            "args",
+            &["name", "holder", "flits", "depth", "trace", "token"],
+        )?;
         Ok(TraceArgs {
             name: opt(entries, "name")?,
             holder: opt(entries, "holder")?,
             flits: opt(entries, "flits")?,
             depth: opt(entries, "depth")?,
+            trace: opt(entries, "trace")?,
+            token: opt(entries, "token")?,
         })
     }
 }

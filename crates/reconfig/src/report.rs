@@ -39,6 +39,30 @@ pub struct EpochReport {
     pub disconnected_pairs: usize,
 }
 
+impl EpochReport {
+    /// The epoch's five controller phases as contiguous cycle windows
+    /// `(name, start, end)`: detect → quiesce → drain → reprogram →
+    /// resume, laid end to end from `event_at`. Quiesce is the injection-
+    /// gate close — modeled as instantaneous, so its window is empty —
+    /// and resume stretches to `resumed_at` (covering any settling slack
+    /// the controller waited out beyond the three counted phases). The
+    /// windows tile `[event_at, resume end]` exactly; span exporters lean
+    /// on that tiling.
+    pub fn phase_windows(&self) -> [(&'static str, u64, u64); 5] {
+        let detect_end = self.event_at + self.detect_cycles;
+        let drain_end = detect_end + self.drain_cycles;
+        let reprogram_end = drain_end + self.reprogram_cycles;
+        let resume_end = self.resumed_at.max(reprogram_end);
+        [
+            ("detect", self.event_at, detect_end),
+            ("quiesce", detect_end, detect_end),
+            ("drain", detect_end, drain_end),
+            ("reprogram", drain_end, reprogram_end),
+            ("resume", reprogram_end, resume_end),
+        ]
+    }
+}
+
 /// Everything observed across a live-reconfiguration run.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ReconfigReport {
@@ -142,5 +166,40 @@ mod tests {
         let text = r.render();
         assert!(text.contains("epoch 1 @ 400"));
         assert!(text.contains("no mixed-epoch cycle"));
+    }
+
+    #[test]
+    fn phase_windows_tile_the_epoch() {
+        let e = EpochReport {
+            epoch: 1,
+            event_at: 400,
+            events: vec![],
+            victims: 0,
+            rerouted: 0,
+            reinjected: 0,
+            abandoned: 0,
+            detect_cycles: 8,
+            drain_cycles: 57,
+            reprogram_cycles: 32,
+            resumed_at: 510,
+            disconnected_pairs: 0,
+        };
+        let w = e.phase_windows();
+        assert_eq!(w[0], ("detect", 400, 408));
+        assert_eq!(w[1], ("quiesce", 408, 408));
+        assert_eq!(w[2], ("drain", 408, 465));
+        assert_eq!(w[3], ("reprogram", 465, 497));
+        assert_eq!(w[4], ("resume", 497, 510));
+        // Contiguous tiling from event_at to the resume end.
+        assert_eq!(w[0].1, e.event_at);
+        for pair in w.windows(2) {
+            assert_eq!(pair[0].2, pair[1].1);
+        }
+        // resumed_at earlier than the counted phases clamps resume empty.
+        let early = EpochReport {
+            resumed_at: 450,
+            ..e
+        };
+        assert_eq!(early.phase_windows()[4], ("resume", 497, 497));
     }
 }

@@ -19,6 +19,8 @@
 //!                [--cache-dir DIR] [--cache-cap N]
 //!                [--metrics-addr ADDR] [--metrics-file PATH]
 //!                [--metrics-every SECS]
+//!                [--span-log PATH] [--span-sample RATE]
+//! campaign spans <spans.jsonl> [--top N] [--perfetto PATH]
 //! campaign bench-serve [--tokens N] [--workers N] [--hits N]
 //! ```
 //!
@@ -84,6 +86,18 @@
 //! `campaign run --prom PATH` writes a one-shot exposition of the sweep's
 //! campaign/engine instruments (rows/sec, per-row run and serialize
 //! latency, worker saturation) when the sweep completes.
+//!
+//! Request tracing: `campaign serve --span-log PATH` appends every kept
+//! trace's spans to a JSONL log (and `--span-sample RATE` head-samples at
+//! `RATE` in `[0,1]` — error/deadlock/cycle-limit traces are kept
+//! regardless). Each request's root span is tiled by `queue`, `cache`
+//! (hit/miss/disk tier), `run` (with the engine's source/step/probe phase
+//! children and, on fault-timeline rows, one span per reconfig epoch
+//! phase on the cycle timeline), and `serialize`; responses echo the
+//! trace id, and the `spans` verb returns the collector's ledger in-band.
+//! `campaign spans FILE` summarizes such a log — per-name critical-path
+//! breakdown plus the top-k slowest traces with their replay tokens — and
+//! `--perfetto PATH` re-exports it as Chrome `trace_event` JSON.
 
 use mdx_campaign::{
     diff_attribution, enumerate_scenarios, run_campaign_metered, run_scenario_instrumented, shrink,
@@ -119,7 +133,9 @@ fn usage() -> ! {
          [--windows W] [--max-cycles N] [--jsonl PATH] [--quiet]\n  \
          campaign serve [--tcp ADDR] [--workers N] [--windows W]\n    \
          [--cache-dir DIR] [--cache-cap N]\n    \
-         [--metrics-addr ADDR] [--metrics-file PATH] [--metrics-every SECS]\n  \
+         [--metrics-addr ADDR] [--metrics-file PATH] [--metrics-every SECS]\n    \
+         [--span-log PATH] [--span-sample RATE]\n  \
+         campaign spans <spans.jsonl> [--top N] [--perfetto PATH]\n  \
          campaign bench-serve [--tokens N] [--workers N] [--hits N]"
     );
     std::process::exit(2);
@@ -672,6 +688,12 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             "--metrics-every" => {
                 cfg.metrics_every_secs = parse_num("--metrics-every", it.next());
             }
+            "--span-log" => {
+                cfg.span_log = Some(it.next().unwrap_or_else(|| usage()).into());
+            }
+            "--span-sample" => {
+                cfg.span_sample = Some(parse_num("--span-sample", it.next()));
+            }
             _ => usage(),
         }
     }
@@ -705,6 +727,48 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             ExitCode::SUCCESS
         }
     }
+}
+
+fn cmd_spans(path: &str, args: &[String]) -> ExitCode {
+    let mut top = 5usize;
+    let mut perfetto: Option<String> = None;
+    let mut it = args.iter().cloned();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--top" => top = parse_num("--top", it.next()),
+            "--perfetto" => perfetto = Some(it.next().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let spans = match mdx_obs::parse_span_log(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    if spans.is_empty() {
+        println!("no spans in {path}");
+        return ExitCode::SUCCESS;
+    }
+    print!("{}", mdx_obs::summarize_spans(&spans, top).render());
+    if let Some(out) = perfetto {
+        let traces = mdx_obs::group_traces(spans);
+        let doc = mdx_obs::spans_to_perfetto(&traces);
+        if let Err(e) = std::fs::write(&out, doc) {
+            eprintln!("error: cannot write {out}: {e}");
+            return ExitCode::from(1);
+        }
+        println!("wrote Perfetto trace to {out} (open at https://ui.perfetto.dev)");
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_bench_serve(args: &[String]) -> ExitCode {
@@ -808,6 +872,10 @@ fn main() -> ExitCode {
             _ => usage(),
         },
         Some("serve") => cmd_serve(&args[1..]),
+        Some("spans") => match args.get(1) {
+            Some(p) if !p.starts_with("--") => cmd_spans(p, &args[2..]),
+            _ => usage(),
+        },
         Some("bench-serve") => cmd_bench_serve(&args[1..]),
         _ => usage(),
     }

@@ -42,6 +42,27 @@ pub fn row_key(token: &str, windows: Option<u64>) -> u64 {
 /// Default in-memory capacity, in rows.
 pub const DEFAULT_CACHE_CAPACITY: usize = 256;
 
+/// Which tier served a cache hit — the memory ring, or the disk tier (the
+/// row is promoted into memory on the way out). Request spans record this
+/// so a "cache hit" that actually paid a disk read is visible in traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheTier {
+    /// Served from the in-memory ring.
+    Memory,
+    /// Served from the disk tier (and promoted).
+    Disk,
+}
+
+impl CacheTier {
+    /// The tier's span-attribute spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheTier::Memory => "hit",
+            CacheTier::Disk => "disk",
+        }
+    }
+}
+
 /// Registry handles a [`ResultCache`] feeds alongside its own atomic
 /// counters, so a resident server's cache behaviour shows up on the
 /// Prometheus endpoint without the cache depending on where it's embedded.
@@ -138,12 +159,18 @@ impl ResultCache {
     /// Fetches the row for `key`, consulting memory then disk. A disk hit
     /// is promoted into memory.
     pub fn get(&self, key: u64) -> Option<ScenarioReport> {
+        self.get_tiered(key).map(|(row, _)| row)
+    }
+
+    /// Like [`ResultCache::get`], but also reports which tier served the
+    /// hit, for span attribution.
+    pub fn get_tiered(&self, key: u64) -> Option<(ScenarioReport, CacheTier)> {
         if let Some(row) = self.mem.lock().expect("cache lock").rows.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             if let Some(m) = &self.metrics {
                 m.hits.inc();
             }
-            return Some(row.clone());
+            return Some((row.clone(), CacheTier::Memory));
         }
         if let Some(path) = self.disk_path(key) {
             if let Ok(body) = std::fs::read_to_string(&path) {
@@ -154,7 +181,7 @@ impl ResultCache {
                         m.disk_hits.inc();
                     }
                     self.insert_mem(key, row.clone());
-                    return Some(row);
+                    return Some((row, CacheTier::Disk));
                 }
             }
         }
@@ -282,8 +309,14 @@ mod tests {
         cache.put(key, &row);
 
         let fresh = ResultCache::new(4).with_dir(&dir);
-        let got = fresh.get(key).expect("disk hit");
+        let (got, tier) = fresh.get_tiered(key).expect("disk hit");
+        assert_eq!(tier, CacheTier::Disk);
         assert_eq!(got.digest, row.digest);
+        // Promoted: the second lookup is a memory hit.
+        assert_eq!(
+            fresh.get_tiered(key).expect("promoted").1,
+            CacheTier::Memory
+        );
         assert_eq!(
             serde_json::to_string(&got).unwrap(),
             serde_json::to_string(&row).unwrap()

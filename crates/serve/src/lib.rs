@@ -12,11 +12,15 @@
 //! (`campaign serve --tcp ADDR`). Abnormal rows keep their
 //! flight-recorder post-mortems fetchable by digest; `stats` exposes the
 //! service counters; `metrics` returns the full registry snapshot as
-//! JSON; `shutdown` stops the server after draining. With
-//! `--metrics-addr` the same registry is scrapeable as Prometheus text
-//! over HTTP ([`metrics`]): per-verb request latency, queue wait, cache
-//! hit/miss/eviction counters, and the engine's self-profile (idle-tick
-//! fraction, cycles/sec, occupancy).
+//! JSON; `spans` returns the span collector's ledger; `shutdown` stops
+//! the server after draining. With `--metrics-addr` the same registry is
+//! scrapeable as Prometheus text over HTTP ([`metrics`]): per-verb
+//! request latency, queue wait, cache hit/miss/eviction counters, and
+//! the engine's self-profile (idle-tick fraction, cycles/sec, occupancy).
+//! With `--span-log`/`--span-sample` every request is traced end to end
+//! — queue wait, cache tier, engine run (with per-phase and
+//! reconfig-epoch children), serialize — and the trace id is echoed on
+//! the response line.
 //!
 //! The crate also owns the `campaign` binary (run / replay / shrink /
 //! diff / stream / serve / bench-serve), which sits above `mdx-campaign`
@@ -51,7 +55,7 @@ pub mod metrics;
 pub mod protocol;
 pub mod server;
 
-pub use cache::{fnv1a64, row_key, CacheMetrics, ResultCache, DEFAULT_CACHE_CAPACITY};
+pub use cache::{fnv1a64, row_key, CacheMetrics, CacheTier, ResultCache, DEFAULT_CACHE_CAPACITY};
 pub use metrics::{spawn_metrics_listener, spawn_snapshot_writer, ServeMetrics, VerbMeter};
 pub use protocol::{Request, Response, ServeStats};
 pub use server::{

@@ -18,12 +18,13 @@ use std::time::{Duration, Instant};
 
 /// Protocol verbs with pre-registered per-verb series; unknown verbs land
 /// on the `other` series so a typo can't mint unbounded label values.
-const VERBS: [&str; 7] = [
+const VERBS: [&str; 8] = [
     "run",
     "spec",
     "postmortem",
     "stats",
     "metrics",
+    "spans",
     "shutdown",
     "other",
 ];

@@ -15,14 +15,23 @@
 //! {"cmd":"postmortem","digest":"<row digest>"}      fetch forensics
 //! {"cmd":"stats"}                                   service counters
 //! {"cmd":"metrics"}                                 full registry snapshot
+//! {"cmd":"spans"}                                   span-collector ledger
 //! {"cmd":"shutdown"}                                stop the server
 //! ```
 //!
 //! Responses carry `kind`: `row` (with the full campaign row JSON and a
 //! `cached` flag), `error` (with a message), `stats`, `metrics` (a JSON
 //! rendering of the server's metric registry — the same data the
-//! `--metrics-addr` Prometheus endpoint exposes as text), `postmortem`,
+//! `--metrics-addr` Prometheus endpoint exposes as text), `spans` (the
+//! span collector's ledger and resident-trace summaries), `postmortem`,
 //! or `ok` (shutdown acknowledgment).
+//!
+//! Every request may also carry a client-chosen `trace` string. It is
+//! echoed on the response line — *including* error responses, so span
+//! logs join to client logs even for requests that failed to parse — and,
+//! when span collection is on, becomes the request's trace id. A traced
+//! request without a client `trace` gets a server-minted id, also echoed,
+//! so the client can fetch the trace later.
 //!
 //! Serialization is hand-written so absent optional fields are *omitted*
 //! rather than `null`-padded: request lines stay human-writable and
@@ -59,6 +68,9 @@ pub struct Request {
     pub force: bool,
     /// Row digest (`postmortem`).
     pub digest: Option<String>,
+    /// Client-chosen trace id, echoed on the response and adopted as the
+    /// request's span trace id when collection is on.
+    pub trace: Option<String>,
 }
 
 impl Request {
@@ -75,6 +87,13 @@ impl Request {
     #[must_use]
     pub fn with_id(mut self, id: u64) -> Request {
         self.id = Some(id);
+        self
+    }
+
+    /// Tags the request with a client trace id (builder style).
+    #[must_use]
+    pub fn with_trace(mut self, trace: impl Into<String>) -> Request {
+        self.trace = Some(trace.into());
         self
     }
 }
@@ -109,6 +128,7 @@ impl Serialize for Request {
             m.push(("force".to_string(), true.to_value()));
         }
         push_opt(&mut m, "digest", &self.digest);
+        push_opt(&mut m, "trace", &self.trace);
         Value::Map(m)
     }
 }
@@ -129,6 +149,7 @@ impl Deserialize for Request {
             windows: opt_field(entries, "windows")?,
             force: opt_field(entries, "force")?.unwrap_or(false),
             digest: opt_field(entries, "digest")?,
+            trace: opt_field(entries, "trace")?,
         })
     }
 }
@@ -157,7 +178,7 @@ pub struct ServeStats {
 /// One protocol response line.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Response {
-    /// The response kind: `row`, `error`, `stats`, `metrics`,
+    /// The response kind: `row`, `error`, `stats`, `metrics`, `spans`,
     /// `postmortem`, or `ok`.
     pub kind: String,
     /// The request's correlation id, echoed back.
@@ -172,8 +193,13 @@ pub struct Response {
     pub stats: Option<ServeStats>,
     /// Metric-registry snapshot as JSON (`metrics`).
     pub metrics: Option<Value>,
+    /// Span-collector ledger as JSON (`spans`).
+    pub spans: Option<Value>,
     /// Forensic report (`postmortem`).
     pub postmortem: Option<PostmortemReport>,
+    /// The request's trace id: the client's `trace` echoed back, or the
+    /// server-minted id when span collection traced an untagged request.
+    pub trace: Option<String>,
 }
 
 impl Response {
@@ -186,7 +212,9 @@ impl Response {
             error: None,
             stats: None,
             metrics: None,
+            spans: None,
             postmortem: None,
+            trace: None,
         }
     }
 
@@ -223,6 +251,14 @@ impl Response {
         }
     }
 
+    /// A `spans` response carrying the collector's ledger as JSON.
+    pub fn spans(id: Option<u64>, ledger: Value) -> Response {
+        Response {
+            spans: Some(ledger),
+            ..Response::empty("spans", id)
+        }
+    }
+
     /// A `postmortem` response.
     pub fn postmortem(id: Option<u64>, pm: PostmortemReport) -> Response {
         Response {
@@ -234,6 +270,13 @@ impl Response {
     /// An `ok` acknowledgment (shutdown).
     pub fn ok(id: Option<u64>) -> Response {
         Response::empty("ok", id)
+    }
+
+    /// Tags the response with the request's trace id (builder style).
+    #[must_use]
+    pub fn with_trace(mut self, trace: Option<String>) -> Response {
+        self.trace = trace;
+        self
     }
 
     /// Whether this is an error response.
@@ -251,7 +294,9 @@ impl Serialize for Response {
         push_opt(&mut m, "error", &self.error);
         push_opt(&mut m, "stats", &self.stats);
         push_opt(&mut m, "metrics", &self.metrics);
+        push_opt(&mut m, "spans", &self.spans);
         push_opt(&mut m, "postmortem", &self.postmortem);
+        push_opt(&mut m, "trace", &self.trace);
         Value::Map(m)
     }
 }
@@ -269,7 +314,9 @@ impl Deserialize for Response {
             error: opt_field(entries, "error")?,
             stats: opt_field(entries, "stats")?,
             metrics: opt_field(entries, "metrics")?,
+            spans: opt_field(entries, "spans")?,
             postmortem: opt_field(entries, "postmortem")?,
+            trace: opt_field(entries, "trace")?,
         })
     }
 }
@@ -305,5 +352,24 @@ mod tests {
         assert!(back.is_error());
         assert_eq!(back.id, Some(3));
         assert_eq!(back.error.as_deref(), Some("bad token"));
+    }
+
+    #[test]
+    fn trace_field_roundtrips_and_is_omitted_when_absent() {
+        let req = Request::run("MDX1.abc").with_trace("cli-42");
+        let json = serde_json::to_string(&req).unwrap();
+        assert!(json.contains("\"trace\":\"cli-42\""));
+        let back: Request = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.trace.as_deref(), Some("cli-42"));
+
+        let resp = Response::ok(None).with_trace(Some("cli-42".to_string()));
+        let json = serde_json::to_string(&resp).unwrap();
+        assert!(json.contains("\"trace\":\"cli-42\""));
+        let back: Response = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.trace.as_deref(), Some("cli-42"));
+
+        // Untraced lines stay trace-free rather than null-padded.
+        let json = serde_json::to_string(&Response::ok(None)).unwrap();
+        assert!(!json.contains("trace"), "{json}");
     }
 }

@@ -13,14 +13,21 @@
 //! capped (FIFO), post-mortems are capped, and streaming rows use the
 //! engine's incremental [`mdx_sim::TrafficSource`] seam plus windowed
 //! telemetry rather than materialized schedules.
+//!
+//! With span collection on (`--span-log` / `--span-sample`), every request
+//! gets a trace: a `request` root span tiled exactly by its `queue`,
+//! `cache`, `run` (with the engine's phase and reconfig-epoch children),
+//! and `serialize` phases, offered to a [`mdx_obs::SpanCollector`] and
+//! echoed on the response via its `trace` id.
 
 use crate::cache::{row_key, CacheMetrics, ResultCache, DEFAULT_CACHE_CAPACITY};
 use crate::metrics::{spawn_metrics_listener, spawn_snapshot_writer, ServeMetrics};
 use crate::protocol::{Request, Response, ServeStats};
-use mdx_campaign::{run_scenario_instrumented, ObsOptions, Scenario, Workload};
+use mdx_campaign::{push_engine_spans, run_scenario_instrumented, ObsOptions, Scenario, Workload};
 use mdx_metrics::Registry;
-use mdx_obs::{PostmortemReport, DEFAULT_FLIGHT_CAPACITY};
+use mdx_obs::{PostmortemReport, SpanCollector, SpanUnit, TraceBuilder, DEFAULT_FLIGHT_CAPACITY};
 use mdx_workloads::StreamSpec;
+use serde::value::Value;
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
 use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
@@ -55,6 +62,13 @@ pub struct ServeConfig {
     pub metrics_file: Option<PathBuf>,
     /// Seconds between `metrics_file` snapshots.
     pub metrics_every_secs: u64,
+    /// JSONL span log path (`--span-log`). Setting this (or `span_sample`)
+    /// turns span collection on.
+    pub span_log: Option<PathBuf>,
+    /// Head-sampling rate in `[0, 1]` (`--span-sample`); traces with
+    /// abnormal outcomes are kept regardless. Setting this (or `span_log`)
+    /// turns span collection on; the default rate is 1.0 (keep all).
+    pub span_sample: Option<f64>,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +84,8 @@ impl Default for ServeConfig {
             metrics_addr: None,
             metrics_file: None,
             metrics_every_secs: DEFAULT_METRICS_EVERY_SECS,
+            span_log: None,
+            span_sample: None,
         }
     }
 }
@@ -86,6 +102,11 @@ pub struct Service {
     errors: AtomicUsize,
     registry: Registry,
     metrics: ServeMetrics,
+    spans: Option<Arc<SpanCollector>>,
+    /// Wall-clock zero for span timestamps: every span offset is
+    /// microseconds since the service was built, so spans from different
+    /// workers share one timeline.
+    epoch: Instant,
 }
 
 impl Service {
@@ -98,6 +119,25 @@ impl Service {
         if let Some(dir) = &cfg.cache_dir {
             cache = cache.with_dir(dir);
         }
+        let spans = if cfg.span_log.is_some() || cfg.span_sample.is_some() {
+            let rate = cfg.span_sample.unwrap_or(1.0);
+            let collector = match &cfg.span_log {
+                Some(path) => match SpanCollector::new(rate).with_log(path) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        // A broken log path degrades to in-memory
+                        // collection — observability must not take the
+                        // service down.
+                        eprintln!("campaign serve: span log {} disabled: {e}", path.display());
+                        SpanCollector::new(rate)
+                    }
+                },
+                None => SpanCollector::new(rate),
+            };
+            Some(Arc::new(collector))
+        } else {
+            None
+        };
         Service {
             // A zero width would panic the window observer; treat it as
             // "no window telemetry" rather than arming a trap.
@@ -110,6 +150,8 @@ impl Service {
             errors: AtomicUsize::new(0),
             registry,
             metrics,
+            spans,
+            epoch: Instant::now(),
         }
     }
 
@@ -124,48 +166,171 @@ impl Service {
         &self.metrics
     }
 
+    /// The span collector, when span collection is on.
+    pub fn spans(&self) -> Option<&Arc<SpanCollector>> {
+        self.spans.as_ref()
+    }
+
+    /// Microseconds since the service epoch, for span timestamps.
+    fn us(&self, at: Instant) -> u64 {
+        at.saturating_duration_since(self.epoch).as_micros() as u64
+    }
+
+    fn now_us(&self) -> u64 {
+        self.us(Instant::now())
+    }
+
     /// Parses one request line and dispatches it. Malformed JSON becomes
-    /// an `error` response, never a crash.
+    /// an `error` response — echoing any salvageable `trace` tag — never
+    /// a crash.
     pub fn handle_line(&self, line: &str) -> Response {
         match serde_json::from_str::<Request>(line) {
             Ok(req) => self.handle(&req),
             Err(e) => {
                 self.errors.fetch_add(1, Ordering::Relaxed);
                 self.metrics.error("parse");
-                Response::error(None, format!("bad request: {e}"))
+                Response::error(None, format!("bad request: {e}")).with_trace(trace_of_line(line))
             }
         }
     }
 
-    /// Dispatches one parsed request.
+    /// Dispatches one parsed request, untraced (spans need the serialize
+    /// boundary, so only [`Service::process_line`] emits them). The
+    /// client's `trace` tag is still echoed.
     pub fn handle(&self, req: &Request) -> Response {
+        self.handle_inner(req, None).with_trace(req.trace.clone())
+    }
+
+    /// Processes one request line end to end — parse, dispatch, serialize
+    /// — and returns the response *line*. This is the span-instrumented
+    /// path the worker pool uses: the serialize child span can only be
+    /// closed after the response is encoded, so the trace finishes here.
+    /// `queued_at` anchors the root's `queue` child.
+    pub fn process_line(&self, line: &str, queued_at: Instant) -> String {
+        let (resp, tr) = match serde_json::from_str::<Request>(line) {
+            Ok(req) => {
+                let mut tr = self.begin_trace(&req, queued_at);
+                let resp = self.handle_inner(&req, tr.as_mut());
+                // Echo the *effective* trace id: the client's tag, or the
+                // server-minted id a traced-but-untagged request got.
+                let trace = match &tr {
+                    Some(tr) => Some(tr.t.trace_id().to_string()),
+                    None => req.trace.clone(),
+                };
+                (resp.with_trace(trace), tr)
+            }
+            Err(e) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                self.metrics.error("parse");
+                let resp = Response::error(None, format!("bad request: {e}"))
+                    .with_trace(trace_of_line(line));
+                (resp, None)
+            }
+        };
+        let body = serde_json::to_string(&resp).expect("response serializes");
+        if let Some(mut tr) = tr {
+            let collector = self.spans.as_ref().expect("trace implies a collector");
+            let s1 = self.now_us();
+            tr.t.add(Some(tr.root), "serialize", tr.last, s1, SpanUnit::Micros);
+            tr.t.set_end(tr.root, s1);
+            let root = tr.root;
+            tr.t.attr(root, "outcome", &tr.outcome);
+            // Head-sampled traces are kept; abnormal outcomes (errors,
+            // deadlocks, cycle limits) are kept regardless of the sampler.
+            if tr.sampled || tr.outcome != "completed" {
+                collector.offer(tr.t.finish());
+            } else {
+                collector.drop_unsampled();
+            }
+        }
+        body
+    }
+
+    /// Opens the root span of a traced request: a `request` root anchored
+    /// at `queued_at` with a `queue` child up to now. Returns `None` when
+    /// span collection is off.
+    fn begin_trace(&self, req: &Request, queued_at: Instant) -> Option<RequestTrace> {
+        let collector = self.spans.as_ref()?;
+        let sampled = collector.head_sample();
+        let trace_id = match &req.trace {
+            Some(t) => t.clone(),
+            None => collector.next_trace_id(),
+        };
+        let q0 = self.us(queued_at);
+        let h0 = self.now_us();
+        let mut t = TraceBuilder::new(trace_id);
+        let root = t.add(None, "request", q0, h0, SpanUnit::Micros);
+        t.attr(root, "verb", &req.cmd);
+        t.add(Some(root), "queue", q0, h0, SpanUnit::Micros);
+        Some(RequestTrace {
+            t,
+            root,
+            last: h0,
+            sampled,
+            outcome: String::from("completed"),
+        })
+    }
+
+    fn handle_inner(&self, req: &Request, mut tr: Option<&mut RequestTrace>) -> Response {
         let verb = self.metrics.verb(&req.cmd);
         verb.requests.inc();
         self.metrics.inflight.inc();
+        let spans_before = tr.as_ref().map(|tr| tr.t.len());
         let t0 = Instant::now();
         let resp = match req.cmd.as_str() {
-            "run" => self.cmd_run(req),
-            "spec" => self.cmd_spec(req),
+            "run" => self.cmd_run(req, tr.as_deref_mut()),
+            "spec" => self.cmd_spec(req, tr.as_deref_mut()),
             "postmortem" => self.cmd_postmortem(req),
             "stats" => Response::stats(req.id, self.stats()),
             "metrics" => Response::metrics(req.id, self.registry.snapshot().to_value()),
+            "spans" => self.cmd_spans(req),
             "shutdown" => Response::ok(req.id),
             other => Response::error(req.id, format!("unknown cmd `{other}`")),
         };
-        verb.latency.observe(t0.elapsed().as_secs_f64());
+        let secs = t0.elapsed().as_secs_f64();
+        if let Some(tr) = tr.as_deref_mut() {
+            // The trace id rides along as the histogram's exemplar, so the
+            // worst request per verb is replayable from /metrics alone.
+            verb.latency.observe_exemplar(secs, tr.t.trace_id());
+            if Some(tr.t.len()) == spans_before {
+                // Verbs that opened no children of their own (stats,
+                // errors, shutdown) still tile the root: one `handle`
+                // span from the last boundary to now.
+                let e = self.now_us();
+                tr.t.add(Some(tr.root), "handle", tr.last, e, SpanUnit::Micros);
+                tr.last = e;
+            }
+        } else {
+            verb.latency.observe(secs);
+        }
         self.metrics.inflight.dec();
         if resp.is_error() {
             self.errors.fetch_add(1, Ordering::Relaxed);
             let class = match req.cmd.as_str() {
-                "run" | "spec" | "postmortem" | "stats" | "metrics" | "shutdown" => "request",
+                "run" | "spec" | "postmortem" | "stats" | "metrics" | "spans" | "shutdown" => {
+                    "request"
+                }
                 _ => "unknown_verb",
             };
             self.metrics.error(class);
+            if let Some(tr) = tr {
+                tr.outcome = String::from("error");
+            }
         }
         resp
     }
 
-    fn cmd_run(&self, req: &Request) -> Response {
+    fn cmd_spans(&self, req: &Request) -> Response {
+        match &self.spans {
+            Some(c) => Response::spans(req.id, c.to_value()),
+            None => Response::error(
+                req.id,
+                "span collection disabled; start with --span-log or --span-sample",
+            ),
+        }
+    }
+
+    fn cmd_run(&self, req: &Request, tr: Option<&mut RequestTrace>) -> Response {
         let Some(token) = &req.token else {
             return Response::error(req.id, "run needs a `token`");
         };
@@ -173,10 +338,10 @@ impl Service {
             Ok(s) => s,
             Err(e) => return Response::error(req.id, e.to_string()),
         };
-        self.run_row(req, token, &scenario)
+        self.run_row(req, token, &scenario, tr)
     }
 
-    fn cmd_spec(&self, req: &Request) -> Response {
+    fn cmd_spec(&self, req: &Request, tr: Option<&mut RequestTrace>) -> Response {
         let Some(text) = &req.spec else {
             return Response::error(req.id, "spec needs a `spec` body");
         };
@@ -197,13 +362,19 @@ impl Service {
         // there as `cycle-limit` instead of draining without bound.
         scenario.max_cycles = horizon;
         let token = scenario.token();
-        self.run_row(req, &token, &scenario)
+        self.run_row(req, &token, &scenario, tr)
     }
 
     /// Runs (or fetches) one row. The cache key covers the token and the
     /// effective window width, so the same token with different telemetry
     /// shapes is two distinct rows.
-    fn run_row(&self, req: &Request, token: &str, scenario: &Scenario) -> Response {
+    fn run_row(
+        &self,
+        req: &Request,
+        token: &str,
+        scenario: &Scenario,
+        mut tr: Option<&mut RequestTrace>,
+    ) -> Response {
         // `windows: 0` is valid JSON but would assert inside the window
         // observer; reject it here so no request can panic a worker.
         if req.windows == Some(0) {
@@ -212,7 +383,16 @@ impl Service {
         let windows = req.windows.or(self.windows);
         let key = row_key(token, windows);
         if !req.force {
-            if let Some(row) = self.cache.get(key) {
+            let hit = self.cache.get_tiered(key);
+            if let Some(tr) = tr.as_deref_mut() {
+                let c1 = self.now_us();
+                let cache =
+                    tr.t.add(Some(tr.root), "cache", tr.last, c1, SpanUnit::Micros);
+                let tier = hit.as_ref().map(|(_, t)| t.as_str()).unwrap_or("miss");
+                tr.t.attr(cache, "tier", tier);
+                tr.last = c1;
+            }
+            if let Some((row, _)) = hit {
                 self.served.fetch_add(1, Ordering::Relaxed);
                 self.cache_hits.fetch_add(1, Ordering::Relaxed);
                 return Response::row(req.id, true, row);
@@ -223,6 +403,10 @@ impl Service {
             // Always-on forensics: abnormal rows carry a post-mortem and
             // the artifact stays fetchable by digest.
             flight: Some(DEFAULT_FLIGHT_CAPACITY),
+            // Phase timing feeds the run span's source/step/probe children
+            // and is engine self-measurement — never serialized, so the
+            // row itself stays byte-identical to an untraced run.
+            profile_phases: tr.is_some(),
             ..ObsOptions::default()
         };
         match run_scenario_instrumented(scenario, &opts) {
@@ -232,6 +416,24 @@ impl Service {
                 }
                 if let Some(profile) = &row.profile {
                     self.metrics.engine.observe(profile);
+                }
+                if let Some(tr) = tr {
+                    let r1 = self.now_us();
+                    let run =
+                        tr.t.add(Some(tr.root), "run", tr.last, r1, SpanUnit::Micros);
+                    tr.t.attr(run, "token", &row.token);
+                    tr.t.attr(run, "digest", &row.digest);
+                    push_engine_spans(
+                        &mut tr.t,
+                        run,
+                        tr.last,
+                        r1,
+                        row.profile.as_ref().and_then(|p| p.phases.as_ref()),
+                        row.stats.cycles,
+                        row.reconfig.as_ref(),
+                    );
+                    tr.outcome = row.outcome.clone();
+                    tr.last = r1;
                 }
                 self.cache.put(key, &row);
                 self.served.fetch_add(1, Ordering::Relaxed);
@@ -277,6 +479,29 @@ impl Service {
             postmortems: self.postmortems.lock().expect("postmortem lock").1.len(),
             workers: self.workers,
         }
+    }
+}
+
+/// The span scaffolding of one in-flight traced request: the builder, its
+/// root span, and the running boundary where the next child begins. Every
+/// child starts at `last` and advances it, so the root is tiled exactly —
+/// no gaps, no overlap — by construction.
+struct RequestTrace {
+    t: TraceBuilder,
+    root: u64,
+    last: u64,
+    sampled: bool,
+    outcome: String,
+}
+
+/// Salvages the client's `trace` tag from a line that failed to parse as
+/// a [`Request`] (or panicked its handler): a lenient `Value` parse is
+/// enough to echo the tag on the error response.
+fn trace_of_line(line: &str) -> Option<String> {
+    let v: Value = serde_json::from_str(line).ok()?;
+    match v.as_map()?.iter().find(|(k, _)| k == "trace")? {
+        (_, Value::Str(s)) => Some(s.clone()),
+        _ => None,
     }
 }
 
@@ -334,18 +559,20 @@ impl Server {
                     metrics.workers_busy.inc();
                     // A handler panic must not kill the worker or drop the
                     // response: the client still gets an error line with
-                    // its correlation id, and the pool keeps its size.
-                    let resp = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        service.handle_line(&line)
+                    // its correlation id (and trace tag), and the pool
+                    // keeps its size.
+                    let body = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        service.process_line(&line, queued_at)
                     }))
                     .unwrap_or_else(|_| {
                         metrics.error("panic");
                         let id = serde_json::from_str::<Request>(&line)
                             .ok()
                             .and_then(|r| r.id);
-                        Response::error(id, "internal error: request handler panicked")
+                        let resp = Response::error(id, "internal error: request handler panicked")
+                            .with_trace(trace_of_line(&line));
+                        serde_json::to_string(&resp).expect("response serializes")
                     });
-                    let body = serde_json::to_string(&resp).expect("response serializes");
                     let mut w = out.lock().unwrap_or_else(|e| e.into_inner());
                     let _ = writeln!(w, "{body}");
                     let _ = w.flush();
@@ -459,8 +686,7 @@ pub fn serve_stream<R: BufRead>(server: &Server, input: R, out: SharedWriter) ->
         }
         if is_shutdown(&line) {
             server.drain();
-            let resp = server.service().handle_line(&line);
-            let body = serde_json::to_string(&resp).expect("response serializes");
+            let body = server.service().process_line(&line, Instant::now());
             let mut w = out.lock().expect("writer lock");
             let _ = writeln!(w, "{body}");
             let _ = w.flush();
@@ -557,8 +783,7 @@ pub fn serve_on(
                     if let Some(line) = shutdown_line {
                         // Acknowledge through the service so the client's
                         // correlation id is echoed, as the stdio path does.
-                        let resp = server.service().handle_line(&line);
-                        let body = serde_json::to_string(&resp).expect("response serializes");
+                        let body = server.service().process_line(&line, Instant::now());
                         let mut w = out.lock().unwrap_or_else(|e| e.into_inner());
                         let _ = writeln!(w, "{body}");
                         let _ = w.flush();

@@ -355,6 +355,120 @@ fn http_endpoint_scrapes_the_live_service_registry() {
     handle.join().expect("listener thread");
 }
 
+/// The span pipeline end to end: client trace ids are echoed on every
+/// response shape (rows, unknown verbs, *parse failures*), untagged
+/// traced requests get a server-minted id, the `spans` verb returns the
+/// ledger, and the worst run's trace id lands as the latency histogram's
+/// exemplar.
+#[test]
+fn traced_sessions_echo_trace_ids_and_answer_the_spans_verb() {
+    use std::time::Instant;
+
+    let cfg = ServeConfig {
+        span_sample: Some(1.0),
+        ..ServeConfig::default()
+    };
+    let service = Service::new(&cfg);
+    let process = |line: &str| -> Response {
+        serde_json::from_str(&service.process_line(line, Instant::now())).expect("response parses")
+    };
+
+    // A client-tagged run echoes the client's trace id.
+    let line = serde_json::to_string(
+        &Request::run(&storm_token(41))
+            .with_id(1)
+            .with_trace("cli-1"),
+    )
+    .unwrap();
+    let resp = process(&line);
+    assert_eq!(resp.kind, "row", "error: {:?}", resp.error);
+    assert_eq!(resp.trace.as_deref(), Some("cli-1"));
+
+    // An untagged request gets a server-minted id, echoed so the client
+    // can find its trace later.
+    let line = serde_json::to_string(&Request::run(&storm_token(41)).with_id(2)).unwrap();
+    let minted = process(&line).trace.expect("server-minted trace id");
+    assert!(!minted.is_empty() && minted != "cli-1");
+
+    // Error paths echo too: an unknown verb, and a line that parses as
+    // JSON but not as a request (the trace tag is salvaged leniently).
+    let resp = process(r#"{"cmd":"no-such-verb","trace":"t-unknown"}"#);
+    assert!(resp.is_error());
+    assert_eq!(resp.trace.as_deref(), Some("t-unknown"));
+    let resp = process(r#"{"cmd":7,"trace":"t-parse"}"#);
+    assert!(resp.is_error());
+    assert_eq!(resp.trace.as_deref(), Some("t-parse"));
+
+    // The spans verb returns the collector's ledger: every request above
+    // was traced (rate 1.0), parse failures produce no trace.
+    let resp = process(r#"{"cmd":"spans","id":9}"#);
+    assert_eq!(resp.kind, "spans");
+    let ledger = serde_json::to_string(&resp.spans.expect("spans body")).unwrap();
+    assert!(ledger.contains("\"kept\":3"), "{ledger}");
+    assert!(ledger.contains("cli-1"), "{ledger}");
+
+    // The run histogram carries the worst request's trace id as an
+    // exemplar comment in the Prometheus exposition.
+    let text = service.registry().snapshot().render_prometheus();
+    assert!(
+        text.contains("# exemplar mdx_serve_request_seconds{verb=\"run\"} trace_id=\""),
+        "{text}"
+    );
+
+    // Without span collection, the verb reports itself disabled — and the
+    // client's trace tag still comes back.
+    let bare = Service::new(&ServeConfig::default());
+    let resp: Response = serde_json::from_str(
+        &bare.process_line(r#"{"cmd":"spans","trace":"t-off"}"#, Instant::now()),
+    )
+    .expect("response parses");
+    assert!(resp.is_error());
+    assert_eq!(resp.trace.as_deref(), Some("t-off"));
+}
+
+/// A slow span replays deterministically: the `run` span's `token` attr
+/// re-simulates to the byte-identical row, and its `digest` attr matches.
+#[test]
+fn an_exemplar_spans_token_replays_byte_identically() {
+    use mdx_campaign::{run_scenario_instrumented, ObsOptions, Scenario};
+    use mdx_obs::DEFAULT_FLIGHT_CAPACITY;
+    use std::time::Instant;
+
+    let cfg = ServeConfig {
+        span_sample: Some(1.0),
+        ..ServeConfig::default()
+    };
+    let service = Service::new(&cfg);
+    let line = serde_json::to_string(&Request::run(&storm_token(51)).with_id(1)).unwrap();
+    let resp: Response =
+        serde_json::from_str(&service.process_line(&line, Instant::now())).expect("response");
+    let row = resp.row.expect("row body");
+
+    let traces = service.spans().expect("collector").kept_traces();
+    assert_eq!(traces.len(), 1);
+    let run = traces[0]
+        .iter()
+        .find(|s| s.name == "run")
+        .expect("run child span");
+    let token = run.attr("token").expect("token attr").to_string();
+    let digest = run.attr("digest").expect("digest attr").to_string();
+    assert_eq!(digest, row.digest);
+
+    // Replay from the span's token alone, under the service's options.
+    let scenario = Scenario::from_token(&token).expect("span token decodes");
+    let opts = ObsOptions {
+        flight: Some(DEFAULT_FLIGHT_CAPACITY),
+        ..ObsOptions::default()
+    };
+    let (replayed, _) = run_scenario_instrumented(&scenario, &opts).expect("replay runs");
+    assert_eq!(replayed.digest, digest);
+    assert_eq!(
+        serde_json::to_string(&replayed).unwrap(),
+        serde_json::to_string(&row).unwrap(),
+        "replayed row must be byte-identical"
+    );
+}
+
 #[test]
 fn tcp_round_trip_serves_pipelined_clients_and_honors_shutdown() {
     let cfg = ServeConfig {
@@ -395,7 +509,7 @@ fn tcp_round_trip_serves_pipelined_clients_and_honors_shutdown() {
     let mut responses: Vec<Response> = vec![serde_json::from_str(&line).expect("response parses")];
 
     // Then a pipelined burst: a fresh token, the duplicate, stats, shutdown.
-    let lines = vec![
+    let lines = [
         serde_json::to_string(&Request::run(&storm_token(12)).with_id(2)).unwrap(),
         serde_json::to_string(&Request::run(&token).with_id(3)).unwrap(),
         r#"{"cmd":"stats","id":4}"#.to_string(),

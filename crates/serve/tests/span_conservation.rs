@@ -1,0 +1,186 @@
+//! Property test: span conservation across the serve pipeline.
+//!
+//! For every kept trace, randomized over request mixes (fresh tokens,
+//! cache-hit duplicates, fault-timeline storm specs, and failing
+//! requests): children nest inside their parent on the parent's own
+//! timeline, and the root `request` span is tiled *exactly* — no gaps, no
+//! overlap — by its direct wall-clock children (`queue`, `cache`, `run`,
+//! `serialize`, `handle`). Under a fault timeline the same conservation
+//! holds one level down on the cycle timeline: each reconfig epoch span
+//! is tiled by its five protocol phases.
+
+use mdx_campaign::{Scenario, Workload};
+use mdx_obs::{Span, SpanUnit};
+use mdx_serve::{Request, Response, ServeConfig, Service};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn storm_token(seed: u64) -> String {
+    Scenario::new(
+        vec![4, 3],
+        "sr2201",
+        Workload::BroadcastStorm {
+            sources: vec![(seed as usize) % 12],
+            flits: 4,
+        },
+        seed,
+    )
+    .token()
+}
+
+/// A spec whose mid-stream storm drives the live epoch protocol, so the
+/// trace gains the cycle-domain epoch/phase subtree.
+const STORM_SPEC: &str = "\
+    seed 5\n\
+    flits 2\n\
+    phase 0..600 uniform rate=0.04\n\
+    storm 200 xbar:0:1\n\
+    storm 420 repair xbar:0:1\n\
+    horizon 1200\n";
+
+/// Checks nesting and exact tiling for one trace.
+fn check_conservation(spans: &[Span]) {
+    let by_id: HashMap<u64, &Span> = spans.iter().map(|s| (s.id, s)).collect();
+    let roots: Vec<&Span> = spans.iter().filter(|s| s.parent.is_none()).collect();
+    assert_eq!(roots.len(), 1, "exactly one root per trace: {spans:?}");
+    let root = roots[0];
+    assert_eq!(root.name, "request");
+    assert_eq!(root.unit, SpanUnit::Micros);
+
+    // Nesting: every child lives inside its parent, whenever the two
+    // share a time domain (the cycle-domain engine subtree hangs off a
+    // wall-clock run span; across domains containment is meaningless).
+    for s in spans {
+        let Some(pid) = s.parent else { continue };
+        let p = by_id.get(&pid).expect("parent span exists in the trace");
+        assert!(s.trace == root.trace, "one trace id per trace");
+        if p.unit == s.unit {
+            assert!(
+                s.start >= p.start && s.end <= p.end,
+                "`{}` [{}, {}] escapes `{}` [{}, {}]",
+                s.name,
+                s.start,
+                s.end,
+                p.name,
+                p.start,
+                p.end
+            );
+        }
+    }
+
+    // Exact tiling of the root by its direct wall-clock children.
+    let mut kids: Vec<&Span> = spans
+        .iter()
+        .filter(|s| s.parent == Some(root.id) && s.unit == SpanUnit::Micros)
+        .collect();
+    assert!(!kids.is_empty(), "root must have phase children");
+    kids.sort_by_key(|s| (s.start, s.id));
+    assert_eq!(kids[0].start, root.start, "first child starts the root");
+    for pair in kids.windows(2) {
+        assert_eq!(
+            pair[0].end, pair[1].start,
+            "`{}` -> `{}` must share a boundary",
+            pair[0].name, pair[1].name
+        );
+    }
+    assert_eq!(
+        kids[kids.len() - 1].end,
+        root.end,
+        "last child ends the root"
+    );
+
+    // Epoch conservation on the cycle timeline: each `epoch N` span is
+    // tiled by exactly its five protocol phases, in protocol order.
+    for epoch in spans.iter().filter(|s| s.name.starts_with("epoch ")) {
+        assert_eq!(epoch.unit, SpanUnit::Cycles);
+        let mut phases: Vec<&Span> = spans
+            .iter()
+            .filter(|s| s.parent == Some(epoch.id))
+            .collect();
+        assert_eq!(phases.len(), 5, "five phases per epoch");
+        phases.sort_by_key(|s| s.id);
+        let names: Vec<&str> = phases.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["detect", "quiesce", "drain", "reprogram", "resume"]);
+        assert_eq!(phases[0].start, epoch.start);
+        for pair in phases.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+        assert_eq!(phases[4].end, epoch.end);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn request_spans_nest_and_tile_the_root(
+        seeds in proptest::collection::vec(0u64..6, 1..4),
+        dup in any::<bool>(),
+        with_storm in any::<bool>(),
+        with_error in any::<bool>(),
+    ) {
+        let cfg = ServeConfig {
+            workers: 1,
+            windows: Some(50),
+            span_sample: Some(1.0),
+            ..ServeConfig::default()
+        };
+        let service = Service::new(&cfg);
+
+        let mut lines: Vec<(String, String)> = Vec::new();
+        for (i, seed) in seeds.iter().enumerate() {
+            let trace = format!("t-{i}");
+            let req = Request::run(&storm_token(*seed)).with_id(i as u64).with_trace(&*trace);
+            lines.push((serde_json::to_string(&req).unwrap(), trace));
+        }
+        if dup {
+            // A guaranteed cache hit: re-request the first token.
+            let req = Request::run(&storm_token(seeds[0])).with_trace("t-dup");
+            lines.push((serde_json::to_string(&req).unwrap(), "t-dup".into()));
+        }
+        if with_storm {
+            // A fault-timeline run: the trace grows the epoch subtree.
+            let req = Request {
+                cmd: "spec".to_string(),
+                spec: Some(STORM_SPEC.to_string()),
+                shape: Some(vec![4, 4]),
+                seed: Some(3),
+                trace: Some("t-storm".to_string()),
+                ..Request::default()
+            };
+            lines.push((serde_json::to_string(&req).unwrap(), "t-storm".into()));
+        }
+        if with_error {
+            let mut req = Request::run("MDX1.not-a-token").with_trace("t-bad");
+            req.id = Some(99);
+            lines.push((serde_json::to_string(&req).unwrap(), "t-bad".into()));
+        }
+
+        for (line, trace) in &lines {
+            let body = service.process_line(line, Instant::now());
+            let resp: Response = serde_json::from_str(&body).expect("response parses");
+            // Every response — rows and errors alike — echoes its trace.
+            prop_assert_eq!(resp.trace.as_deref(), Some(trace.as_str()));
+        }
+
+        // Rate 1.0 keeps every trace; conservation must hold for each.
+        let traces = service.spans().expect("collector").kept_traces();
+        prop_assert_eq!(traces.len(), lines.len());
+        for t in &traces {
+            check_conservation(t);
+        }
+
+        // The storm trace specifically must carry the cycle-domain epoch
+        // subtree its reconfig report implies.
+        if with_storm {
+            let storm = traces
+                .iter()
+                .find(|t| t[0].trace == "t-storm")
+                .expect("storm trace kept");
+            let epochs = storm.iter().filter(|s| s.name.starts_with("epoch ")).count();
+            // Two storm events, two epochs.
+            prop_assert_eq!(epochs, 2);
+        }
+    }
+}

@@ -252,6 +252,19 @@ pub struct PhaseSplit {
     pub probe_s: f64,
 }
 
+impl PhaseSplit {
+    /// The three phases as `(name, seconds)` pairs, in loop order — the
+    /// iteration seam span exporters and metric feeders share, so a
+    /// renamed or added phase shows up everywhere at once.
+    pub fn named(&self) -> [(&'static str, f64); 3] {
+        [
+            ("source", self.source_s),
+            ("step", self.step_s),
+            ("probe", self.probe_s),
+        ]
+    }
+}
+
 /// The engine's self-profile of one run: where wall-clock time went and
 /// how busy the simulated cycles actually were.
 ///

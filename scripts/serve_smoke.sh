@@ -1,5 +1,5 @@
 #!/usr/bin/env sh
-# Serve-mode smoke gate, two phases.
+# Serve-mode smoke gate, three phases.
 #
 # Phase 1 (stdio): drive one `campaign serve` process with three token
 # requests (the third a duplicate that must be answered from the result
@@ -12,16 +12,24 @@
 # the required series (per-verb request latency, cache hits, engine
 # idle-tick fraction).
 #
+# Phase 3 (spans): run a traced stdio session (`--span-log` at sample
+# rate 1), validate the span-log JSONL schema, require every root span's
+# trace id to be echoed on a response line (client-supplied ids
+# included), and run the `campaign spans` summarizer over the log.
+#
 # Artifacts (under target/ so the work tree stays clean):
 #   target/serve-smoke-session.jsonl   the stdio response stream
 #   target/serve-smoke-metrics.prom    the scraped Prometheus exposition
 #   target/serve-smoke-tcp.stderr      the TCP server's banners
+#   target/serve-smoke-spans.jsonl     the traced session's span log
 set -eu
 
 BIN=${CAMPAIGN_BIN:-target/release/campaign}
 OUTDIR=${SERVE_SMOKE_DIR:-target}
 OUT=${SERVE_SMOKE_OUT:-$OUTDIR/serve-smoke-session.jsonl}
 PROM=${SERVE_SMOKE_PROM:-$OUTDIR/serve-smoke-metrics.prom}
+SPANS=${SERVE_SMOKE_SPANS:-$OUTDIR/serve-smoke-spans.jsonl}
+SPANOUT=$OUTDIR/serve-smoke-spans-session.jsonl
 ERR=$OUTDIR/serve-smoke-tcp.stderr
 mkdir -p "$OUTDIR"
 
@@ -161,4 +169,66 @@ print(f"serve TCP smoke OK: live scrape in {prom}")
 EOF
 
 wait "$SRV"
+
+# ---- Phase 3: traced session with a span log -------------------------------
+# Sample rate 1 keeps every trace; request 1 carries a client-chosen trace
+# id that must come back on its response line *and* name its spans.
+: > "$SPANS"
+{
+  printf '%s\n' '{"cmd":"spec","id":1,"trace":"smoke-trace-1","spec":"seed 1\nflits 2\nphase 0..200 uniform rate=0.03\nhorizon 600","shape":[4,3],"seed":1}'
+  printf '%s\n' '{"cmd":"spec","id":2,"spec":"seed 1\nflits 2\nphase 0..200 uniform rate=0.03\nhorizon 600","shape":[4,3],"seed":1}'
+  printf '%s\n' '{"cmd":"spans","id":3}'
+  printf '%s\n' '{"cmd":"shutdown","id":4}'
+} | "$BIN" serve --windows 100 --span-log "$SPANS" --span-sample 1 > "$SPANOUT"
+
+python3 - "$SPANS" "$SPANOUT" <<'EOF'
+import json, sys
+
+spans_path, session_path = sys.argv[1], sys.argv[2]
+spans = [json.loads(l) for l in open(spans_path) if l.strip()]
+assert spans, f"no spans in {spans_path}"
+
+# Span-log JSONL schema: trace/span/name/start/end/unit per line, with
+# optional parent and string-to-string attrs.
+for s in spans:
+    assert isinstance(s["trace"], str) and s["trace"], s
+    assert isinstance(s["span"], int), s
+    assert isinstance(s["name"], str) and s["name"], s
+    assert isinstance(s["start"], int) and isinstance(s["end"], int), s
+    assert s["end"] >= s["start"], s
+    assert s["unit"] in {"us", "cycles"}, s
+    if "parent" in s:
+        assert isinstance(s["parent"], int), s
+    for k, v in s.get("attrs", {}).items():
+        assert isinstance(k, str) and isinstance(v, str), s
+
+roots = [s for s in spans if "parent" not in s]
+assert roots, "span log has no root spans"
+assert all(r["name"] == "request" and r["unit"] == "us" for r in roots), roots
+
+# Both run requests were traced (the second under a server-minted id),
+# and each root carries the request's phase children.
+traces = {r["trace"] for r in roots}
+assert "smoke-trace-1" in traces, f"client trace id not in span log: {traces}"
+by_root = {r["trace"]: [s for s in spans if s["trace"] == r["trace"]] for r in roots}
+for trace, members in by_root.items():
+    names = {s["name"] for s in members}
+    assert {"queue", "serialize"} <= names, (trace, names)
+
+# Every root span's trace id appears on a response line — the log and the
+# session stream join on the echoed `trace` field.
+responses = [json.loads(l) for l in open(session_path) if l.strip()]
+echoed = {r.get("trace") for r in responses}
+for trace in traces:
+    assert trace in echoed, f"trace {trace} has spans but no response echo"
+
+# The spans verb's ledger saw the session's traces.
+ledger = next(r for r in responses if r.get("id") == 3)["spans"]
+assert ledger["kept"] >= 2, ledger
+print(f"serve span smoke OK: {len(spans)} spans / {len(roots)} traces in {spans_path}")
+EOF
+
+# The summarizer must digest its own log (critical-path table + exemplars).
+"$BIN" spans "$SPANS" --top 3 > /dev/null
+
 echo "serve smoke OK"
