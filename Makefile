@@ -1,6 +1,6 @@
 # Convenience targets for the SR2201 reproduction.
 
-.PHONY: test experiments trajectory bench examples doc clippy lint campaign campaign-smoke metrics-demo metrics-serve-demo reconfig-demo reconfig-smoke attribution-smoke serve-smoke spans-demo bench-serve all
+.PHONY: test experiments trajectory bench examples doc clippy lint campaign campaign-smoke metrics-demo metrics-serve-demo reconfig-demo reconfig-smoke attribution-smoke serve-smoke tournament-smoke spans-demo bench-serve all
 
 test:
 	cargo test --workspace
@@ -8,8 +8,8 @@ test:
 experiments: trajectory
 	cargo run --release -p mdx-bench --bin experiments -- --json results all
 
-# Append one fig9/fig10 metric snapshot to BENCH_fig9.json / BENCH_fig10.json
-# and diff it against the previous run.
+# Append one metric snapshot each to BENCH_fig9.json / BENCH_fig10.json /
+# BENCH_serve.json / BENCH_tournament.json and diff against the previous run.
 trajectory:
 	cargo run --release -p mdx-bench --bin experiments -- trajectory --dir .
 
@@ -95,6 +95,14 @@ attribution-smoke:
 serve-smoke:
 	cargo build --release -p mdx-serve
 	./scripts/serve_smoke.sh
+
+# Cross-scheme tournament gate: the whole zoo through one small grid —
+# every scheme executes on its home topology, incompatible cells skip with
+# reasons, the JSONL replays byte-identically, and a deadlocking cell's
+# shrunken witness token replays to a deadlock. Artifacts land under target/.
+tournament-smoke:
+	cargo build --release -p mdx-serve
+	./scripts/tournament_smoke.sh
 
 # Request-tracing walkthrough: capture a span log from a traced `campaign
 # serve` session, then summarize it (critical-path breakdown + slowest

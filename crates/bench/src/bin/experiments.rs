@@ -13,11 +13,12 @@ use mdx_bench::{experiment_ids, run_experiment};
 use std::io::Write;
 
 /// `experiments trajectory [--dir DIR] [--threshold FRAC] [--fail-on-regression]`:
-/// runs the scaled-down fig9/fig10 sweeps plus the serve-mode session,
-/// appends one snapshot each to `BENCH_fig9.json` / `BENCH_fig10.json` /
-/// `BENCH_serve.json` under DIR, and prints the diff against the previous
-/// snapshot. Every snapshot records the sweep's wall-clock seconds
-/// (reported here, never diffed).
+/// runs the scaled-down fig9/fig10 sweeps, the serve-mode session, and
+/// the default cross-scheme tournament grid, appends one snapshot each to
+/// `BENCH_fig9.json` / `BENCH_fig10.json` / `BENCH_serve.json` /
+/// `BENCH_tournament.json` under DIR, and prints the diff against the
+/// previous snapshot. Every snapshot records the sweep's wall-clock
+/// seconds (reported here, never diffed).
 fn cmd_trajectory(args: &[String]) -> ! {
     let mut dir = ".".to_string();
     let mut threshold = mdx_bench::DEFAULT_THRESHOLD;
@@ -52,6 +53,7 @@ fn cmd_trajectory(args: &[String]) -> ! {
         ("BENCH_fig9.json", mdx_bench::snapshot_fig9()),
         ("BENCH_fig10.json", mdx_bench::snapshot_fig10()),
         ("BENCH_serve.json", mdx_bench::snapshot_serve()),
+        ("BENCH_tournament.json", mdx_bench::snapshot_tournament()),
     ] {
         let path = std::path::Path::new(&dir).join(file);
         let wall = entry.wall_clock_s;

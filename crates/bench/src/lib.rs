@@ -23,8 +23,8 @@ use std::sync::Arc;
 
 pub use report::Table;
 pub use trajectory::{
-    append_snapshot, snapshot_fig10, snapshot_fig9, snapshot_serve, MetricDelta, TrajectoryDiff,
-    TrajectoryEntry, TrajectoryFile, DEFAULT_THRESHOLD,
+    append_snapshot, snapshot_fig10, snapshot_fig9, snapshot_serve, snapshot_tournament,
+    MetricDelta, TrajectoryDiff, TrajectoryEntry, TrajectoryFile, DEFAULT_THRESHOLD,
 };
 
 /// Runs one schedule to completion and returns the result.

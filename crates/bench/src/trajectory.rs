@@ -30,7 +30,8 @@ pub const DEFAULT_THRESHOLD: f64 = 0.10;
 /// One metric snapshot of a figure-level sweep.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct TrajectoryEntry {
-    /// Which sweep this snapshot measures (`fig9`, `fig10`, `serve`).
+    /// Which sweep this snapshot measures (`fig9`, `fig10`, `serve`,
+    /// `tournament`).
     pub figure: String,
     /// Wall-clock seconds since the epoch when the snapshot ran. For
     /// humans reading the file; **never** compared by the diff.
@@ -531,6 +532,74 @@ pub fn snapshot_serve() -> TrajectoryEntry {
     e.p99_queue_wait_s = p99_of(queue_s);
     e.p99_engine_run_s = p99_of(run_s);
     e
+}
+
+/// A cross-scheme tournament sweep: the default zoo grid (every
+/// registered scheme on every topology, clean and router-faulted, mixed
+/// traffic) reduced to one entry. Unlike the figure snapshots,
+/// `completed_rate` here is *grid coverage* — executed cells over total
+/// cells — so a scheme falling off its home topology (or a registry
+/// change that breaks cell compatibility) kinks the trajectory even when
+/// every surviving cell stays healthy. The latency columns are
+/// delivered-weighted means of the cells' pooled p50/p95 (cells keep
+/// percentiles, not raw pools, so a true cross-grid pool is not
+/// reconstructible); columns that do not exist for a tournament
+/// (`sxb_util`, the engine profile, the span tails) stay zero.
+pub fn snapshot_tournament() -> TrajectoryEntry {
+    use mdx_tournament::{run_tournament, TournamentCell, TournamentSpec};
+    let spec = TournamentSpec::parse("").expect("the default grid parses");
+    let start = Instant::now();
+    let table = run_tournament(&spec);
+    let ok: Vec<&TournamentCell> = table.ok_cells().collect();
+    let runs: usize = ok.iter().map(|c| c.runs).sum();
+    let deadlocks: usize = ok.iter().map(|c| c.deadlocks).sum();
+    let delivered: usize = ok.iter().map(|c| c.delivered).sum();
+    let cycles: u64 = ok.iter().map(|c| c.cycles).sum();
+    let weighted = |pick: fn(&TournamentCell) -> Option<u64>| {
+        let (mut sum, mut weight) = (0.0f64, 0usize);
+        for c in &ok {
+            if let Some(v) = pick(c) {
+                sum += v as f64 * c.delivered as f64;
+                weight += c.delivered;
+            }
+        }
+        if weight == 0 {
+            0.0
+        } else {
+            sum / weight as f64
+        }
+    };
+    TrajectoryEntry {
+        figure: "tournament".to_string(),
+        recorded_at_epoch_s: SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        wall_clock_s: start.elapsed().as_secs_f64(),
+        scenarios: runs,
+        deadlock_rate: if runs == 0 {
+            0.0
+        } else {
+            deadlocks as f64 / runs as f64
+        },
+        completed_rate: if table.cells.is_empty() {
+            0.0
+        } else {
+            ok.len() as f64 / table.cells.len() as f64
+        },
+        throughput: if cycles == 0 {
+            0.0
+        } else {
+            delivered as f64 * 1000.0 / cycles as f64
+        },
+        mean_latency: weighted(|c| c.p50),
+        p95_latency: weighted(|c| c.p95),
+        sxb_util: 0.0,
+        idle_tick_fraction: 0.0,
+        cycles_per_sec: 0.0,
+        p99_queue_wait_s: 0.0,
+        p99_engine_run_s: 0.0,
+    }
 }
 
 /// True when two entries record the same measurement — every field except

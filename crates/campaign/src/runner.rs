@@ -7,7 +7,7 @@
 
 use crate::meter::{CampaignMeter, RowProfile};
 use crate::scenario::{detour_stress_for, Scenario, ScenarioError, Workload};
-use mdx_core::registry::{build_scheme, RegistryError};
+use mdx_core::registry::{build_scheme_for, RegistryError};
 use mdx_fault::{enumerate_single_faults, sample_fault_sets, FaultSet, FaultTimeline};
 use mdx_obs::{
     AttributionObserver, AttributionReport, FanoutObserver, FlightRecorder, MetricsObserver,
@@ -20,7 +20,6 @@ use mdx_topology::{ChannelId, MdCrossbar, Shape};
 use mdx_workloads::TrafficPattern;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
 
 /// The scheme ids a default campaign sweeps: the paper's deadlock-free
 /// scheme and its two broken foils.
@@ -565,8 +564,8 @@ pub fn run_scenario_instrumented(
 ) -> Result<(ScenarioReport, Telemetry), CampaignError> {
     let shape = scenario.shape_obj()?;
     let faults = scenario.fault_set()?;
-    let net = Arc::new(MdCrossbar::build(shape.clone()));
-    let scheme = build_scheme(&scenario.scheme, net.clone(), &faults)?;
+    let net = scenario.network()?;
+    let scheme = build_scheme_for(&scenario.scheme, &net, &faults)?;
     let sxb_name = scheme.serializing_node().map(|n| n.to_string());
     let dxb_name = scheme.detour_node().map(|n| n.to_string());
     // Lane count, so the flight recorder's channel names match the
@@ -633,7 +632,15 @@ pub fn run_scenario_instrumented(
     let effective_reconfig = scenario.effective_reconfig();
     let (result, reconfig) = match &effective_reconfig {
         Some(rspec) => {
-            let out = drive_reconfig(&mut sim, &net, &scenario.scheme, &faults, rspec)?;
+            // The epoch protocol reprograms crossbar switches; on the
+            // non-crossbar topologies a timeline is a skip, not a run.
+            let mdx = net.as_mdx().ok_or_else(|| {
+                CampaignError::Reconfig(format!(
+                    "live reconfiguration requires the mdx topology, not '{}'",
+                    scenario.topology
+                ))
+            })?;
+            let out = drive_reconfig(&mut sim, mdx, &scenario.scheme, &faults, rspec)?;
             (out.result, Some(out.report))
         }
         None => (sim.run(), None),
@@ -1036,6 +1043,20 @@ mod tests {
     use super::*;
     use mdx_fault::FaultSite;
     use mdx_topology::Coord;
+
+    #[test]
+    fn campaign_schemes_are_a_subset_of_the_registry() {
+        // The default sweep is a *curated* subset of the zoo (the paper's
+        // scheme and its two mdx baselines), but every id in it must stay
+        // buildable through the registry — a rename there must fail here,
+        // not at campaign runtime.
+        for id in CAMPAIGN_SCHEMES {
+            assert!(
+                mdx_core::registry::SCHEME_IDS.contains(id),
+                "CAMPAIGN_SCHEMES entry `{id}` is not a registered scheme"
+            );
+        }
+    }
 
     #[test]
     fn enumerate_counts_multiply() {

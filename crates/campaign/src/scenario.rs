@@ -10,7 +10,7 @@ use mdx_core::{Header, RouteChange};
 use mdx_fault::{FaultEventKind, FaultSet, FaultSite};
 use mdx_reconfig::ReconfigSpec;
 use mdx_sim::{InjectSpec, SimConfig};
-use mdx_topology::{Coord, Shape, TopologyError, MAX_DIMS};
+use mdx_topology::{Coord, Network, Shape, TopologyError, DEFAULT_TOPOLOGY, MAX_DIMS};
 use mdx_workloads::{
     fault_storm_schedule, mixed_schedule, OpenLoop, StreamSource, StreamSpec, TrafficPattern,
 };
@@ -113,6 +113,8 @@ pub enum ScenarioError {
     BadFault(String),
     /// A streaming workload spec fails validation against the shape.
     BadSpec(String),
+    /// The topology id is unknown or rejects the shape.
+    BadTopology(String),
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -121,6 +123,7 @@ impl std::fmt::Display for ScenarioError {
             ScenarioError::BadShape(e) => write!(f, "bad shape: {e}"),
             ScenarioError::BadFault(e) => write!(f, "bad fault: {e}"),
             ScenarioError::BadSpec(e) => write!(f, "bad workload spec: {e}"),
+            ScenarioError::BadTopology(e) => write!(f, "bad topology: {e}"),
         }
     }
 }
@@ -130,13 +133,18 @@ impl std::error::Error for ScenarioError {}
 /// One fully-specified simulation run.
 ///
 /// Serialization is hand-written rather than derived so that the optional
-/// `reconfig` segment is *omitted* when absent: every token minted before
-/// live reconfiguration existed decodes unchanged, and re-encoding such a
-/// scenario reproduces the original token byte for byte.
+/// `reconfig` segment is *omitted* when absent — and likewise the
+/// `topology` field while it holds the default `"mdx"`: every token minted
+/// before live reconfiguration or the scheme zoo existed decodes
+/// unchanged, and re-encoding such a scenario reproduces the original
+/// token byte for byte.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Topology extents (one per dimension).
     pub shape: Vec<u16>,
+    /// Topology id (see [`mdx_topology::TOPOLOGY_IDS`]); `"mdx"` — the
+    /// paper's crossbar — unless the scenario says otherwise.
+    pub topology: String,
     /// Routing scheme id (see [`mdx_core::registry`]).
     pub scheme: String,
     /// Faulty components (from cycle 0).
@@ -167,6 +175,9 @@ impl Serialize for Scenario {
             ("buffer_flits".to_string(), self.buffer_flits.to_value()),
             ("max_cycles".to_string(), self.max_cycles.to_value()),
         ];
+        if self.topology != DEFAULT_TOPOLOGY {
+            m.push(("topology".to_string(), self.topology.to_value()));
+        }
         if let Some(rc) = &self.reconfig {
             m.push(("reconfig".to_string(), rc.to_value()));
         }
@@ -182,6 +193,10 @@ impl Deserialize for Scenario {
         let req = |name: &str| serde::de::field(entries, name);
         Ok(Scenario {
             shape: Deserialize::from_value(req("shape")?)?,
+            topology: match entries.iter().find(|(k, _)| k == "topology") {
+                Some((_, v)) => Deserialize::from_value(v)?,
+                None => DEFAULT_TOPOLOGY.to_string(),
+            },
             scheme: Deserialize::from_value(req("scheme")?)?,
             faults: Deserialize::from_value(req("faults")?)?,
             workload: Deserialize::from_value(req("workload")?)?,
@@ -202,6 +217,7 @@ impl Scenario {
     pub fn new(shape: Vec<u16>, scheme: &str, workload: Workload, seed: u64) -> Scenario {
         Scenario {
             shape,
+            topology: DEFAULT_TOPOLOGY.to_string(),
             scheme: scheme.to_string(),
             faults: Vec::new(),
             workload,
@@ -210,6 +226,13 @@ impl Scenario {
             max_cycles: 50_000,
             reconfig: None,
         }
+    }
+
+    /// Sets the topology id (builder style).
+    #[must_use]
+    pub fn with_topology(mut self, topology: &str) -> Scenario {
+        self.topology = topology.to_string();
+        self
     }
 
     /// Adds fault sites (builder style).
@@ -239,7 +262,16 @@ impl Scenario {
         Shape::new(&self.shape).map_err(|e: TopologyError| ScenarioError::BadShape(e.to_string()))
     }
 
-    /// The fault set, validated against the shape.
+    /// The network this scenario runs on, built from the topology id and
+    /// shape.
+    pub fn network(&self) -> Result<Network, ScenarioError> {
+        let shape = self.shape_obj()?;
+        Network::build(&self.topology, shape)
+            .map_err(|e: TopologyError| ScenarioError::BadTopology(e.to_string()))
+    }
+
+    /// The fault set, validated against the shape (and the topology:
+    /// crossbar fault sites only exist on `mdx`).
     pub fn fault_set(&self) -> Result<FaultSet, ScenarioError> {
         let shape = self.shape_obj()?;
         let n = shape.num_pes();
@@ -247,7 +279,8 @@ impl Scenario {
             let ok = match site {
                 FaultSite::Router(i) | FaultSite::Pe(i) => i < n,
                 FaultSite::Xbar(x) => {
-                    (x.dim as usize) < shape.d()
+                    self.topology == DEFAULT_TOPOLOGY
+                        && (x.dim as usize) < shape.d()
                         && (x.line as usize) < n / shape.extent(x.dim as usize) as usize
                 }
             };
@@ -276,7 +309,8 @@ impl Scenario {
     /// Broadcast requests (RC=1) are rewritten to plain broadcasts (RC=2)
     /// for the `naive-broadcast` scheme — it has no S-XB to serialize
     /// requests, which is exactly the property under test — and dropped
-    /// entirely for `o1turn`, which speaks no broadcast at all.
+    /// entirely for the unicast-only comparators (`o1turn` and the
+    /// non-crossbar zoo schemes), which speak no broadcast at all.
     ///
     /// When the scenario carries a fault timeline, generated workloads
     /// avoid sourcing or sinking traffic at components *scheduled* to die:
@@ -398,7 +432,9 @@ impl Scenario {
                     }
                 }
             }
-            "o1turn" => specs.retain(|s| s.header.rc == RouteChange::Normal),
+            "o1turn" | "hyperx-ft" | "fullmesh-vcfree" | "hypercube-avoid" => {
+                specs.retain(|s| s.header.rc == RouteChange::Normal);
+            }
             _ => {}
         }
         specs
@@ -496,9 +532,13 @@ impl std::fmt::Display for Scenario {
                 .collect::<Vec<_>>()
                 .join("+")
         };
+        write!(f, "{shape}")?;
+        if self.topology != DEFAULT_TOPOLOGY {
+            write!(f, "/{}", self.topology)?;
+        }
         write!(
             f,
-            "{shape} {} {} faults={faults} seed={}",
+            " {} {} faults={faults} seed={}",
             self.scheme,
             self.workload.kind(),
             self.seed
@@ -677,6 +717,81 @@ mod tests {
         for spec in s.specs(&shape, &FaultSet::none()) {
             assert_eq!(spec.header.rc, RouteChange::Broadcast);
             assert_eq!(spec.header.dest, spec.header.src);
+        }
+    }
+
+    #[test]
+    fn topology_roundtrips_and_default_is_omitted() {
+        // A non-default topology survives the token round trip...
+        let s = Scenario::new(
+            vec![3, 3],
+            "hyperx-ft",
+            Workload::Mixed {
+                pattern: TrafficPattern::UniformRandom,
+                rate: 0.02,
+                packet_flits: 8,
+                window: 100,
+                broadcast_rate: 0.0,
+            },
+            5,
+        )
+        .with_topology("hyperx");
+        let back = Scenario::from_token(&s.token()).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.topology, "hyperx");
+        assert!(s.to_string().contains("3x3/hyperx"), "{s}");
+
+        // ...while the default never appears on the wire: the serialized
+        // form of an mdx scenario has no `topology` key, so pre-zoo tokens
+        // re-encode byte-identically.
+        let d = fig2_scenario();
+        assert_eq!(d.topology, DEFAULT_TOPOLOGY);
+        let json = serde_json::to_string(&d).unwrap();
+        assert!(!json.contains("topology"), "{json}");
+        assert!(!d.to_string().contains("mdx"), "{d}");
+    }
+
+    #[test]
+    fn network_builder_follows_topology_id() {
+        let s = fig2_scenario();
+        assert!(s.network().unwrap().as_mdx().is_some());
+        let h = Scenario::new(vec![2, 2, 2], "hypercube-avoid", s.workload.clone(), 0)
+            .with_topology("hypercube");
+        assert!(h.network().unwrap().as_mdx().is_none());
+        let bad = s.clone().with_topology("donut");
+        assert!(matches!(
+            bad.network().unwrap_err(),
+            ScenarioError::BadTopology(_)
+        ));
+    }
+
+    #[test]
+    fn xbar_faults_only_exist_on_mdx() {
+        let mut s = fig2_scenario().with_topology("hyperx");
+        s.faults = vec![FaultSite::Xbar(XbarRef { dim: 1, line: 0 })];
+        assert!(matches!(
+            s.fault_set().unwrap_err(),
+            ScenarioError::BadFault(_)
+        ));
+        // Router/PE faults remain valid off-mdx.
+        s.faults = vec![FaultSite::Router(5)];
+        assert!(s.fault_set().is_ok());
+    }
+
+    #[test]
+    fn zoo_schemes_drop_broadcast_traffic() {
+        let shape = Shape::new(&[3, 3]).unwrap();
+        for id in ["hyperx-ft", "fullmesh-vcfree", "hypercube-avoid"] {
+            let s = Scenario::new(
+                vec![3, 3],
+                id,
+                Workload::BroadcastStorm {
+                    sources: vec![0, 4],
+                    flits: 8,
+                },
+                0,
+            );
+            assert!(s.specs(&shape, &FaultSet::none()).is_empty(), "{id}");
         }
     }
 

@@ -201,6 +201,29 @@ mod tests {
         assert_eq!(r.unicast_checked, 144);
     }
 
+    #[test]
+    fn zoo_comparators_conform_on_their_topologies() {
+        // Every registered scheme, fault-free, on its pinned topology; the
+        // unicast-only comparators run the unicast family, the crossbar
+        // schemes additionally broadcast (covered above).
+        let uni_only = ConformanceFamily {
+            unicast: true,
+            broadcast: false,
+        };
+        for (id, shape) in [
+            ("hyperx-ft", Shape::new(&[3, 3]).unwrap()),
+            ("fullmesh-vcfree", Shape::new(&[8]).unwrap()),
+            ("hypercube-avoid", Shape::new(&[2, 2, 2]).unwrap()),
+        ] {
+            let topology = crate::registry::required_topology(id).unwrap();
+            let net = mdx_topology::Network::build(topology, shape.clone()).unwrap();
+            let s = crate::registry::build_scheme_for(id, &net, &FaultSet::none()).unwrap();
+            let r = check_scheme(s.as_ref(), net.graph(), &shape, uni_only);
+            assert!(r.ok(), "{id}: {:?}", r.violations);
+            assert_eq!(r.unicast_checked, shape.num_pes() * shape.num_pes());
+        }
+    }
+
     /// A deliberately broken scheme: forwards to a non-neighbor and uses an
     /// out-of-range lane.
     struct Broken(Arc<MdCrossbar>);

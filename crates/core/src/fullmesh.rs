@@ -1,0 +1,255 @@
+//! Comparator: VC-free shortest-path routing on the full mesh.
+//!
+//! The full-mesh comparator (arXiv 2510.14730) makes the opposite bet from
+//! the paper: instead of buying deadlock freedom with central serialization
+//! (SR2201) or extra lanes (DF-DIM), it exploits an *acyclic ordering of
+//! the physical links*. Classify every direct router link `i -> j` as "up"
+//! when `j > i` and "down" when `j < i`. A packet takes either the single
+//! direct hop, or a two-hop path through an intermediate router `m` with
+//! `m > max(src, dst)` — an up hop followed by a down hop. Every route
+//! acquires channels in a globally increasing order (all up channels
+//! precede all down channels precede delivery), so the channel wait graph
+//! is acyclic and no virtual channels are needed: [`Scheme::max_vcs`] is 1.
+//!
+//! The two-hop alternative exists for load spreading (and is the up*/down*
+//! structure of the cited scheme); a deterministic header hash picks
+//! between direct and two-hop so the choice replays bit-for-bit. Fault
+//! tolerance is what the clique gives for free: a dead intermediate is
+//! simply skipped, and only a dead destination (or source) endpoint is
+//! fatal.
+//!
+//! Unicast-only: non-`Normal` RC values are protocol violations.
+
+use crate::packet::{Header, RouteChange};
+use crate::scheme::{Action, Branch, DropReason, Scheme};
+use mdx_fault::{FaultSet, FaultSite};
+use mdx_topology::{HyperX, Node};
+use std::sync::Arc;
+
+/// VC-free up*/down*-ordered routing over the full mesh.
+#[derive(Debug, Clone)]
+pub struct FullMeshVcFree {
+    net: Arc<HyperX>,
+    faults: FaultSet,
+    seed: u64,
+}
+
+impl FullMeshVcFree {
+    /// Builds the scheme; `seed` diversifies the direct-vs-two-hop choice.
+    pub fn new(net: Arc<HyperX>, faults: &FaultSet, seed: u64) -> FullMeshVcFree {
+        FullMeshVcFree {
+            net,
+            faults: faults.clone(),
+            seed,
+        }
+    }
+
+    /// The network this scheme routes on.
+    pub fn network(&self) -> &HyperX {
+        &self.net
+    }
+
+    fn router_faulty(&self, idx: usize) -> bool {
+        self.faults.contains(FaultSite::Router(idx))
+    }
+
+    /// Deterministic per-packet hash (same construction as the O1TURN
+    /// order derivation): every switch recomputes the identical value from
+    /// immutable header fields.
+    fn packet_hash(&self, header: &Header) -> u64 {
+        let mut x = self.seed;
+        for dim in 0..self.net.shape().d() {
+            x ^= (header.src.get(dim) as u64) << (8 * dim);
+            x ^= (header.dest.get(dim) as u64) << (8 * dim + 32);
+        }
+        x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^ (x >> 29)
+    }
+
+    /// The intermediate router this packet bounces through, if it takes
+    /// the two-hop path: a live router above `max(src, dst)`, picked by the
+    /// packet hash. `None` means the direct hop.
+    pub fn intermediate_of(&self, header: &Header, src_idx: usize) -> Option<usize> {
+        let shape = self.net.shape();
+        let dst_idx = shape.index_of(header.dest);
+        let h = self.packet_hash(header);
+        // Half the packets go direct; the rest spread across the "up"
+        // intermediates, skipping dead ones.
+        if h & 1 == 0 {
+            return None;
+        }
+        let lo = src_idx.max(dst_idx) + 1;
+        let candidates: Vec<usize> = (lo..shape.num_pes())
+            .filter(|&m| !self.router_faulty(m))
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        Some(candidates[(h >> 1) as usize % candidates.len()])
+    }
+
+    fn route_router(&self, r: usize, came_from: Option<Node>, header: &Header) -> Action {
+        let shape = self.net.shape();
+        let dst_idx = shape.index_of(header.dest);
+        if r == dst_idx {
+            if self.faults.contains(FaultSite::Pe(r)) {
+                return Action::Drop(DropReason::DestinationFaulty);
+            }
+            return Action::Forward(vec![Branch::new(Node::Pe(r), *header)]);
+        }
+        if self.router_faulty(dst_idx) || self.faults.contains(FaultSite::Pe(dst_idx)) {
+            return Action::Drop(DropReason::DestinationFaulty);
+        }
+        // An intermediate router (reached router-to-router) always finishes
+        // with the down hop; only the source router consults the hash.
+        let next = match came_from {
+            Some(Node::Router(_)) => dst_idx,
+            _ => self.intermediate_of(header, r).unwrap_or(dst_idx),
+        };
+        if self.router_faulty(next) {
+            return Action::Drop(DropReason::NoUsablePath);
+        }
+        Action::Forward(vec![Branch::new(Node::Router(next), *header)])
+    }
+}
+
+impl Scheme for FullMeshVcFree {
+    fn name(&self) -> String {
+        "full-mesh vc-free up/down (comparator)".to_string()
+    }
+
+    fn decide(&self, at: Node, came_from: Option<Node>, header: &Header) -> Action {
+        if header.rc != RouteChange::Normal {
+            return Action::Drop(DropReason::ProtocolViolation);
+        }
+        match at {
+            Node::Pe(p) => match came_from {
+                None => Action::Forward(vec![Branch::new(Node::Router(p), *header)]),
+                Some(Node::Router(_)) => Action::Deliver,
+                Some(_) => Action::Drop(DropReason::ProtocolViolation),
+            },
+            Node::Router(r) => self.route_router(r, came_from, header),
+            Node::Xbar(_) => Action::Drop(DropReason::ProtocolViolation),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::trace_unicast;
+    use mdx_topology::{Coord, Shape};
+
+    fn net() -> Arc<HyperX> {
+        Arc::new(HyperX::full_mesh(Shape::new(&[8]).unwrap()))
+    }
+
+    #[test]
+    fn all_pairs_delivered_within_two_hops() {
+        let s = FullMeshVcFree::new(net(), &FaultSet::none(), 11);
+        let shape = s.network().shape().clone();
+        for src in 0..8 {
+            for dst in 0..8 {
+                let h = Header::unicast(shape.coord_of(src), shape.coord_of(dst));
+                let t = trace_unicast(&s, s.network().graph(), h, src).unwrap();
+                assert_eq!(t.steps.last().unwrap().node, Node::Pe(dst));
+                // PE -> router -> [intermediate ->] router -> PE.
+                assert!(t.steps.len() <= 5, "route too long: {:?}", t.steps);
+            }
+        }
+    }
+
+    #[test]
+    fn both_route_shapes_occur() {
+        let s = FullMeshVcFree::new(net(), &FaultSet::none(), 11);
+        let shape = s.network().shape().clone();
+        let (mut direct, mut bounced) = (0usize, 0usize);
+        for src in 0..8 {
+            for dst in 0..8 {
+                if src == dst {
+                    continue;
+                }
+                let h = Header::unicast(shape.coord_of(src), shape.coord_of(dst));
+                match s.intermediate_of(&h, src) {
+                    Some(m) => {
+                        assert!(m > src.max(dst), "up*/down* ordering violated");
+                        bounced += 1;
+                    }
+                    None => direct += 1,
+                }
+            }
+        }
+        assert!(
+            direct > 5 && bounced > 5,
+            "direct={direct} bounced={bounced}"
+        );
+    }
+
+    #[test]
+    fn routes_respect_up_down_channel_order() {
+        // Every hop sequence must be (up)* then (down)*: once the index
+        // decreases it never increases again.
+        let s = FullMeshVcFree::new(net(), &FaultSet::none(), 11);
+        let shape = s.network().shape().clone();
+        for src in 0..8 {
+            for dst in 0..8 {
+                let h = Header::unicast(shape.coord_of(src), shape.coord_of(dst));
+                let t = trace_unicast(&s, s.network().graph(), h, src).unwrap();
+                let routers: Vec<usize> = t
+                    .steps
+                    .iter()
+                    .filter_map(|step| match step.node {
+                        Node::Router(r) => Some(r),
+                        _ => None,
+                    })
+                    .collect();
+                let mut gone_down = false;
+                for w in routers.windows(2) {
+                    if w[1] < w[0] {
+                        gone_down = true;
+                    } else {
+                        assert!(!gone_down, "up hop after a down hop: {routers:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dead_intermediate_is_skipped() {
+        let shape = Shape::new(&[8]).unwrap();
+        // Kill every router above 2: src=0, dst=2 can only go direct.
+        let faults: FaultSet = (3..8).map(FaultSite::Router).collect();
+        let s = FullMeshVcFree::new(Arc::new(HyperX::full_mesh(shape.clone())), &faults, 11);
+        for seed_probe in 0..16u16 {
+            let h = Header::unicast(Coord::new(&[seed_probe % 2]), Coord::new(&[2]));
+            let src = (seed_probe % 2) as usize;
+            assert!(s.intermediate_of(&h, src).is_none());
+            let t = trace_unicast(&s, s.network().graph(), h, src).unwrap();
+            assert_eq!(t.steps.last().unwrap().node, Node::Pe(2));
+        }
+    }
+
+    #[test]
+    fn dead_destination_is_reported() {
+        let shape = Shape::new(&[8]).unwrap();
+        let faults = FaultSet::single(FaultSite::Router(5));
+        let s = FullMeshVcFree::new(Arc::new(HyperX::full_mesh(shape)), &faults, 11);
+        let h = Header::unicast(Coord::new(&[0]), Coord::new(&[5]));
+        assert_eq!(
+            s.decide(Node::Router(0), Some(Node::Pe(0)), &h),
+            Action::Drop(DropReason::DestinationFaulty)
+        );
+    }
+
+    #[test]
+    fn single_lane_only() {
+        let s = FullMeshVcFree::new(net(), &FaultSet::none(), 11);
+        assert_eq!(s.max_vcs(), 1);
+        let h = Header::broadcast_request(Coord::new(&[0]));
+        assert_eq!(
+            s.decide(Node::Pe(0), None, &h),
+            Action::Drop(DropReason::ProtocolViolation)
+        );
+    }
+}

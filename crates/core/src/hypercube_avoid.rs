@@ -1,0 +1,203 @@
+//! Comparator: fault-avoiding adaptive bit-fixing on the binary hypercube.
+//!
+//! The hypercube comparator (deadlock-avoidance lineage of arXiv
+//! 1905.03086): e-cube routing — fix the lowest differing address bit
+//! first — made fault-tolerant by *adaptive bit reordering*. When the
+//! lowest differing bit's neighbor router is down, the packet fixes the
+//! next fixable bit instead and returns to the skipped bit later from a
+//! different lattice position, where the neighbor along that bit is a
+//! different physical router.
+//!
+//! Deliberately **VC-free**: unlike [`crate::hyperx_ft`], out-of-order
+//! hops share the single lane with in-order traffic, so the acyclicity
+//! argument of pure e-cube no longer holds once faults force reordering.
+//! The scheme is the zoo's honest negative on the "adaptivity without
+//! lanes or serialization" corner — the tournament measures whether (and
+//! how often) that corner actually deadlocks, rather than assuming it.
+//!
+//! Unicast-only: non-`Normal` RC values are protocol violations.
+
+use crate::packet::{Header, RouteChange};
+use crate::scheme::{Action, Branch, DropReason, Scheme};
+use mdx_fault::{FaultSet, FaultSite};
+use mdx_topology::mesh::DirectNetwork;
+use mdx_topology::Node;
+use std::sync::Arc;
+
+/// Fault-avoiding adaptive bit-fixing over the binary hypercube.
+#[derive(Debug, Clone)]
+pub struct HypercubeAvoid {
+    net: Arc<DirectNetwork>,
+    faults: FaultSet,
+}
+
+impl HypercubeAvoid {
+    /// Builds the scheme with the given fault registers.
+    ///
+    /// The network must be a binary hypercube (every extent 2) so each
+    /// dimension hop is a single link.
+    pub fn new(net: Arc<DirectNetwork>, faults: &FaultSet) -> HypercubeAvoid {
+        assert!(
+            net.shape().extents().iter().all(|&e| e == 2),
+            "HypercubeAvoid requires a binary hypercube shape"
+        );
+        HypercubeAvoid {
+            net,
+            faults: faults.clone(),
+        }
+    }
+
+    /// The network this scheme routes on.
+    pub fn network(&self) -> &DirectNetwork {
+        &self.net
+    }
+
+    fn router_faulty(&self, idx: usize) -> bool {
+        self.faults.contains(FaultSite::Router(idx))
+    }
+
+    fn route_router(&self, r: usize, header: &Header) -> Action {
+        let shape = self.net.shape();
+        let c = shape.coord_of(r);
+        let dest = header.dest;
+        if c == dest {
+            if self.faults.contains(FaultSite::Pe(r)) {
+                return Action::Drop(DropReason::DestinationFaulty);
+            }
+            return Action::Forward(vec![Branch::new(Node::Pe(r), *header)]);
+        }
+        let dest_idx = shape.index_of(dest);
+        if self.router_faulty(dest_idx) || self.faults.contains(FaultSite::Pe(dest_idx)) {
+            return Action::Drop(DropReason::DestinationFaulty);
+        }
+        // e-cube order with fault avoidance: lowest differing bit whose
+        // neighbor is alive (the dead neighbor cannot be the destination —
+        // that was checked above).
+        for d in 0..shape.d() {
+            if c.get(d) == dest.get(d) {
+                continue;
+            }
+            let idx = shape.index_of(c.with(d, dest.get(d)));
+            if !self.router_faulty(idx) {
+                return Action::Forward(vec![Branch::new(Node::Router(idx), *header)]);
+            }
+        }
+        Action::Drop(DropReason::NoUsablePath)
+    }
+}
+
+impl Scheme for HypercubeAvoid {
+    fn name(&self) -> String {
+        "hypercube fault-avoiding bit-fixing (comparator)".to_string()
+    }
+
+    fn decide(&self, at: Node, came_from: Option<Node>, header: &Header) -> Action {
+        if header.rc != RouteChange::Normal {
+            return Action::Drop(DropReason::ProtocolViolation);
+        }
+        match at {
+            Node::Pe(p) => match came_from {
+                None => Action::Forward(vec![Branch::new(Node::Router(p), *header)]),
+                Some(Node::Router(_)) => Action::Deliver,
+                Some(_) => Action::Drop(DropReason::ProtocolViolation),
+            },
+            Node::Router(r) => self.route_router(r, header),
+            Node::Xbar(_) => Action::Drop(DropReason::ProtocolViolation),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::trace_unicast;
+    use mdx_topology::{Coord, Shape};
+
+    fn cube3() -> Arc<DirectNetwork> {
+        Arc::new(DirectNetwork::hypercube(8).unwrap())
+    }
+
+    #[test]
+    fn all_pairs_delivered_minimally_fault_free() {
+        let s = HypercubeAvoid::new(cube3(), &FaultSet::none());
+        let shape = s.network().shape().clone();
+        for src in 0..8 {
+            for dst in 0..8 {
+                let h = Header::unicast(shape.coord_of(src), shape.coord_of(dst));
+                let t = trace_unicast(&s, s.network().graph(), h, src).unwrap();
+                assert_eq!(t.steps.last().unwrap().node, Node::Pe(dst));
+                // Router hops = Hamming distance (pure e-cube is minimal).
+                let routers = t
+                    .steps
+                    .iter()
+                    .filter(|step| matches!(step.node, Node::Router(_)))
+                    .count();
+                assert_eq!(
+                    routers,
+                    1 + shape.coord_of(src).hamming(&shape.coord_of(dst))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fault_forces_bit_reordering() {
+        let shape = Shape::new(&[2, 2, 2]).unwrap();
+        // 000 -> 111 normally goes via 100 (fix bit 0 first). Kill 100.
+        let blocked = shape.index_of(Coord::new(&[1, 0, 0]));
+        let faults = FaultSet::single(FaultSite::Router(blocked));
+        let s = HypercubeAvoid::new(cube3(), &faults);
+        let h = Header::unicast(Coord::new(&[0, 0, 0]), Coord::new(&[1, 1, 1]));
+        match s.decide(Node::Router(0), Some(Node::Pe(0)), &h) {
+            Action::Forward(b) => {
+                let expect = shape.index_of(Coord::new(&[0, 1, 0]));
+                assert_eq!(b[0].to, Node::Router(expect), "bit 1 fixed first");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let t = trace_unicast(&s, s.network().graph(), h, 0).unwrap();
+        assert_eq!(t.steps.last().unwrap().node, Node::Pe(7));
+        assert!(t
+            .steps
+            .iter()
+            .all(|step| step.node != Node::Router(blocked)));
+    }
+
+    #[test]
+    fn dead_destination_is_reported() {
+        let faults = FaultSet::single(FaultSite::Router(7));
+        let s = HypercubeAvoid::new(cube3(), &faults);
+        let h = Header::unicast(Coord::new(&[0, 0, 0]), Coord::new(&[1, 1, 1]));
+        assert_eq!(
+            s.decide(Node::Router(0), Some(Node::Pe(0)), &h),
+            Action::Drop(DropReason::DestinationFaulty)
+        );
+    }
+
+    #[test]
+    fn isolated_source_has_no_usable_path() {
+        // Kill all three neighbors of 000: nothing can leave router 0.
+        let shape = Shape::new(&[2, 2, 2]).unwrap();
+        let faults: FaultSet = [[1u16, 0, 0], [0, 1, 0], [0, 0, 1]]
+            .iter()
+            .map(|bits| FaultSite::Router(shape.index_of(Coord::new(bits))))
+            .collect();
+        let s = HypercubeAvoid::new(cube3(), &faults);
+        let h = Header::unicast(Coord::new(&[0, 0, 0]), Coord::new(&[1, 1, 0]));
+        assert_eq!(
+            s.decide(Node::Router(0), Some(Node::Pe(0)), &h),
+            Action::Drop(DropReason::NoUsablePath)
+        );
+    }
+
+    #[test]
+    fn single_lane_and_unicast_only() {
+        let s = HypercubeAvoid::new(cube3(), &FaultSet::none());
+        assert_eq!(s.max_vcs(), 1);
+        let h = Header::broadcast_request(Coord::new(&[0, 0, 0]));
+        assert_eq!(
+            s.decide(Node::Pe(0), None, &h),
+            Action::Drop(DropReason::ProtocolViolation)
+        );
+    }
+}

@@ -1,0 +1,210 @@
+//! Comparator: fault-tolerant dimension-order routing on the HyperX.
+//!
+//! HyperX routing in the DF-DIM style (arXiv 2404.04315): each hop jumps
+//! straight to the destination's coordinate in one dimension (the clique
+//! makes every offset a single link), dimensions resolved in ascending
+//! order. Fault tolerance comes from *dimension reordering* — when the
+//! ascending-order target router is faulty, the packet fixes the next
+//! fixable dimension first and returns to the skipped dimension later, at
+//! which point it lands on a physically different router of the same line.
+//!
+//! Deadlock freedom uses the DF-DIM two-lane discipline rather than the
+//! paper's central serialization: in-order hops (no lower dimension left
+//! unresolved) ride virtual lane 0, where ascending dimension order keeps
+//! the channel dependencies acyclic; fault-driven out-of-order hops escape
+//! to lane 1. This is exactly the `Branch::vc` / [`Scheme::max_vcs`]
+//! multi-lane seam — the scheme is the zoo's multi-VC representative, so
+//! the per-VC occupancy and arbitration model in `mdx-sim` is on its
+//! critical path. Multi-fault configurations can still cycle on lane 1
+//! (the escape lane is shared); the tournament measures that honestly
+//! instead of assuming it away.
+//!
+//! Like the O1TURN extension this is unicast-only: broadcast interplay with
+//! adaptive ordering is out of scope, and non-`Normal` RC values are
+//! rejected as protocol violations.
+
+use crate::packet::{Header, RouteChange};
+use crate::scheme::{Action, Branch, DropReason, Scheme};
+use mdx_fault::{FaultSet, FaultSite};
+use mdx_topology::{HyperX, Node};
+use std::sync::Arc;
+
+/// Fault-tolerant dimension-order routing over the HyperX cliques.
+#[derive(Debug, Clone)]
+pub struct HyperXFtRouting {
+    net: Arc<HyperX>,
+    faults: FaultSet,
+}
+
+impl HyperXFtRouting {
+    /// Builds the scheme with the given fault registers.
+    pub fn new(net: Arc<HyperX>, faults: &FaultSet) -> HyperXFtRouting {
+        HyperXFtRouting {
+            net,
+            faults: faults.clone(),
+        }
+    }
+
+    /// The network this scheme routes on.
+    pub fn network(&self) -> &HyperX {
+        &self.net
+    }
+
+    fn router_faulty(&self, idx: usize) -> bool {
+        self.faults.contains(FaultSite::Router(idx))
+    }
+
+    fn route_router(&self, r: usize, header: &Header) -> Action {
+        let shape = self.net.shape();
+        let c = shape.coord_of(r);
+        let dest = header.dest;
+        if c == dest {
+            if self.faults.contains(FaultSite::Pe(r)) {
+                return Action::Drop(DropReason::DestinationFaulty);
+            }
+            return Action::Forward(vec![Branch::new(Node::Pe(r), *header)]);
+        }
+        let dest_idx = shape.index_of(dest);
+        if self.router_faulty(dest_idx) || self.faults.contains(FaultSite::Pe(dest_idx)) {
+            return Action::Drop(DropReason::DestinationFaulty);
+        }
+        // Ascending dimension order; skip dimensions whose target router is
+        // down (it cannot be the destination router — that was checked).
+        let diffs: Vec<usize> = (0..shape.d())
+            .filter(|&d| c.get(d) != dest.get(d))
+            .collect();
+        for &d in &diffs {
+            let target = c.with(d, dest.get(d));
+            let idx = shape.index_of(target);
+            if self.router_faulty(idx) {
+                continue;
+            }
+            // Lane discipline: hopping in the lowest unresolved dimension
+            // keeps lane 0's ascending-order acyclicity; a hop that skips
+            // past a (fault-blocked) lower dimension escapes to lane 1.
+            let lane = u8::from(d != diffs[0]);
+            return Action::Forward(vec![Branch::on_vc(Node::Router(idx), *header, lane)]);
+        }
+        // Every fixable dimension's target is down.
+        Action::Drop(DropReason::NoUsablePath)
+    }
+}
+
+impl Scheme for HyperXFtRouting {
+    fn name(&self) -> String {
+        "hyperx fault-tolerant dimension order (comparator)".to_string()
+    }
+
+    fn max_vcs(&self) -> u8 {
+        2
+    }
+
+    fn decide(&self, at: Node, came_from: Option<Node>, header: &Header) -> Action {
+        if header.rc != RouteChange::Normal {
+            return Action::Drop(DropReason::ProtocolViolation);
+        }
+        match at {
+            Node::Pe(p) => match came_from {
+                None => Action::Forward(vec![Branch::new(Node::Router(p), *header)]),
+                Some(Node::Router(_)) => Action::Deliver,
+                Some(_) => Action::Drop(DropReason::ProtocolViolation),
+            },
+            Node::Router(r) => self.route_router(r, header),
+            Node::Xbar(_) => Action::Drop(DropReason::ProtocolViolation),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::trace_unicast;
+    use mdx_topology::{Coord, Shape};
+
+    fn net() -> Arc<HyperX> {
+        Arc::new(HyperX::build(Shape::new(&[3, 3]).unwrap()))
+    }
+
+    #[test]
+    fn all_pairs_delivered_minimally_fault_free() {
+        let s = HyperXFtRouting::new(net(), &FaultSet::none());
+        let shape = s.network().shape().clone();
+        for src in 0..9 {
+            for dst in 0..9 {
+                let h = Header::unicast(shape.coord_of(src), shape.coord_of(dst));
+                let t = trace_unicast(&s, s.network().graph(), h, src).unwrap();
+                assert_eq!(t.steps.last().unwrap().node, Node::Pe(dst));
+            }
+        }
+    }
+
+    #[test]
+    fn fault_free_hops_ride_lane_zero() {
+        let s = HyperXFtRouting::new(net(), &FaultSet::none());
+        let shape = s.network().shape().clone();
+        for src in 0..9 {
+            for dst in 0..9 {
+                if src == dst {
+                    continue;
+                }
+                let h = Header::unicast(shape.coord_of(src), shape.coord_of(dst));
+                if let Action::Forward(b) = s.decide(Node::Router(src), Some(Node::Pe(src)), &h) {
+                    assert_eq!(b[0].vc, 0, "fault-free routing is pure ascending order");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn intermediate_fault_reorders_and_escapes_to_lane_one() {
+        let shape = Shape::new(&[3, 3]).unwrap();
+        // (0,0) -> (2,2): the in-order first hop lands on (2,0). Kill it.
+        let blocked = shape.index_of(Coord::new(&[2, 0]));
+        let faults = FaultSet::single(FaultSite::Router(blocked));
+        let s = HyperXFtRouting::new(Arc::new(HyperX::build(shape.clone())), &faults);
+        let h = Header::unicast(Coord::new(&[0, 0]), Coord::new(&[2, 2]));
+        let src = shape.index_of(Coord::new(&[0, 0]));
+        match s.decide(Node::Router(src), Some(Node::Pe(src)), &h) {
+            Action::Forward(b) => {
+                // Dimension 1 is fixed first instead, on the escape lane.
+                let expect = shape.index_of(Coord::new(&[0, 2]));
+                assert_eq!(b[0].to, Node::Router(expect));
+                assert_eq!(b[0].vc, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The packet still arrives, avoiding the dead router entirely.
+        let t = trace_unicast(&s, s.network().graph(), h, src).unwrap();
+        assert_eq!(
+            t.steps.last().unwrap().node,
+            Node::Pe(shape.index_of(Coord::new(&[2, 2])))
+        );
+        assert!(t
+            .steps
+            .iter()
+            .all(|step| step.node != Node::Router(blocked)));
+    }
+
+    #[test]
+    fn dead_destination_is_reported() {
+        let shape = Shape::new(&[3, 3]).unwrap();
+        let dst = shape.index_of(Coord::new(&[2, 2]));
+        let faults = FaultSet::single(FaultSite::Router(dst));
+        let s = HyperXFtRouting::new(Arc::new(HyperX::build(shape.clone())), &faults);
+        let h = Header::unicast(Coord::new(&[0, 0]), Coord::new(&[2, 2]));
+        assert_eq!(
+            s.decide(Node::Router(0), Some(Node::Pe(0)), &h),
+            Action::Drop(DropReason::DestinationFaulty)
+        );
+    }
+
+    #[test]
+    fn broadcast_rejected() {
+        let s = HyperXFtRouting::new(net(), &FaultSet::none());
+        let h = Header::broadcast_request(Coord::new(&[0, 0]));
+        assert_eq!(
+            s.decide(Node::Pe(0), None, &h),
+            Action::Drop(DropReason::ProtocolViolation)
+        );
+    }
+}

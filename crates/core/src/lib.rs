@@ -64,6 +64,9 @@
 
 pub mod config;
 pub mod conformance;
+pub mod fullmesh;
+pub mod hypercube_avoid;
+pub mod hyperx_ft;
 pub mod naive;
 pub mod o1turn;
 pub mod packet;
@@ -74,10 +77,13 @@ pub mod trace;
 
 pub use config::RoutingConfig;
 pub use conformance::{check_scheme, ConformanceFamily, ConformanceReport};
+pub use fullmesh::FullMeshVcFree;
+pub use hypercube_avoid::HypercubeAvoid;
+pub use hyperx_ft::HyperXFtRouting;
 pub use naive::NaiveBroadcast;
 pub use o1turn::O1TurnRouting;
 pub use packet::{Header, Packet, RouteChange};
-pub use registry::{build_scheme, RegistryError, SCHEME_IDS};
+pub use registry::{build_scheme, build_scheme_for, required_topology, RegistryError, SCHEME_IDS};
 pub use scheme::{Action, Branch, DropReason, Scheme};
 pub use sr2201::Sr2201Routing;
 pub use trace::{trace_broadcast, trace_unicast, BroadcastTrace, TraceError, UnicastTrace};

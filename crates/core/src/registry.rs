@@ -4,24 +4,55 @@
 //! whole run can be replayed from a printed token. This module is the
 //! single place those ids are defined:
 //!
-//! | id | scheme |
-//! |----|--------|
-//! | `sr2201` | the paper's deadlock-free scheme (D-XB = S-XB) |
-//! | `separate-dxb` | the Fig. 9 deadlock-prone variant (D-XB ≠ S-XB) |
-//! | `naive-broadcast` | the unserialized Fig. 5 broadcast strawman |
-//! | `o1turn` | the O1TURN baseline (no fault tolerance, no broadcast) |
+//! | id | scheme | topology |
+//! |----|--------|----------|
+//! | `sr2201` | the paper's deadlock-free scheme (D-XB = S-XB) | `mdx` |
+//! | `separate-dxb` | the Fig. 9 deadlock-prone variant (D-XB ≠ S-XB) | `mdx` |
+//! | `naive-broadcast` | the unserialized Fig. 5 broadcast strawman | `mdx` |
+//! | `o1turn` | the O1TURN baseline (no fault tolerance, no broadcast) | `mdx` |
+//! | `hyperx-ft` | DF-DIM-style fault-tolerant HyperX routing, 2 lanes | `hyperx` |
+//! | `fullmesh-vcfree` | VC-free up*/down* full-mesh routing | `fullmesh` |
+//! | `hypercube-avoid` | fault-avoiding bit-fixing, no lanes | `hypercube` |
+//!
+//! Every scheme is pinned to the topology its deadlock argument is stated
+//! over ([`required_topology`]); [`build_scheme_for`] enforces the pairing
+//! so a tournament sweep can skip incompatible cells instead of silently
+//! routing a clique scheme on a crossbar.
 
 use crate::config::{ConfigError, RoutingConfig};
+use crate::fullmesh::FullMeshVcFree;
+use crate::hypercube_avoid::HypercubeAvoid;
+use crate::hyperx_ft::HyperXFtRouting;
 use crate::naive::NaiveBroadcast;
 use crate::o1turn::O1TurnRouting;
 use crate::scheme::Scheme;
 use crate::sr2201::Sr2201Routing;
 use mdx_fault::FaultSet;
-use mdx_topology::MdCrossbar;
+use mdx_topology::{MdCrossbar, Network};
 use std::sync::Arc;
 
 /// The registered scheme ids, in presentation order.
-pub const SCHEME_IDS: &[&str] = &["sr2201", "separate-dxb", "naive-broadcast", "o1turn"];
+pub const SCHEME_IDS: &[&str] = &[
+    "sr2201",
+    "separate-dxb",
+    "naive-broadcast",
+    "o1turn",
+    "hyperx-ft",
+    "fullmesh-vcfree",
+    "hypercube-avoid",
+];
+
+/// The topology id a scheme's routing function (and its deadlock-freedom
+/// argument) is defined over. `None` for unregistered ids.
+pub fn required_topology(id: &str) -> Option<&'static str> {
+    match id {
+        "sr2201" | "separate-dxb" | "naive-broadcast" | "o1turn" => Some("mdx"),
+        "hyperx-ft" => Some("hyperx"),
+        "fullmesh-vcfree" => Some("fullmesh"),
+        "hypercube-avoid" => Some("hypercube"),
+        _ => None,
+    }
+}
 
 /// Why a scheme could not be built.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,6 +61,15 @@ pub enum RegistryError {
     UnknownScheme(String),
     /// The shape/fault combination admits no routing configuration.
     Config(ConfigError),
+    /// The scheme is pinned to a different topology than the one supplied.
+    TopologyMismatch {
+        /// The requested scheme id.
+        scheme: String,
+        /// The topology the scheme requires.
+        requires: &'static str,
+        /// The topology that was supplied.
+        got: String,
+    },
 }
 
 impl std::fmt::Display for RegistryError {
@@ -43,6 +83,14 @@ impl std::fmt::Display for RegistryError {
                 )
             }
             RegistryError::Config(e) => write!(f, "cannot configure scheme: {e}"),
+            RegistryError::TopologyMismatch {
+                scheme,
+                requires,
+                got,
+            } => write!(
+                f,
+                "scheme `{scheme}` requires topology `{requires}`, got `{got}`"
+            ),
         }
     }
 }
@@ -55,21 +103,51 @@ impl From<ConfigError> for RegistryError {
     }
 }
 
-/// Builds the scheme registered under `id` for `net` under `faults`.
+/// Builds the scheme registered under `id` for the MD crossbar `net` under
+/// `faults`. Kept for the crossbar-only callers; ids pinned to other
+/// topologies report a [`RegistryError::TopologyMismatch`].
 pub fn build_scheme(
     id: &str,
     net: Arc<MdCrossbar>,
     faults: &FaultSet,
 ) -> Result<Arc<dyn Scheme>, RegistryError> {
-    match id {
-        "sr2201" => Ok(Arc::new(Sr2201Routing::new(net, faults)?)),
-        "separate-dxb" => {
-            let cfg = RoutingConfig::for_faults(net.shape(), faults)?.with_separate_dxb(faults);
-            Ok(Arc::new(Sr2201Routing::with_config(net, cfg, faults)))
+    build_scheme_for(id, &Network::Mdx(net), faults)
+}
+
+/// Builds the scheme registered under `id` over any [`Network`], enforcing
+/// the scheme <-> topology pairing from [`required_topology`].
+pub fn build_scheme_for(
+    id: &str,
+    net: &Network,
+    faults: &FaultSet,
+) -> Result<Arc<dyn Scheme>, RegistryError> {
+    let requires =
+        required_topology(id).ok_or_else(|| RegistryError::UnknownScheme(id.to_string()))?;
+    if requires != net.kind() {
+        return Err(RegistryError::TopologyMismatch {
+            scheme: id.to_string(),
+            requires,
+            got: net.kind().to_string(),
+        });
+    }
+    match (id, net) {
+        ("sr2201", Network::Mdx(n)) => Ok(Arc::new(Sr2201Routing::new(n.clone(), faults)?)),
+        ("separate-dxb", Network::Mdx(n)) => {
+            let cfg = RoutingConfig::for_faults(n.shape(), faults)?.with_separate_dxb(faults);
+            Ok(Arc::new(Sr2201Routing::with_config(n.clone(), cfg, faults)))
         }
-        "naive-broadcast" => Ok(Arc::new(NaiveBroadcast::new(net))),
-        "o1turn" => Ok(Arc::new(O1TurnRouting::new(net, 0))),
-        other => Err(RegistryError::UnknownScheme(other.to_string())),
+        ("naive-broadcast", Network::Mdx(n)) => Ok(Arc::new(NaiveBroadcast::new(n.clone()))),
+        ("o1turn", Network::Mdx(n)) => Ok(Arc::new(O1TurnRouting::new(n.clone(), 0))),
+        ("hyperx-ft", Network::HyperX(n)) => Ok(Arc::new(HyperXFtRouting::new(n.clone(), faults))),
+        ("fullmesh-vcfree", Network::HyperX(n)) => {
+            Ok(Arc::new(FullMeshVcFree::new(n.clone(), faults, 0)))
+        }
+        ("hypercube-avoid", Network::Direct(n)) => {
+            Ok(Arc::new(HypercubeAvoid::new(n.clone(), faults)))
+        }
+        // `required_topology` + the kind check above make this unreachable,
+        // but a registry should fail closed rather than panic.
+        (other, _) => Err(RegistryError::UnknownScheme(other.to_string())),
     }
 }
 
@@ -83,12 +161,33 @@ mod tests {
         Arc::new(MdCrossbar::build(Shape::fig2()))
     }
 
+    /// The shape each scheme's pinned topology accepts in these tests.
+    fn shape_for(topology: &str) -> Shape {
+        if topology == "hypercube" {
+            Shape::new(&[2, 2, 2]).unwrap()
+        } else {
+            Shape::fig2()
+        }
+    }
+
     #[test]
     fn every_registered_id_builds_fault_free() {
         for &id in SCHEME_IDS {
-            let s = build_scheme(id, fig2(), &FaultSet::none()).unwrap();
+            let topology = required_topology(id).unwrap();
+            let net = Network::build(topology, shape_for(topology)).unwrap();
+            let s = build_scheme_for(id, &net, &FaultSet::none()).unwrap();
             assert!(!s.name().is_empty());
+            assert!(s.max_vcs() >= 1);
         }
+    }
+
+    #[test]
+    fn scheme_ids_have_no_duplicates_and_all_have_topologies() {
+        for (i, &id) in SCHEME_IDS.iter().enumerate() {
+            assert!(!SCHEME_IDS[i + 1..].contains(&id), "duplicate id {id}");
+            assert!(required_topology(id).is_some(), "{id} has no topology");
+        }
+        assert_eq!(required_topology("nope"), None);
     }
 
     #[test]
@@ -111,6 +210,23 @@ mod tests {
             .unwrap();
         assert!(matches!(err, RegistryError::UnknownScheme(_)));
         assert!(err.to_string().contains("sr2201"));
+        assert!(err.to_string().contains("hyperx-ft"));
+    }
+
+    #[test]
+    fn topology_mismatch_is_an_error() {
+        // A clique scheme on the crossbar...
+        let err = build_scheme("hyperx-ft", fig2(), &FaultSet::none())
+            .err()
+            .unwrap();
+        assert!(matches!(err, RegistryError::TopologyMismatch { .. }));
+        assert!(err.to_string().contains("hyperx"));
+        // ...and the paper scheme off it.
+        let hx = Network::build("hyperx", Shape::fig2()).unwrap();
+        let err = build_scheme_for("sr2201", &hx, &FaultSet::none())
+            .err()
+            .unwrap();
+        assert!(matches!(err, RegistryError::TopologyMismatch { .. }));
     }
 
     #[test]

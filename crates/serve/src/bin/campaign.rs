@@ -109,6 +109,7 @@ use mdx_serve::{
     row_key, serve_on, serve_stdio, Request, ResultCache, ServeConfig, Server, Service,
     SharedWriter,
 };
+use mdx_tournament::{run_tournament, TournamentSpec};
 use mdx_workloads::StreamSpec;
 use std::path::Path;
 use std::process::ExitCode;
@@ -131,6 +132,7 @@ fn usage() -> ! {
          campaign diff <a.jsonl> <b.jsonl> [--threshold PP] [--fail-on-shift] [--json]\n  \
          campaign stream <spec-file> [--shape WxH[xD..]] [--scheme ID] [--seed N]\n    \
          [--windows W] [--max-cycles N] [--jsonl PATH] [--quiet]\n  \
+         campaign tournament <spec-file|-> [--jsonl PATH] [--quiet]\n  \
          campaign serve [--tcp ADDR] [--workers N] [--windows W]\n    \
          [--cache-dir DIR] [--cache-cap N]\n    \
          [--metrics-addr ADDR] [--metrics-file PATH] [--metrics-every SECS]\n    \
@@ -666,6 +668,63 @@ fn cmd_stream(path: &str, args: &[String]) -> ExitCode {
     }
 }
 
+fn cmd_tournament(path: &str, args: &[String]) -> ExitCode {
+    let mut jsonl: Option<String> = None;
+    let mut quiet = false;
+    let mut it = args.iter().cloned();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--jsonl" => jsonl = Some(it.next().unwrap_or_else(|| usage())),
+            "--quiet" => quiet = true,
+            _ => usage(),
+        }
+    }
+    // `-` reads the spec from stdin; an empty spec is the default grid.
+    let text = if path == "-" {
+        use std::io::Read;
+        let mut t = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut t) {
+            eprintln!("error: cannot read stdin: {e}");
+            return ExitCode::from(1);
+        }
+        t
+    } else {
+        match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    };
+    let spec = match TournamentSpec::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let table = run_tournament(&spec);
+    if let Some(p) = &jsonl {
+        if let Err(e) = std::fs::write(p, table.to_jsonl()) {
+            eprintln!("error: cannot write {p}: {e}");
+            return ExitCode::from(1);
+        }
+    }
+    if quiet {
+        let skips = table.cells.iter().filter(|c| c.status != "ok").count();
+        println!(
+            "{} cells ({} run, {} skipped)",
+            table.cells.len(),
+            table.cells.len() - skips,
+            skips
+        );
+    } else {
+        print!("{}", table.render());
+    }
+    ExitCode::SUCCESS
+}
+
 fn cmd_serve(args: &[String]) -> ExitCode {
     let mut cfg = ServeConfig::default();
     let mut tcp: Option<String> = None;
@@ -869,6 +928,10 @@ fn main() -> ExitCode {
         Some("diff") => cmd_diff(&args[1..]),
         Some("stream") => match args.get(1) {
             Some(p) if !p.starts_with("--") => cmd_stream(p, &args[2..]),
+            _ => usage(),
+        },
+        Some("tournament") => match args.get(1) {
+            Some(p) if !p.starts_with("--") => cmd_tournament(p, &args[2..]),
             _ => usage(),
         },
         Some("serve") => cmd_serve(&args[1..]),

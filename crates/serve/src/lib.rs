@@ -22,9 +22,15 @@
 //! reconfig-epoch children), serialize — and the trace id is echoed on
 //! the response line.
 //!
+//! The `tournament` verb runs a whole cross-scheme comparison grid
+//! (`mdx-tournament`) in one request; finished tables are cached keyed by
+//! the parsed spec, so a resident server answers repeat tournaments
+//! without re-simulating — deterministic tables make the cached answer
+//! byte-identical to a re-run.
+//!
 //! The crate also owns the `campaign` binary (run / replay / shrink /
-//! diff / stream / serve / bench-serve), which sits above `mdx-campaign`
-//! and this service layer.
+//! diff / stream / tournament / serve / bench-serve), which sits above
+//! `mdx-campaign`, `mdx-tournament`, and this service layer.
 //!
 //! ```
 //! use mdx_serve::{Request, Response, ServeConfig, Service};
@@ -60,5 +66,5 @@ pub use metrics::{spawn_metrics_listener, spawn_snapshot_writer, ServeMetrics, V
 pub use protocol::{Request, Response, ServeStats};
 pub use server::{
     serve_on, serve_stdio, serve_stream, serve_tcp, ServeConfig, Server, Service, SharedWriter,
-    DEFAULT_METRICS_EVERY_SECS, MAX_POSTMORTEMS,
+    DEFAULT_METRICS_EVERY_SECS, MAX_POSTMORTEMS, MAX_TOURNAMENTS,
 };

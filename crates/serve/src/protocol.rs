@@ -13,6 +13,7 @@
 //! {"cmd":"run","token":"MDX1...","force":true}      bypass the result cache
 //! {"cmd":"spec","spec":"phase 0..100 ...","shape":[4,4],"scheme":"sr2201","seed":7}
 //! {"cmd":"postmortem","digest":"<row digest>"}      fetch forensics
+//! {"cmd":"tournament","spec":"scheme all\nseeds 1"} run a scheme tournament
 //! {"cmd":"stats"}                                   service counters
 //! {"cmd":"metrics"}                                 full registry snapshot
 //! {"cmd":"spans"}                                   span-collector ledger
@@ -24,6 +25,8 @@
 //! rendering of the server's metric registry — the same data the
 //! `--metrics-addr` Prometheus endpoint exposes as text), `spans` (the
 //! span collector's ledger and resident-trace summaries), `postmortem`,
+//! `tournament` (the finished cross-scheme table, with a `cached` flag —
+//! resident servers answer repeat tournaments from a spec-keyed cache),
 //! or `ok` (shutdown acknowledgment).
 //!
 //! Every request may also carry a client-chosen `trace` string. It is
@@ -39,20 +42,23 @@
 
 use mdx_campaign::ScenarioReport;
 use mdx_obs::PostmortemReport;
+use mdx_tournament::TournamentResult;
 use serde::value::Value;
 use serde::{Deserialize, Serialize};
 
 /// One protocol request line.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Request {
-    /// The verb: `run`, `spec`, `postmortem`, `stats`, `metrics`, or
-    /// `shutdown`.
+    /// The verb: `run`, `spec`, `postmortem`, `tournament`, `stats`,
+    /// `metrics`, or `shutdown`.
     pub cmd: String,
     /// Client correlation tag, echoed on the response.
     pub id: Option<u64>,
     /// `MDX1.` scenario token (`run`).
     pub token: Option<String>,
-    /// Workload-spec text (`spec`); see [`mdx_workloads::StreamSpec`].
+    /// Spec text: a workload stream for `spec` requests (see
+    /// [`mdx_workloads::StreamSpec`]) or a tournament grid for
+    /// `tournament` requests (see [`mdx_tournament::TournamentSpec`]).
     pub spec: Option<String>,
     /// Topology extents for `spec` requests (default `[4, 4]`).
     pub shape: Option<Vec<u16>>,
@@ -179,11 +185,11 @@ pub struct ServeStats {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Response {
     /// The response kind: `row`, `error`, `stats`, `metrics`, `spans`,
-    /// `postmortem`, or `ok`.
+    /// `postmortem`, `tournament`, or `ok`.
     pub kind: String,
     /// The request's correlation id, echoed back.
     pub id: Option<u64>,
-    /// Whether a `row` came from the result cache.
+    /// Whether a `row` (or `tournament`) came from its cache.
     pub cached: Option<bool>,
     /// The campaign row (`row`).
     pub row: Option<ScenarioReport>,
@@ -197,6 +203,8 @@ pub struct Response {
     pub spans: Option<Value>,
     /// Forensic report (`postmortem`).
     pub postmortem: Option<PostmortemReport>,
+    /// The finished cross-scheme table (`tournament`).
+    pub tournament: Option<TournamentResult>,
     /// The request's trace id: the client's `trace` echoed back, or the
     /// server-minted id when span collection traced an untagged request.
     pub trace: Option<String>,
@@ -214,6 +222,7 @@ impl Response {
             metrics: None,
             spans: None,
             postmortem: None,
+            tournament: None,
             trace: None,
         }
     }
@@ -267,6 +276,15 @@ impl Response {
         }
     }
 
+    /// A `tournament` response carrying the finished comparison table.
+    pub fn tournament(id: Option<u64>, cached: bool, table: TournamentResult) -> Response {
+        Response {
+            cached: Some(cached),
+            tournament: Some(table),
+            ..Response::empty("tournament", id)
+        }
+    }
+
     /// An `ok` acknowledgment (shutdown).
     pub fn ok(id: Option<u64>) -> Response {
         Response::empty("ok", id)
@@ -296,6 +314,7 @@ impl Serialize for Response {
         push_opt(&mut m, "metrics", &self.metrics);
         push_opt(&mut m, "spans", &self.spans);
         push_opt(&mut m, "postmortem", &self.postmortem);
+        push_opt(&mut m, "tournament", &self.tournament);
         push_opt(&mut m, "trace", &self.trace);
         Value::Map(m)
     }
@@ -316,6 +335,7 @@ impl Deserialize for Response {
             metrics: opt_field(entries, "metrics")?,
             spans: opt_field(entries, "spans")?,
             postmortem: opt_field(entries, "postmortem")?,
+            tournament: opt_field(entries, "tournament")?,
             trace: opt_field(entries, "trace")?,
         })
     }
@@ -352,6 +372,26 @@ mod tests {
         assert!(back.is_error());
         assert_eq!(back.id, Some(3));
         assert_eq!(back.error.as_deref(), Some("bad token"));
+    }
+
+    #[test]
+    fn tournament_response_roundtrips() {
+        let spec = mdx_tournament::TournamentSpec::parse(
+            "scheme sr2201\ntopology mdx:3x3\nfaults none\nseeds 1\n",
+        )
+        .unwrap();
+        let table = mdx_tournament::run_tournament(&spec);
+        let resp = Response::tournament(Some(9), false, table.clone());
+        let json = serde_json::to_string(&resp).unwrap();
+        assert!(json.contains("\"kind\":\"tournament\""));
+        assert!(json.contains("\"cached\":false"));
+        let back: Response = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.id, Some(9));
+        assert_eq!(back.tournament.as_ref(), Some(&table));
+
+        // Non-tournament lines stay free of the field.
+        let json = serde_json::to_string(&Response::ok(None)).unwrap();
+        assert!(!json.contains("tournament"), "{json}");
     }
 
     #[test]

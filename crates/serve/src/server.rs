@@ -26,6 +26,7 @@ use crate::protocol::{Request, Response, ServeStats};
 use mdx_campaign::{push_engine_spans, run_scenario_instrumented, ObsOptions, Scenario, Workload};
 use mdx_metrics::Registry;
 use mdx_obs::{PostmortemReport, SpanCollector, SpanUnit, TraceBuilder, DEFAULT_FLIGHT_CAPACITY};
+use mdx_tournament::{run_tournament, TournamentResult, TournamentSpec};
 use mdx_workloads::StreamSpec;
 use serde::value::Value;
 use std::collections::HashMap;
@@ -38,6 +39,11 @@ use std::time::{Duration, Instant};
 
 /// Post-mortems retained for `postmortem` requests (FIFO eviction).
 pub const MAX_POSTMORTEMS: usize = 64;
+
+/// Finished tournament tables retained for repeat `tournament` requests
+/// (FIFO eviction). Tables are small but each one took a whole grid of
+/// simulations to produce, so a resident server keeps the recent ones.
+pub const MAX_TOURNAMENTS: usize = 16;
 
 /// Default interval, in seconds, between `--metrics-file` snapshots.
 pub const DEFAULT_METRICS_EVERY_SECS: u64 = 10;
@@ -97,6 +103,7 @@ pub struct Service {
     workers: usize,
     cache: ResultCache,
     postmortems: Mutex<(HashMap<String, PostmortemReport>, Vec<String>)>,
+    tournaments: Mutex<(HashMap<String, TournamentResult>, Vec<String>)>,
     served: AtomicUsize,
     cache_hits: AtomicUsize,
     errors: AtomicUsize,
@@ -145,6 +152,7 @@ impl Service {
             workers: cfg.workers,
             cache,
             postmortems: Mutex::new((HashMap::new(), Vec::new())),
+            tournaments: Mutex::new((HashMap::new(), Vec::new())),
             served: AtomicUsize::new(0),
             cache_hits: AtomicUsize::new(0),
             errors: AtomicUsize::new(0),
@@ -281,6 +289,7 @@ impl Service {
             "run" => self.cmd_run(req, tr.as_deref_mut()),
             "spec" => self.cmd_spec(req, tr.as_deref_mut()),
             "postmortem" => self.cmd_postmortem(req),
+            "tournament" => self.cmd_tournament(req),
             "stats" => Response::stats(req.id, self.stats()),
             "metrics" => Response::metrics(req.id, self.registry.snapshot().to_value()),
             "spans" => self.cmd_spans(req),
@@ -307,9 +316,8 @@ impl Service {
         if resp.is_error() {
             self.errors.fetch_add(1, Ordering::Relaxed);
             let class = match req.cmd.as_str() {
-                "run" | "spec" | "postmortem" | "stats" | "metrics" | "spans" | "shutdown" => {
-                    "request"
-                }
+                "run" | "spec" | "postmortem" | "tournament" | "stats" | "metrics" | "spans"
+                | "shutdown" => "request",
                 _ => "unknown_verb",
             };
             self.metrics.error(class);
@@ -464,6 +472,38 @@ impl Service {
             Some(pm) => Response::postmortem(req.id, pm.clone()),
             None => Response::error(req.id, format!("no post-mortem for digest {digest}")),
         }
+    }
+
+    /// Runs (or fetches) a cross-scheme tournament. The cache key is the
+    /// *parsed* grid, so comment and whitespace variants of the same spec
+    /// share one entry; `force` re-runs and refreshes it. Tournaments are
+    /// deterministic, so a cached table is byte-identical to a re-run.
+    fn cmd_tournament(&self, req: &Request) -> Response {
+        let Some(text) = &req.spec else {
+            return Response::error(req.id, "tournament needs a `spec` body");
+        };
+        let spec = match TournamentSpec::parse(text) {
+            Ok(s) => s,
+            Err(e) => return Response::error(req.id, e.to_string()),
+        };
+        let key = serde_json::to_string(&spec).expect("spec serializes");
+        if !req.force {
+            let store = self.tournaments.lock().expect("tournament lock");
+            if let Some(table) = store.0.get(&key) {
+                return Response::tournament(req.id, true, table.clone());
+            }
+        }
+        let table = run_tournament(&spec);
+        let mut store = self.tournaments.lock().expect("tournament lock");
+        let (map, order) = &mut *store;
+        if map.insert(key.clone(), table.clone()).is_none() {
+            order.push(key);
+        }
+        while order.len() > MAX_TOURNAMENTS {
+            let old = order.remove(0);
+            map.remove(&old);
+        }
+        Response::tournament(req.id, false, table)
     }
 
     /// Current service counters.

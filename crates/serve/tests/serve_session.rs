@@ -469,6 +469,65 @@ fn an_exemplar_spans_token_replays_byte_identically() {
     );
 }
 
+/// The `tournament` verb: one request runs a whole cross-scheme grid, a
+/// repeat of the same grid — even a comment/whitespace variant — is
+/// answered from the spec-keyed cache byte-identically, `force` re-runs,
+/// and malformed specs surface the line-numbered parse error.
+#[test]
+fn tournament_verb_runs_grids_and_caches_by_parsed_spec() {
+    let service = Service::new(&ServeConfig::default());
+    let spec = "scheme sr2201 naive-broadcast\n\
+                topology mdx:3x3\n\
+                faults none\n\
+                workload storm flits=16\n\
+                seeds 1\n\
+                max-cycles 4000\n";
+    let req = |text: &str, id: u64| Request {
+        cmd: "tournament".to_string(),
+        spec: Some(text.to_string()),
+        id: Some(id),
+        ..Request::default()
+    };
+
+    let first = service.handle(&req(spec, 1));
+    assert_eq!(first.kind, "tournament", "error: {:?}", first.error);
+    assert_eq!(first.cached, Some(false));
+    assert_eq!(first.id, Some(1));
+    let table = first.tournament.expect("tournament body");
+    assert_eq!(table.cells.len(), 2);
+    assert!(table.cells.iter().any(|c| c.deadlocks > 0));
+
+    // The cache key is the parsed grid, not the text: a comment and
+    // trailing-whitespace variant of the same spec hits.
+    let variant = format!("# same grid, different bytes\n{spec}\n");
+    let second = service.handle(&req(&variant, 2));
+    assert_eq!(second.cached, Some(true));
+    assert_eq!(
+        second.tournament.as_ref().unwrap().to_jsonl(),
+        table.to_jsonl(),
+        "cached table must be byte-identical"
+    );
+
+    // `force` bypasses the cache; determinism makes the bytes equal anyway.
+    let mut forced = req(spec, 3);
+    forced.force = true;
+    let third = service.handle(&forced);
+    assert_eq!(third.cached, Some(false));
+    assert_eq!(third.tournament.unwrap().to_jsonl(), table.to_jsonl());
+
+    // Parse errors carry their line number; a missing body errors too.
+    let bad = service.handle(&req("scheme not-a-scheme\n", 4));
+    assert!(bad.is_error());
+    let msg = bad.error.unwrap();
+    assert!(msg.contains("line 1"), "{msg}");
+    assert!(msg.contains("not-a-scheme"), "{msg}");
+    let empty = service.handle(&Request {
+        cmd: "tournament".to_string(),
+        ..Request::default()
+    });
+    assert!(empty.is_error());
+}
+
 #[test]
 fn tcp_round_trip_serves_pipelined_clients_and_honors_shutdown() {
     let cfg = ServeConfig {

@@ -274,6 +274,10 @@ pub struct Simulator {
     flit_hops: u64,
     /// Flits crossed per channel (utilization statistics).
     chan_flits: Vec<u64>,
+    /// Flits crossed per port (channel x lane) — the per-VC split of
+    /// `chan_flits`. Engine-side statistics only: deliberately not part of
+    /// [`SimResult`], so replay digests of single-VC tokens are untouched.
+    port_flits: Vec<u64>,
     finished_packets: usize,
     /// Packets injected so far (counter twin of the per-packet `started`
     /// flags): `started_packets - finished_packets` is the in-flight count
@@ -338,6 +342,7 @@ impl Simulator {
             last_progress: 0,
             flit_hops: 0,
             chan_flits: vec![0; channels],
+            port_flits: vec![0; ports],
             finished_packets: 0,
             started_packets: 0,
             prof: Profiler::default(),
@@ -479,6 +484,20 @@ impl Simulator {
     /// Flits that crossed each channel (indexed by [`ChannelId`]).
     pub fn channel_flits(&self) -> &[u64] {
         &self.chan_flits
+    }
+
+    /// Virtual lanes per physical channel this run was sized for
+    /// (`max(1, scheme.max_vcs())`).
+    pub fn vcs(&self) -> usize {
+        self.vcs
+    }
+
+    /// Flits that crossed each port, indexed `channel * vcs + lane` — the
+    /// per-virtual-lane split of [`Simulator::channel_flits`]. Summing a
+    /// channel's lane slots always reproduces its `channel_flits` entry
+    /// (the link moves one flit per cycle regardless of lane count).
+    pub fn lane_flits(&self) -> &[u64] {
+        &self.port_flits
     }
 
     /// Engine bookkeeping anomalies recorded so far (also carried by
@@ -1050,6 +1069,7 @@ impl Simulator {
                 }
             }
             self.chan_flits[ch.idx()] += 1;
+            self.port_flits[port] += 1;
             self.flit_hops += 1;
             if self.observer.is_some() {
                 let occupancy = self.occupancy(port);

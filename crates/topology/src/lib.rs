@@ -16,6 +16,10 @@
 //! * [`NetworkGraph`] — a generic directed channel graph over switches;
 //! * [`MdCrossbar`] — construction of the SR2201 network proper;
 //! * [`mesh`] — 2D mesh / torus / hypercube comparison topologies;
+//! * [`hyperx`] — HyperX (per-dimension cliques) and full-mesh direct
+//!   networks for the scheme-zoo comparators;
+//! * [`network`] — topology-id dispatch ([`Network::build`]) over every
+//!   supported substrate;
 //! * [`metrics`] — the structural properties claimed in Sec. 3.1 of the paper
 //!   (diameter, router port counts, channel counts, bisection);
 //! * [`embed`] — conflict-free remapping of ring / mesh / hypercube / tree
@@ -42,13 +46,17 @@
 pub mod coord;
 pub mod embed;
 pub mod graph;
+pub mod hyperx;
 pub mod mdxbar;
 pub mod mesh;
 pub mod metrics;
+pub mod network;
 
 pub use coord::{Coord, Shape, MAX_DIMS};
 pub use graph::{ChannelId, ChannelInfo, NetworkGraph, Node, NodeId, XbarRef};
+pub use hyperx::HyperX;
 pub use mdxbar::MdCrossbar;
+pub use network::{Network, DEFAULT_TOPOLOGY, TOPOLOGY_IDS};
 
 /// Errors produced when constructing or querying topologies.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,6 +70,8 @@ pub enum TopologyError {
     /// A total PE count was not expressible in the requested topology
     /// (e.g. a hypercube needs a power of two).
     BadSize(usize),
+    /// A topology id was not one of [`TOPOLOGY_IDS`].
+    UnknownTopology(String),
 }
 
 impl std::fmt::Display for TopologyError {
@@ -73,6 +83,13 @@ impl std::fmt::Display for TopologyError {
             TopologyError::BadExtent(e) => write!(f, "dimension extent {e} invalid"),
             TopologyError::OutOfBounds => write!(f, "coordinate out of bounds"),
             TopologyError::BadSize(n) => write!(f, "size {n} not valid for this topology"),
+            TopologyError::UnknownTopology(k) => {
+                write!(
+                    f,
+                    "unknown topology '{k}' (known: {})",
+                    TOPOLOGY_IDS.join(", ")
+                )
+            }
         }
     }
 }

@@ -1,0 +1,155 @@
+//! Topology-id dispatch: one handle over every substrate the scheme zoo
+//! routes on.
+//!
+//! Campaign scenarios and tournament cells name their substrate by a stable
+//! string id (the `topology` scenario field); [`Network::build`] turns the
+//! id plus a [`Shape`] into the concrete network. The MD crossbar stays the
+//! default (`"mdx"`), so pre-existing scenario tokens — which omit the
+//! field — are untouched.
+
+use crate::coord::Shape;
+use crate::graph::NetworkGraph;
+use crate::hyperx::HyperX;
+use crate::mdxbar::MdCrossbar;
+use crate::mesh::{DirectNetwork, Wrap};
+use crate::TopologyError;
+use std::sync::Arc;
+
+/// Every topology id [`Network::build`] accepts, in display order.
+///
+/// * `"mdx"` — the SR2201 multi-dimensional crossbar (the default);
+/// * `"hyperx"` — per-dimension router cliques (arXiv 2404.04315);
+/// * `"fullmesh"` — one global router clique (arXiv 2510.14730);
+/// * `"hypercube"` — binary hypercube (every extent 2) as a direct mesh.
+pub const TOPOLOGY_IDS: &[&str] = &["mdx", "hyperx", "fullmesh", "hypercube"];
+
+/// The default topology id (the paper's network).
+pub const DEFAULT_TOPOLOGY: &str = "mdx";
+
+/// A constructed network of any supported topology.
+///
+/// Holds `Arc`s so schemes can share the substrate without re-building it;
+/// cloning a `Network` is cheap.
+#[derive(Debug, Clone)]
+pub enum Network {
+    /// The SR2201 multi-dimensional crossbar.
+    Mdx(Arc<MdCrossbar>),
+    /// HyperX or full mesh (both are clique networks over the routers).
+    HyperX(Arc<HyperX>),
+    /// A direct lattice network (used for the binary hypercube).
+    Direct(Arc<DirectNetwork>),
+}
+
+impl Network {
+    /// Builds the network named by `kind` over `shape`.
+    ///
+    /// Unknown ids map to [`TopologyError::UnknownTopology`]; a hypercube
+    /// with any extent other than 2 maps to [`TopologyError::BadSize`].
+    pub fn build(kind: &str, shape: Shape) -> Result<Network, TopologyError> {
+        match kind {
+            "mdx" => Ok(Network::Mdx(Arc::new(MdCrossbar::build(shape)))),
+            "hyperx" => Ok(Network::HyperX(Arc::new(HyperX::build(shape)))),
+            "fullmesh" => Ok(Network::HyperX(Arc::new(HyperX::full_mesh(shape)))),
+            "hypercube" => {
+                if shape.extents().iter().any(|&e| e != 2) {
+                    return Err(TopologyError::BadSize(shape.num_pes()));
+                }
+                Ok(Network::Direct(Arc::new(DirectNetwork::build(
+                    shape,
+                    Wrap::Mesh,
+                ))))
+            }
+            _ => Err(TopologyError::UnknownTopology(kind.to_string())),
+        }
+    }
+
+    /// The topology id this network was built from.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Network::Mdx(_) => "mdx",
+            Network::HyperX(h) if h.is_full_mesh() => "fullmesh",
+            Network::HyperX(_) => "hyperx",
+            Network::Direct(_) => "hypercube",
+        }
+    }
+
+    /// The lattice shape.
+    pub fn shape(&self) -> &Shape {
+        match self {
+            Network::Mdx(n) => n.shape(),
+            Network::HyperX(n) => n.shape(),
+            Network::Direct(n) => n.shape(),
+        }
+    }
+
+    /// The underlying channel graph.
+    pub fn graph(&self) -> &NetworkGraph {
+        match self {
+            Network::Mdx(n) => n.graph(),
+            Network::HyperX(n) => n.graph(),
+            Network::Direct(n) => n.graph(),
+        }
+    }
+
+    /// Whether this topology has crossbar switches (only the MD crossbar
+    /// does; `FaultSite::Xbar` faults are meaningless elsewhere).
+    pub fn has_xbars(&self) -> bool {
+        matches!(self, Network::Mdx(_))
+    }
+
+    /// The MD crossbar, if that is what this network is.
+    pub fn as_mdx(&self) -> Option<&Arc<MdCrossbar>> {
+        match self {
+            Network::Mdx(n) => Some(n),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_id_builds() {
+        for &id in TOPOLOGY_IDS {
+            let shape = if id == "hypercube" {
+                Shape::new(&[2, 2, 2]).unwrap()
+            } else {
+                Shape::new(&[3, 3]).unwrap()
+            };
+            let net = Network::build(id, shape).unwrap();
+            assert_eq!(net.kind(), id);
+            assert!(net.graph().num_nodes() > 0);
+        }
+    }
+
+    #[test]
+    fn unknown_id_is_an_error() {
+        let err = Network::build("donut", Shape::fig2()).unwrap_err();
+        assert_eq!(err, TopologyError::UnknownTopology("donut".to_string()));
+        assert!(err.to_string().contains("donut"));
+    }
+
+    #[test]
+    fn hypercube_requires_all_extents_two() {
+        assert!(Network::build("hypercube", Shape::new(&[2, 2]).unwrap()).is_ok());
+        let err = Network::build("hypercube", Shape::new(&[4, 2]).unwrap()).unwrap_err();
+        assert_eq!(err, TopologyError::BadSize(8));
+    }
+
+    #[test]
+    fn only_mdx_has_xbars() {
+        let shape = Shape::new(&[2, 2]).unwrap();
+        for &id in TOPOLOGY_IDS {
+            let net = Network::build(id, shape.clone()).unwrap();
+            assert_eq!(net.has_xbars(), id == "mdx");
+            assert_eq!(net.as_mdx().is_some(), id == "mdx");
+        }
+    }
+
+    #[test]
+    fn default_id_is_listed_first() {
+        assert_eq!(TOPOLOGY_IDS[0], DEFAULT_TOPOLOGY);
+    }
+}

@@ -1,0 +1,393 @@
+//! Grid expansion, execution, and reduction to the tournament table.
+
+use crate::spec::{FaultClass, TournamentSpec, WorkloadTemplate};
+use mdx_campaign::{run_campaign_with, shrink, ObsOptions, Scenario, ScenarioReport};
+use mdx_core::registry::required_topology;
+use mdx_fault::FaultSite;
+use mdx_sim::SortedLatencies;
+use mdx_topology::{Shape, XbarRef};
+use serde::{Deserialize, Serialize};
+
+/// A shrunken deadlock witness attached to a deadlocking cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellWitness {
+    /// Token of the run the witness was shrunk from.
+    pub from_token: String,
+    /// Replay token of the minimized deadlock.
+    pub token: String,
+    /// Packets in the minimized scenario.
+    pub packets: usize,
+    /// Fault sites in the minimized scenario.
+    pub faults: usize,
+    /// Length of the minimized cyclic wait.
+    pub cycle_len: usize,
+}
+
+/// One cell of the tournament table: a (scheme, topology, fault class,
+/// workload) combination reduced over its seed pool.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TournamentCell {
+    /// Scheme id.
+    pub scheme: String,
+    /// Topology id.
+    pub topology: String,
+    /// Shape extents.
+    pub shape: Vec<u16>,
+    /// Fault class label.
+    pub faults: String,
+    /// Workload label.
+    pub workload: String,
+    /// `ok` for executed cells, `skip` for incompatible combinations.
+    pub status: String,
+    /// Why a `skip` cell did not run.
+    pub skip_reason: Option<String>,
+    /// Runs executed (seeds).
+    pub runs: usize,
+    /// Runs that deadlocked.
+    pub deadlocks: usize,
+    /// `deadlocks / runs` (0 for skipped cells).
+    pub deadlock_rate: f64,
+    /// Packets delivered across all runs.
+    pub delivered: usize,
+    /// Packets offered across all runs.
+    pub offered: usize,
+    /// Simulated cycles summed over all runs — the throughput denominator.
+    pub cycles: u64,
+    /// Delivered packets per 1000 simulated cycles, pooled over runs.
+    pub throughput: f64,
+    /// Pooled delivered-latency percentiles (cycles).
+    pub p50: Option<u64>,
+    /// Pooled 95th percentile.
+    pub p95: Option<u64>,
+    /// Pooled 99th percentile.
+    pub p99: Option<u64>,
+    /// Share of total delivered latency spent blocked behind other
+    /// traffic (`blocked_* phases / latency_total`).
+    pub blocked_share: f64,
+    /// Share of total delivered latency spent in detour transfer.
+    pub detour_share: f64,
+    /// Shrunken witness of the first deadlock, when the cell deadlocked.
+    pub witness: Option<CellWitness>,
+}
+
+impl TournamentCell {
+    fn skip(
+        scheme: &str,
+        topology: &str,
+        shape: &[u16],
+        faults: FaultClass,
+        workload: &WorkloadTemplate,
+        reason: String,
+    ) -> TournamentCell {
+        TournamentCell {
+            scheme: scheme.to_string(),
+            topology: topology.to_string(),
+            shape: shape.to_vec(),
+            faults: faults.label().to_string(),
+            workload: workload.label().to_string(),
+            status: "skip".to_string(),
+            skip_reason: Some(reason),
+            runs: 0,
+            deadlocks: 0,
+            deadlock_rate: 0.0,
+            delivered: 0,
+            offered: 0,
+            cycles: 0,
+            throughput: 0.0,
+            p50: None,
+            p95: None,
+            p99: None,
+            blocked_share: 0.0,
+            detour_share: 0.0,
+            witness: None,
+        }
+    }
+}
+
+/// The finished tournament: one cell per grid combination, in
+/// deterministic enumeration order (scheme-major, then topology, fault
+/// class, workload).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TournamentResult {
+    /// The grid that ran.
+    pub spec: TournamentSpec,
+    /// All cells, including skips.
+    pub cells: Vec<TournamentCell>,
+}
+
+impl TournamentResult {
+    /// Executed (non-skip) cells.
+    pub fn ok_cells(&self) -> impl Iterator<Item = &TournamentCell> {
+        self.cells.iter().filter(|c| c.status == "ok")
+    }
+
+    /// Serializes every cell as JSON Lines — the artifact format; two
+    /// tournaments over the same spec produce byte-identical documents.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for c in &self.cells {
+            out.push_str(&serde_json::to_string(c).expect("cell serializes"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the human-readable table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<16} {:<13} {:<7} {:<6} {:>5} {:>8} {:>8} {:>6} {:>6} {:>6} {:>7} {:>7}\n",
+            "scheme",
+            "topology",
+            "faults",
+            "load",
+            "runs",
+            "deadlock",
+            "thruput",
+            "p50",
+            "p95",
+            "p99",
+            "blkd%",
+            "detr%"
+        ));
+        for c in &self.cells {
+            let topo = format!(
+                "{}:{}",
+                c.topology,
+                c.shape
+                    .iter()
+                    .map(u16::to_string)
+                    .collect::<Vec<_>>()
+                    .join("x")
+            );
+            if c.status != "ok" {
+                out.push_str(&format!(
+                    "{:<16} {:<13} {:<7} {:<6} {:>5} -- skip: {}\n",
+                    c.scheme,
+                    topo,
+                    c.faults,
+                    c.workload,
+                    "-",
+                    c.skip_reason.as_deref().unwrap_or("?")
+                ));
+                continue;
+            }
+            let pct = |v: Option<u64>| v.map_or("-".to_string(), |x| x.to_string());
+            out.push_str(&format!(
+                "{:<16} {:<13} {:<7} {:<6} {:>5} {:>8} {:>8.2} {:>6} {:>6} {:>6} {:>6.1}% {:>6.1}%\n",
+                c.scheme,
+                topo,
+                c.faults,
+                c.workload,
+                c.runs,
+                format!("{}/{}", c.deadlocks, c.runs),
+                c.throughput,
+                pct(c.p50),
+                pct(c.p95),
+                pct(c.p99),
+                c.blocked_share * 100.0,
+                c.detour_share * 100.0,
+            ));
+            if let Some(w) = &c.witness {
+                out.push_str(&format!(
+                    "    witness: {} packets, {} faults, cycle len {}  {}\n",
+                    w.packets, w.faults, w.cycle_len, w.token
+                ));
+            }
+        }
+        let skips = self.cells.iter().filter(|c| c.status != "ok").count();
+        out.push_str(&format!(
+            "{} cells ({} run, {} skipped)\n",
+            self.cells.len(),
+            self.cells.len() - skips,
+            skips
+        ));
+        out
+    }
+}
+
+/// The canonical fault sites of a class on a machine, or a skip reason.
+fn class_sites(class: FaultClass, topology: &str, shape: &Shape) -> Result<Vec<FaultSite>, String> {
+    match class {
+        FaultClass::None => Ok(Vec::new()),
+        FaultClass::Router => Ok(vec![FaultSite::Router(shape.num_pes() / 2)]),
+        FaultClass::Xbar if topology == "mdx" => {
+            Ok(vec![FaultSite::Xbar(XbarRef { dim: 0, line: 0 })])
+        }
+        FaultClass::Xbar => Err(format!("crossbar faults do not exist on '{topology}'")),
+    }
+}
+
+/// Runs the full grid and reduces it to the tournament table.
+///
+/// Cells whose combination cannot exist — a scheme on the wrong topology,
+/// crossbar faults off the crossbar machine — are *skip* rows with their
+/// reason, so the table always has `spec.num_cells()` rows and replays
+/// deterministically. Each executed cell runs `seeds` scenarios through
+/// the campaign runner with latency pools and attribution attached;
+/// deadlocking cells additionally carry a shrunken witness minimized from
+/// the first deadlocked seed.
+pub fn run_tournament(spec: &TournamentSpec) -> TournamentResult {
+    let opts = ObsOptions {
+        attribution: true,
+        latencies: true,
+        ..ObsOptions::default()
+    };
+    let mut cells = Vec::with_capacity(spec.num_cells());
+    for scheme in &spec.schemes {
+        for (topology, extents) in &spec.topologies {
+            for &class in &spec.faults {
+                for template in &spec.workloads {
+                    cells.push(run_cell(
+                        spec, &opts, scheme, topology, extents, class, template,
+                    ));
+                }
+            }
+        }
+    }
+    TournamentResult {
+        spec: spec.clone(),
+        cells,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_cell(
+    spec: &TournamentSpec,
+    opts: &ObsOptions,
+    scheme: &str,
+    topology: &str,
+    extents: &[u16],
+    class: FaultClass,
+    template: &WorkloadTemplate,
+) -> TournamentCell {
+    let skip =
+        |reason: String| TournamentCell::skip(scheme, topology, extents, class, template, reason);
+    if let Some(req) = required_topology(scheme) {
+        if req != topology {
+            return skip(format!("'{scheme}' requires the '{req}' topology"));
+        }
+    }
+    let shape = match Shape::new(extents) {
+        Ok(s) => s,
+        Err(e) => return skip(format!("bad shape: {e}")),
+    };
+    let sites = match class_sites(class, topology, &shape) {
+        Ok(s) => s,
+        Err(reason) => return skip(reason),
+    };
+
+    let scenarios: Vec<Scenario> = (0..spec.seeds)
+        .map(|seed| {
+            let mut s = Scenario::new(
+                extents.to_vec(),
+                scheme,
+                template.workload(shape.num_pes()),
+                seed,
+            )
+            .with_topology(topology)
+            .with_faults(sites.iter().copied());
+            s.max_cycles = spec.max_cycles;
+            s.buffer_flits = spec.buffer_flits;
+            s
+        })
+        .collect();
+    // A topology that rejects the shape (e.g. hypercube extents != 2)
+    // surfaces on the first scenario; report it as the cell's skip.
+    if let Err(e) = scenarios[0].network() {
+        return skip(e.to_string());
+    }
+    let result = run_campaign_with(scenarios, opts);
+    if let Some((s, reason)) = result.skipped.first() {
+        if result.reports.is_empty() {
+            return skip(format!("{reason} ({s})"));
+        }
+    }
+    reduce_cell(scheme, topology, extents, class, template, &result.reports)
+}
+
+fn reduce_cell(
+    scheme: &str,
+    topology: &str,
+    extents: &[u16],
+    class: FaultClass,
+    template: &WorkloadTemplate,
+    rows: &[ScenarioReport],
+) -> TournamentCell {
+    let runs = rows.len();
+    let deadlocks = rows.iter().filter(|r| r.is_deadlock()).count();
+    let delivered: usize = rows.iter().map(|r| r.stats.delivered).sum();
+    let offered: usize = rows.iter().map(|r| r.offered).sum();
+    let cycles: u64 = rows.iter().map(|r| r.stats.cycles).sum();
+
+    let pool = SortedLatencies::from_unsorted(
+        rows.iter()
+            .filter_map(|r| r.latencies.as_deref())
+            .flatten()
+            .copied()
+            .collect(),
+    );
+
+    let mut latency_total = 0u64;
+    let mut blocked = 0u64;
+    let mut detour = 0u64;
+    for r in rows {
+        if let Some(a) = &r.attribution {
+            latency_total += a.latency_total;
+            blocked += a.blocked_normal + a.blocked_gather + a.blocked_detour;
+            detour += a.detour_transfer;
+        }
+    }
+    let share = |part: u64| {
+        if latency_total == 0 {
+            0.0
+        } else {
+            part as f64 / latency_total as f64
+        }
+    };
+
+    // Shrink the first deadlocked seed into the cell's witness. Shrinking
+    // re-runs the engine, so failures (a deadlock that evaporates under
+    // reduction never does by construction, but be safe) just leave the
+    // cell witness-less rather than failing the tournament.
+    let witness = rows.iter().find(|r| r.is_deadlock()).and_then(|r| {
+        shrink(&r.scenario).ok().map(|rep| CellWitness {
+            from_token: r.token.clone(),
+            token: rep.token.clone(),
+            packets: rep.packets.1,
+            faults: rep.faults.1,
+            cycle_len: rep.deadlock.cycle.len(),
+        })
+    });
+
+    TournamentCell {
+        scheme: scheme.to_string(),
+        topology: topology.to_string(),
+        shape: extents.to_vec(),
+        faults: class.label().to_string(),
+        workload: template.label().to_string(),
+        status: "ok".to_string(),
+        skip_reason: None,
+        runs,
+        deadlocks,
+        deadlock_rate: if runs == 0 {
+            0.0
+        } else {
+            deadlocks as f64 / runs as f64
+        },
+        delivered,
+        offered,
+        cycles,
+        throughput: if cycles == 0 {
+            0.0
+        } else {
+            delivered as f64 * 1000.0 / cycles as f64
+        },
+        p50: pool.percentile(50),
+        p95: pool.percentile(95),
+        p99: pool.percentile(99),
+        blocked_share: share(blocked),
+        detour_share: share(detour),
+        witness,
+    }
+}

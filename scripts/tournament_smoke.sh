@@ -1,0 +1,115 @@
+#!/usr/bin/env sh
+# Tournament smoke gate: the whole scheme zoo through one small grid.
+#
+# Runs `campaign tournament` twice over a spec that touches every
+# registered scheme, every topology family, both canonical fault classes,
+# and both workload templates, then checks:
+#
+#   - the matrix completes: every (scheme, topology, fault, workload)
+#     combination is either an executed cell or a skip with its reason
+#     (schemes only run on their home topology, so most cells are skips);
+#   - the table replays byte-identically (JSONL artifacts compared with
+#     cmp) — the tournament is deterministic end to end;
+#   - every cell carries the full column set, deadlocking cells carry a
+#     shrunken witness, and a witness token replays to a deadlock through
+#     `campaign replay`;
+#   - the rendered table's trailer agrees with the JSONL cell counts.
+#
+# Artifacts (under target/ so the work tree stays clean):
+#   target/tournament-smoke.spec       the grid spec
+#   target/tournament-smoke-a.jsonl    first run's cell stream
+#   target/tournament-smoke-b.jsonl    replay (must equal the first)
+#   target/tournament-smoke-table.txt  the rendered table
+set -eu
+
+BIN=${CAMPAIGN_BIN:-target/release/campaign}
+OUTDIR=${TOURNAMENT_SMOKE_DIR:-target}
+SPEC=$OUTDIR/tournament-smoke.spec
+A=$OUTDIR/tournament-smoke-a.jsonl
+B=$OUTDIR/tournament-smoke-b.jsonl
+TABLE=$OUTDIR/tournament-smoke-table.txt
+mkdir -p "$OUTDIR"
+
+cat > "$SPEC" <<'SPEC'
+# Tournament smoke grid: every scheme on every topology family (home
+# topologies execute, the rest must surface as explained skips), clean
+# and router-faulted, under a deadlocking broadcast storm and a mixed
+# load that exercises the latency columns.
+scheme all
+topology mdx:3x3 hyperx:3x3 fullmesh:5 hypercube:2x2x2
+faults none router
+workload storm flits=16
+workload mixed rate=0.03 flits=8 window=100
+seeds 1
+max-cycles 5000
+SPEC
+
+"$BIN" tournament "$SPEC" --jsonl "$A" > "$TABLE"
+"$BIN" tournament "$SPEC" --jsonl "$B" --quiet > /dev/null
+
+# Determinism: the replayed table is byte-identical.
+cmp "$A" "$B"
+
+WITNESS=$(python3 - "$A" "$TABLE" <<'EOF'
+import json, sys
+
+cells = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+table = open(sys.argv[2]).read()
+
+# The matrix completes: 7 schemes x 4 topologies x 2 faults x 2 workloads.
+assert len(cells) == 7 * 4 * 2 * 2, f"expected 112 cells, got {len(cells)}"
+
+columns = {"scheme", "topology", "shape", "faults", "workload", "status",
+           "skip_reason", "runs", "deadlocks", "deadlock_rate", "delivered",
+           "offered", "cycles", "throughput", "p50", "p95", "p99",
+           "blocked_share", "detour_share", "witness"}
+ok = [c for c in cells if c["status"] == "ok"]
+for c in cells:
+    assert columns <= set(c), f"cell missing columns: {sorted(columns - set(c))}"
+    assert c["status"] in {"ok", "skip"}, c["status"]
+    if c["status"] == "skip":
+        assert c["skip_reason"], f"unexplained skip: {c}"
+    else:
+        # Unicast-only schemes legally deliver nothing under a broadcast
+        # storm (they drop the traffic), but anything delivered must have
+        # taken cycles to deliver.
+        assert c["runs"] >= 1, c
+        assert c["delivered"] == 0 or c["cycles"] > 0, c
+
+# Every scheme in the zoo executed somewhere (its home topology).
+schemes_run = {c["scheme"] for c in ok}
+expected = {"sr2201", "separate-dxb", "naive-broadcast", "o1turn",
+            "hyperx-ft", "fullmesh-vcfree", "hypercube-avoid"}
+assert schemes_run == expected, f"zoo coverage hole: {expected - schemes_run}"
+
+# Deadlocking cells carry shrunken witnesses; the storm grid must produce
+# at least one (naive-broadcast wedges the crossbar by construction).
+deadlocked = [c for c in ok if c["deadlocks"] > 0]
+assert deadlocked, "no cell deadlocked; the smoke grid lost its storm"
+for c in deadlocked:
+    w = c["witness"]
+    assert w, f"deadlocking cell without witness: {c['scheme']}"
+    assert w["token"].startswith("MDX1."), w
+    assert w["from_token"].startswith("MDX1."), w
+    assert w["cycle_len"] >= 2, f"degenerate witness cycle: {w}"
+    assert w["packets"] >= 1, w
+
+# The rendered trailer agrees with the JSONL counts.
+trailer = f"{len(cells)} cells ({len(ok)} run, {len(cells) - len(ok)} skipped)"
+assert trailer in table, f"table trailer mismatch: wanted {trailer!r}"
+
+print(f"tournament matrix OK: {trailer}; "
+      f"{len(deadlocked)} deadlocking cell(s) with witnesses",
+      file=sys.stderr)
+print(deadlocked[0]["witness"]["token"])
+EOF
+)
+
+# The witness token replays to a deadlock through the ordinary replay path.
+"$BIN" replay "$WITNESS" --no-cache | grep -q '"outcome": "deadlock"' || {
+  echo "error: witness token did not replay to a deadlock" >&2
+  exit 1
+}
+echo "witness replay OK: $WITNESS" | cut -c1-80
+
+echo "tournament smoke OK"
