@@ -1,6 +1,6 @@
 # Convenience targets for the SR2201 reproduction.
 
-.PHONY: test experiments trajectory bench examples doc clippy lint campaign campaign-smoke metrics-demo metrics-serve-demo reconfig-demo reconfig-smoke attribution-smoke serve-smoke tournament-smoke spans-demo bench-serve all
+.PHONY: test experiments trajectory sentinel bench examples doc clippy lint campaign campaign-smoke metrics-demo metrics-serve-demo reconfig-demo reconfig-smoke attribution-smoke serve-smoke tournament-smoke health-smoke spans-demo bench-serve all
 
 test:
 	cargo test --workspace
@@ -12,6 +12,12 @@ experiments: trajectory
 # BENCH_serve.json / BENCH_tournament.json and diff against the previous run.
 trajectory:
 	cargo run --release -p mdx-bench --bin experiments -- trajectory --dir .
+
+# Median/MAD regression sentinel over the committed BENCH_*.json history:
+# exits nonzero when the latest snapshot of any diffed metric deviates
+# from its robust baseline in the bad direction. Runs no sweeps.
+sentinel:
+	cargo run --release -p mdx-bench --bin experiments -- sentinel --dir .
 
 bench:
 	cargo bench --workspace
@@ -103,6 +109,16 @@ serve-smoke:
 tournament-smoke:
 	cargo build --release -p mdx-serve
 	./scripts/tournament_smoke.sh
+
+# Health/SLO gate, end to end: `--slo` campaign rows must be the plain
+# rows plus one stripped-away `health` key; a deadlock storm against a
+# live `campaign serve --slo` must breach the deadlock budget on the
+# health verb, the Prometheus endpoint, the `campaign watch` screen, and
+# the alert log; the bench sentinel must be clean on the committed
+# history and catch a synthetic collapse. Artifacts land under target/.
+health-smoke:
+	cargo build --release -p mdx-serve -p mdx-bench
+	./scripts/health_smoke.sh
 
 # Request-tracing walkthrough: capture a span log from a traced `campaign
 # serve` session, then summarize it (critical-path breakdown + slowest

@@ -7,6 +7,8 @@
 //! experiments --json results/ all
 //! experiments trajectory --dir .          # append BENCH_fig9/fig10 snapshots
 //! experiments trajectory --fail-on-regression
+//! experiments sentinel --dir .            # median/MAD scan of BENCH_*.json
+//! experiments sentinel --min-points 6 --mad-k 3.0 file.json
 //! ```
 
 use mdx_bench::{experiment_ids, run_experiment};
@@ -69,8 +71,89 @@ fn cmd_trajectory(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
+/// `experiments sentinel [--dir DIR] [--min-points N] [--mad-k K]
+/// [--rel-floor F] [FILE..]`: scans each trajectory file (explicit FILEs,
+/// or the four `BENCH_*.json` under DIR, skipping absent ones) with the
+/// median/MAD changepoint detector and exits nonzero on any confirmed
+/// regression. Unlike `trajectory`, this runs no sweeps — it judges the
+/// committed history as it stands, so CI can gate on it cheaply.
+fn cmd_sentinel(args: &[String]) -> ! {
+    let mut dir = ".".to_string();
+    let mut cfg = mdx_bench::SentinelConfig::default();
+    let mut files: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    let missing = |flag: &str, what: &str| -> ! {
+        eprintln!("{flag} requires {what}");
+        std::process::exit(2);
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--dir" => match it.next() {
+                Some(d) => dir = d.clone(),
+                None => missing("--dir", "a directory"),
+            },
+            "--min-points" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.min_points = n,
+                None => missing("--min-points", "a count"),
+            },
+            "--mad-k" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(k) => cfg.mad_k = k,
+                None => missing("--mad-k", "a number (e.g. 4.0)"),
+            },
+            "--rel-floor" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(f) => cfg.rel_floor = f,
+                None => missing("--rel-floor", "a fraction (e.g. 0.05)"),
+            },
+            other if !other.starts_with("--") => files.push(other.to_string()),
+            other => {
+                eprintln!("unknown sentinel flag: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if files.is_empty() {
+        for f in [
+            "BENCH_fig9.json",
+            "BENCH_fig10.json",
+            "BENCH_serve.json",
+            "BENCH_tournament.json",
+        ] {
+            let p = std::path::Path::new(&dir).join(f);
+            if p.exists() {
+                files.push(p.display().to_string());
+            }
+        }
+        if files.is_empty() {
+            eprintln!("sentinel: no BENCH_*.json under {dir}");
+            std::process::exit(2);
+        }
+    }
+    let mut regressions = 0usize;
+    for f in &files {
+        match mdx_bench::scan_path(std::path::Path::new(f), &cfg) {
+            Ok(report) => {
+                print!("{}", report.render());
+                regressions += report.regressions;
+            }
+            Err(e) => {
+                eprintln!("sentinel: {f}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if regressions > 0 {
+        eprintln!("sentinel: {regressions} confirmed regression(s)");
+        std::process::exit(1);
+    }
+    println!("sentinel: clean ({} file(s))", files.len());
+    std::process::exit(0);
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("sentinel") {
+        cmd_sentinel(&args[1..]);
+    }
     if args.first().map(String::as_str) == Some("trajectory") {
         cmd_trajectory(&args[1..]);
     }

@@ -14,6 +14,7 @@ pub mod claims;
 pub mod extensions;
 pub mod figures;
 pub mod report;
+pub mod sentinel;
 pub mod trajectory;
 
 use mdx_core::Scheme;
@@ -22,6 +23,10 @@ use mdx_topology::NetworkGraph;
 use std::sync::Arc;
 
 pub use report::Table;
+pub use sentinel::{
+    scan_file, scan_path, MetricVerdict, SentinelConfig, SentinelReport, DEFAULT_MAD_K,
+    DEFAULT_MIN_POINTS, DEFAULT_REL_FLOOR,
+};
 pub use trajectory::{
     append_snapshot, snapshot_fig10, snapshot_fig9, snapshot_serve, snapshot_tournament,
     MetricDelta, TrajectoryDiff, TrajectoryEntry, TrajectoryFile, DEFAULT_THRESHOLD,

@@ -206,8 +206,10 @@ impl TrajectoryDiff {
     }
 }
 
-/// Bad direction of each diffed metric: `true` = higher is worse.
-const METRICS: &[(&str, bool)] = &[
+/// Bad direction of each diffed metric: `true` = higher is worse. The
+/// sentinel (`crate::sentinel`) scans the same metric set with the same
+/// direction convention.
+pub(crate) const METRICS: &[(&str, bool)] = &[
     ("deadlock_rate", true),
     ("completed_rate", false),
     ("throughput", false),
@@ -215,7 +217,7 @@ const METRICS: &[(&str, bool)] = &[
     ("p95_latency", true),
 ];
 
-fn metric_value(e: &TrajectoryEntry, name: &str) -> f64 {
+pub(crate) fn metric_value(e: &TrajectoryEntry, name: &str) -> f64 {
     match name {
         "deadlock_rate" => e.deadlock_rate,
         "completed_rate" => e.completed_rate,

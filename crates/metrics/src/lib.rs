@@ -443,6 +443,13 @@ impl Registry {
             bounds.windows(2).all(|w| w[0] < w[1]),
             "histogram {name:?} bounds must be strictly increasing"
         );
+        // A caller-supplied trailing `+Inf` would duplicate the implicit
+        // overflow bucket and double-emit `le="+Inf"` in the exposition, so
+        // normalize it away: the implicit bucket is the only `+Inf`.
+        let bounds = match bounds.split_last() {
+            Some((last, rest)) if *last == f64::INFINITY => rest,
+            _ => bounds,
+        };
         match self.register(name, help, Kind::Histogram, labels, || {
             let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
             CellRef::Histogram(Arc::new(HistogramCell {
@@ -984,5 +991,51 @@ mod tests {
         let reg = Registry::new();
         reg.counter("mdx_x", "x");
         reg.gauge("mdx_x", "x");
+    }
+
+    #[test]
+    fn explicit_inf_bound_emits_single_inf_bucket() {
+        let reg = Registry::new();
+        let h = reg.histogram("mdx_inf_seconds", "latency", &[0.5, f64::INFINITY]);
+        h.observe(0.1);
+        h.observe(7.0);
+        let text = reg.snapshot().render_prometheus();
+        assert_eq!(
+            text.matches("mdx_inf_seconds_bucket{le=\"+Inf\"}").count(),
+            1,
+            "{text}"
+        );
+        assert!(text.contains("mdx_inf_seconds_bucket{le=\"0.5\"} 1"));
+        assert!(text.contains("mdx_inf_seconds_bucket{le=\"+Inf\"} 2"));
+        // The normalized registration and a finite-bounds registration of
+        // the same family agree on the stored bounds, so re-registering
+        // without the trailing +Inf resolves to the same cell.
+        let again = reg.histogram("mdx_inf_seconds", "latency", &[0.5]);
+        again.observe(0.2);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn help_text_and_label_values_are_escaped_per_spec() {
+        let reg = Registry::new();
+        reg.counter_with(
+            "mdx_esc_total",
+            "line one\nback\\slash \"quoted\"",
+            &[("path", "a\\b\n\"c\"")],
+        )
+        .inc();
+        let text = reg.snapshot().render_prometheus();
+        // HELP: escape `\` and `\n`; a raw quote is legal and left alone.
+        assert!(
+            text.contains("# HELP mdx_esc_total line one\\nback\\\\slash \"quoted\"\n"),
+            "{text}"
+        );
+        // Label values: escape `\`, `\n`, and `"`.
+        assert!(
+            text.contains("mdx_esc_total{path=\"a\\\\b\\n\\\"c\\\"\"} 1\n"),
+            "{text}"
+        );
+        // No raw newline may survive inside any sample or header line.
+        assert!(text.lines().all(|l| !l.is_empty()), "{text}");
     }
 }

@@ -56,6 +56,28 @@ impl WindowRow {
             self.latency_sum as f64 / self.finished as f64
         }
     }
+
+    /// Fraction of this window's injections that finished in it.
+    ///
+    /// An all-idle window (`injected == 0`) offers nothing, so it is
+    /// trivially keeping up: the fraction is defined as 1.0, never a
+    /// division by zero. A carryover window that finishes more than it
+    /// injects (draining a prior backlog) reports a fraction above 1.0.
+    pub fn delivery_fraction(&self) -> f64 {
+        if self.injected == 0 {
+            1.0
+        } else {
+            self.finished as f64 / self.injected as f64
+        }
+    }
+
+    /// Net packets this window added to the in-flight backlog
+    /// (`injected - finished`), saturating at zero when deliveries outpace
+    /// offers — a window draining carryover from earlier windows must not
+    /// underflow into a huge positive delta.
+    pub fn backlog_delta(&self) -> u64 {
+        self.injected.saturating_sub(self.finished)
+    }
 }
 
 /// Run-level totals, accumulated independently of the ring (evicting old
@@ -290,7 +312,9 @@ fn find_saturation(windows: &[WindowRow]) -> Option<u64> {
     let mut run_start: Option<usize> = None;
     let mut run_len = 0usize;
     for (i, w) in windows.iter().enumerate() {
-        let lagging = (w.finished as f64) < SATURATION_DELIVERY_FRACTION * w.injected as f64;
+        // `delivery_fraction` is division-safe: an all-idle window reports
+        // 1.0 (keeping up), so it can never qualify as lagging.
+        let lagging = w.delivery_fraction() < SATURATION_DELIVERY_FRACTION;
         let rising = i > 0 && w.backlog > windows[i - 1].backlog;
         if lagging && rising && w.injected > 0 {
             if run_start.is_none() {
@@ -384,5 +408,55 @@ mod tests {
         assert_eq!(r.saturated_at, Some(10));
         assert!(r.delivery_ratio() < 1.0);
         assert!(r.render().contains("saturated from cycle 10"));
+    }
+
+    #[test]
+    fn all_idle_windows_never_divide_by_zero_or_saturate() {
+        let (mut obs, handle) = WindowObserver::new(10);
+        let s = spec();
+        // One packet injected at cycle 0; then three fully idle windows
+        // (offered == 0) while its backlog sits at 1. A finish event for a
+        // packet we never saw inject rolls the clock without counting.
+        obs.on_inject(PacketId(0), &s, 0);
+        obs.on_packet_finished(PacketId(99), 35);
+        let r = handle.report(40);
+        assert_eq!(r.windows.len(), 4);
+        for w in &r.windows[1..] {
+            assert_eq!(w.injected, 0);
+            assert!(
+                w.delivery_fraction().is_finite(),
+                "idle window produced a non-finite delivery fraction"
+            );
+            assert_eq!(w.delivery_fraction(), 1.0);
+        }
+        // Idle windows are trivially keeping up: no saturation verdict.
+        assert!(r.saturated_at.is_none());
+    }
+
+    #[test]
+    fn draining_windows_saturate_backlog_delta_at_zero() {
+        let (mut obs, handle) = WindowObserver::new(10);
+        let s = spec();
+        // Window 0 injects 3 and finishes none; window 1 injects 1 but
+        // finishes all 4 — deliveries outpace offers across the boundary.
+        for k in 0..3u32 {
+            obs.on_inject(PacketId(k), &s, k as u64);
+        }
+        obs.on_inject(PacketId(3), &s, 11);
+        for k in 0..4u32 {
+            obs.on_packet_finished(PacketId(k), 12 + k as u64);
+        }
+        let r = handle.report(20);
+        assert_eq!(r.windows.len(), 2);
+        assert_eq!(r.windows[0].backlog_delta(), 3);
+        // finished (4) > injected (1): must clamp to 0, not wrap.
+        assert_eq!(r.windows[1].injected, 1);
+        assert_eq!(r.windows[1].finished, 4);
+        assert_eq!(r.windows[1].backlog_delta(), 0);
+        // The drain window's fraction exceeds 1.0 but stays finite.
+        assert!(r.windows[1].delivery_fraction() > 1.0);
+        assert!(r.windows[1].delivery_fraction().is_finite());
+        assert_eq!(r.windows[1].backlog, 0);
+        assert!(r.saturated_at.is_none());
     }
 }

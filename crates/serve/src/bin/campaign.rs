@@ -20,6 +20,8 @@
 //!                [--metrics-addr ADDR] [--metrics-file PATH]
 //!                [--metrics-every SECS]
 //!                [--span-log PATH] [--span-sample RATE]
+//!                [--slo FILE] [--alert-log PATH] [--slo-every SECS]
+//! campaign watch <ADDR> [--interval SECS] [--count N] [--once] [--no-clear]
 //! campaign spans <spans.jsonl> [--top N] [--perfetto PATH]
 //! campaign bench-serve [--tokens N] [--workers N] [--hits N]
 //! ```
@@ -98,19 +100,35 @@
 //! `campaign spans FILE` summarizes such a log — per-name critical-path
 //! breakdown plus the top-k slowest traces with their replay tokens — and
 //! `--perfetto PATH` re-exports it as Chrome `trace_event` JSON.
+//!
+//! Health & SLOs (`mdx-health`): `campaign serve --slo FILE` loads a
+//! declarative objective spec and evaluates it periodically against the
+//! live metric registry with multi-window burn rates; the `health` verb
+//! returns the current report, every response line is stamped with a
+//! `verdict` (pass/warn/breach), `--alert-log PATH` appends status
+//! transitions as JSONL, and the Prometheus exposition gains
+//! `mdx_health_status` / `mdx_slo_burn_rate` / `mdx_slo_budget_remaining`
+//! gauges. `campaign run --slo FILE` and `campaign tournament --slo FILE`
+//! evaluate the same objectives instantaneously per row/cell and append a
+//! `health` section to each JSONL line (output without the flag is
+//! byte-identical to earlier releases). `campaign watch ADDR` polls a
+//! serving endpoint's `health` + `stats` verbs and renders a one-screen
+//! live view.
 
 use mdx_campaign::{
     diff_attribution, enumerate_scenarios, run_campaign_metered, run_scenario_instrumented, shrink,
-    CampaignConfig, CampaignMeter, ObsOptions, Scenario, Workload, WorkloadKind, CAMPAIGN_SCHEMES,
-    DEFAULT_DIFF_THRESHOLD,
+    CampaignConfig, CampaignMeter, ObsOptions, Scenario, ScenarioReport, Workload, WorkloadKind,
+    CAMPAIGN_SCHEMES, DEFAULT_DIFF_THRESHOLD,
 };
+use mdx_health::{evaluate_frame, verdict_value, SignalFrame, SloSpec, Status};
 use mdx_obs::{PostmortemReport, DEFAULT_FLIGHT_CAPACITY};
 use mdx_serve::{
-    row_key, serve_on, serve_stdio, Request, ResultCache, ServeConfig, Server, Service,
-    SharedWriter,
+    render_watch, row_key, serve_on, serve_stdio, Request, Response, ResultCache, ServeConfig,
+    Server, Service, SharedWriter, WatchFrame,
 };
-use mdx_tournament::{run_tournament, TournamentSpec};
+use mdx_tournament::{run_tournament, TournamentCell, TournamentSpec};
 use mdx_workloads::StreamSpec;
+use serde_json::Value;
 use std::path::Path;
 use std::process::ExitCode;
 use std::sync::{Arc, Mutex};
@@ -123,7 +141,7 @@ fn usage() -> ! {
          [--fault-samples N] [--seeds N] [--workloads mixed,storm,detour,fault-storm]\n    \
          [--timeline CYCLE] [--recovery drop|reinject|reroute]\n    \
          [--max-cycles N] [--jsonl PATH] [--quiet] [--fail-on-deadlock] [--fail-on-loss]\n    \
-         [--metrics] [--attribution]\n    \
+         [--metrics] [--attribution] [--slo FILE]\n    \
          [--flight-recorder] [--postmortem-dir DIR] [--prom PATH]\n  \
          campaign replay <token> [--metrics] [--trace-out PATH] [--stall-probe N]\n    \
          [--flight-recorder] [--postmortem-dir DIR] [--attribution]\n    \
@@ -132,11 +150,13 @@ fn usage() -> ! {
          campaign diff <a.jsonl> <b.jsonl> [--threshold PP] [--fail-on-shift] [--json]\n  \
          campaign stream <spec-file> [--shape WxH[xD..]] [--scheme ID] [--seed N]\n    \
          [--windows W] [--max-cycles N] [--jsonl PATH] [--quiet]\n  \
-         campaign tournament <spec-file|-> [--jsonl PATH] [--quiet]\n  \
+         campaign tournament <spec-file|-> [--jsonl PATH] [--quiet] [--slo FILE]\n  \
          campaign serve [--tcp ADDR] [--workers N] [--windows W]\n    \
          [--cache-dir DIR] [--cache-cap N]\n    \
          [--metrics-addr ADDR] [--metrics-file PATH] [--metrics-every SECS]\n    \
-         [--span-log PATH] [--span-sample RATE]\n  \
+         [--span-log PATH] [--span-sample RATE]\n    \
+         [--slo FILE] [--alert-log PATH] [--slo-every SECS]\n  \
+         campaign watch <ADDR> [--interval SECS] [--count N] [--once] [--no-clear]\n  \
          campaign spans <spans.jsonl> [--top N] [--perfetto PATH]\n  \
          campaign bench-serve [--tokens N] [--workers N] [--hits N]"
     );
@@ -175,6 +195,119 @@ fn parse_num<T: std::str::FromStr>(flag: &str, v: Option<String>) -> T {
     }
 }
 
+/// Loads and validates an SLO spec file; parse errors are usage errors.
+fn load_slo(path: &str) -> SloSpec {
+    match SloSpec::load(Path::new(path)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Flattens one campaign row into the instantaneous signal frame the
+/// per-row SLO verdict evaluates (same signal names the serve loop uses).
+fn report_frame(r: &ScenarioReport) -> SignalFrame {
+    let mut f = SignalFrame::new(0);
+    f.set(
+        "deadlock_rate",
+        if r.outcome == "deadlock" { 1.0 } else { 0.0 },
+    );
+    f.set(
+        "completed_rate",
+        if r.outcome == "completed" { 1.0 } else { 0.0 },
+    );
+    let delivery = if r.offered == 0 {
+        1.0
+    } else {
+        r.stats.delivered as f64 / r.offered as f64
+    };
+    f.set("delivery_ratio", delivery);
+    f.set("mean_latency", r.stats.mean_latency()); // NaN dropped
+    f.set("latency_max", r.stats.latency_max as f64);
+    f.set("cycles", r.stats.cycles as f64);
+    for (name, v) in [
+        ("latency_p50", r.latency_p50),
+        ("latency_p95", r.latency_p95),
+        ("latency_p99", r.latency_p99),
+    ] {
+        if let Some(v) = v {
+            f.set(name, v as f64);
+        }
+    }
+    if let Some(s) = &r.stream {
+        f.set(
+            "saturated",
+            if s.saturated_at.is_some() { 1.0 } else { 0.0 },
+        );
+        f.set("peak_backlog", s.peak_backlog as f64);
+    }
+    f
+}
+
+/// Flattens one tournament cell the same way.
+fn cell_frame(c: &TournamentCell) -> SignalFrame {
+    let mut f = SignalFrame::new(0);
+    f.set("deadlock_rate", c.deadlock_rate);
+    let delivery = if c.offered == 0 {
+        1.0
+    } else {
+        c.delivered as f64 / c.offered as f64
+    };
+    f.set("delivery_ratio", delivery);
+    f.set("throughput", c.throughput);
+    f.set("cycles", c.cycles as f64);
+    f.set("runs", c.runs as f64);
+    for (name, v) in [
+        ("latency_p50", c.p50),
+        ("latency_p95", c.p95),
+        ("latency_p99", c.p99),
+    ] {
+        if let Some(v) = v {
+            f.set(name, v as f64);
+        }
+    }
+    f
+}
+
+/// Appends a `health` verdict section to one serialized JSONL row.
+/// Injection happens at the output layer — the row structs themselves
+/// never change, so `--slo`-free output stays byte-identical.
+fn stamp_health(line: &str, spec: &SloSpec, frame: &SignalFrame) -> String {
+    let mut v: Value = serde_json::from_str(line).expect("row round-trips");
+    if let Value::Map(entries) = &mut v {
+        entries.push(("health".to_string(), verdict_value(spec, frame)));
+    }
+    serde_json::to_string(&v).expect("row serializes")
+}
+
+/// Counts pass/warn/breach over a set of frames and renders the one-line
+/// summary (breached objective ids included, deduplicated).
+fn health_summary(spec: &SloSpec, frames: impl Iterator<Item = SignalFrame>) -> (String, usize) {
+    let (mut pass, mut warn, mut breach) = (0usize, 0usize, 0usize);
+    let mut violated: Vec<String> = Vec::new();
+    for frame in frames {
+        let (status, objectives) = evaluate_frame(spec, &frame);
+        match status {
+            Status::Pass => pass += 1,
+            Status::Warn => warn += 1,
+            Status::Breach => breach += 1,
+        }
+        for o in objectives.iter().filter(|o| o.status == Status::Breach) {
+            if !violated.contains(&o.id) {
+                violated.push(o.id.clone());
+            }
+        }
+    }
+    let mut line = format!("health: {pass} pass, {warn} warn, {breach} breach");
+    if !violated.is_empty() {
+        line.push_str(&format!(" (violated: {})", violated.join(", ")));
+    }
+    line.push('\n');
+    (line, breach)
+}
+
 fn cmd_run(args: &[String]) -> ExitCode {
     let mut cfg = CampaignConfig {
         seeds: 8,
@@ -187,6 +320,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let mut obs = ObsOptions::default();
     let mut postmortem_dir = ".".to_string();
     let mut prom: Option<String> = None;
+    let mut slo: Option<SloSpec> = None;
 
     let mut it = args.iter().cloned();
     while let Some(arg) = it.next() {
@@ -247,6 +381,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
             "--flight-recorder" => obs.flight = Some(DEFAULT_FLIGHT_CAPACITY),
             "--postmortem-dir" => postmortem_dir = it.next().unwrap_or_else(|| usage()),
             "--prom" => prom = Some(it.next().unwrap_or_else(|| usage())),
+            "--slo" => slo = Some(load_slo(&it.next().unwrap_or_else(|| usage()))),
             _ => usage(),
         }
     }
@@ -286,7 +421,21 @@ fn cmd_run(args: &[String]) -> ExitCode {
     }
 
     if let Some(path) = jsonl {
-        if let Err(e) = std::fs::write(&path, result.to_jsonl()) {
+        // With `--slo` every row line gains a `health` verdict section;
+        // without it the payload is exactly `to_jsonl()`, byte for byte.
+        let payload = match &slo {
+            None => result.to_jsonl(),
+            Some(spec) => {
+                let mut out = String::new();
+                for r in &result.reports {
+                    let line = serde_json::to_string(r).expect("report serializes");
+                    out.push_str(&stamp_health(&line, spec, &report_frame(r)));
+                    out.push('\n');
+                }
+                out
+            }
+        };
+        if let Err(e) = std::fs::write(&path, payload) {
             eprintln!("error: cannot write {path}: {e}");
             return ExitCode::from(1);
         }
@@ -296,6 +445,10 @@ fn cmd_run(args: &[String]) -> ExitCode {
     }
 
     print!("{}", result.summary());
+    if let Some(spec) = &slo {
+        let (line, _) = health_summary(spec, result.reports.iter().map(report_frame));
+        print!("{line}");
+    }
 
     // With the flight recorder attached, every failed row auto-dumps its
     // forensic report.
@@ -671,11 +824,13 @@ fn cmd_stream(path: &str, args: &[String]) -> ExitCode {
 fn cmd_tournament(path: &str, args: &[String]) -> ExitCode {
     let mut jsonl: Option<String> = None;
     let mut quiet = false;
+    let mut slo: Option<SloSpec> = None;
     let mut it = args.iter().cloned();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--jsonl" => jsonl = Some(it.next().unwrap_or_else(|| usage())),
             "--quiet" => quiet = true,
+            "--slo" => slo = Some(load_slo(&it.next().unwrap_or_else(|| usage()))),
             _ => usage(),
         }
     }
@@ -706,7 +861,26 @@ fn cmd_tournament(path: &str, args: &[String]) -> ExitCode {
     };
     let table = run_tournament(&spec);
     if let Some(p) = &jsonl {
-        if let Err(e) = std::fs::write(p, table.to_jsonl()) {
+        // Executed cells gain a `health` verdict section under `--slo`;
+        // skipped cells never ran, so they carry none. Without the flag
+        // the payload is exactly `to_jsonl()`.
+        let payload = match &slo {
+            None => table.to_jsonl(),
+            Some(spec) => {
+                let mut out = String::new();
+                for c in &table.cells {
+                    let line = serde_json::to_string(c).expect("cell serializes");
+                    if c.status == "ok" {
+                        out.push_str(&stamp_health(&line, spec, &cell_frame(c)));
+                    } else {
+                        out.push_str(&line);
+                    }
+                    out.push('\n');
+                }
+                out
+            }
+        };
+        if let Err(e) = std::fs::write(p, payload) {
             eprintln!("error: cannot write {p}: {e}");
             return ExitCode::from(1);
         }
@@ -721,6 +895,17 @@ fn cmd_tournament(path: &str, args: &[String]) -> ExitCode {
         );
     } else {
         print!("{}", table.render());
+    }
+    if let Some(spec) = &slo {
+        let (line, _) = health_summary(
+            spec,
+            table
+                .cells
+                .iter()
+                .filter(|c| c.status == "ok")
+                .map(cell_frame),
+        );
+        print!("{line}");
     }
     ExitCode::SUCCESS
 }
@@ -753,8 +938,21 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             "--span-sample" => {
                 cfg.span_sample = Some(parse_num("--span-sample", it.next()));
             }
+            "--slo" => {
+                cfg.slo = Some(load_slo(&it.next().unwrap_or_else(|| usage())));
+            }
+            "--alert-log" => {
+                cfg.alert_log = Some(it.next().unwrap_or_else(|| usage()).into());
+            }
+            "--slo-every" => {
+                cfg.slo_every_secs = parse_num("--slo-every", it.next());
+            }
             _ => usage(),
         }
+    }
+    if cfg.alert_log.is_some() && cfg.slo.is_none() {
+        eprintln!("error: --alert-log needs --slo FILE");
+        return ExitCode::from(2);
     }
     match tcp {
         Some(addr) => {
@@ -785,6 +983,96 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             eprintln!("campaign serve: answered {n} request(s)");
             ExitCode::SUCCESS
         }
+    }
+}
+
+/// One watch poll: connect, issue `health` + `stats`, decode both lines.
+fn poll_watch(addr: &str) -> std::io::Result<WatchFrame> {
+    use std::io::{BufRead, BufReader, Write};
+    let stream = std::net::TcpStream::connect(addr)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    for cmd in ["health", "stats"] {
+        let req = Request {
+            cmd: cmd.to_string(),
+            id: Some(if cmd == "health" { 1 } else { 2 }),
+            ..Request::default()
+        };
+        writeln!(
+            writer,
+            "{}",
+            serde_json::to_string(&req).expect("request serializes")
+        )?;
+    }
+    writer.flush()?;
+    let mut frame = WatchFrame::default();
+    for _ in 0..2 {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let Ok(resp) = serde_json::from_str::<Response>(line.trim()) else {
+            continue;
+        };
+        match resp.id {
+            Some(1) => match resp.health {
+                // The report travels as JSON; round-trip it back into the
+                // typed form the renderer takes.
+                Some(h) => {
+                    let text = serde_json::to_string(&h).expect("health serializes");
+                    frame.health = serde_json::from_str(&text).ok();
+                }
+                None => frame.health_error = resp.error,
+            },
+            Some(2) => frame.stats = resp.stats,
+            _ => {}
+        }
+    }
+    Ok(frame)
+}
+
+fn cmd_watch(addr: &str, args: &[String]) -> ExitCode {
+    let mut interval = 2.0f64;
+    let mut count: Option<u64> = None;
+    let mut once = false;
+    let mut clear = true;
+    let mut it = args.iter().cloned();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--interval" => interval = parse_num("--interval", it.next()),
+            "--count" => count = Some(parse_num("--count", it.next())),
+            "--once" => once = true,
+            "--no-clear" => clear = false,
+            _ => usage(),
+        }
+    }
+    if once {
+        count = Some(1);
+    }
+    let mut polled = 0u64;
+    loop {
+        match poll_watch(addr) {
+            Ok(frame) => {
+                if clear && count != Some(1) {
+                    // Home + clear-to-end keeps a flicker-free live view.
+                    print!("\x1b[H\x1b[2J");
+                }
+                print!("{}", render_watch(&frame));
+                use std::io::Write;
+                std::io::stdout().flush().ok();
+            }
+            Err(e) => {
+                eprintln!("error: cannot poll {addr}: {e}");
+                return ExitCode::from(1);
+            }
+        }
+        polled += 1;
+        if let Some(c) = count {
+            if polled >= c {
+                return ExitCode::SUCCESS;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_secs_f64(interval.max(0.1)));
     }
 }
 
@@ -935,6 +1223,10 @@ fn main() -> ExitCode {
             _ => usage(),
         },
         Some("serve") => cmd_serve(&args[1..]),
+        Some("watch") => match args.get(1) {
+            Some(a) if !a.starts_with("--") => cmd_watch(a, &args[2..]),
+            _ => usage(),
+        },
         Some("spans") => match args.get(1) {
             Some(p) if !p.starts_with("--") => cmd_spans(p, &args[2..]),
             _ => usage(),

@@ -22,6 +22,13 @@
 //! reconfig-epoch children), serialize — and the trace id is echoed on
 //! the response line.
 //!
+//! With `--slo FILE` the server judges itself (`mdx-health`): a periodic
+//! burn-rate evaluator scores declarative objectives against the live
+//! registry, the `health` verb returns the full report, every response
+//! carries the current `verdict`, status transitions append to a JSONL
+//! alert log (`--alert-log`), and `campaign watch ADDR` renders a live
+//! one-screen view ([`watch`]).
+//!
 //! The `tournament` verb runs a whole cross-scheme comparison grid
 //! (`mdx-tournament`) in one request; finished tables are cached keyed by
 //! the parsed spec, so a resident server answers repeat tournaments
@@ -60,11 +67,13 @@ pub mod cache;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
+pub mod watch;
 
 pub use cache::{fnv1a64, row_key, CacheMetrics, CacheTier, ResultCache, DEFAULT_CACHE_CAPACITY};
 pub use metrics::{spawn_metrics_listener, spawn_snapshot_writer, ServeMetrics, VerbMeter};
 pub use protocol::{Request, Response, ServeStats};
 pub use server::{
     serve_on, serve_stdio, serve_stream, serve_tcp, ServeConfig, Server, Service, SharedWriter,
-    DEFAULT_METRICS_EVERY_SECS, MAX_POSTMORTEMS, MAX_TOURNAMENTS,
+    DEFAULT_METRICS_EVERY_SECS, DEFAULT_SLO_EVERY_SECS, MAX_POSTMORTEMS, MAX_TOURNAMENTS,
 };
+pub use watch::{render_watch, WatchFrame};

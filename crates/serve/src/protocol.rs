@@ -17,6 +17,7 @@
 //! {"cmd":"stats"}                                   service counters
 //! {"cmd":"metrics"}                                 full registry snapshot
 //! {"cmd":"spans"}                                   span-collector ledger
+//! {"cmd":"health"}                                  SLO verdict + firing alerts
 //! {"cmd":"shutdown"}                                stop the server
 //! ```
 //!
@@ -27,7 +28,15 @@
 //! span collector's ledger and resident-trace summaries), `postmortem`,
 //! `tournament` (the finished cross-scheme table, with a `cached` flag —
 //! resident servers answer repeat tournaments from a spec-keyed cache),
-//! or `ok` (shutdown acknowledgment).
+//! `health` (the SLO engine's current [`mdx_health::HealthReport`] as
+//! JSON, for servers started with `--slo`), or `ok` (shutdown
+//! acknowledgment).
+//!
+//! When the server is evaluating SLOs, *every* response line — rows,
+//! stats, even parse-error salvage — additionally carries a compact
+//! `verdict` field (`pass` / `warn` / `breach`), the overall status as of
+//! the latest evaluation, so a client never has to issue a second request
+//! to learn whether the service it is talking to is healthy.
 //!
 //! Every request may also carry a client-chosen `trace` string. It is
 //! echoed on the response line — *including* error responses, so span
@@ -50,7 +59,7 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Request {
     /// The verb: `run`, `spec`, `postmortem`, `tournament`, `stats`,
-    /// `metrics`, or `shutdown`.
+    /// `metrics`, `spans`, `health`, or `shutdown`.
     pub cmd: String,
     /// Client correlation tag, echoed on the response.
     pub id: Option<u64>,
@@ -161,7 +170,7 @@ impl Deserialize for Request {
 }
 
 /// Service counters, returned by the `stats` verb.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct ServeStats {
     /// Rows served (cache hits included).
     pub served: usize,
@@ -205,6 +214,11 @@ pub struct Response {
     pub postmortem: Option<PostmortemReport>,
     /// The finished cross-scheme table (`tournament`).
     pub tournament: Option<TournamentResult>,
+    /// The SLO engine's full report as JSON (`health`).
+    pub health: Option<Value>,
+    /// Overall SLO status (`pass` / `warn` / `breach`), stamped on every
+    /// response line when the server evaluates SLOs.
+    pub verdict: Option<String>,
     /// The request's trace id: the client's `trace` echoed back, or the
     /// server-minted id when span collection traced an untagged request.
     pub trace: Option<String>,
@@ -223,6 +237,8 @@ impl Response {
             spans: None,
             postmortem: None,
             tournament: None,
+            health: None,
+            verdict: None,
             trace: None,
         }
     }
@@ -285,6 +301,14 @@ impl Response {
         }
     }
 
+    /// A `health` response carrying the SLO engine's report as JSON.
+    pub fn health(id: Option<u64>, report: Value) -> Response {
+        Response {
+            health: Some(report),
+            ..Response::empty("health", id)
+        }
+    }
+
     /// An `ok` acknowledgment (shutdown).
     pub fn ok(id: Option<u64>) -> Response {
         Response::empty("ok", id)
@@ -294,6 +318,13 @@ impl Response {
     #[must_use]
     pub fn with_trace(mut self, trace: Option<String>) -> Response {
         self.trace = trace;
+        self
+    }
+
+    /// Stamps the overall SLO verdict (builder style).
+    #[must_use]
+    pub fn with_verdict(mut self, verdict: Option<String>) -> Response {
+        self.verdict = verdict;
         self
     }
 
@@ -315,6 +346,8 @@ impl Serialize for Response {
         push_opt(&mut m, "spans", &self.spans);
         push_opt(&mut m, "postmortem", &self.postmortem);
         push_opt(&mut m, "tournament", &self.tournament);
+        push_opt(&mut m, "health", &self.health);
+        push_opt(&mut m, "verdict", &self.verdict);
         push_opt(&mut m, "trace", &self.trace);
         Value::Map(m)
     }
@@ -336,6 +369,8 @@ impl Deserialize for Response {
             spans: opt_field(entries, "spans")?,
             postmortem: opt_field(entries, "postmortem")?,
             tournament: opt_field(entries, "tournament")?,
+            health: opt_field(entries, "health")?,
+            verdict: opt_field(entries, "verdict")?,
             trace: opt_field(entries, "trace")?,
         })
     }
@@ -411,5 +446,32 @@ mod tests {
         // Untraced lines stay trace-free rather than null-padded.
         let json = serde_json::to_string(&Response::ok(None)).unwrap();
         assert!(!json.contains("trace"), "{json}");
+    }
+
+    #[test]
+    fn health_and_verdict_roundtrip_and_are_omitted_when_absent() {
+        let report = Value::Map(vec![(
+            "status".to_string(),
+            Value::Str("breach".to_string()),
+        )]);
+        let resp = Response::health(Some(4), report).with_verdict(Some("breach".to_string()));
+        let json = serde_json::to_string(&resp).unwrap();
+        assert!(json.contains("\"kind\":\"health\""), "{json}");
+        assert!(json.contains("\"verdict\":\"breach\""), "{json}");
+        let back: Response = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.id, Some(4));
+        assert_eq!(back.verdict.as_deref(), Some("breach"));
+        assert!(back.health.is_some());
+
+        // A verdict can ride on any kind, error lines included.
+        let err = Response::error(None, "bad line").with_verdict(Some("pass".to_string()));
+        let json = serde_json::to_string(&err).unwrap();
+        assert!(json.contains("\"kind\":\"error\""), "{json}");
+        assert!(json.contains("\"verdict\":\"pass\""), "{json}");
+
+        // Servers without --slo emit byte-identical, verdict-free lines.
+        let json = serde_json::to_string(&Response::ok(None)).unwrap();
+        assert!(!json.contains("health"), "{json}");
+        assert!(!json.contains("verdict"), "{json}");
     }
 }

@@ -24,11 +24,13 @@ use crate::cache::{row_key, CacheMetrics, ResultCache, DEFAULT_CACHE_CAPACITY};
 use crate::metrics::{spawn_metrics_listener, spawn_snapshot_writer, ServeMetrics};
 use crate::protocol::{Request, Response, ServeStats};
 use mdx_campaign::{push_engine_spans, run_scenario_instrumented, ObsOptions, Scenario, Workload};
+use mdx_health::{HealthEngine, HealthReport, SignalFrame, SloSpec};
 use mdx_metrics::Registry;
 use mdx_obs::{PostmortemReport, SpanCollector, SpanUnit, TraceBuilder, DEFAULT_FLIGHT_CAPACITY};
 use mdx_tournament::{run_tournament, TournamentResult, TournamentSpec};
 use mdx_workloads::StreamSpec;
 use serde::value::Value;
+use serde::Serialize as _;
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
 use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
@@ -47,6 +49,9 @@ pub const MAX_TOURNAMENTS: usize = 16;
 
 /// Default interval, in seconds, between `--metrics-file` snapshots.
 pub const DEFAULT_METRICS_EVERY_SECS: u64 = 10;
+
+/// Default interval, in seconds, between periodic SLO evaluations.
+pub const DEFAULT_SLO_EVERY_SECS: u64 = 2;
 
 /// Configuration for a [`Service`].
 #[derive(Debug, Clone)]
@@ -75,6 +80,15 @@ pub struct ServeConfig {
     /// abnormal outcomes are kept regardless. Setting this (or `span_log`)
     /// turns span collection on; the default rate is 1.0 (keep all).
     pub span_sample: Option<f64>,
+    /// Parsed SLO spec (`--slo FILE`); `None` disables health evaluation,
+    /// the `health` verb, and verdict stamping entirely — response lines
+    /// stay byte-identical to a pre-SLO server.
+    pub slo: Option<SloSpec>,
+    /// JSONL alert-log path (`--alert-log`): every SLO status transition
+    /// appends one [`mdx_health::Alert`] line.
+    pub alert_log: Option<PathBuf>,
+    /// Seconds between periodic SLO evaluations.
+    pub slo_every_secs: u64,
 }
 
 impl Default for ServeConfig {
@@ -92,8 +106,22 @@ impl Default for ServeConfig {
             metrics_every_secs: DEFAULT_METRICS_EVERY_SECS,
             span_log: None,
             span_sample: None,
+            slo: None,
+            alert_log: None,
+            slo_every_secs: DEFAULT_SLO_EVERY_SECS,
         }
     }
+}
+
+/// The SLO evaluator a `--slo` service carries: the burn-rate engine, the
+/// latest overall verdict (lock-free, for stamping every response line),
+/// and the alert log sink.
+struct HealthState {
+    engine: Mutex<HealthEngine>,
+    /// Latest overall status in its gauge encoding (0 pass, 1 warn,
+    /// 2 breach).
+    last: AtomicUsize,
+    alert_log: Option<Mutex<std::fs::File>>,
 }
 
 /// The request dispatcher: runs scenarios (through the cache) and answers
@@ -110,6 +138,7 @@ pub struct Service {
     registry: Registry,
     metrics: ServeMetrics,
     spans: Option<Arc<SpanCollector>>,
+    health: Option<HealthState>,
     /// Wall-clock zero for span timestamps: every span offset is
     /// microseconds since the service was built, so spans from different
     /// workers share one timeline.
@@ -145,6 +174,28 @@ impl Service {
         } else {
             None
         };
+        let health = cfg.slo.as_ref().map(|spec| {
+            let alert_log = cfg.alert_log.as_ref().and_then(|path| {
+                match std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                {
+                    Ok(f) => Some(Mutex::new(f)),
+                    Err(e) => {
+                        // Same degradation policy as the span log: a broken
+                        // sink must not take the service down.
+                        eprintln!("campaign serve: alert log {} disabled: {e}", path.display());
+                        None
+                    }
+                }
+            });
+            HealthState {
+                engine: Mutex::new(HealthEngine::new(spec.clone())),
+                last: AtomicUsize::new(0),
+                alert_log,
+            }
+        });
         Service {
             // A zero width would panic the window observer; treat it as
             // "no window telemetry" rather than arming a trap.
@@ -159,8 +210,142 @@ impl Service {
             registry,
             metrics,
             spans,
+            health,
             epoch: Instant::now(),
         }
+    }
+
+    /// Whether this service evaluates SLOs (`--slo`).
+    pub fn has_slo(&self) -> bool {
+        self.health.is_some()
+    }
+
+    /// The latest overall SLO verdict (`pass` / `warn` / `breach`), or
+    /// `None` when no SLO spec is loaded. Lock-free — cheap enough to
+    /// stamp on every response line.
+    pub fn verdict(&self) -> Option<String> {
+        self.health.as_ref().map(|h| {
+            match h.last.load(Ordering::Relaxed) {
+                2 => "breach",
+                1 => "warn",
+                _ => "pass",
+            }
+            .to_string()
+        })
+    }
+
+    /// Builds the SLO evaluation frame: the flattened registry snapshot
+    /// plus derived service-level rates (`error_rate`, `cache_hit_rate`,
+    /// `deadlock_rate`, `completed_rate`) and short aliases for the
+    /// request-latency percentiles, so spec files can say `latency_p99`
+    /// instead of the full family selector.
+    fn health_frame(&self) -> SignalFrame {
+        let snap = self.registry.snapshot();
+        let mut f = SignalFrame::from_snapshot(0, &snap);
+        let rows = f.get("mdx_serve_rows_total").unwrap_or(0.0);
+        if rows > 0.0 {
+            let deadlocks = f
+                .get("mdx_serve_rows_total{outcome=\"deadlock\"}")
+                .unwrap_or(0.0);
+            let completed = f
+                .get("mdx_serve_rows_total{outcome=\"completed\"}")
+                .unwrap_or(0.0);
+            f.set("deadlock_rate", deadlocks / rows);
+            f.set("completed_rate", completed / rows);
+        }
+        let requests = f.get("mdx_serve_requests_total").unwrap_or(0.0);
+        if requests > 0.0 {
+            let errors = f.get("mdx_serve_errors_total").unwrap_or(0.0);
+            f.set("error_rate", errors / requests);
+        }
+        let stats = self.stats();
+        let lookups = stats.cache_hits + stats.cache_misses;
+        if lookups > 0 {
+            f.set("cache_hit_rate", stats.cache_hits as f64 / lookups as f64);
+        }
+        for (alias, src) in [
+            ("latency_p50", "mdx_serve_request_seconds_p50"),
+            ("latency_p95", "mdx_serve_request_seconds_p95"),
+            ("latency_p99", "mdx_serve_request_seconds_p99"),
+            ("queue_wait_p99", "mdx_serve_queue_wait_seconds_p99"),
+            ("idle_tick_fraction", "mdx_engine_idle_tick_fraction"),
+        ] {
+            if let Some(v) = f.get(src) {
+                f.set(alias, v);
+            }
+        }
+        f
+    }
+
+    /// Runs one SLO evaluation tick: builds the frame, advances the
+    /// burn-rate engine, refreshes the `mdx_health_status` /
+    /// `mdx_slo_burn_rate` / `mdx_slo_budget_remaining` gauges, and
+    /// appends any fired alerts to the alert log. Returns `None` when no
+    /// SLO spec is loaded. Both the periodic evaluator and the `health`
+    /// verb land here, so a pull is never staler than one request.
+    pub fn evaluate_health(&self) -> Option<HealthReport> {
+        let hs = self.health.as_ref()?;
+        let frame = self.health_frame();
+        let report = hs
+            .engine
+            .lock()
+            .expect("health engine lock")
+            .observe(&frame);
+        hs.last
+            .store(report.status.gauge_value() as usize, Ordering::Relaxed);
+        self.registry
+            .gauge(
+                "mdx_health_status",
+                "Overall SLO status: 0 pass, 1 warn, 2 breach",
+            )
+            .set(report.status.gauge_value());
+        for o in &report.objectives {
+            self.registry
+                .gauge_with(
+                    "mdx_slo_burn_rate",
+                    "Error-budget burn rate, per objective and window",
+                    &[("objective", o.id.as_str()), ("window", "fast")],
+                )
+                .set(o.fast_burn);
+            self.registry
+                .gauge_with(
+                    "mdx_slo_burn_rate",
+                    "Error-budget burn rate, per objective and window",
+                    &[("objective", o.id.as_str()), ("window", "slow")],
+                )
+                .set(o.slow_burn);
+            self.registry
+                .gauge_with(
+                    "mdx_slo_budget_remaining",
+                    "Unspent slow-window error budget, per objective",
+                    &[("objective", o.id.as_str())],
+                )
+                .set(o.budget_remaining);
+        }
+        if !report.alerts.is_empty() {
+            if let Some(log) = &hs.alert_log {
+                let mut w = log.lock().unwrap_or_else(|e| e.into_inner());
+                for a in &report.alerts {
+                    let line = serde_json::to_string(a).expect("alert serializes");
+                    let _ = writeln!(w, "{line}");
+                }
+                let _ = w.flush();
+            }
+        }
+        Some(report)
+    }
+
+    /// Counts one served row under `mdx_serve_rows_total{outcome=...}` —
+    /// the counter family `deadlock_rate` / `completed_rate` SLO signals
+    /// are derived from.
+    fn count_row_outcome(&self, outcome: &str) {
+        self.registry
+            .counter_with(
+                "mdx_serve_rows_total",
+                "Rows served, by scenario outcome",
+                &[("outcome", outcome)],
+            )
+            .inc();
     }
 
     /// The metric registry every exporter view (the `metrics` verb, the
@@ -197,7 +382,9 @@ impl Service {
             Err(e) => {
                 self.errors.fetch_add(1, Ordering::Relaxed);
                 self.metrics.error("parse");
-                Response::error(None, format!("bad request: {e}")).with_trace(trace_of_line(line))
+                Response::error(None, format!("bad request: {e}"))
+                    .with_trace(trace_of_line(line))
+                    .with_verdict(self.verdict())
             }
         }
     }
@@ -206,7 +393,9 @@ impl Service {
     /// boundary, so only [`Service::process_line`] emits them). The
     /// client's `trace` tag is still echoed.
     pub fn handle(&self, req: &Request) -> Response {
-        self.handle_inner(req, None).with_trace(req.trace.clone())
+        let resp = self.handle_inner(req, None).with_trace(req.trace.clone());
+        let verdict = self.verdict();
+        resp.with_verdict(verdict)
     }
 
     /// Processes one request line end to end — parse, dispatch, serialize
@@ -235,6 +424,10 @@ impl Service {
                 (resp, None)
             }
         };
+        // Verdict stamping covers every path — rows, verbs, unknown
+        // verbs, even parse-error salvage — and happens after dispatch so
+        // a `health` request's own evaluation is already reflected.
+        let resp = resp.with_verdict(self.verdict());
         let body = serde_json::to_string(&resp).expect("response serializes");
         if let Some(mut tr) = tr {
             let collector = self.spans.as_ref().expect("trace implies a collector");
@@ -293,6 +486,7 @@ impl Service {
             "stats" => Response::stats(req.id, self.stats()),
             "metrics" => Response::metrics(req.id, self.registry.snapshot().to_value()),
             "spans" => self.cmd_spans(req),
+            "health" => self.cmd_health(req),
             "shutdown" => Response::ok(req.id),
             other => Response::error(req.id, format!("unknown cmd `{other}`")),
         };
@@ -317,7 +511,7 @@ impl Service {
             self.errors.fetch_add(1, Ordering::Relaxed);
             let class = match req.cmd.as_str() {
                 "run" | "spec" | "postmortem" | "tournament" | "stats" | "metrics" | "spans"
-                | "shutdown" => "request",
+                | "health" | "shutdown" => "request",
                 _ => "unknown_verb",
             };
             self.metrics.error(class);
@@ -335,6 +529,13 @@ impl Service {
                 req.id,
                 "span collection disabled; start with --span-log or --span-sample",
             ),
+        }
+    }
+
+    fn cmd_health(&self, req: &Request) -> Response {
+        match self.evaluate_health() {
+            Some(report) => Response::health(req.id, report.to_value()),
+            None => Response::error(req.id, "slo evaluation disabled; start with --slo FILE"),
         }
     }
 
@@ -403,6 +604,7 @@ impl Service {
             if let Some((row, _)) = hit {
                 self.served.fetch_add(1, Ordering::Relaxed);
                 self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                self.count_row_outcome(&row.outcome);
                 return Response::row(req.id, true, row);
             }
         }
@@ -445,6 +647,7 @@ impl Service {
                 }
                 self.cache.put(key, &row);
                 self.served.fetch_add(1, Ordering::Relaxed);
+                self.count_row_outcome(&row.outcome);
                 Response::row(req.id, false, row)
             }
             Err(e) => Response::error(req.id, e.to_string()),
@@ -705,6 +908,50 @@ impl MetricsExporter {
     }
 }
 
+/// The periodic SLO evaluator a `--slo` serving loop runs alongside
+/// itself: one thread ticking [`Service::evaluate_health`] every
+/// `slo_every_secs`, so the burn-rate windows advance, the health gauges
+/// stay fresh for scrapers, and alerts land in the log even when no
+/// client is asking. Stopped (with a final evaluation) when the loop
+/// ends.
+struct HealthEvaluator {
+    stop: Arc<AtomicBool>,
+    thread: std::thread::JoinHandle<()>,
+}
+
+impl HealthEvaluator {
+    /// Starts the evaluator when the service has an SLO spec loaded.
+    fn start(service: &Arc<Service>, every: Duration) -> Option<HealthEvaluator> {
+        if !service.has_slo() {
+            return None;
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let svc = service.clone();
+        let flag = stop.clone();
+        let thread = std::thread::spawn(move || {
+            // Prime the gauges immediately: a scraper arriving before the
+            // first interval still sees `mdx_health_status`.
+            let _ = svc.evaluate_health();
+            let mut last = Instant::now();
+            while !flag.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(50));
+                if last.elapsed() >= every {
+                    let _ = svc.evaluate_health();
+                    last = Instant::now();
+                }
+            }
+            // Final tick so shutdown flushes the closing verdict.
+            let _ = svc.evaluate_health();
+        });
+        Some(HealthEvaluator { stop, thread })
+    }
+
+    fn stop(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = self.thread.join();
+    }
+}
+
 /// True when the line is a `shutdown` request (handled inline so the
 /// serving loop can stop accepting).
 fn is_shutdown(line: &str) -> bool {
@@ -752,8 +999,15 @@ pub fn serve_stdio(cfg: &ServeConfig) -> usize {
         }
     };
     let server = Server::new(service, cfg.workers);
+    let health = HealthEvaluator::start(
+        server.service(),
+        Duration::from_secs(cfg.slo_every_secs.max(1)),
+    );
     let out: SharedWriter = Arc::new(Mutex::new(Box::new(std::io::stdout())));
     let n = serve_stream(&server, std::io::stdin().lock(), out);
+    if let Some(health) = health {
+        health.stop();
+    }
     server.shutdown();
     if let Some(exporter) = exporter {
         exporter.stop();
@@ -782,6 +1036,10 @@ pub fn serve_on(
     let service = Arc::new(Service::new(cfg));
     let exporter = MetricsExporter::start(cfg, service.registry())?;
     let server = Arc::new(Server::new(service, cfg.workers));
+    let health = HealthEvaluator::start(
+        server.service(),
+        Duration::from_secs(cfg.slo_every_secs.max(1)),
+    );
     let stop = Arc::new(AtomicBool::new(false));
     let mut conns = 0usize;
     let mut readers = Vec::new();
@@ -844,6 +1102,9 @@ pub fn serve_on(
     }
     for r in readers {
         let _ = r.join();
+    }
+    if let Some(health) = health {
+        health.stop();
     }
     if let Ok(s) = Arc::try_unwrap(server) {
         s.shutdown();

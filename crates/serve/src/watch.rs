@@ -1,0 +1,141 @@
+//! `campaign watch`: a one-screen health/top view over a live server.
+//!
+//! The CLI polls a `campaign serve --tcp` endpoint with the `health` and
+//! `stats` protocol verbs, decodes the responses into a [`WatchFrame`],
+//! and renders it with [`render_watch`] — objective table (current value,
+//! fast/slow burn rates, remaining error budget, per-objective status),
+//! the most recent alert, and the service counters. Rendering is a pure
+//! function of the frame, so the screen a client shows for a given pair
+//! of responses is deterministic and unit-testable without a socket.
+
+use crate::protocol::ServeStats;
+use mdx_health::{HealthReport, Status};
+
+/// One poll's worth of decoded responses.
+#[derive(Debug, Clone, Default)]
+pub struct WatchFrame {
+    /// The decoded `health` report, when the server evaluates SLOs.
+    pub health: Option<HealthReport>,
+    /// The server's `error` text when the `health` verb failed (most
+    /// commonly: serve started without `--slo`).
+    pub health_error: Option<String>,
+    /// The decoded `stats` counters.
+    pub stats: Option<ServeStats>,
+}
+
+fn fmt_value(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.4}"),
+        None => "-".to_string(),
+    }
+}
+
+/// Renders one frame as the one-screen view.
+pub fn render_watch(frame: &WatchFrame) -> String {
+    let mut out = String::new();
+    match (&frame.health, &frame.health_error) {
+        (Some(report), _) => {
+            let banner = match report.status {
+                Status::Pass => "PASS",
+                Status::Warn => "WARN",
+                Status::Breach => "BREACH",
+            };
+            out.push_str(&format!("health: {banner} (tick {})\n", report.tick));
+            out.push_str(&format!(
+                "  {:<20} {:<28} {:>10} {:>7} {:>7} {:>7}  status\n",
+                "objective", "signal", "value", "fast", "slow", "budget"
+            ));
+            for o in &report.objectives {
+                out.push_str(&format!(
+                    "  {:<20} {:<28} {:>10} {:>7.2} {:>7.2} {:>7.2}  {}\n",
+                    o.id,
+                    o.signal,
+                    fmt_value(o.value),
+                    o.fast_burn,
+                    o.slow_burn,
+                    o.budget_remaining,
+                    o.status.as_str()
+                ));
+            }
+            if let Some(a) = report.alerts.last() {
+                out.push_str(&format!(
+                    "  last alert: {} {} -> {} (tick {}, value {})\n",
+                    a.objective,
+                    a.from.as_str(),
+                    a.to.as_str(),
+                    a.tick,
+                    fmt_value(a.value)
+                ));
+            }
+        }
+        (None, Some(e)) => out.push_str(&format!("health: unavailable ({e})\n")),
+        (None, None) => out.push_str("health: no response\n"),
+    }
+    match &frame.stats {
+        Some(s) => out.push_str(&format!(
+            "serve:  served {}  errors {}  cache {}/{} hit/miss ({} resident)  workers {}\n",
+            s.served, s.errors, s.cache_hits, s.cache_misses, s.cached_rows, s.workers
+        )),
+        None => out.push_str("serve:  no stats response\n"),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdx_health::{HealthEngine, SignalFrame, SloSpec};
+
+    fn breached_report() -> HealthReport {
+        let spec = SloSpec::parse(
+            "window fast=2 slow=4\nburn fast=1.5 slow=1.0\n\
+             objective dl deadlock_rate ceiling 0.0 budget=0.5\n\
+             objective lat latency_p99 ceiling 100 budget=0.5\n",
+        )
+        .unwrap();
+        let mut engine = HealthEngine::new(spec);
+        let mut f = SignalFrame::new(0);
+        f.set("deadlock_rate", 1.0).set("latency_p99", 12.0);
+        // One hot sample saturates both windows past their burn gates, so
+        // the very first report carries the pass -> breach alert.
+        engine.observe(&f)
+    }
+
+    #[test]
+    fn render_shows_objectives_statuses_and_counters() {
+        let frame = WatchFrame {
+            health: Some(breached_report()),
+            health_error: None,
+            stats: Some(ServeStats {
+                served: 12,
+                cache_hits: 3,
+                cache_misses: 9,
+                errors: 1,
+                workers: 2,
+                ..ServeStats::default()
+            }),
+        };
+        let s = render_watch(&frame);
+        assert!(s.contains("health: BREACH"), "{s}");
+        assert!(s.contains("dl"), "{s}");
+        assert!(s.contains("deadlock_rate"), "{s}");
+        assert!(s.contains("breach"), "{s}");
+        // The healthy objective renders as pass with its current value.
+        assert!(s.contains("12.0000"), "{s}");
+        assert!(s.contains("last alert: dl"), "{s}");
+        assert!(s.contains("served 12"), "{s}");
+        assert!(s.contains("workers 2"), "{s}");
+    }
+
+    #[test]
+    fn render_degrades_without_health_or_stats() {
+        let s = render_watch(&WatchFrame::default());
+        assert!(s.contains("health: no response"), "{s}");
+        assert!(s.contains("no stats response"), "{s}");
+        let s = render_watch(&WatchFrame {
+            health_error: Some("slo evaluation disabled".to_string()),
+            ..WatchFrame::default()
+        });
+        assert!(s.contains("unavailable (slo evaluation disabled)"), "{s}");
+    }
+}

@@ -606,3 +606,139 @@ fn tcp_round_trip_serves_pipelined_clients_and_honors_shutdown() {
     assert_eq!(idle_reader.read_line(&mut eof).expect("idle eof"), 0);
     assert_eq!(handle.join().expect("server thread"), 2);
 }
+
+/// One traced `--slo` session exercises the health, spans, and metrics
+/// verbs together: every response path — ok rows, the health report
+/// itself, unknown verbs, even parse-error salvage — carries the SLO
+/// verdict and echoes its trace id, and a deadlock row flips the verdict
+/// from pass to breach for everything answered after it.
+#[test]
+fn health_spans_and_metrics_verbs_share_one_traced_slo_session() {
+    use mdx_health::SloSpec;
+    use std::time::Instant;
+
+    let spec = SloSpec::parse(
+        "window fast=1 slow=1\nburn fast=1.0 slow=1.0\n\
+         objective deadlock_budget deadlock_rate ceiling 0.0 budget=0.5\n",
+    )
+    .expect("spec parses");
+    let cfg = ServeConfig {
+        span_sample: Some(1.0),
+        slo: Some(spec),
+        ..ServeConfig::default()
+    };
+    let service = Service::new(&cfg);
+    let process = |line: &str| -> Response {
+        serde_json::from_str(&service.process_line(line, Instant::now())).expect("response parses")
+    };
+
+    // A healthy row: verdict pass, trace echoed.
+    let line = serde_json::to_string(
+        &Request::run(&storm_token(61))
+            .with_id(1)
+            .with_trace("h-row"),
+    )
+    .unwrap();
+    let resp = process(&line);
+    assert_eq!(resp.kind, "row", "error: {:?}", resp.error);
+    assert_eq!(resp.verdict.as_deref(), Some("pass"));
+    assert_eq!(resp.trace.as_deref(), Some("h-row"));
+
+    // The health verb: a full report, itself stamped and traced.
+    let resp = process(r#"{"cmd":"health","id":2,"trace":"h-verb"}"#);
+    assert_eq!(resp.kind, "health", "error: {:?}", resp.error);
+    assert_eq!(resp.verdict.as_deref(), Some("pass"));
+    assert_eq!(resp.trace.as_deref(), Some("h-verb"));
+    let body = serde_json::to_string(&resp.health.expect("health body")).unwrap();
+    assert!(body.contains("\"status\":\"pass\""), "{body}");
+    assert!(body.contains("deadlock_budget"), "{body}");
+
+    // Error paths are stamped too: an unknown verb, and a line that
+    // parses as JSON but not as a request (trace salvaged leniently).
+    let resp = process(r#"{"cmd":"no-such-verb","trace":"h-unknown"}"#);
+    assert!(resp.is_error());
+    assert_eq!(resp.verdict.as_deref(), Some("pass"));
+    assert_eq!(resp.trace.as_deref(), Some("h-unknown"));
+    let resp = process(r#"{"cmd":7,"trace":"h-parse"}"#);
+    assert!(resp.is_error());
+    assert_eq!(resp.verdict.as_deref(), Some("pass"));
+    assert_eq!(resp.trace.as_deref(), Some("h-parse"));
+
+    // A deadlocking row (the paper's naive broadcast wedges a 4x3 storm)
+    // drives deadlock_rate over its zero ceiling...
+    let naive = Scenario::new(
+        vec![4, 3],
+        "naive-broadcast",
+        Workload::BroadcastStorm {
+            sources: vec![0, 2, 4, 6],
+            flits: 16,
+        },
+        0,
+    )
+    .token();
+    let line = serde_json::to_string(&Request::run(&naive).with_id(3).with_trace("h-dl")).unwrap();
+    let resp = process(&line);
+    assert_eq!(resp.row.expect("row body").outcome, "deadlock");
+
+    // ...so the next health evaluation breaches, and every later response
+    // carries the degraded verdict.
+    let resp = process(r#"{"cmd":"health","id":4}"#);
+    assert_eq!(resp.kind, "health");
+    assert_eq!(resp.verdict.as_deref(), Some("breach"));
+    let body = serde_json::to_string(&resp.health.expect("health body")).unwrap();
+    assert!(body.contains("\"status\":\"breach\""), "{body}");
+    assert!(body.contains("\"to\":\"breach\""), "alert missing: {body}");
+    let resp = process(r#"{"cmd":"stats","id":5}"#);
+    assert_eq!(resp.kind, "stats");
+    assert_eq!(resp.verdict.as_deref(), Some("breach"));
+
+    // The metrics verb sees the health gauges the evaluation published.
+    let resp = process(r#"{"cmd":"metrics","id":6,"trace":"h-metrics"}"#);
+    assert_eq!(resp.kind, "metrics");
+    assert_eq!(resp.verdict.as_deref(), Some("breach"));
+    assert_eq!(resp.trace.as_deref(), Some("h-metrics"));
+    let snap = serde_json::to_string(&resp.metrics.expect("metrics body")).unwrap();
+    assert!(snap.contains("mdx_health_status"), "{snap}");
+    assert!(snap.contains("mdx_slo_burn_rate"), "{snap}");
+    assert!(snap.contains("mdx_slo_budget_remaining"), "{snap}");
+    let text = service.registry().snapshot().render_prometheus();
+    assert!(text.contains("mdx_health_status 2"), "{text}");
+
+    // The spans verb still answers under --slo, and the session's tagged
+    // traces are all in the ledger.
+    let resp = process(r#"{"cmd":"spans","id":7}"#);
+    assert_eq!(resp.kind, "spans");
+    assert_eq!(resp.verdict.as_deref(), Some("breach"));
+    let ledger = serde_json::to_string(&resp.spans.expect("spans body")).unwrap();
+    for trace in ["h-row", "h-verb", "h-dl"] {
+        assert!(ledger.contains(trace), "{trace} missing from {ledger}");
+    }
+}
+
+/// Without `--slo`, response lines are byte-identical to the pre-health
+/// protocol: no `health` key, no `verdict` key, on any response path.
+#[test]
+fn responses_without_slo_carry_no_health_or_verdict_bytes() {
+    use std::time::Instant;
+
+    let service = Service::new(&ServeConfig::default());
+    let lines = [
+        serde_json::to_string(&Request::run(&storm_token(62)).with_id(1)).unwrap(),
+        r#"{"cmd":"stats","id":2}"#.to_string(),
+        r#"{"cmd":"no-such-verb","id":3}"#.to_string(),
+        r#"{"cmd":7}"#.to_string(),
+        r#"{"cmd":"health","id":4}"#.to_string(),
+    ];
+    for line in &lines {
+        let raw = service.process_line(line, Instant::now());
+        assert!(
+            !raw.contains("\"verdict\"") && !raw.contains("\"health\""),
+            "un-slo'd response leaked health bytes: {raw}"
+        );
+    }
+    // And the health verb itself reports the feature off.
+    let resp: Response =
+        serde_json::from_str(&service.process_line(&lines[4], Instant::now())).unwrap();
+    assert!(resp.is_error());
+    assert!(resp.error.unwrap().contains("--slo"));
+}

@@ -100,6 +100,13 @@ pub mod campaign {
     pub use mdx_campaign::*;
 }
 
+/// SLO engine: declarative objectives, multi-window burn-rate evaluation,
+/// deterministic health reports and alert logs (re-export of
+/// `mdx-health`).
+pub mod health {
+    pub use mdx_health::*;
+}
+
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use mdx_campaign::{run_scenario, Scenario, Workload};
